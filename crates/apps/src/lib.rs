@@ -1,0 +1,29 @@
+//! # tm-apps — the eight-application evaluation suite
+//!
+//! Rust ports of the eight applications the PPoPP'97 false-sharing /
+//! aggregation study measures on TreadMarks: Barnes, Ilink, TSP and Water
+//! (size-independent sharing behaviour, Figure 1) and Jacobi, 3D-FFT, MGS and
+//! Shallow (size-dependent behaviour, Figure 2).
+//!
+//! Every application module provides a sequential reference implementation, a
+//! DSM implementation against the `tdsm-core` API, the paper's data-set sizes
+//! (scaled as documented in EXPERIMENTS.md), and checksum-based verification.
+//! The [`suite`] module exposes a uniform registry used by the benchmark
+//! harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod barnes;
+pub mod common;
+pub mod fft3d;
+pub mod ilink;
+pub mod jacobi;
+pub mod mgs;
+pub mod shallow;
+pub mod suite;
+pub mod tsp;
+pub mod water;
+
+pub use common::{checksums_match, AppConfig, AppRun};
+pub use suite::{paper_unit_policies, AppId, Workload};

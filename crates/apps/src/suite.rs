@@ -1,0 +1,181 @@
+//! Registry of the eight applications, used by the benchmark harness to
+//! drive every table and figure uniformly.
+
+use tdsm_core::UnitPolicy;
+
+use crate::common::{AppConfig, AppRun};
+use crate::{barnes, fft3d, ilink, jacobi, mgs, shallow, tsp, water};
+
+/// Identifies one application of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppId {
+    /// Barnes-Hut N-body (SPLASH).
+    Barnes,
+    /// Genetic linkage analysis (synthetic CLP-like workload).
+    Ilink,
+    /// Branch-and-bound traveling salesman.
+    Tsp,
+    /// Molecular dynamics (SPLASH Water).
+    Water,
+    /// Jacobi relaxation.
+    Jacobi,
+    /// NAS 3-D FFT.
+    Fft3d,
+    /// Modified Gram-Schmidt.
+    Mgs,
+    /// NCAR shallow-water benchmark.
+    Shallow,
+}
+
+impl AppId {
+    /// Display name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppId::Barnes => "Barnes",
+            AppId::Ilink => "Ilink",
+            AppId::Tsp => "TSP",
+            AppId::Water => "Water",
+            AppId::Jacobi => "Jacobi",
+            AppId::Fft3d => "3D-FFT",
+            AppId::Mgs => "MGS",
+            AppId::Shallow => "Shallow",
+        }
+    }
+
+    /// The applications of Figure 1 (size-independent false sharing).
+    pub fn figure1() -> Vec<AppId> {
+        vec![AppId::Barnes, AppId::Ilink, AppId::Tsp, AppId::Water]
+    }
+
+    /// The applications of Figure 2 (size-dependent false sharing).
+    pub fn figure2() -> Vec<AppId> {
+        vec![AppId::Jacobi, AppId::Fft3d, AppId::Mgs, AppId::Shallow]
+    }
+
+    /// All eight applications.
+    pub fn all() -> Vec<AppId> {
+        let mut v = Self::figure1();
+        v.extend(Self::figure2());
+        v
+    }
+}
+
+/// One (application, data set) pair of the evaluation.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which application.
+    pub app: AppId,
+    /// Data-set label (as printed in the tables/figures).
+    pub size_label: String,
+    size_index: usize,
+}
+
+impl Workload {
+    /// Every (application, data set) combination the paper evaluates.
+    pub fn paper_suite() -> Vec<Workload> {
+        let mut out = Vec::new();
+        for app in AppId::all() {
+            for (i, label) in size_labels(app).into_iter().enumerate() {
+                out.push(Workload {
+                    app,
+                    size_label: label,
+                    size_index: i,
+                });
+            }
+        }
+        out
+    }
+
+    /// The workloads belonging to one application.
+    pub fn for_app(app: AppId) -> Vec<Workload> {
+        Self::paper_suite()
+            .into_iter()
+            .filter(|w| w.app == app)
+            .collect()
+    }
+
+    /// Run the sequential reference version; returns the checksum.
+    pub fn run_sequential(&self) -> f64 {
+        match self.app {
+            AppId::Barnes => barnes::run_sequential(&barnes::paper_sizes()[self.size_index]),
+            AppId::Ilink => ilink::run_sequential(&ilink::paper_sizes()[self.size_index]),
+            AppId::Tsp => tsp::run_sequential(&tsp::paper_sizes()[self.size_index]),
+            AppId::Water => water::run_sequential(&water::paper_sizes()[self.size_index]),
+            AppId::Jacobi => jacobi::run_sequential(&jacobi::paper_sizes()[self.size_index]),
+            AppId::Fft3d => fft3d::run_sequential(&fft3d::paper_sizes()[self.size_index]),
+            AppId::Mgs => mgs::run_sequential(&mgs::paper_sizes()[self.size_index]),
+            AppId::Shallow => shallow::run_sequential(&shallow::paper_sizes()[self.size_index]),
+        }
+    }
+
+    /// Run the DSM version under the given configuration.
+    pub fn run_parallel(&self, cfg: &AppConfig) -> AppRun {
+        match self.app {
+            AppId::Barnes => barnes::run_parallel(cfg, &barnes::paper_sizes()[self.size_index]),
+            AppId::Ilink => ilink::run_parallel(cfg, &ilink::paper_sizes()[self.size_index]),
+            AppId::Tsp => tsp::run_parallel(cfg, &tsp::paper_sizes()[self.size_index]),
+            AppId::Water => water::run_parallel(cfg, &water::paper_sizes()[self.size_index]),
+            AppId::Jacobi => jacobi::run_parallel(cfg, &jacobi::paper_sizes()[self.size_index]),
+            AppId::Fft3d => fft3d::run_parallel(cfg, &fft3d::paper_sizes()[self.size_index]),
+            AppId::Mgs => mgs::run_parallel(cfg, &mgs::paper_sizes()[self.size_index]),
+            AppId::Shallow => shallow::run_parallel(cfg, &shallow::paper_sizes()[self.size_index]),
+        }
+    }
+}
+
+fn size_labels(app: AppId) -> Vec<String> {
+    match app {
+        AppId::Barnes => barnes::paper_sizes().iter().map(|s| s.label()).collect(),
+        AppId::Ilink => ilink::paper_sizes().iter().map(|s| s.label()).collect(),
+        AppId::Tsp => tsp::paper_sizes().iter().map(|s| s.label()).collect(),
+        AppId::Water => water::paper_sizes().iter().map(|s| s.label()).collect(),
+        AppId::Jacobi => jacobi::paper_sizes().iter().map(|s| s.label()).collect(),
+        AppId::Fft3d => fft3d::paper_sizes().iter().map(|s| s.label()).collect(),
+        AppId::Mgs => mgs::paper_sizes().iter().map(|s| s.label()).collect(),
+        AppId::Shallow => shallow::paper_sizes().iter().map(|s| s.label()).collect(),
+    }
+}
+
+/// The four consistency-unit configurations of the paper's figures:
+/// 4 K, 8 K, 16 K and dynamic aggregation.
+pub fn paper_unit_policies() -> Vec<(String, UnitPolicy)> {
+    vec![
+        ("4K".to_string(), UnitPolicy::Static { pages: 1 }),
+        ("8K".to_string(), UnitPolicy::Static { pages: 2 }),
+        ("16K".to_string(), UnitPolicy::Static { pages: 4 }),
+        ("Dyn".to_string(), UnitPolicy::Dynamic { max_group_pages: 4 }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_eight_applications() {
+        let suite = Workload::paper_suite();
+        let apps: std::collections::HashSet<_> = suite.iter().map(|w| w.app).collect();
+        assert_eq!(apps.len(), 8);
+        // The paper's per-app size counts: Barnes/Ilink/TSP/Water one each,
+        // Jacobi two, FFT three, MGS four, Shallow three.
+        assert_eq!(suite.len(), 4 + 2 + 3 + 4 + 3);
+    }
+
+    #[test]
+    fn figure_groupings_are_disjoint_and_complete() {
+        let f1 = AppId::figure1();
+        let f2 = AppId::figure2();
+        assert_eq!(f1.len() + f2.len(), AppId::all().len());
+        for a in &f1 {
+            assert!(!f2.contains(a));
+        }
+    }
+
+    #[test]
+    fn unit_policies_match_the_paper() {
+        let policies = paper_unit_policies();
+        assert_eq!(policies.len(), 4);
+        assert_eq!(policies[0].0, "4K");
+        assert_eq!(policies[3].0, "Dyn");
+    }
+}

@@ -1,0 +1,373 @@
+//! TSP — branch-and-bound traveling salesman.
+//!
+//! Sharing structure (paper §5.5): the major shared data structures — the
+//! pool of partially evaluated tours, the priority queue of pointers into the
+//! pool, and the current shortest tour — all migrate among the processors
+//! under a global lock.  Accesses are scattered and irregular, so a faulting
+//! processor frequently brings in diffs for tours allocated by others that it
+//! never reads (useless messages *and* useless data), and aggregation reduces
+//! the number of messages.
+//!
+//! The solver performs an exact branch-and-bound over a deterministic random
+//! distance matrix; the optimal tour length is the verification value.
+
+use tdsm_core::{Align, Dsm};
+
+use crate::common::{AppConfig, AppRun, DetRng};
+
+/// Maximum number of cities a tour record can hold.
+const MAX_CITIES: usize = 16;
+/// `u32` fields per tour record in the shared pool: length, cost, bound and
+/// the city sequence.
+const TOUR_FIELDS: usize = 3 + MAX_CITIES;
+
+/// Size of a TSP run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TspSize {
+    /// Number of cities (exact search, keep modest).
+    pub cities: usize,
+    /// Seed of the deterministic distance matrix.
+    pub seed: u64,
+}
+
+impl TspSize {
+    /// The run used for the paper-style figures.
+    pub fn standard() -> Self {
+        TspSize { cities: 11, seed: 12 }
+    }
+
+    /// A tiny size for unit tests.
+    pub fn tiny() -> Self {
+        TspSize { cities: 8, seed: 7 }
+    }
+
+    /// Label used in reports.
+    pub fn label(&self) -> String {
+        format!("{}cities", self.cities)
+    }
+}
+
+/// Deterministic symmetric distance matrix.
+pub fn distance_matrix(size: &TspSize) -> Vec<Vec<u32>> {
+    let n = size.cities;
+    let mut rng = DetRng::new(size.seed);
+    let mut d = vec![vec![0u32; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = 10 + rng.next_range(90) as u32;
+            d[i][j] = w;
+            d[j][i] = w;
+        }
+    }
+    d
+}
+
+/// Simple lower bound: cost so far plus, for every unvisited city (and the
+/// current end point), the cheapest edge leaving it, halved.
+fn lower_bound(dist: &[Vec<u32>], visited_mask: u32, last: usize, cost: u32) -> u32 {
+    let n = dist.len();
+    let mut extra = 0u32;
+    for c in 0..n {
+        if visited_mask & (1 << c) != 0 && c != last {
+            continue;
+        }
+        let mut cheapest = u32::MAX;
+        for o in 0..n {
+            if o != c && dist[c][o] < cheapest {
+                cheapest = dist[c][o];
+            }
+        }
+        extra += cheapest;
+    }
+    cost + extra / 2
+}
+
+/// Sequential reference: exact branch-and-bound, returns the optimal tour
+/// length as the checksum.
+pub fn run_sequential(size: &TspSize) -> f64 {
+    let dist = distance_matrix(size);
+    let n = size.cities;
+    let mut best = u32::MAX;
+    // Depth-first stack of (mask, last, cost).
+    let mut stack = vec![(1u32, 0usize, 0u32)];
+    while let Some((mask, last, cost)) = stack.pop() {
+        if mask == (1 << n) - 1 {
+            best = best.min(cost + dist[last][0]);
+            continue;
+        }
+        if lower_bound(&dist, mask, last, cost) >= best {
+            continue;
+        }
+        for next in 1..n {
+            if mask & (1 << next) == 0 {
+                stack.push((mask | (1 << next), next, cost + dist[last][next]));
+            }
+        }
+    }
+    best as f64
+}
+
+/// DSM implementation on `cfg.nprocs` processors.
+///
+/// The pool of partial tours, the priority queue (an index heap ordered by
+/// lower bound) and the global best tour length live in shared memory and
+/// are manipulated under a global queue lock — the migratory pattern the
+/// paper describes.
+pub fn run_parallel(cfg: &AppConfig, size: &TspSize) -> AppRun {
+    let dist = distance_matrix(size);
+    let n = size.cities;
+    let pool_capacity: usize = 200_000;
+
+    let mut dsm = Dsm::new(cfg.dsm_config());
+    let pool = dsm.alloc_array::<u32>(pool_capacity * TOUR_FIELDS, Align::Page);
+    // queue[0] = number of entries; queue[1..] = pool indices ordered as a
+    // simple stack prioritised by insertion (branch-and-bound with a shared
+    // work stack).
+    let queue = dsm.alloc_array::<u32>(pool_capacity + 1, Align::Page);
+    let pool_top = dsm.alloc_scalar::<u32>(Align::Page);
+    let best = dsm.alloc_scalar::<u32>(Align::Page);
+
+    const QUEUE_LOCK: usize = 0;
+    const BEST_LOCK: usize = 1;
+
+    let out = dsm.run(|ctx| {
+        let me = ctx.rank();
+        // Processor 0 seeds the search with the root tour.
+        if me == 0 {
+            ctx.acquire(QUEUE_LOCK);
+            best.set(ctx, u32::MAX);
+            let mut rec = vec![0u32; TOUR_FIELDS];
+            rec[0] = 1; // tour length (cities visited)
+            rec[1] = 0; // cost so far
+            rec[2] = 0; // bound
+            rec[3] = 0; // starting city
+            pool.write_slice(ctx, 0, &rec);
+            pool_top.set(ctx, 1);
+            queue.set(ctx, 0, 1);
+            queue.set(ctx, 1, 0);
+            ctx.release(QUEUE_LOCK);
+        }
+        ctx.barrier();
+
+        let mut expanded = 0u64;
+        let mut idle_rounds = 0u32;
+        loop {
+            // Grab a unit of work from the shared queue.
+            ctx.acquire(QUEUE_LOCK);
+            let len = queue.get(ctx, 0);
+            let work = if len > 0 {
+                let idx = queue.get(ctx, len as usize);
+                queue.set(ctx, 0, len - 1);
+                Some(idx)
+            } else {
+                None
+            };
+            ctx.release(QUEUE_LOCK);
+
+            let Some(tour_idx) = work else {
+                idle_rounds += 1;
+                ctx.compute(20_000);
+                if idle_rounds > 3 {
+                    break;
+                }
+                continue;
+            };
+            idle_rounds = 0;
+            expanded += 1;
+
+            // Read the tour record (allocated, most likely, by another
+            // processor — the migratory access the paper describes).
+            let rec = pool.read_vec(ctx, tour_idx as usize * TOUR_FIELDS, TOUR_FIELDS);
+            let tour_len = rec[0] as usize;
+            let cost = rec[1];
+            let cities = &rec[3..3 + tour_len];
+            let last = cities[tour_len - 1] as usize;
+            let mask = cities.iter().fold(0u32, |m, &c| m | (1 << c));
+            ctx.compute(5_000);
+
+            let current_best = best.get(ctx);
+            if tour_len == n {
+                let total = cost + dist[last][0];
+                if total < current_best {
+                    ctx.acquire(BEST_LOCK);
+                    let b = best.get(ctx);
+                    if total < b {
+                        best.set(ctx, total);
+                    }
+                    ctx.release(BEST_LOCK);
+                }
+                continue;
+            }
+            if lower_bound(&dist, mask, last, cost) >= current_best {
+                continue;
+            }
+
+            // Below the queue depth limit the subtree is searched locally —
+            // the shared queue hands out coarse work units (as the real TSP
+            // program does), while the tour pool, queue and best tour remain
+            // the migratory shared structures the paper describes.
+            let queue_depth_limit = n.saturating_sub(8).max(2);
+            if tour_len >= queue_depth_limit {
+                let mut local_best = current_best;
+                let mut stack = vec![(mask, last, cost, tour_len)];
+                let mut searched = 0u64;
+                while let Some((m, l, c, len)) = stack.pop() {
+                    searched += 1;
+                    if len == n {
+                        local_best = local_best.min(c + dist[l][0]);
+                        continue;
+                    }
+                    if lower_bound(&dist, m, l, c) >= local_best {
+                        continue;
+                    }
+                    for next in 1..n {
+                        if m & (1 << next) == 0 {
+                            stack.push((m | (1 << next), next, c + dist[l][next], len + 1));
+                        }
+                    }
+                }
+                ctx.compute(searched * 3_000);
+                if local_best < current_best {
+                    ctx.acquire(BEST_LOCK);
+                    let b = best.get(ctx);
+                    if local_best < b {
+                        best.set(ctx, local_best);
+                    }
+                    ctx.release(BEST_LOCK);
+                }
+                continue;
+            }
+
+            // Expand: allocate children in the shared pool and push them on
+            // the queue.
+            let mut children: Vec<Vec<u32>> = Vec::new();
+            for next in 1..n {
+                if mask & (1 << next) != 0 {
+                    continue;
+                }
+                let child_cost = cost + dist[last][next];
+                let child_mask = mask | (1 << next);
+                let bound = lower_bound(&dist, child_mask, next, child_cost);
+                if bound >= current_best {
+                    continue;
+                }
+                let mut child = vec![0u32; TOUR_FIELDS];
+                child[0] = tour_len as u32 + 1;
+                child[1] = child_cost;
+                child[2] = bound;
+                child[3..3 + tour_len].copy_from_slice(cities);
+                child[3 + tour_len] = next as u32;
+                children.push(child);
+                ctx.compute(5_000);
+            }
+            if children.is_empty() {
+                continue;
+            }
+            ctx.acquire(QUEUE_LOCK);
+            let mut top = pool_top.get(ctx);
+            let mut qlen = queue.get(ctx, 0);
+            for child in &children {
+                if (top as usize) >= pool_capacity {
+                    break;
+                }
+                pool.write_slice(ctx, top as usize * TOUR_FIELDS, child);
+                qlen += 1;
+                queue.set(ctx, qlen as usize, top);
+                top += 1;
+            }
+            pool_top.set(ctx, top);
+            queue.set(ctx, 0, qlen);
+            ctx.release(QUEUE_LOCK);
+        }
+
+        ctx.barrier();
+        ctx.mark_execution_end();
+        (best.get(ctx) as f64, expanded)
+    });
+
+    AppRun {
+        app: "TSP",
+        size: size.label(),
+        checksum: out.results[0].0,
+        exec_time_ns: out.stats.exec_time_ns(),
+        breakdown: out.breakdown(),
+    }
+}
+
+/// The single data-set size reported for TSP.
+pub fn paper_sizes() -> Vec<TspSize> {
+    vec![TspSize::standard()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdsm_core::UnitPolicy;
+
+    /// Brute-force optimum for cross-checking the branch-and-bound.
+    fn brute_force(size: &TspSize) -> u32 {
+        let dist = distance_matrix(size);
+        let n = size.cities;
+        let mut cities: Vec<usize> = (1..n).collect();
+        let mut best = u32::MAX;
+        permute(&mut cities, 0, &dist, &mut best);
+        fn permute(cities: &mut Vec<usize>, k: usize, dist: &[Vec<u32>], best: &mut u32) {
+            if k == cities.len() {
+                let mut cost = dist[0][cities[0]];
+                for w in cities.windows(2) {
+                    cost += dist[w[0]][w[1]];
+                }
+                cost += dist[*cities.last().unwrap()][0];
+                *best = (*best).min(cost);
+                return;
+            }
+            for i in k..cities.len() {
+                cities.swap(k, i);
+                permute(cities, k + 1, dist, best);
+                cities.swap(k, i);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn sequential_finds_the_optimum() {
+        let size = TspSize::tiny();
+        assert_eq!(run_sequential(&size) as u32, brute_force(&size));
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_and_deterministic() {
+        let size = TspSize::standard();
+        let a = distance_matrix(&size);
+        let b = distance_matrix(&size);
+        assert_eq!(a, b);
+        for i in 0..size.cities {
+            assert_eq!(a[i][i], 0);
+            for j in 0..size.cities {
+                assert_eq!(a[i][j], a[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_finds_the_same_optimum() {
+        let size = TspSize::tiny();
+        let seq = run_sequential(&size);
+        for procs in [1usize, 4] {
+            let par = run_parallel(&AppConfig::with_procs(procs), &size);
+            assert_eq!(par.checksum, seq, "procs={procs}");
+        }
+    }
+
+    #[test]
+    fn correct_under_larger_units() {
+        let size = TspSize::tiny();
+        let seq = run_sequential(&size);
+        let par = run_parallel(
+            &AppConfig::with_procs(4).unit(UnitPolicy::Static { pages: 4 }),
+            &size,
+        );
+        assert_eq!(par.checksum, seq);
+    }
+}

@@ -1,0 +1,96 @@
+//! Criterion benchmarks of the aggregation trade-off itself: the same
+//! producer/consumer and falsely shared workloads run under the 4 KB unit,
+//! the 16 KB unit and dynamic aggregation.
+//!
+//! Together with the `fig1`/`fig2` binaries (which report modeled 1997-time),
+//! these measure the host-side protocol overhead of each policy — the
+//! "monitoring cost" of dynamic aggregation the paper argues is small.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tdsm_core::{Align, CostModel, Dsm, DsmConfig, UnitPolicy};
+
+fn config(unit: UnitPolicy) -> DsmConfig {
+    DsmConfig {
+        nprocs: 4,
+        page_size: 4096,
+        shared_pages: 512,
+        unit,
+        cost: CostModel::pentium_ethernet_1997(),
+        max_locks: 16,
+    }
+}
+
+/// Producer/consumer: one processor writes a 16-page region, the others read
+/// it after a barrier (aggregation-friendly).
+fn producer_consumer(unit: UnitPolicy) -> u64 {
+    let mut dsm = Dsm::new(config(unit));
+    let arr = dsm.alloc_array::<u64>(16 * 512, Align::Page);
+    let out = dsm.run(|ctx| {
+        if ctx.rank() == 0 {
+            let vals: Vec<u64> = (0..arr.len() as u64).collect();
+            arr.write_slice(ctx, 0, &vals);
+        }
+        ctx.barrier();
+        arr.read_vec(ctx, 0, arr.len()).iter().sum::<u64>()
+    });
+    out.results[1]
+}
+
+/// Cyclically interleaved writers: every processor writes every fourth page
+/// slot and reads only its own (false-sharing heavy at large units).
+fn interleaved_writers(unit: UnitPolicy) -> u64 {
+    let mut dsm = Dsm::new(config(unit));
+    let arr = dsm.alloc_array::<u64>(32 * 512, Align::Page);
+    let out = dsm.run(|ctx| {
+        let me = ctx.rank();
+        let nprocs = ctx.nprocs();
+        for round in 0..4u64 {
+            for slot in (me..32).step_by(nprocs) {
+                let vals: Vec<u64> = (0..512u64).map(|i| i + round).collect();
+                arr.write_slice(ctx, slot * 512, &vals);
+            }
+            ctx.barrier();
+            let mut sum = 0u64;
+            for slot in (me..32).step_by(nprocs) {
+                sum += arr.read_vec(ctx, slot * 512, 512).iter().sum::<u64>();
+            }
+            ctx.barrier();
+            if round == 3 {
+                return sum;
+            }
+        }
+        0
+    });
+    out.results[0]
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let policies = [
+        ("4K", UnitPolicy::Static { pages: 1 }),
+        ("16K", UnitPolicy::Static { pages: 4 }),
+        ("Dyn", UnitPolicy::Dynamic { max_group_pages: 4 }),
+    ];
+
+    let mut group = c.benchmark_group("producer_consumer");
+    group.sample_size(20);
+    for (label, unit) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &unit, |b, &unit| {
+            b.iter(|| black_box(producer_consumer(unit)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("interleaved_writers");
+    group.sample_size(20);
+    for (label, unit) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &unit, |b, &unit| {
+            b.iter(|| black_box(interleaved_writers(unit)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

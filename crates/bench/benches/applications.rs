@@ -1,0 +1,45 @@
+//! Criterion benchmarks of representative applications at test scale — one
+//! Figure-1-class application (Ilink), one Figure-2-class application
+//! (Jacobi) and the branch-and-bound TSP — under the 4 KB baseline.
+//!
+//! These benchmarks track the wall-clock cost of the *simulation itself* (the
+//! host-side overhead of running the protocol), not the modeled 1997
+//! execution times, which the `table1`/`fig1`/`fig2` binaries report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tm_apps::{ilink, jacobi, tsp, AppConfig};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("applications");
+    group.sample_size(10);
+
+    group.bench_function("jacobi_tiny_4procs", |b| {
+        let size = jacobi::JacobiSize::tiny();
+        let cfg = AppConfig::with_procs(4);
+        b.iter(|| black_box(jacobi::run_parallel(&cfg, &size).checksum))
+    });
+
+    group.bench_function("ilink_tiny_4procs", |b| {
+        let size = ilink::IlinkSize::tiny();
+        let cfg = AppConfig::with_procs(4);
+        b.iter(|| black_box(ilink::run_parallel(&cfg, &size).checksum))
+    });
+
+    group.bench_function("tsp_tiny_4procs", |b| {
+        let size = tsp::TspSize::tiny();
+        let cfg = AppConfig::with_procs(4);
+        b.iter(|| black_box(tsp::run_parallel(&cfg, &size).checksum))
+    });
+
+    group.bench_function("jacobi_tiny_sequential_reference", |b| {
+        let size = jacobi::JacobiSize::tiny();
+        b.iter(|| black_box(jacobi::run_sequential(&size)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates Figure 1 of the paper: 8-processor execution times, message
+//! counts and data volumes for Barnes, Ilink, TSP and Water under 4 K, 8 K,
+//! 16 K and dynamic-aggregation consistency units, normalized to 4 K, with
+//! the useful / useless / piggybacked breakdown.
+//!
+//! Usage: `cargo run -p tm-bench --release --bin fig1 [nprocs]`
+
+use tm_apps::{AppId, Workload};
+use tm_bench::{print_figure_panel, run_policy_sweep, to_csv};
+
+fn main() {
+    let nprocs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+
+    println!("Figure 1 — Barnes, Ilink, TSP, Water ({nprocs} processors)");
+    let mut all_rows = Vec::new();
+    for app in AppId::figure1() {
+        for w in Workload::for_app(app) {
+            let rows = run_policy_sweep(&w, nprocs);
+            print_figure_panel(&rows);
+            all_rows.extend(rows);
+        }
+    }
+    println!("\nCSV:\n{}", to_csv(&all_rows));
+}

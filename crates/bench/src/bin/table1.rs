@@ -1,0 +1,36 @@
+//! Regenerates Table 1 of the paper: applications, data sets, sequential
+//! execution time and 8-processor speedup with the 4 KB consistency unit.
+//!
+//! Times are *modeled* (cost-model driven), so absolute values are not
+//! comparable to the 1997 testbed; the speedup column is the quantity whose
+//! shape should match the paper (roughly 4–6.5 on 8 processors).
+//!
+//! Usage: `cargo run -p tm-bench --release --bin table1 [nprocs]`
+
+use tm_apps::Workload;
+use tm_bench::table1_row;
+
+fn main() {
+    let nprocs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+
+    println!("Table 1 — sequential times and {nprocs}-processor speedups (4 KB unit)");
+    println!(
+        "{:<10} {:<14} {:>14} {:>14} {:>9} {:>9}",
+        "Program", "Input Size", "Seq. Time (ms)", "Par. Time (ms)", "Speedup", "Verified"
+    );
+    for w in Workload::paper_suite() {
+        let row = table1_row(&w, nprocs);
+        println!(
+            "{:<10} {:<14} {:>14.1} {:>14.1} {:>9.2} {:>9}",
+            row.app,
+            row.size,
+            row.seq_time_ns as f64 / 1e6,
+            row.par_time_ns as f64 / 1e6,
+            row.speedup(),
+            if row.verified { "yes" } else { "NO" }
+        );
+    }
+}

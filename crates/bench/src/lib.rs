@@ -1,0 +1,278 @@
+//! # tm-bench — harness that regenerates the paper's tables and figures
+//!
+//! Each binary in `src/bin/` reproduces one artifact of the PPoPP'97
+//! evaluation:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — sequential times and 8-processor speedups |
+//! | `fig1` | Figure 1 — time/messages/data for Barnes, Ilink, TSP, Water |
+//! | `fig2` | Figure 2 — time/messages/data for Jacobi, 3D-FFT, MGS, Shallow |
+//! | `fig3` | Figure 3 — false-sharing signatures at 4 K and 16 K |
+//! | `fig_dyn_group` | ablation — dynamic-aggregation maximum group size |
+//!
+//! This library crate holds the shared sweep and formatting code so the
+//! binaries stay thin and the integration tests can exercise the same paths.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use tdsm_core::{SignatureHistogram, UnitPolicy};
+use tm_apps::{paper_unit_policies, AppConfig, AppId, Workload};
+
+/// One measured configuration of one workload — a column of the paper's bar
+/// charts.
+#[derive(Debug, Clone)]
+pub struct FigRow {
+    /// Application name.
+    pub app: String,
+    /// Data-set label.
+    pub size: String,
+    /// Consistency-unit policy label ("4K", "8K", "16K", "Dyn").
+    pub policy: String,
+    /// Modeled parallel execution time (ns).
+    pub exec_time_ns: u64,
+    /// Useful messages.
+    pub useful_msgs: u64,
+    /// Useless messages.
+    pub useless_msgs: u64,
+    /// Useful data bytes.
+    pub useful_data: u64,
+    /// Piggybacked useless data bytes (useless data on useful messages).
+    pub piggybacked_useless: u64,
+    /// Useless data bytes carried in useless messages.
+    pub useless_in_useless: u64,
+    /// Consistency-unit faults.
+    pub faults: u64,
+    /// Verification checksum of the run.
+    pub checksum: f64,
+}
+
+impl FigRow {
+    /// Total messages.
+    pub fn total_msgs(&self) -> u64 {
+        self.useful_msgs + self.useless_msgs
+    }
+
+    /// Total classified data bytes.
+    pub fn total_data(&self) -> u64 {
+        self.useful_data + self.piggybacked_useless + self.useless_in_useless
+    }
+}
+
+/// Run one workload under one consistency-unit policy.
+pub fn run_configuration(w: &Workload, nprocs: usize, label: &str, unit: UnitPolicy) -> FigRow {
+    let cfg = AppConfig::with_procs(nprocs).unit(unit);
+    let run = w.run_parallel(&cfg);
+    let b = &run.breakdown;
+    FigRow {
+        app: w.app.name().to_string(),
+        size: w.size_label.clone(),
+        policy: label.to_string(),
+        exec_time_ns: run.exec_time_ns,
+        useful_msgs: b.useful_messages,
+        useless_msgs: b.useless_messages,
+        useful_data: b.useful_data,
+        piggybacked_useless: b.piggybacked_useless_data,
+        useless_in_useless: b.useless_data_in_useless_msgs,
+        faults: b.faults,
+        checksum: run.checksum,
+    }
+}
+
+/// Run one workload under all four of the paper's unit policies
+/// (4 K / 8 K / 16 K / Dyn).
+pub fn run_policy_sweep(w: &Workload, nprocs: usize) -> Vec<FigRow> {
+    paper_unit_policies()
+        .into_iter()
+        .map(|(label, unit)| run_configuration(w, nprocs, &label, unit))
+        .collect()
+}
+
+fn norm(value: u64, baseline: u64) -> f64 {
+    if baseline == 0 {
+        if value == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        value as f64 / baseline as f64
+    }
+}
+
+/// Print one workload's sweep the way the paper's Figures 1 and 2 present it:
+/// execution time, messages and data normalized to the 4 KB configuration,
+/// with the useful/useless/piggybacked breakdown.
+pub fn print_figure_panel(rows: &[FigRow]) {
+    let base = rows
+        .iter()
+        .find(|r| r.policy == "4K")
+        .expect("sweep must contain the 4K baseline");
+    println!(
+        "\n=== {} {} (normalized to 4K; absolute 4K: {:.1} ms, {} msgs, {} KB) ===",
+        base.app,
+        base.size,
+        base.exec_time_ns as f64 / 1e6,
+        base.total_msgs(),
+        base.total_data() / 1024
+    );
+    println!(
+        "{:<6} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "unit", "time", "msgs", "useless-msg", "data", "useful", "piggyback", "useless"
+    );
+    for r in rows {
+        println!(
+            "{:<6} {:>10.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            r.policy,
+            norm(r.exec_time_ns, base.exec_time_ns),
+            norm(r.total_msgs(), base.total_msgs()),
+            norm(r.useless_msgs, base.total_msgs()),
+            norm(r.total_data(), base.total_data()),
+            norm(r.useful_data, base.total_data()),
+            norm(r.piggybacked_useless, base.total_data()),
+            norm(r.useless_in_useless, base.total_data()),
+        );
+    }
+}
+
+/// Emit the rows as CSV (machine-readable output for EXPERIMENTS.md).
+pub fn to_csv(rows: &[FigRow]) -> String {
+    let mut out = String::from(
+        "app,size,policy,exec_time_ms,useful_msgs,useless_msgs,useful_data,piggybacked_useless,useless_in_useless,faults\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.3},{},{},{},{},{},{}\n",
+            r.app,
+            r.size,
+            r.policy,
+            r.exec_time_ns as f64 / 1e6,
+            r.useful_msgs,
+            r.useless_msgs,
+            r.useful_data,
+            r.piggybacked_useless,
+            r.useless_in_useless,
+            r.faults
+        ));
+    }
+    out
+}
+
+/// One row of Table 1: modeled sequential time and the 8-processor speedup at
+/// the 4 KB consistency unit.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Application name.
+    pub app: String,
+    /// Data-set label.
+    pub size: String,
+    /// Modeled sequential (1-processor) execution time in ns.
+    pub seq_time_ns: u64,
+    /// Modeled 8-processor execution time at 4 KB units, in ns.
+    pub par_time_ns: u64,
+    /// Checksum agreement between the two runs.
+    pub verified: bool,
+}
+
+impl Table1Row {
+    /// Speedup = sequential time / parallel time.
+    pub fn speedup(&self) -> f64 {
+        if self.par_time_ns == 0 {
+            0.0
+        } else {
+            self.seq_time_ns as f64 / self.par_time_ns as f64
+        }
+    }
+}
+
+/// Produce one Table 1 row for a workload.
+pub fn table1_row(w: &Workload, nprocs: usize) -> Table1Row {
+    let seq_cfg = AppConfig::with_procs(1);
+    let par_cfg = AppConfig::with_procs(nprocs);
+    let seq = w.run_parallel(&seq_cfg);
+    let par = w.run_parallel(&par_cfg);
+    Table1Row {
+        app: w.app.name().to_string(),
+        size: w.size_label.clone(),
+        seq_time_ns: seq.exec_time_ns,
+        par_time_ns: par.exec_time_ns,
+        verified: tm_apps::checksums_match(par.checksum, seq.checksum, 1e-6),
+    }
+}
+
+/// The false-sharing signature of one workload under one policy (Figure 3).
+pub fn signature_of(w: &Workload, nprocs: usize, unit: UnitPolicy) -> SignatureHistogram {
+    let cfg = AppConfig::with_procs(nprocs).unit(unit);
+    let run = w.run_parallel(&cfg);
+    run.breakdown.signature
+}
+
+/// Print a signature histogram in the style of Figure 3: one line per
+/// concurrent-writer count with its frequency and useful/useless split.
+pub fn print_signature(app: &str, size: &str, policy: &str, sig: &SignatureHistogram) {
+    println!("\n--- {app} {size} @ {policy} (mean writers {:.2}) ---", sig.mean_writers());
+    println!("{:>8} {:>10} {:>10} {:>10}", "writers", "freq", "useful", "useless");
+    for k in 1..=sig.max_writers().max(1) {
+        let b = sig.bucket(k);
+        if b.faults == 0 {
+            continue;
+        }
+        println!(
+            "{:>8} {:>10.3} {:>10} {:>10}",
+            k,
+            sig.frequency(k),
+            b.useful_exchanges,
+            b.useless_exchanges
+        );
+    }
+}
+
+/// The four applications whose signatures Figure 3 shows.
+pub fn figure3_apps() -> Vec<AppId> {
+    vec![AppId::Barnes, AppId::Ilink, AppId::Water, AppId::Mgs]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation_handles_zero_baselines() {
+        assert_eq!(norm(0, 0), 1.0);
+        assert_eq!(norm(5, 10), 0.5);
+        assert!(norm(5, 0).is_infinite());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let row = FigRow {
+            app: "X".into(),
+            size: "s".into(),
+            policy: "4K".into(),
+            exec_time_ns: 1_000_000,
+            useful_msgs: 2,
+            useless_msgs: 1,
+            useful_data: 10,
+            piggybacked_useless: 5,
+            useless_in_useless: 3,
+            faults: 4,
+            checksum: 0.0,
+        };
+        let csv = to_csv(&[row]);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.lines().nth(1).unwrap().starts_with("X,s,4K,1.000,2,1,10,5,3,4"));
+    }
+
+    #[test]
+    fn table1_row_speedup_math() {
+        let row = Table1Row {
+            app: "X".into(),
+            size: "s".into(),
+            seq_time_ns: 800,
+            par_time_ns: 200,
+            verified: true,
+        };
+        assert_eq!(row.speedup(), 4.0);
+    }
+}

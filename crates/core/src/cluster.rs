@@ -1,0 +1,264 @@
+//! Cluster construction, shared-memory allocation, and parallel execution.
+//!
+//! A [`Dsm`] value owns the configuration of a simulated cluster and the
+//! allocator for its shared address space.  [`Dsm::run`] spawns one thread
+//! per simulated processor, hands each a [`ProcCtx`], waits for every
+//! processor to finish, and returns the per-processor results together with
+//! the cluster-wide statistics the paper's figures are derived from.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tm_net::ClusterStats;
+use tm_page::{Align, GlobalAddr, RegionAllocator};
+
+use crate::config::DsmConfig;
+use crate::handle::{GArray, GMatrix, GScalar, SharedVal};
+use crate::interval::IntervalLog;
+use crate::proc::{ProcCtx, SharedIntervalLog};
+use crate::sync::GlobalSync;
+
+/// The result of one parallel run: per-processor return values (indexed by
+/// rank) and the aggregated communication statistics.
+#[derive(Debug)]
+pub struct RunOutput<R> {
+    /// One entry per processor, in rank order.
+    pub results: Vec<R>,
+    /// Cluster-wide statistics (exchanges, faults, control traffic, modeled
+    /// execution time).
+    pub stats: ClusterStats,
+}
+
+impl<R> RunOutput<R> {
+    /// The paper's communication breakdown for this run.
+    pub fn breakdown(&self) -> tm_net::CommBreakdown {
+        self.stats.breakdown()
+    }
+}
+
+/// A configured DSM cluster: shared-space allocator plus run launcher.
+#[derive(Debug)]
+pub struct Dsm {
+    config: DsmConfig,
+    allocator: RegionAllocator,
+}
+
+impl Dsm {
+    /// Create a cluster with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`DsmConfig::validate`]).
+    pub fn new(config: DsmConfig) -> Self {
+        config.validate();
+        let allocator = RegionAllocator::new(config.layout());
+        Dsm { config, allocator }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &DsmConfig {
+        &self.config
+    }
+
+    /// Allocate `bytes` bytes of shared memory with the given alignment.
+    pub fn alloc_bytes(&mut self, bytes: u64, align: Align) -> GlobalAddr {
+        self.allocator
+            .alloc(bytes, align)
+            .expect("shared address space exhausted; raise DsmConfig::shared_pages")
+    }
+
+    /// Allocate a shared array of `len` elements of `T`.
+    pub fn alloc_array<T: SharedVal>(&mut self, len: usize, align: Align) -> GArray<T> {
+        let base = self.alloc_bytes((len * T::BYTES) as u64, align);
+        GArray::from_raw(base, len)
+    }
+
+    /// Allocate a shared row-major matrix of `rows × cols` elements of `T`,
+    /// starting on a fresh page (the layout used by the grid applications).
+    pub fn alloc_matrix<T: SharedVal>(&mut self, rows: usize, cols: usize) -> GMatrix<T> {
+        let arr = self.alloc_array::<T>(rows * cols, Align::Page);
+        GMatrix::from_array(arr, rows, cols)
+    }
+
+    /// Allocate a single shared scalar of `T`.
+    pub fn alloc_scalar<T: SharedVal>(&mut self, align: Align) -> GScalar<T> {
+        let base = self.alloc_bytes(T::BYTES as u64, align);
+        GScalar::from_raw(base)
+    }
+
+    /// Bytes of shared space already allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocator.used()
+    }
+
+    /// Run `body` on every simulated processor in parallel and collect the
+    /// results and statistics.
+    ///
+    /// Each run starts from a pristine shared space (all zero bytes) and
+    /// fresh protocol state; allocations performed on this [`Dsm`] remain
+    /// valid across runs (they are just address assignments).
+    pub fn run<R, F>(&self, body: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(&mut ProcCtx) -> R + Sync,
+    {
+        let nprocs = self.config.nprocs;
+        let logs: Arc<Vec<SharedIntervalLog>> = Arc::new(
+            (0..nprocs)
+                .map(|_| Mutex::new(IntervalLog::new()))
+                .collect(),
+        );
+        let sync = Arc::new(GlobalSync::new(nprocs, self.config.max_locks));
+        let body = &body;
+
+        let mut per_proc = Vec::with_capacity(nprocs);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nprocs);
+            for rank in 0..nprocs {
+                let logs = Arc::clone(&logs);
+                let sync = Arc::clone(&sync);
+                let config = &self.config;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = ProcCtx::new(rank, config, logs, sync);
+                    let result = body(&mut ctx);
+                    (result, ctx.finish())
+                }));
+            }
+            for handle in handles {
+                per_proc.push(handle.join().expect("processor thread panicked"));
+            }
+        });
+
+        let mut results = Vec::with_capacity(nprocs);
+        let mut stats = ClusterStats::default();
+        for (result, proc_stats) in per_proc {
+            results.push(result);
+            stats.per_proc.push(proc_stats);
+        }
+        RunOutput { results, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DsmConfig, UnitPolicy};
+    use tm_net::CostModel;
+
+    fn small_config(nprocs: usize) -> DsmConfig {
+        DsmConfig {
+            nprocs,
+            page_size: 4096,
+            shared_pages: 64,
+            unit: UnitPolicy::Static { pages: 1 },
+            cost: CostModel::pentium_ethernet_1997(),
+            max_locks: 16,
+        }
+    }
+
+    #[test]
+    fn single_processor_run_has_no_communication() {
+        let mut dsm = Dsm::new(small_config(1));
+        let arr = dsm.alloc_array::<u64>(100, Align::Page);
+        let out = dsm.run(|ctx| {
+            for i in 0..100 {
+                arr.set(ctx, i, (i * i) as u64);
+            }
+            let mut sum = 0u64;
+            for i in 0..100 {
+                sum += arr.get(ctx, i);
+            }
+            sum
+        });
+        let expected: u64 = (0..100u64).map(|i| i * i).sum();
+        assert_eq!(out.results, vec![expected]);
+        let b = out.breakdown();
+        assert_eq!(b.total_messages(), 0);
+        assert_eq!(b.total_payload(), 0);
+        assert_eq!(b.faults, 0);
+    }
+
+    #[test]
+    fn producer_consumer_over_a_barrier() {
+        let mut dsm = Dsm::new(small_config(2));
+        let arr = dsm.alloc_array::<u32>(1024, Align::Page);
+        let out = dsm.run(|ctx| {
+            if ctx.rank() == 0 {
+                let values: Vec<u32> = (0..1024u32).collect();
+                arr.write_slice(ctx, 0, &values);
+            }
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                let got = arr.read_vec(ctx, 0, 1024);
+                got.iter().map(|&v| v as u64).sum::<u64>()
+            } else {
+                0
+            }
+        });
+        assert_eq!(out.results[1], (0..1024u64).sum::<u64>());
+        let b = out.breakdown();
+        // The consumer faulted on the page and fetched a useful diff.
+        assert!(b.faults >= 1);
+        assert!(b.useful_data > 0);
+        assert_eq!(b.useless_messages, 0);
+    }
+
+    #[test]
+    fn lock_protected_counter_is_coherent() {
+        let mut dsm = Dsm::new(small_config(4));
+        let counter = dsm.alloc_scalar::<u64>(Align::Page);
+        let out = dsm.run(|ctx| {
+            for _ in 0..25 {
+                ctx.acquire(0);
+                let v = counter.get(ctx);
+                counter.set(ctx, v + 1);
+                ctx.release(0);
+            }
+            ctx.barrier();
+            counter.get(ctx)
+        });
+        for r in out.results {
+            assert_eq!(r, 100);
+        }
+    }
+
+    #[test]
+    fn multiple_writers_to_one_page_merge_correctly() {
+        // Two processors write disjoint halves of the same page; after the
+        // barrier both see both halves — the multiple-writer protocol at
+        // work.
+        let mut dsm = Dsm::new(small_config(2));
+        let arr = dsm.alloc_array::<u32>(1024, Align::Page);
+        let out = dsm.run(|ctx| {
+            let me = ctx.rank();
+            let half = 512usize;
+            let values: Vec<u32> = (0..half as u32).map(|i| i + 1000 * me as u32).collect();
+            arr.write_slice(ctx, me * half, &values);
+            ctx.barrier();
+            let all = arr.read_vec(ctx, 0, 1024);
+            (all[0], all[512])
+        });
+        assert_eq!(out.results[0], (0, 1000));
+        assert_eq!(out.results[1], (0, 1000));
+    }
+
+    #[test]
+    fn allocations_do_not_overlap_and_persist_across_runs() {
+        let mut dsm = Dsm::new(small_config(2));
+        let a = dsm.alloc_array::<u64>(10, Align::Page);
+        let b = dsm.alloc_array::<u64>(10, Align::Word);
+        assert!(b.base().offset() >= a.base().offset() + 80);
+
+        let first = dsm.run(|ctx| {
+            if ctx.rank() == 0 {
+                a.set(ctx, 0, 42);
+            }
+            ctx.barrier();
+            a.get(ctx, 0)
+        });
+        assert_eq!(first.results, vec![42, 42]);
+        // A second run starts from a zeroed shared space.
+        let second = dsm.run(|ctx| a.get(ctx, 0));
+        assert_eq!(second.results, vec![0, 0]);
+    }
+}

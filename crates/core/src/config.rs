@@ -1,0 +1,221 @@
+//! DSM configuration: cluster geometry and the consistency-unit policy.
+
+use serde::{Deserialize, Serialize};
+use tm_net::CostModel;
+use tm_page::{PageId, PageLayout};
+
+/// How hardware pages are grouped into consistency units — the central knob
+/// of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnitPolicy {
+    /// A fixed consistency unit of `pages` contiguous, aligned hardware
+    /// pages.  `pages = 1` is the classic TreadMarks configuration (4 KB on
+    /// the paper's platform); `pages = 2` and `4` correspond to the paper's
+    /// 8 KB and 16 KB configurations.
+    Static {
+        /// Number of hardware pages per consistency unit (must be ≥ 1).
+        pages: u32,
+    },
+    /// The paper's dynamic aggregation algorithm: the consistency unit stays
+    /// one page, but pages a processor faulted on during the previous
+    /// interval are grouped (possibly non-contiguously) into *page groups* of
+    /// at most `max_group_pages` pages, whose diffs are all requested at the
+    /// first fault on any member.
+    Dynamic {
+        /// Maximum number of pages per page group.
+        max_group_pages: u32,
+    },
+}
+
+impl UnitPolicy {
+    /// Short label used by the benchmark harness ("4K", "8K", "16K", "Dyn").
+    pub fn label(&self, page_size: usize) -> String {
+        match self {
+            UnitPolicy::Static { pages } => {
+                format!("{}K", *pages as usize * page_size / 1024)
+            }
+            UnitPolicy::Dynamic { .. } => "Dyn".to_string(),
+        }
+    }
+
+    /// Number of hardware pages invalidated/validated together (1 for the
+    /// dynamic policy, whose protection granularity stays one page).
+    pub fn protection_pages(&self) -> u32 {
+        match self {
+            UnitPolicy::Static { pages } => *pages,
+            UnitPolicy::Dynamic { .. } => 1,
+        }
+    }
+
+    /// The pages belonging to the static consistency unit containing `page`.
+    /// For the dynamic policy the unit is the page itself.
+    pub fn unit_pages(&self, page: PageId, layout: &PageLayout) -> Vec<PageId> {
+        let k = self.protection_pages();
+        if k <= 1 {
+            return vec![page];
+        }
+        let first = page.0 / k * k;
+        (first..(first + k).min(layout.total_pages()))
+            .map(PageId)
+            .collect()
+    }
+
+    /// True if this is the dynamic-aggregation policy.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, UnitPolicy::Dynamic { .. })
+    }
+}
+
+/// Complete configuration of a DSM cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DsmConfig {
+    /// Number of processors (threads standing in for cluster nodes).
+    pub nprocs: usize,
+    /// Hardware page size in bytes (4096 on the paper's platform).
+    pub page_size: usize,
+    /// Number of hardware pages in the shared address space.
+    pub shared_pages: u32,
+    /// Consistency-unit policy under study.
+    pub unit: UnitPolicy,
+    /// Cost model used to charge the logical clocks.
+    pub cost: CostModel,
+    /// Number of global locks available to the application.
+    pub max_locks: usize,
+}
+
+impl DsmConfig {
+    /// The paper's base configuration: 8 processors, 4 KB pages, the page as
+    /// the consistency unit, and the Pentium/100 Mbps cost model.
+    pub fn paper_default() -> Self {
+        DsmConfig {
+            nprocs: 8,
+            page_size: 4096,
+            shared_pages: 8192, // 32 MB of shared space
+            unit: UnitPolicy::Static { pages: 1 },
+            cost: CostModel::pentium_ethernet_1997(),
+            max_locks: 4096,
+        }
+    }
+
+    /// Same as [`paper_default`](Self::paper_default) but with the given
+    /// number of processors.
+    pub fn with_procs(nprocs: usize) -> Self {
+        DsmConfig {
+            nprocs,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Builder-style setter for the consistency-unit policy.
+    pub fn unit(mut self, unit: UnitPolicy) -> Self {
+        self.unit = unit;
+        self
+    }
+
+    /// Builder-style setter for the cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Builder-style setter for the shared-space size (in pages).
+    pub fn shared_pages(mut self, pages: u32) -> Self {
+        self.shared_pages = pages;
+        self
+    }
+
+    /// Builder-style setter for the number of locks.
+    pub fn max_locks(mut self, locks: usize) -> Self {
+        self.max_locks = locks;
+        self
+    }
+
+    /// The page layout implied by this configuration.
+    pub fn layout(&self) -> PageLayout {
+        PageLayout::new(self.page_size, self.shared_pages)
+    }
+
+    /// Consistency-unit size in bytes (page size for the dynamic policy).
+    pub fn unit_bytes(&self) -> usize {
+        self.unit.protection_pages() as usize * self.page_size
+    }
+
+    /// Validate the configuration, panicking with a descriptive message on
+    /// nonsensical combinations.
+    pub fn validate(&self) {
+        assert!(self.nprocs >= 1, "need at least one processor");
+        assert!(
+            self.nprocs <= 64,
+            "simulated cluster limited to 64 processors"
+        );
+        if let UnitPolicy::Static { pages } = self.unit {
+            assert!(pages >= 1, "static consistency unit must be at least one page");
+        }
+        if let UnitPolicy::Dynamic { max_group_pages } = self.unit {
+            assert!(max_group_pages >= 1, "dynamic page groups must allow at least one page");
+        }
+        let _ = self.layout(); // validates page size / page count
+    }
+}
+
+impl Default for DsmConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_labels() {
+        assert_eq!(UnitPolicy::Static { pages: 1 }.label(4096), "4K");
+        assert_eq!(UnitPolicy::Static { pages: 2 }.label(4096), "8K");
+        assert_eq!(UnitPolicy::Static { pages: 4 }.label(4096), "16K");
+        assert_eq!(UnitPolicy::Dynamic { max_group_pages: 4 }.label(4096), "Dyn");
+    }
+
+    #[test]
+    fn static_unit_pages_are_aligned_groups() {
+        let layout = PageLayout::new(4096, 10);
+        let unit = UnitPolicy::Static { pages: 4 };
+        assert_eq!(
+            unit.unit_pages(PageId(5), &layout),
+            vec![PageId(4), PageId(5), PageId(6), PageId(7)]
+        );
+        // The last unit is truncated at the end of the space.
+        assert_eq!(
+            unit.unit_pages(PageId(9), &layout),
+            vec![PageId(8), PageId(9)]
+        );
+    }
+
+    #[test]
+    fn dynamic_unit_is_single_page() {
+        let layout = PageLayout::new(4096, 10);
+        let unit = UnitPolicy::Dynamic { max_group_pages: 8 };
+        assert_eq!(unit.unit_pages(PageId(5), &layout), vec![PageId(5)]);
+        assert_eq!(unit.protection_pages(), 1);
+        assert!(unit.is_dynamic());
+    }
+
+    #[test]
+    fn paper_default_is_valid() {
+        let cfg = DsmConfig::paper_default();
+        cfg.validate();
+        assert_eq!(cfg.nprocs, 8);
+        assert_eq!(cfg.unit_bytes(), 4096);
+        assert_eq!(cfg.layout().page_size(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_procs_rejected() {
+        DsmConfig {
+            nprocs: 0,
+            ..DsmConfig::paper_default()
+        }
+        .validate();
+    }
+}

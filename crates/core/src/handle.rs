@@ -1,0 +1,223 @@
+//! Typed handles into the shared address space.
+//!
+//! Applications do not manipulate raw global addresses; they allocate typed
+//! arrays and scalars from the [`Dsm`](crate::cluster::Dsm) before the
+//! parallel section and access them through these handles, which translate
+//! element indices into byte-level shared-memory accesses on a
+//! [`ProcCtx`](crate::proc::ProcCtx).
+
+use std::marker::PhantomData;
+
+use tm_page::GlobalAddr;
+
+use crate::proc::ProcCtx;
+
+/// A plain value that can live in DSM shared memory.
+///
+/// Implementations define a fixed-size little-endian byte encoding; all
+/// numeric primitives used by the application suite are covered.
+pub trait SharedVal: Copy + Default + Send + Sync + 'static {
+    /// Encoded size in bytes.
+    const BYTES: usize;
+    /// Encode into `buf` (exactly `BYTES` long).
+    fn store(self, buf: &mut [u8]);
+    /// Decode from `buf` (exactly `BYTES` long).
+    fn load(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_shared_val {
+    ($($t:ty),*) => {
+        $(
+            impl SharedVal for $t {
+                const BYTES: usize = std::mem::size_of::<$t>();
+                #[inline]
+                fn store(self, buf: &mut [u8]) {
+                    buf.copy_from_slice(&self.to_le_bytes());
+                }
+                #[inline]
+                fn load(buf: &[u8]) -> Self {
+                    <$t>::from_le_bytes(buf.try_into().expect("buffer size mismatch"))
+                }
+            }
+        )*
+    };
+}
+
+impl_shared_val!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+/// A fixed-length array of `T` living in shared memory.
+#[derive(Debug, Clone, Copy)]
+pub struct GArray<T: SharedVal> {
+    base: GlobalAddr,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+impl<T: SharedVal> GArray<T> {
+    /// Create a handle over `len` elements starting at `base`.  Normally
+    /// produced by [`Dsm::alloc_array`](crate::cluster::Dsm::alloc_array).
+    pub fn from_raw(base: GlobalAddr, len: usize) -> Self {
+        GArray {
+            base,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Global address of element `i`.
+    pub fn addr(&self, i: usize) -> GlobalAddr {
+        assert!(i <= self.len, "index {i} out of bounds (len {})", self.len);
+        self.base.add((i * T::BYTES) as u64)
+    }
+
+    /// Base address of the array.
+    pub fn base(&self) -> GlobalAddr {
+        self.base
+    }
+
+    /// Read element `i`.
+    pub fn get(&self, ctx: &mut ProcCtx, i: usize) -> T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let mut buf = [0u8; 16];
+        ctx.read_bytes(self.addr(i), &mut buf[..T::BYTES]);
+        T::load(&buf[..T::BYTES])
+    }
+
+    /// Write element `i`.
+    pub fn set(&self, ctx: &mut ProcCtx, i: usize, v: T) {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let mut buf = [0u8; 16];
+        v.store(&mut buf[..T::BYTES]);
+        ctx.write_bytes(self.addr(i), &buf[..T::BYTES]);
+    }
+
+    /// Read `count` elements starting at `start` into a vector (one bulk
+    /// shared access — the natural granularity for row/column operations).
+    pub fn read_vec(&self, ctx: &mut ProcCtx, start: usize, count: usize) -> Vec<T> {
+        assert!(start + count <= self.len, "range out of bounds");
+        let mut bytes = vec![0u8; count * T::BYTES];
+        ctx.read_bytes(self.addr(start), &mut bytes);
+        bytes
+            .chunks_exact(T::BYTES)
+            .map(|c| T::load(c))
+            .collect()
+    }
+
+    /// Write the elements of `values` starting at index `start` (one bulk
+    /// shared access).
+    pub fn write_slice(&self, ctx: &mut ProcCtx, start: usize, values: &[T]) {
+        assert!(start + values.len() <= self.len, "range out of bounds");
+        let mut bytes = vec![0u8; values.len() * T::BYTES];
+        for (chunk, v) in bytes.chunks_exact_mut(T::BYTES).zip(values.iter()) {
+            v.store(chunk);
+        }
+        ctx.write_bytes(self.addr(start), &bytes);
+    }
+
+    /// Narrow the handle to a sub-range `[start, start + len)`.
+    pub fn slice(&self, start: usize, len: usize) -> GArray<T> {
+        assert!(start + len <= self.len, "slice out of bounds");
+        GArray {
+            base: self.addr(start),
+            len,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// A single shared scalar of type `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct GScalar<T: SharedVal> {
+    cell: GArray<T>,
+}
+
+impl<T: SharedVal> GScalar<T> {
+    /// Create a handle over the scalar stored at `addr`.
+    pub fn from_raw(addr: GlobalAddr) -> Self {
+        GScalar {
+            cell: GArray::from_raw(addr, 1),
+        }
+    }
+
+    /// Global address of the scalar.
+    pub fn addr(&self) -> GlobalAddr {
+        self.cell.base()
+    }
+
+    /// Read the scalar.
+    pub fn get(&self, ctx: &mut ProcCtx) -> T {
+        self.cell.get(ctx, 0)
+    }
+
+    /// Write the scalar.
+    pub fn set(&self, ctx: &mut ProcCtx, v: T) {
+        self.cell.set(ctx, 0, v)
+    }
+}
+
+/// A dense row-major matrix of `T` in shared memory; rows are the unit of
+/// bulk access used by the grid applications (Jacobi, Shallow, MGS, FFT).
+#[derive(Debug, Clone, Copy)]
+pub struct GMatrix<T: SharedVal> {
+    data: GArray<T>,
+    rows: usize,
+    cols: usize,
+}
+
+impl<T: SharedVal> GMatrix<T> {
+    /// Wrap an array of `rows * cols` elements as a matrix.
+    pub fn from_array(data: GArray<T>, rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+        GMatrix { data, rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The backing array handle.
+    pub fn as_array(&self) -> GArray<T> {
+        self.data
+    }
+
+    /// Read a full row.
+    pub fn read_row(&self, ctx: &mut ProcCtx, r: usize) -> Vec<T> {
+        assert!(r < self.rows, "row {r} out of bounds");
+        self.data.read_vec(ctx, r * self.cols, self.cols)
+    }
+
+    /// Write a full row.
+    pub fn write_row(&self, ctx: &mut ProcCtx, r: usize, values: &[T]) {
+        assert!(r < self.rows, "row {r} out of bounds");
+        assert_eq!(values.len(), self.cols, "row length mismatch");
+        self.data.write_slice(ctx, r * self.cols, values);
+    }
+
+    /// Read one element.
+    pub fn get(&self, ctx: &mut ProcCtx, r: usize, c: usize) -> T {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data.get(ctx, r * self.cols + c)
+    }
+
+    /// Write one element.
+    pub fn set(&self, ctx: &mut ProcCtx, r: usize, c: usize, v: T) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data.set(ctx, r * self.cols + c, v)
+    }
+}

@@ -1,0 +1,204 @@
+//! Intervals and write notices.
+//!
+//! An *interval* is the stretch of a processor's execution between two
+//! consecutive synchronization operations.  When an interval closes the
+//! processor records which shared pages it wrote (its *write notices*) and
+//! the vector time at which the interval ended; the eager variant used here
+//! also encodes the diffs of those pages at the same moment (see DESIGN.md
+//! for why this does not change any of the paper's measured quantities).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tm_page::{Diff, PageId};
+
+use crate::vc::VectorClock;
+
+/// Identifies one closed interval of one processor.  Interval sequence
+/// numbers start at 1; a vector-clock entry of `k` covers intervals `1..=k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IntervalId {
+    /// Processor that executed the interval.
+    pub proc: u32,
+    /// The processor-local sequence number of the interval (1-based).
+    pub seq: u32,
+}
+
+/// A write notice: "processor `interval.proc` modified `page` during
+/// `interval`".  Receiving a notice obliges the receiver to invalidate the
+/// consistency unit containing the page before its next access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WriteNotice {
+    /// The modified page.
+    pub page: PageId,
+    /// The interval during which the modification happened.
+    pub interval: IntervalId,
+}
+
+/// Approximate wire size of one encoded write notice (page id + interval id),
+/// used to account control-message payload sizes.
+pub const NOTICE_WIRE_BYTES: u64 = 12;
+
+/// Record of one closed interval, published in the owning processor's shared
+/// log for others to read when they synchronize.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IntervalRecord {
+    /// Which interval this is.
+    pub id: IntervalId,
+    /// Vector time at the close of the interval (the owner's own entry
+    /// equals `id.seq`).
+    pub vc: VectorClock,
+    /// Pages written during the interval.
+    pub pages: Vec<PageId>,
+}
+
+impl IntervalRecord {
+    /// Write notices carried by this interval.
+    pub fn notices(&self) -> impl Iterator<Item = WriteNotice> + '_ {
+        self.pages.iter().map(move |&page| WriteNotice {
+            page,
+            interval: self.id,
+        })
+    }
+}
+
+/// The part of a processor's protocol state that other processors consult:
+/// its closed-interval log and the eagerly created diffs of those intervals.
+///
+/// On the real system this state is only reachable through request messages;
+/// here other threads read it directly under a mutex while the simulated
+/// network charges the cost of the messages they would have sent.
+#[derive(Debug, Default)]
+pub struct IntervalLog {
+    records: Vec<IntervalRecord>,
+    diffs: HashMap<(PageId, u32), Arc<Diff>>,
+}
+
+impl IntervalLog {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of closed intervals.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no interval has closed yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Publish a closed interval together with the diffs of the pages it
+    /// wrote.  `seq` must be exactly one past the previously published
+    /// interval.
+    pub fn publish(&mut self, record: IntervalRecord, diffs: Vec<(PageId, Arc<Diff>)>) {
+        debug_assert_eq!(
+            record.id.seq as usize,
+            self.records.len() + 1,
+            "interval sequence numbers must be contiguous"
+        );
+        for (page, diff) in diffs {
+            self.diffs.insert((page, record.id.seq), diff);
+        }
+        self.records.push(record);
+    }
+
+    /// The record of interval `seq` (1-based), if it has closed.
+    pub fn record(&self, seq: u32) -> Option<&IntervalRecord> {
+        if seq == 0 {
+            return None;
+        }
+        self.records.get(seq as usize - 1)
+    }
+
+    /// All records with sequence numbers in `(after, up_to]`.
+    pub fn records_between(&self, after: u32, up_to: u32) -> &[IntervalRecord] {
+        let lo = (after as usize).min(self.records.len());
+        let hi = (up_to as usize).min(self.records.len());
+        if lo >= hi {
+            return &[];
+        }
+        &self.records[lo..hi]
+    }
+
+    /// All records with sequence numbers greater than `after`.
+    pub fn records_after(&self, after: u32) -> &[IntervalRecord] {
+        self.records_between(after, self.records.len() as u32)
+    }
+
+    /// The diff of `page` created when interval `seq` closed, if that
+    /// interval wrote the page.
+    pub fn diff(&self, page: PageId, seq: u32) -> Option<Arc<Diff>> {
+        self.diffs.get(&(page, seq)).cloned()
+    }
+
+    /// Total number of stored diffs (used by tests and the GC ablation).
+    pub fn stored_diffs(&self) -> usize {
+        self.diffs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(proc: u32, seq: u32, n: usize, pages: &[u32]) -> IntervalRecord {
+        let mut vc = VectorClock::zero(n);
+        vc.set(proc as usize, seq);
+        IntervalRecord {
+            id: IntervalId { proc, seq },
+            vc,
+            pages: pages.iter().map(|&p| PageId(p)).collect(),
+        }
+    }
+
+    #[test]
+    fn publish_and_lookup() {
+        let mut log = IntervalLog::new();
+        assert!(log.is_empty());
+        let diff = Arc::new(Diff {
+            page: PageId(3),
+            runs: vec![],
+        });
+        log.publish(record(0, 1, 2, &[3, 4]), vec![(PageId(3), diff.clone())]);
+        assert_eq!(log.len(), 1);
+        assert!(log.record(1).is_some());
+        assert!(log.record(0).is_none());
+        assert!(log.record(2).is_none());
+        assert!(log.diff(PageId(3), 1).is_some());
+        assert!(log.diff(PageId(4), 1).is_none());
+        assert_eq!(log.stored_diffs(), 1);
+    }
+
+    #[test]
+    fn records_between_windows() {
+        let mut log = IntervalLog::new();
+        for seq in 1..=5 {
+            log.publish(record(1, seq, 2, &[seq]), vec![]);
+        }
+        assert_eq!(log.records_between(0, 5).len(), 5);
+        assert_eq!(log.records_between(2, 4).len(), 2);
+        assert_eq!(log.records_between(4, 2).len(), 0);
+        assert_eq!(log.records_after(3).len(), 2);
+        assert_eq!(log.records_after(9).len(), 0);
+    }
+
+    #[test]
+    fn notices_enumerate_pages() {
+        let r = record(2, 7, 4, &[10, 11]);
+        let notices: Vec<_> = r.notices().collect();
+        assert_eq!(notices.len(), 2);
+        assert_eq!(notices[0].page, PageId(10));
+        assert_eq!(notices[0].interval, IntervalId { proc: 2, seq: 7 });
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn non_contiguous_publish_is_rejected_in_debug() {
+        let mut log = IntervalLog::new();
+        log.publish(record(0, 2, 2, &[]), vec![]);
+    }
+}

@@ -1,0 +1,578 @@
+//! The per-processor protocol engine and application-facing context.
+//!
+//! A [`ProcCtx`] is handed to the application closure running on each
+//! simulated processor.  It implements:
+//!
+//! * access detection (the stand-in for VM page faults): every read or write
+//!   checks the validity of the consistency units it touches and runs the
+//!   fault handler when needed,
+//! * the multiple-writer protocol: twin on first write, eager diff at
+//!   interval close,
+//! * lazy release consistency: write notices gathered at acquires and
+//!   barriers, pages invalidated, diffs fetched on demand,
+//! * static aggregation (consistency units of several pages) and the paper's
+//!   dynamic page-group aggregation, and
+//! * the instrumentation: exchange records, per-word useful-data credit, and
+//!   the false-sharing signature.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use tm_net::{
+    CostModel, DiffExchange, FaultRecord, LogicalClock, MsgKind, ProcId, ProcStats,
+    MSG_HEADER_BYTES,
+};
+use tm_page::{Diff, GlobalAddr, PageId, PageLayout, PageStore, WORD_SIZE};
+
+use crate::aggregation::DynamicAggregator;
+use crate::config::{DsmConfig, UnitPolicy};
+use crate::interval::{IntervalId, IntervalLog, IntervalRecord, NOTICE_WIRE_BYTES};
+use crate::sync::GlobalSync;
+use crate::vc::VectorClock;
+
+/// Per-page protocol metadata kept privately by each processor.
+#[derive(Debug, Clone, Default)]
+struct PageMeta {
+    /// The page may not be accessed without running the fault handler.
+    invalid: bool,
+    /// The page has a twin and belongs to the current open interval's write
+    /// set.
+    dirty: bool,
+    /// Write notices received but whose diffs have not been applied yet:
+    /// `(writer, interval seq)`.
+    pending: Vec<(u32, u32)>,
+}
+
+/// Shared, per-processor protocol state that *other* processors consult when
+/// they fault (the diff/interval store served by the SIGIO handler on the
+/// real system).
+pub type SharedIntervalLog = Mutex<IntervalLog>;
+
+/// The application-facing handle for one simulated processor.
+pub struct ProcCtx {
+    rank: ProcId,
+    nprocs: usize,
+    layout: PageLayout,
+    unit: UnitPolicy,
+    cost: CostModel,
+    store: PageStore,
+    meta: Vec<PageMeta>,
+    dirty_pages: Vec<PageId>,
+    vc: VectorClock,
+    clock: LogicalClock,
+    stats: ProcStats,
+    logs: Arc<Vec<SharedIntervalLog>>,
+    sync: Arc<GlobalSync>,
+    agg: Option<DynamicAggregator>,
+    notices_since_barrier: u64,
+    marked_end_ns: Option<u64>,
+}
+
+impl ProcCtx {
+    /// Build the context for processor `rank` of a cluster run.
+    pub(crate) fn new(
+        rank: usize,
+        config: &DsmConfig,
+        logs: Arc<Vec<SharedIntervalLog>>,
+        sync: Arc<GlobalSync>,
+    ) -> Self {
+        let layout = config.layout();
+        let agg = match config.unit {
+            UnitPolicy::Dynamic { max_group_pages } => {
+                Some(DynamicAggregator::new(max_group_pages))
+            }
+            UnitPolicy::Static { .. } => None,
+        };
+        ProcCtx {
+            rank: ProcId(rank as u32),
+            nprocs: config.nprocs,
+            layout,
+            unit: config.unit,
+            cost: config.cost.clone(),
+            store: PageStore::new(layout),
+            meta: vec![PageMeta::default(); layout.total_pages() as usize],
+            dirty_pages: Vec::new(),
+            vc: VectorClock::zero(config.nprocs),
+            clock: LogicalClock::zero(),
+            stats: ProcStats::new(ProcId(rank as u32)),
+            logs,
+            sync,
+            agg,
+            notices_since_barrier: 0,
+            marked_end_ns: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// This processor's rank (0-based).
+    pub fn rank(&self) -> usize {
+        self.rank.index()
+    }
+
+    /// Number of processors in the cluster.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Current modeled time of this processor in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// The page layout of the shared space.
+    pub fn layout(&self) -> PageLayout {
+        self.layout
+    }
+
+    /// The consistency-unit policy in effect.
+    pub fn unit_policy(&self) -> UnitPolicy {
+        self.unit
+    }
+
+    /// Statistics collected so far (exchanges, faults, control traffic, ...).
+    pub fn stats(&self) -> &ProcStats {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Application compute accounting
+    // ------------------------------------------------------------------
+
+    /// Charge `ns` nanoseconds of application computation to the modeled
+    /// clock (the stand-in for the instructions the real application would
+    /// execute between shared accesses).
+    pub fn compute(&mut self, ns: u64) {
+        self.clock.advance(ns);
+        self.stats.compute_time_ns += ns;
+    }
+
+    fn charge_access(&mut self, bytes: usize) {
+        let words = bytes.div_ceil(WORD_SIZE) as u64;
+        let ns = words * self.cost.shared_access_ns;
+        self.clock.advance(ns);
+        self.stats.compute_time_ns += ns;
+    }
+
+    // ------------------------------------------------------------------
+    // Shared-memory access
+    // ------------------------------------------------------------------
+
+    /// Read `dst.len()` bytes of shared memory starting at `addr`.
+    pub fn read_bytes(&mut self, addr: GlobalAddr, dst: &mut [u8]) {
+        self.charge_access(dst.len());
+        self.ensure_valid_range(addr, dst.len() as u64, false);
+        let ProcCtx { store, stats, .. } = self;
+        store.read(addr, dst, |exch, bytes| {
+            if let Some(e) = stats.exchanges.get_mut(exch as usize) {
+                e.useful_payload += bytes;
+            }
+        });
+    }
+
+    /// Write `src` to shared memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: GlobalAddr, src: &[u8]) {
+        self.charge_access(src.len());
+        self.ensure_valid_range(addr, src.len() as u64, true);
+        self.store.write(addr, src);
+    }
+
+    fn ensure_valid_range(&mut self, addr: GlobalAddr, len: u64, for_write: bool) {
+        if len == 0 {
+            return;
+        }
+        let pages: Vec<PageId> = self.layout.pages_of_range(addr, len).collect();
+        for page in pages {
+            if self.meta[page.index()].invalid {
+                self.fault_on(page);
+            }
+            if for_write && !self.meta[page.index()].dirty {
+                let created = self.store.page_mut(page).ensure_twin();
+                debug_assert!(created, "twin already present on a clean page");
+                self.meta[page.index()].dirty = true;
+                self.dirty_pages.push(page);
+                self.stats.twins_created += 1;
+                self.stats.protection_ops += 1;
+                self.clock.advance(
+                    self.cost.twin_cost(self.layout.page_size() as u64)
+                        + self.cost.protection_op_ns,
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault handling
+    // ------------------------------------------------------------------
+
+    /// Handle an access fault on `page`: decide which pages to fetch (the
+    /// static consistency unit or the dynamic page group), contact every
+    /// concurrent writer, apply the diffs in happens-before order, validate
+    /// and account.
+    fn fault_on(&mut self, page: PageId) {
+        // Pages whose diffs are fetched by this fault, and pages that become
+        // valid afterwards.
+        let (fetch_pages, validate_pages) = match self.unit {
+            UnitPolicy::Static { .. } => {
+                let unit = self.unit.unit_pages(page, &self.layout);
+                (unit.clone(), unit)
+            }
+            UnitPolicy::Dynamic { .. } => {
+                let agg = self.agg.as_mut().expect("dynamic policy has aggregator");
+                agg.note_fault(page);
+                let mut fetch = vec![page];
+                fetch.extend(agg.group_companions(page));
+                (fetch, vec![page])
+            }
+        };
+
+        // Gather the pending write notices of every page we are fetching,
+        // grouped by the writer that must serve the diff.
+        let mut by_writer: BTreeMap<u32, Vec<(PageId, u32)>> = BTreeMap::new();
+        for &p in &fetch_pages {
+            for &(writer, seq) in &self.meta[p.index()].pending {
+                by_writer.entry(writer).or_default().push((p, seq));
+            }
+        }
+
+        let mut exchange_ids = Vec::with_capacity(by_writer.len());
+        let mut reply_sizes = Vec::with_capacity(by_writer.len());
+        let mut to_apply: Vec<(u64, u32, u32, Arc<Diff>, u32)> = Vec::new();
+        let mut total_payload = 0u64;
+
+        for (writer, wants) in &by_writer {
+            debug_assert_ne!(*writer, self.rank.0, "own writes are never pending");
+            let exchange_id = self.stats.exchanges.len() as u32;
+            let mut reply_bytes = MSG_HEADER_BYTES;
+            let mut delivered = 0u64;
+            let mut diffs_carried = 0u32;
+            let mut pages_requested: Vec<PageId> = Vec::new();
+            {
+                let log = self.logs[*writer as usize].lock();
+                for &(p, seq) in wants {
+                    if !pages_requested.contains(&p) {
+                        pages_requested.push(p);
+                    }
+                    let diff = log
+                        .diff(p, seq)
+                        .expect("eagerly created diff must exist for a published notice");
+                    let record_vc_weight = log
+                        .record(seq)
+                        .expect("published interval record must exist")
+                        .vc
+                        .weight();
+                    reply_bytes += diff.wire_bytes();
+                    delivered += diff.payload_bytes();
+                    diffs_carried += 1;
+                    to_apply.push((record_vc_weight, *writer, seq, diff, exchange_id));
+                }
+            }
+            total_payload += delivered;
+            reply_sizes.push(reply_bytes);
+            exchange_ids.push(exchange_id);
+            self.stats.exchanges.push(DiffExchange {
+                id: exchange_id,
+                responder: ProcId(*writer),
+                pages_requested: pages_requested.len() as u32,
+                diffs_carried,
+                request_bytes: MSG_HEADER_BYTES + 8 * pages_requested.len() as u64,
+                reply_bytes,
+                delivered_payload: delivered,
+                useful_payload: 0,
+            });
+        }
+
+        // Apply the diffs in a linear extension of happens-before (vector
+        // clock weight, then writer id, then sequence number).  Diffs of
+        // concurrent intervals touch disjoint words in a data-race-free
+        // program, so their relative order does not matter.
+        to_apply.sort_by_key(|(w, writer, seq, _, _)| (*w, *writer, *seq));
+        for (_, _, _, diff, exchange_id) in &to_apply {
+            self.store.page_mut(diff.page).apply_diff(diff, *exchange_id);
+        }
+
+        // Book-keeping: fetched pages have no pending notices left; pages of
+        // the validated set become accessible again.
+        for &p in &fetch_pages {
+            self.meta[p.index()].pending.clear();
+        }
+        for &p in &validate_pages {
+            self.meta[p.index()].invalid = false;
+        }
+
+        let concurrent_writers = by_writer.len() as u32;
+        if concurrent_writers == 0 {
+            self.stats.prefetched_faults += 1;
+        }
+        self.stats.faults.push(FaultRecord {
+            concurrent_writers,
+            exchange_ids,
+            pages_validated: validate_pages.len() as u32,
+        });
+        self.stats.protection_ops += 1;
+
+        let stall = self.cost.fault_stall(&reply_sizes, total_payload);
+        self.clock.advance(stall);
+        self.stats.fault_stall_ns += stall;
+    }
+
+    // ------------------------------------------------------------------
+    // Interval management and write-notice propagation
+    // ------------------------------------------------------------------
+
+    /// Close the current interval: diff every dirty page, publish the
+    /// interval record and its diffs, and advance the local vector clock.
+    fn close_interval(&mut self) {
+        if self.dirty_pages.is_empty() {
+            return;
+        }
+        let mut pages = Vec::with_capacity(self.dirty_pages.len());
+        let mut diffs = Vec::with_capacity(self.dirty_pages.len());
+        let page_size = self.layout.page_size() as u64;
+        let dirty: Vec<PageId> = self.dirty_pages.drain(..).collect();
+        for page in dirty {
+            let lp = self.store.page_mut(page);
+            let diff = lp
+                .make_diff(page)
+                .expect("dirty page must have a twin at interval close");
+            lp.drop_twin();
+            self.meta[page.index()].dirty = false;
+            self.clock.advance(self.cost.diff_create_cost(page_size));
+            // Re-protect the page so the next write re-twins.
+            self.stats.protection_ops += 1;
+            self.clock.advance(self.cost.protection_op_ns);
+            if diff.is_empty() {
+                // The page was written with values identical to the twin's;
+                // nothing to propagate.
+                continue;
+            }
+            self.stats.diffs_created += 1;
+            self.stats.diff_bytes_created += diff.payload_bytes();
+            pages.push(page);
+            diffs.push((page, Arc::new(diff)));
+        }
+        if pages.is_empty() {
+            return;
+        }
+        let seq = self.vc.get(self.rank.index()) + 1;
+        self.vc.set(self.rank.index(), seq);
+        let record = IntervalRecord {
+            id: IntervalId {
+                proc: self.rank.0,
+                seq,
+            },
+            vc: self.vc.clone(),
+            pages: pages.clone(),
+        };
+        self.notices_since_barrier += pages.len() as u64;
+        self.logs[self.rank.index()].lock().publish(record, diffs);
+    }
+
+    /// Incorporate the write notices of every interval of processor `writer`
+    /// with sequence numbers in `(self.vc[writer], up_to]`.  Returns the
+    /// number of notices incorporated.
+    fn incorporate_notices_from(&mut self, writer: usize, up_to: u32) -> u64 {
+        if writer == self.rank.index() {
+            return 0;
+        }
+        let already = self.vc.get(writer);
+        if up_to <= already {
+            return 0;
+        }
+        let mut incorporated = 0u64;
+        let records: Vec<(u32, Vec<PageId>)> = {
+            let log = self.logs[writer].lock();
+            log.records_between(already, up_to)
+                .iter()
+                .map(|r| (r.id.seq, r.pages.clone()))
+                .collect()
+        };
+        for (seq, pages) in records {
+            for page in pages {
+                self.meta[page.index()].pending.push((writer as u32, seq));
+                self.invalidate_unit_of(page);
+                incorporated += 1;
+            }
+        }
+        self.vc.set(writer, up_to);
+        incorporated
+    }
+
+    /// Invalidate the consistency unit containing `page` (one protection
+    /// operation per unit that actually changes state).
+    fn invalidate_unit_of(&mut self, page: PageId) {
+        let unit = self.unit.unit_pages(page, &self.layout);
+        let mut changed = false;
+        for p in unit {
+            let m = &mut self.meta[p.index()];
+            if !m.invalid {
+                debug_assert!(
+                    !m.dirty,
+                    "invalidation must not hit a page dirty in the open interval \
+                     (intervals are closed before notices are incorporated)"
+                );
+                m.invalid = true;
+                changed = true;
+            }
+        }
+        if changed {
+            self.stats.protection_ops += 1;
+            self.clock.advance(self.cost.protection_op_ns);
+        }
+    }
+
+    /// Rebuild the dynamic page groups (no-op under a static policy).
+    fn resync_aggregator(&mut self) {
+        if let Some(agg) = self.agg.as_mut() {
+            agg.rebuild_groups();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization operations
+    // ------------------------------------------------------------------
+
+    /// Acquire global lock `lock_id`, incorporating the write notices that
+    /// the last releaser's critical section makes visible.
+    pub fn acquire(&mut self, lock_id: usize) {
+        self.close_interval();
+        self.resync_aggregator();
+
+        let stall_start = self.clock.now_ns();
+        let grant = self.sync.lock(lock_id).acquire_blocking();
+
+        // Modeled time: the lock cannot be granted before the last release
+        // happened, and the transfer itself costs the calibrated latency
+        // (much less when we still cache the lock from our own last release).
+        self.clock.wait_until(grant.clock_ns);
+        let reacquire = grant.releaser == Some(self.rank.0);
+        if reacquire {
+            self.clock.advance(self.cost.protection_op_ns.max(1_000));
+        } else {
+            self.clock.advance(self.cost.lock_latency());
+        }
+
+        // Incorporate every interval covered by the releaser but not by us.
+        let mut notices = 0u64;
+        let grant_vc = grant.vc.clone();
+        for q in 0..self.nprocs {
+            notices += self.incorporate_notices_from(q, grant_vc.get(q));
+        }
+        self.vc.merge(&grant_vc);
+
+        // Message accounting: request → statically assigned manager, forward
+        // → last holder, grant → us.  A re-acquisition of a lock we released
+        // last is served from the local cache and costs no messages; hops
+        // that start or end at this processor itself cost nothing either
+        // (in particular, a single-processor run sends no lock messages).
+        if !reacquire {
+            let manager = lock_id % self.nprocs;
+            let i_am_manager = manager == self.rank.index();
+            if !i_am_manager {
+                self.stats.record_control(MsgKind::LockRequest, 0);
+            }
+            match grant.releaser {
+                Some(_) => {
+                    // Manager forwards to the holder, who grants to us.
+                    self.stats.record_control(MsgKind::LockForward, 0);
+                    self.stats
+                        .record_control(MsgKind::LockGrant, notices * NOTICE_WIRE_BYTES);
+                }
+                None if !i_am_manager => {
+                    // First-ever acquisition: the manager grants directly.
+                    self.stats
+                        .record_control(MsgKind::LockGrant, notices * NOTICE_WIRE_BYTES);
+                }
+                None => {}
+            }
+        }
+        self.stats.lock_acquires += 1;
+        self.stats.sync_stall_ns += self.clock.now_ns() - stall_start;
+    }
+
+    /// Release global lock `lock_id`, making this processor's modifications
+    /// visible to the next acquirer.
+    pub fn release(&mut self, lock_id: usize) {
+        self.close_interval();
+        self.resync_aggregator();
+        self.sync
+            .lock(lock_id)
+            .release(self.rank.0, self.vc.clone(), self.clock.now_ns());
+    }
+
+    /// Cross the global barrier, incorporating every other processor's write
+    /// notices.
+    pub fn barrier(&mut self) {
+        self.close_interval();
+        self.resync_aggregator();
+
+        let stall_start = self.clock.now_ns();
+        if self.rank.0 != 0 {
+            self.stats.record_control(
+                MsgKind::BarrierArrive,
+                self.notices_since_barrier * NOTICE_WIRE_BYTES,
+            );
+        }
+        self.notices_since_barrier = 0;
+
+        let my_published = self.vc.get(self.rank.index());
+        let epoch = self.sync.barrier.arrive(
+            self.rank.index(),
+            self.clock.now_ns(),
+            self.cost.barrier_latency(self.nprocs as u32),
+            my_published,
+        );
+        self.clock.wait_until(epoch.depart_clock_ns);
+
+        let mut notices = 0u64;
+        for q in 0..self.nprocs {
+            notices += self.incorporate_notices_from(q, epoch.published_intervals[q]);
+        }
+        if self.rank.0 != 0 {
+            self.stats
+                .record_control(MsgKind::BarrierDepart, notices * NOTICE_WIRE_BYTES);
+        }
+        self.stats.barriers += 1;
+        self.stats.sync_stall_ns += self.clock.now_ns() - stall_start;
+    }
+
+    // ------------------------------------------------------------------
+    // Run termination
+    // ------------------------------------------------------------------
+
+    /// Mark the current modeled time as the end of the measured execution.
+    ///
+    /// Work performed after this call (typically result verification, which
+    /// is not part of the application the paper measures) still executes and
+    /// is still accounted in the message/data statistics of any accesses it
+    /// performs, but the reported execution time stops here.  Calling it
+    /// repeatedly keeps the latest mark.
+    pub fn mark_execution_end(&mut self) {
+        self.marked_end_ns = Some(self.clock.now_ns());
+    }
+
+    /// Finish the run for this processor and hand back its statistics.
+    pub(crate) fn finish(mut self) -> ProcStats {
+        // Flush the last interval so every modification is accounted, then
+        // stamp the final modeled time.
+        self.close_interval();
+        self.stats.exec_time_ns = self.marked_end_ns.unwrap_or_else(|| self.clock.now_ns());
+        self.stats
+    }
+}
+
+impl std::fmt::Debug for ProcCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcCtx")
+            .field("rank", &self.rank)
+            .field("nprocs", &self.nprocs)
+            .field("vc", &self.vc)
+            .field("clock_ns", &self.clock.now_ns())
+            .field("dirty_pages", &self.dirty_pages.len())
+            .finish()
+    }
+}

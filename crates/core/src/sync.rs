@@ -1,0 +1,312 @@
+//! Synchronization substrate: distributed locks and the centralized barrier.
+//!
+//! TreadMarks provides exactly two synchronization primitives — locks and
+//! barriers — and lazy release consistency piggybacks its write notices on
+//! them.  The simulated cluster implements the *blocking* behaviour with real
+//! in-process primitives (so application threads genuinely wait for each
+//! other) while the *consistency information* (vector clock of the last
+//! release) and the *modeled time* of the operation travel alongside.
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::vc::VectorClock;
+
+/// Snapshot of the last release of a lock, handed to the next acquirer.
+#[derive(Debug, Clone)]
+pub struct LockRelease {
+    /// Processor that last released the lock, or `None` if the lock has
+    /// never been released (first acquisition is granted by the manager).
+    pub releaser: Option<u32>,
+    /// Vector time of the last release; the acquirer must see every interval
+    /// this clock covers.
+    pub vc: VectorClock,
+    /// Modeled time (ns) at which the release happened; the acquirer cannot
+    /// be granted the lock before this.
+    pub clock_ns: u64,
+}
+
+#[derive(Debug)]
+struct LockInner {
+    held: bool,
+    last: LockRelease,
+    acquisitions: u64,
+}
+
+/// One global application lock (TreadMarks lock id).
+#[derive(Debug)]
+pub struct GlobalLock {
+    inner: Mutex<LockInner>,
+    cv: Condvar,
+}
+
+impl GlobalLock {
+    /// Create a free lock for a cluster of `nprocs` processors.
+    pub fn new(nprocs: usize) -> Self {
+        GlobalLock {
+            inner: Mutex::new(LockInner {
+                held: false,
+                last: LockRelease {
+                    releaser: None,
+                    vc: VectorClock::zero(nprocs),
+                    clock_ns: 0,
+                },
+                acquisitions: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until the lock is free, take it, and return the snapshot of the
+    /// last release (the grant's consistency payload).
+    pub fn acquire_blocking(&self) -> LockRelease {
+        let mut inner = self.inner.lock();
+        while inner.held {
+            self.cv.wait(&mut inner);
+        }
+        inner.held = true;
+        inner.acquisitions += 1;
+        inner.last.clone()
+    }
+
+    /// Release the lock, publishing the releaser's identity, vector time and
+    /// modeled release time for the next acquirer.
+    pub fn release(&self, releaser: u32, vc: VectorClock, clock_ns: u64) {
+        let mut inner = self.inner.lock();
+        debug_assert!(inner.held, "release of a lock that is not held");
+        inner.held = false;
+        inner.last = LockRelease {
+            releaser: Some(releaser),
+            vc,
+            clock_ns,
+        };
+        self.cv.notify_one();
+    }
+
+    /// Number of times the lock has been acquired (statistics/tests).
+    pub fn acquisitions(&self) -> u64 {
+        self.inner.lock().acquisitions
+    }
+}
+
+/// Everything a processor learns when it departs from a barrier episode:
+/// the common modeled departure time and a consistent snapshot of how many
+/// intervals every processor had published when it arrived.  The snapshot
+/// bounds the write notices incorporated at this barrier, so that a fast
+/// processor racing ahead into its next interval cannot leak "future"
+/// notices into the current episode.
+#[derive(Debug, Clone)]
+pub struct BarrierEpoch {
+    /// Modeled time at which every processor leaves the barrier.
+    pub depart_clock_ns: u64,
+    /// Per-processor count of published intervals at arrival.
+    pub published_intervals: Vec<u32>,
+}
+
+#[derive(Debug)]
+struct BarrierInner {
+    generation: u64,
+    arrived: usize,
+    max_clock_ns: u64,
+    lens: Vec<u32>,
+    epoch: std::sync::Arc<BarrierEpoch>,
+}
+
+/// The centralized barrier (managed by processor 0 in TreadMarks).
+///
+/// Besides blocking every processor until all have arrived, the barrier
+/// computes the modeled departure time: the latest arrival's logical clock
+/// plus the calibrated barrier latency.
+#[derive(Debug)]
+pub struct CentralBarrier {
+    inner: Mutex<BarrierInner>,
+    cv: Condvar,
+    nprocs: usize,
+}
+
+impl CentralBarrier {
+    /// Create a barrier for `nprocs` processors.
+    pub fn new(nprocs: usize) -> Self {
+        CentralBarrier {
+            inner: Mutex::new(BarrierInner {
+                generation: 0,
+                arrived: 0,
+                max_clock_ns: 0,
+                lens: vec![0; nprocs],
+                epoch: std::sync::Arc::new(BarrierEpoch {
+                    depart_clock_ns: 0,
+                    published_intervals: vec![0; nprocs],
+                }),
+            }),
+            cv: Condvar::new(),
+            nprocs,
+        }
+    }
+
+    /// Number of processors the barrier synchronizes.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Arrive at the barrier as processor `rank`, announcing the caller's
+    /// modeled clock and the number of intervals it has published so far.
+    /// Blocks until everyone has arrived and returns the barrier episode
+    /// (common departure time + published-interval snapshot).
+    pub fn arrive(
+        &self,
+        rank: usize,
+        my_clock_ns: u64,
+        barrier_latency_ns: u64,
+        my_published_intervals: u32,
+    ) -> std::sync::Arc<BarrierEpoch> {
+        let mut inner = self.inner.lock();
+        let generation = inner.generation;
+        inner.max_clock_ns = inner.max_clock_ns.max(my_clock_ns);
+        inner.lens[rank] = my_published_intervals;
+        inner.arrived += 1;
+        if inner.arrived == self.nprocs {
+            // Last arriver: seal the episode, open the next generation and
+            // wake everyone.
+            let epoch = std::sync::Arc::new(BarrierEpoch {
+                depart_clock_ns: inner.max_clock_ns + barrier_latency_ns,
+                published_intervals: inner.lens.clone(),
+            });
+            inner.epoch = std::sync::Arc::clone(&epoch);
+            inner.arrived = 0;
+            inner.max_clock_ns = 0;
+            inner.generation += 1;
+            self.cv.notify_all();
+            epoch
+        } else {
+            while inner.generation == generation {
+                self.cv.wait(&mut inner);
+            }
+            std::sync::Arc::clone(&inner.epoch)
+        }
+    }
+
+    /// Convenience wrapper returning only the departure time (rank and
+    /// published-interval bookkeeping irrelevant; used by tests).
+    pub fn wait(&self, my_clock_ns: u64, barrier_latency_ns: u64) -> u64 {
+        self.arrive(0, my_clock_ns, barrier_latency_ns, 0)
+            .depart_clock_ns
+    }
+}
+
+/// The cluster-wide synchronization state shared by all processors.
+#[derive(Debug)]
+pub struct GlobalSync {
+    /// Application locks, indexed by lock id.
+    pub locks: Vec<GlobalLock>,
+    /// The single centralized barrier.
+    pub barrier: CentralBarrier,
+}
+
+impl GlobalSync {
+    /// Create the synchronization state for a cluster.
+    pub fn new(nprocs: usize, max_locks: usize) -> Self {
+        GlobalSync {
+            locks: (0..max_locks).map(|_| GlobalLock::new(nprocs)).collect(),
+            barrier: CentralBarrier::new(nprocs),
+        }
+    }
+
+    /// The lock with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is outside the configured lock table.
+    pub fn lock(&self, id: usize) -> &GlobalLock {
+        self.locks
+            .get(id)
+            .unwrap_or_else(|| panic!("lock id {id} outside the configured table of {} locks", self.locks.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_hands_over_release_snapshot() {
+        let lock = GlobalLock::new(2);
+        let first = lock.acquire_blocking();
+        assert!(first.releaser.is_none());
+        let mut vc = VectorClock::zero(2);
+        vc.set(0, 3);
+        lock.release(0, vc.clone(), 1234);
+        let second = lock.acquire_blocking();
+        assert_eq!(second.releaser, Some(0));
+        assert_eq!(second.vc, vc);
+        assert_eq!(second.clock_ns, 1234);
+        assert_eq!(lock.acquisitions(), 2);
+    }
+
+    #[test]
+    fn lock_mutual_exclusion_across_threads() {
+        let lock = Arc::new(GlobalLock::new(4));
+        let counter = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let _grant = lock.acquire_blocking();
+                    {
+                        let mut c = counter.lock();
+                        let v = *c;
+                        // A data race here would manifest as a lost update.
+                        std::hint::black_box(&v);
+                        *c = v + 1;
+                    }
+                    lock.release(t, VectorClock::zero(4), (t * 1000 + i) as u64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 800);
+    }
+
+    #[test]
+    fn barrier_departure_is_max_arrival_plus_latency() {
+        let barrier = Arc::new(CentralBarrier::new(3));
+        let mut handles = Vec::new();
+        for (i, clock) in [100u64, 900, 400].into_iter().enumerate() {
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let _ = i;
+                barrier.wait(clock, 50)
+            }));
+        }
+        let departs: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(departs, vec![950, 950, 950]);
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_generations() {
+        let barrier = Arc::new(CentralBarrier::new(2));
+        let b2 = Arc::clone(&barrier);
+        let handle = std::thread::spawn(move || {
+            let a = b2.wait(10, 5);
+            let b = b2.wait(a + 100, 5);
+            (a, b)
+        });
+        let a = barrier.wait(20, 5);
+        let b = barrier.wait(a + 1, 5);
+        let (ta, tb) = handle.join().unwrap();
+        assert_eq!(a, 25);
+        assert_eq!(ta, 25);
+        // Second episode: max(125, 26) + 5.
+        assert_eq!(b, 130);
+        assert_eq!(tb, 130);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the configured table")]
+    fn out_of_range_lock_id_panics() {
+        let sync = GlobalSync::new(2, 4);
+        sync.lock(10);
+    }
+}

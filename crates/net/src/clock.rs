@@ -1,0 +1,90 @@
+//! Per-processor logical clocks.
+//!
+//! Execution time in the simulated cluster is *modeled*, not measured: every
+//! processor advances a logical clock by the cost-model charge of each event
+//! (computation, faults, synchronization stalls).  Synchronization operations
+//! merge clocks — a barrier sets everyone to the latest arrival plus the
+//! barrier latency; a lock hand-off makes the acquirer wait for the releaser.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing logical clock in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LogicalClock {
+    ns: u64,
+}
+
+impl LogicalClock {
+    /// A clock at time zero.
+    pub fn zero() -> Self {
+        LogicalClock { ns: 0 }
+    }
+
+    /// Current value in nanoseconds.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.ns
+    }
+
+    /// Advance the clock by `delta_ns`.
+    #[inline]
+    pub fn advance(&mut self, delta_ns: u64) {
+        self.ns += delta_ns;
+    }
+
+    /// Move the clock forward to `other_ns` if that is later (used when a
+    /// processor waits for an event that completes at a known remote time).
+    #[inline]
+    pub fn wait_until(&mut self, other_ns: u64) {
+        if other_ns > self.ns {
+            self.ns = other_ns;
+        }
+    }
+
+    /// Merge with another clock, keeping the later time.
+    #[inline]
+    pub fn merge_max(&mut self, other: LogicalClock) {
+        self.wait_until(other.ns);
+    }
+}
+
+impl std::fmt::Display for LogicalClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}ms", self.ns as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_and_wait() {
+        let mut c = LogicalClock::zero();
+        c.advance(100);
+        assert_eq!(c.now_ns(), 100);
+        c.wait_until(50); // never goes backwards
+        assert_eq!(c.now_ns(), 100);
+        c.wait_until(300);
+        assert_eq!(c.now_ns(), 300);
+    }
+
+    #[test]
+    fn merge_takes_max() {
+        let mut a = LogicalClock::zero();
+        a.advance(10);
+        let mut b = LogicalClock::zero();
+        b.advance(25);
+        a.merge_max(b);
+        assert_eq!(a.now_ns(), 25);
+        b.merge_max(a);
+        assert_eq!(b.now_ns(), 25);
+    }
+
+    #[test]
+    fn display_in_milliseconds() {
+        let mut c = LogicalClock::zero();
+        c.advance(1_500_000);
+        assert_eq!(c.to_string(), "1.500ms");
+    }
+}

@@ -1,0 +1,261 @@
+//! Calibrated cost model of the paper's experimental platform.
+//!
+//! The paper (§5.1) characterizes the platform — eight 166 MHz Pentiums on a
+//! switched 100 Mbps Ethernet running TreadMarks over UDP/IP — with a handful
+//! of micro-costs:
+//!
+//! * 1-byte round-trip latency: **296 µs**
+//! * lock acquisition: **374–574 µs**
+//! * 8-processor barrier: **861 µs**
+//! * diff fetch: **579–1746 µs** (depending on diff size)
+//!
+//! The simulated cluster charges these costs against per-processor logical
+//! clocks so that the *shape* of the execution-time results (Figures 1 and 2)
+//! can be reproduced without the original hardware.  Absolute seconds are not
+//! expected to match the 1997 testbed.
+
+use serde::{Deserialize, Serialize};
+
+/// All tunable cost constants, in nanoseconds (or nanoseconds per byte).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Round-trip network latency of a minimal message (request + reply
+    /// software overhead included).
+    pub rtt_small_ns: u64,
+    /// One-way wire + protocol-stack time per byte (100 Mbps ≈ 80 ns/byte).
+    pub wire_ns_per_byte: u64,
+    /// Fixed CPU cost, on the faulting processor, of entering the fault
+    /// handler (signal delivery + protocol entry on the real system).
+    pub fault_handler_ns: u64,
+    /// Cost of one memory-protection change (`mprotect` on the real system).
+    pub protection_op_ns: u64,
+    /// Per-byte cost of creating a twin (page copy).
+    pub twin_ns_per_byte: u64,
+    /// Fixed cost of creating one diff (twin/current comparison setup).
+    pub diff_create_base_ns: u64,
+    /// Per-byte cost of the twin/current comparison.
+    pub diff_create_ns_per_byte: u64,
+    /// Fixed cost, on the serving processor, of handling one diff request.
+    pub diff_serve_base_ns: u64,
+    /// Per-byte cost of assembling the reply.
+    pub diff_serve_ns_per_byte: u64,
+    /// Fixed cost of applying one diff at the faulting processor.
+    pub diff_apply_base_ns: u64,
+    /// Per-byte cost of applying diff contents.
+    pub diff_apply_ns_per_byte: u64,
+    /// Base latency of an uncontended lock acquisition (3-hop transfer).
+    pub lock_base_ns: u64,
+    /// Base latency of a barrier with `barrier_calibrated_procs` processors.
+    pub barrier_base_ns: u64,
+    /// Number of processors the barrier base latency was measured with.
+    pub barrier_calibrated_procs: u32,
+    /// Additional barrier latency per processor beyond the calibrated count
+    /// (and subtracted per processor below it).
+    pub barrier_per_proc_ns: u64,
+    /// CPU charge per shared-memory access issued by the application (models
+    /// the inline access check; the real system pays nothing for valid pages,
+    /// but also models the application's own per-element work).
+    pub shared_access_ns: u64,
+    /// Fixed per-message CPU overhead (interrupt + UDP processing) charged to
+    /// the requester for every message it causes.
+    pub message_cpu_ns: u64,
+}
+
+impl CostModel {
+    /// The cost model calibrated against the paper's §5.1 numbers
+    /// (166 MHz Pentium, FreeBSD 2.1.6, switched 100 Mbps Ethernet, UDP/IP).
+    pub fn pentium_ethernet_1997() -> Self {
+        CostModel {
+            rtt_small_ns: 296_000,
+            wire_ns_per_byte: 80,
+            fault_handler_ns: 60_000,
+            protection_op_ns: 10_000,
+            twin_ns_per_byte: 15,
+            diff_create_base_ns: 20_000,
+            diff_create_ns_per_byte: 12,
+            diff_serve_base_ns: 120_000,
+            diff_serve_ns_per_byte: 30,
+            diff_apply_base_ns: 15_000,
+            diff_apply_ns_per_byte: 15,
+            lock_base_ns: 450_000,
+            barrier_base_ns: 861_000,
+            barrier_calibrated_procs: 8,
+            barrier_per_proc_ns: 55_000,
+            shared_access_ns: 55,
+            message_cpu_ns: 40_000,
+        }
+    }
+
+    /// A cost model with zero communication cost — useful in unit tests that
+    /// only care about protocol counts, and as the "infinitely fast network"
+    /// ablation point.
+    pub fn free_network() -> Self {
+        CostModel {
+            rtt_small_ns: 0,
+            wire_ns_per_byte: 0,
+            fault_handler_ns: 0,
+            protection_op_ns: 0,
+            twin_ns_per_byte: 0,
+            diff_create_base_ns: 0,
+            diff_create_ns_per_byte: 0,
+            diff_serve_base_ns: 0,
+            diff_serve_ns_per_byte: 0,
+            diff_apply_base_ns: 0,
+            diff_apply_ns_per_byte: 0,
+            lock_base_ns: 0,
+            barrier_base_ns: 0,
+            barrier_calibrated_procs: 8,
+            barrier_per_proc_ns: 0,
+            shared_access_ns: 0,
+            message_cpu_ns: 0,
+        }
+    }
+
+    /// Stall time of one diff exchange with a single responder: round trip,
+    /// the responder's serve time, and the reply's wire time.
+    pub fn diff_exchange_latency(&self, reply_bytes: u64) -> u64 {
+        self.rtt_small_ns
+            + self.diff_serve_base_ns
+            + self.diff_serve_ns_per_byte * reply_bytes
+            + self.wire_ns_per_byte * reply_bytes
+    }
+
+    /// Stall time of a page fault that issues one exchange per concurrent
+    /// writer.  TreadMarks sends all requests before waiting, so the
+    /// requests and the responders' diff generation overlap (one round trip,
+    /// the slowest serve time), but the replies all arrive at the faulting
+    /// node's single network interface: their wire time, per-message receive
+    /// processing and diff application serialize there.  This is what makes
+    /// a 7-writer fault substantially more expensive than a 1-writer fault
+    /// even though the requests go out in parallel.
+    pub fn fault_stall(&self, reply_bytes_per_responder: &[u64], applied_payload: u64) -> u64 {
+        let slowest_serve = reply_bytes_per_responder
+            .iter()
+            .map(|&b| self.diff_serve_base_ns + self.diff_serve_ns_per_byte * b)
+            .max()
+            .unwrap_or(0);
+        let total_reply_bytes: u64 = reply_bytes_per_responder.iter().sum();
+        let serialized_receive = self.wire_ns_per_byte * total_reply_bytes
+            + reply_bytes_per_responder.len() as u64 * self.message_cpu_ns;
+        let rtt = if reply_bytes_per_responder.is_empty() {
+            0
+        } else {
+            self.rtt_small_ns
+        };
+        self.fault_handler_ns
+            + self.protection_op_ns
+            + rtt
+            + slowest_serve
+            + serialized_receive
+            + self.diff_apply_base_ns * reply_bytes_per_responder.len().max(1) as u64
+            + self.diff_apply_ns_per_byte * applied_payload
+    }
+
+    /// Latency of an uncontended lock acquisition.
+    pub fn lock_latency(&self) -> u64 {
+        self.lock_base_ns
+    }
+
+    /// Latency added by a barrier of `procs` processors once every processor
+    /// has arrived.
+    pub fn barrier_latency(&self, procs: u32) -> u64 {
+        let base = self.barrier_base_ns;
+        let calibrated = self.barrier_calibrated_procs;
+        if procs >= calibrated {
+            base + (procs - calibrated) as u64 * self.barrier_per_proc_ns
+        } else {
+            base.saturating_sub((calibrated - procs) as u64 * self.barrier_per_proc_ns)
+        }
+    }
+
+    /// Cost of creating a twin of `bytes` bytes.
+    pub fn twin_cost(&self, bytes: u64) -> u64 {
+        self.twin_ns_per_byte * bytes
+    }
+
+    /// Cost of creating a diff by comparing `bytes` bytes of twin/current.
+    pub fn diff_create_cost(&self, bytes: u64) -> u64 {
+        self.diff_create_base_ns + self.diff_create_ns_per_byte * bytes
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::pentium_ethernet_1997()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_points() {
+        let m = CostModel::pentium_ethernet_1997();
+        // 1-byte round trip: 296 microseconds.
+        assert_eq!(m.rtt_small_ns, 296_000);
+        // Empty-page diff fetch is within the paper's 579–1746 µs window.
+        let small = m.fault_stall(&[200], 200);
+        assert!(
+            (400_000..1_800_000).contains(&small),
+            "small diff fetch {small}ns outside plausible window"
+        );
+        // A full-page diff fetch stays within the paper's upper bound.
+        let large = m.fault_stall(&[4096], 4096);
+        assert!(
+            (579_000..=1_900_000).contains(&large),
+            "large diff fetch {large}ns outside plausible window"
+        );
+        // 8-processor barrier latency matches the measured 861 µs.
+        assert_eq!(m.barrier_latency(8), 861_000);
+        // Lock latency within the measured 374–574 µs window.
+        assert!((374_000..=574_000).contains(&m.lock_latency()));
+    }
+
+    #[test]
+    fn barrier_scales_with_processor_count() {
+        let m = CostModel::pentium_ethernet_1997();
+        assert!(m.barrier_latency(16) > m.barrier_latency(8));
+        assert!(m.barrier_latency(2) < m.barrier_latency(8));
+    }
+
+    #[test]
+    fn fault_stall_overlaps_round_trips_but_serializes_receives() {
+        let m = CostModel::pentium_ethernet_1997();
+        let one_big = m.fault_stall(&[4096], 4096);
+        let big_plus_small = m.fault_stall(&[4096, 64], 4096 + 64);
+        // Adding a second, smaller responder does not add a second round
+        // trip (requests overlap) ...
+        assert!(big_plus_small < one_big + m.rtt_small_ns);
+        assert!(big_plus_small > one_big);
+        // ... but seven equally sized responders cost markedly more than
+        // one, because the replies serialize at the faulting node.
+        let seven = m.fault_stall(&[1024; 7], 7 * 1024);
+        let one = m.fault_stall(&[1024], 1024);
+        assert!(seven > 2 * one, "seven-writer fault {seven} vs single {one}");
+        // Two single-page faults from the same writer still cost more than
+        // one aggregated two-page fault (the aggregation argument of §3).
+        let two_faults = 2 * m.fault_stall(&[2048], 2048);
+        let aggregated = m.fault_stall(&[4096], 4096);
+        assert!(aggregated < two_faults);
+    }
+
+    #[test]
+    fn free_network_is_free() {
+        let m = CostModel::free_network();
+        assert_eq!(m.fault_stall(&[1000, 2000], 3000), 0);
+        assert_eq!(m.barrier_latency(8), 0);
+        assert_eq!(m.lock_latency(), 0);
+    }
+
+    #[test]
+    fn aggregated_unit_fetch_is_cheaper_than_sequential_fetches() {
+        // The aggregation argument from §3: fetching two pages' diffs from
+        // the same writer in one exchange costs one round trip, while two
+        // page-sized units cost two.
+        let m = CostModel::pentium_ethernet_1997();
+        let two_faults = 2 * m.fault_stall(&[2048], 2048);
+        let one_fault = m.fault_stall(&[4096], 4096);
+        assert!(one_fault < two_faults);
+    }
+}

@@ -1,0 +1,91 @@
+//! # tm-net — simulated cluster network
+//!
+//! The paper's testbed was eight Pentium workstations on a switched 100 Mbps
+//! Ethernet.  `treadmarks-rs` replaces the physical network with a *simulated
+//! cluster*: every protocol interaction is accounted as messages and bytes,
+//! and its latency is charged against per-processor logical clocks using a
+//! cost model calibrated to the paper's §5.1 micro-benchmarks.
+//!
+//! The crate provides:
+//!
+//! * the message taxonomy and exchange/fault records ([`msg`]),
+//! * the calibrated [`CostModel`] ([`cost`]),
+//! * per-processor [`LogicalClock`]s ([`clock`]), and
+//! * statistics containers and the paper's useful/useless breakdown and
+//!   false-sharing signature ([`stats`]).
+//!
+//! It deliberately knows nothing about pages, diffs or consistency — only
+//! about counting and timing communication.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod cost;
+pub mod msg;
+pub mod stats;
+
+pub use clock::LogicalClock;
+pub use cost::CostModel;
+pub use msg::{ControlMsg, DiffExchange, FaultRecord, MsgKind, ProcId, MSG_HEADER_BYTES};
+pub use stats::{
+    ClusterStats, CommBreakdown, Normalized, ProcStats, SignatureBucket, SignatureHistogram,
+};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The breakdown's message and data totals must always be consistent
+        /// with the raw per-processor records, whatever the mix of exchanges.
+        #[test]
+        fn breakdown_conserves_counts(
+            specs in prop::collection::vec((1u64..5000, 0u64..5000), 0..40),
+            controls in 0usize..20,
+        ) {
+            let mut p = ProcStats::new(ProcId(0));
+            for (i, (delivered, useful_raw)) in specs.iter().enumerate() {
+                let useful = useful_raw % (delivered + 1);
+                p.exchanges.push(DiffExchange {
+                    id: i as u32,
+                    responder: ProcId(1),
+                    pages_requested: 1,
+                    diffs_carried: 1,
+                    request_bytes: MSG_HEADER_BYTES,
+                    reply_bytes: MSG_HEADER_BYTES + delivered,
+                    delivered_payload: *delivered,
+                    useful_payload: useful,
+                });
+            }
+            for _ in 0..controls {
+                p.record_control(MsgKind::BarrierArrive, 4);
+            }
+            let expected_messages = p.message_count();
+            let delivered_total: u64 = specs.iter().map(|(d, _)| d).sum();
+            let stats = ClusterStats { per_proc: vec![p] };
+            let b = stats.breakdown();
+            prop_assert_eq!(b.total_messages(), expected_messages);
+            prop_assert_eq!(b.total_payload(), delivered_total);
+            prop_assert!(b.useful_data <= delivered_total);
+        }
+
+        /// Signature frequencies always sum to 1 when any fault was recorded.
+        #[test]
+        fn signature_frequencies_sum_to_one(counts in prop::collection::vec(0u64..20, 1..8)) {
+            let mut h = SignatureHistogram::new(counts.len());
+            let mut any = false;
+            for (k, n) in counts.iter().enumerate() {
+                for _ in 0..*n {
+                    h.record(k as u32 + 1, 1, 0);
+                    any = true;
+                }
+            }
+            if any {
+                let sum: f64 = (0..=h.max_writers()).map(|k| h.frequency(k)).sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

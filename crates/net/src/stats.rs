@@ -1,0 +1,426 @@
+//! Communication statistics and the paper's useful/useless breakdowns.
+//!
+//! The evaluation of the paper rests on three derived quantities:
+//!
+//! * **messages**, split into *useful* and *useless* messages,
+//! * **data**, split into *useful data*, *useless data carried in useless
+//!   messages*, and *piggybacked useless data* (useless data carried in
+//!   useful messages), and
+//! * the **false-sharing signature**: a histogram, over page faults, of the
+//!   number of concurrent writers that had to be contacted, each bucket
+//!   split into useful and useless exchanges.
+//!
+//! [`ProcStats`] collects the raw records on each processor;
+//! [`ClusterStats::breakdown`] derives the figures.
+
+use serde::{Deserialize, Serialize};
+
+use crate::msg::{ControlMsg, DiffExchange, FaultRecord, MsgKind, ProcId, MSG_HEADER_BYTES};
+
+/// Statistics gathered by one processor during a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProcStats {
+    /// Rank of the processor these statistics belong to.
+    pub proc: u32,
+    /// All diff exchanges this processor initiated (requester side).
+    pub exchanges: Vec<DiffExchange>,
+    /// All consistency-unit faults taken by this processor.
+    pub faults: Vec<FaultRecord>,
+    /// Control (lock/barrier) messages this processor caused.
+    pub control: Vec<ControlMsg>,
+    /// Lock acquisitions performed.
+    pub lock_acquires: u64,
+    /// Barriers crossed.
+    pub barriers: u64,
+    /// Twins created (first write to a page in an interval).
+    pub twins_created: u64,
+    /// Diffs created at interval closes.
+    pub diffs_created: u64,
+    /// Total payload bytes of the diffs created.
+    pub diff_bytes_created: u64,
+    /// Memory-protection operations (invalidations and validations).
+    pub protection_ops: u64,
+    /// Consistency-unit faults that required no exchange because the dynamic
+    /// aggregation scheme had already prefetched the updates.
+    pub prefetched_faults: u64,
+    /// Modeled execution time of this processor (final logical clock).
+    pub exec_time_ns: u64,
+    /// Portion of the modeled time spent in application computation.
+    pub compute_time_ns: u64,
+    /// Portion of the modeled time spent stalled on faults and diff fetches.
+    pub fault_stall_ns: u64,
+    /// Portion of the modeled time spent in synchronization (locks+barriers).
+    pub sync_stall_ns: u64,
+}
+
+impl ProcStats {
+    /// Create empty statistics for processor `proc`.
+    pub fn new(proc: ProcId) -> Self {
+        ProcStats {
+            proc: proc.0,
+            ..Default::default()
+        }
+    }
+
+    /// Record a control message of the given kind and payload size.
+    pub fn record_control(&mut self, kind: MsgKind, payload_bytes: u64) {
+        self.control.push(ControlMsg {
+            kind,
+            bytes: MSG_HEADER_BYTES + payload_bytes,
+        });
+    }
+
+    /// Number of messages this processor caused (two per diff exchange plus
+    /// every control message).
+    pub fn message_count(&self) -> u64 {
+        self.exchanges.len() as u64 * 2 + self.control.len() as u64
+    }
+
+    /// Total wire bytes this processor caused.
+    pub fn wire_bytes(&self) -> u64 {
+        self.exchanges.iter().map(|e| e.wire_bytes()).sum::<u64>()
+            + self.control.iter().map(|c| c.bytes).sum::<u64>()
+    }
+}
+
+/// One bucket of the false-sharing signature histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignatureBucket {
+    /// Faults that contacted exactly this many concurrent writers.
+    pub faults: u64,
+    /// Useful exchanges issued by those faults.
+    pub useful_exchanges: u64,
+    /// Useless exchanges issued by those faults.
+    pub useless_exchanges: u64,
+}
+
+/// Histogram of the number of concurrent writers contacted per fault
+/// (the paper's Figure 3).  Bucket `k` holds faults that contacted `k`
+/// writers; bucket 0 holds faults that needed no exchange (possible under
+/// dynamic aggregation when the data was prefetched).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SignatureHistogram {
+    buckets: Vec<SignatureBucket>,
+}
+
+impl SignatureHistogram {
+    /// Create a histogram able to hold up to `max_writers` concurrent writers.
+    pub fn new(max_writers: usize) -> Self {
+        SignatureHistogram {
+            buckets: vec![SignatureBucket::default(); max_writers + 1],
+        }
+    }
+
+    /// Record one fault that contacted `writers` concurrent writers, of which
+    /// `useful` exchanges were useful and `useless` were useless.
+    pub fn record(&mut self, writers: u32, useful: u64, useless: u64) {
+        let idx = writers as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, SignatureBucket::default());
+        }
+        let b = &mut self.buckets[idx];
+        b.faults += 1;
+        b.useful_exchanges += useful;
+        b.useless_exchanges += useless;
+    }
+
+    /// Bucket for faults with exactly `writers` concurrent writers.
+    pub fn bucket(&self, writers: usize) -> SignatureBucket {
+        self.buckets.get(writers).copied().unwrap_or_default()
+    }
+
+    /// Largest bucket index with at least one fault.
+    pub fn max_writers(&self) -> usize {
+        self.buckets
+            .iter()
+            .rposition(|b| b.faults > 0)
+            .unwrap_or(0)
+    }
+
+    /// Total number of faults recorded.
+    pub fn total_faults(&self) -> u64 {
+        self.buckets.iter().map(|b| b.faults).sum()
+    }
+
+    /// Fraction of faults in bucket `writers` (0.0 when empty).
+    pub fn frequency(&self, writers: usize) -> f64 {
+        let total = self.total_faults();
+        if total == 0 {
+            0.0
+        } else {
+            self.bucket(writers).faults as f64 / total as f64
+        }
+    }
+
+    /// Mean number of concurrent writers over all faults — a scalar summary
+    /// of how far right the signature sits.
+    pub fn mean_writers(&self) -> f64 {
+        let total = self.total_faults();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(k, b)| k as u64 * b.faults)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &SignatureHistogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets
+                .resize(other.buckets.len(), SignatureBucket::default());
+        }
+        for (i, b) in other.buckets.iter().enumerate() {
+            self.buckets[i].faults += b.faults;
+            self.buckets[i].useful_exchanges += b.useful_exchanges;
+            self.buckets[i].useless_exchanges += b.useless_exchanges;
+        }
+    }
+}
+
+/// The communication breakdown the paper reports for every application and
+/// consistency-unit configuration (Figures 1 and 2).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommBreakdown {
+    /// Messages whose exchange delivered at least one useful word, plus all
+    /// synchronization messages.
+    pub useful_messages: u64,
+    /// Messages belonging to exchanges that delivered no useful word.
+    pub useless_messages: u64,
+    /// Delivered payload bytes that were read before being overwritten.
+    pub useful_data: u64,
+    /// Useless payload bytes carried by useless messages.
+    pub useless_data_in_useless_msgs: u64,
+    /// Useless payload bytes piggybacked on useful messages.
+    pub piggybacked_useless_data: u64,
+    /// Total wire bytes (payload + headers + control traffic).
+    pub total_wire_bytes: u64,
+    /// Modeled parallel execution time (max over processors).
+    pub exec_time_ns: u64,
+    /// Consistency-unit faults taken across all processors.
+    pub faults: u64,
+    /// The false-sharing signature aggregated over all processors.
+    pub signature: SignatureHistogram,
+}
+
+impl CommBreakdown {
+    /// Total messages (useful + useless).
+    pub fn total_messages(&self) -> u64 {
+        self.useful_messages + self.useless_messages
+    }
+
+    /// Total classified payload data (useful + both useless categories).
+    pub fn total_payload(&self) -> u64 {
+        self.useful_data + self.useless_data_in_useless_msgs + self.piggybacked_useless_data
+    }
+
+    /// Total useless data (both categories).
+    pub fn total_useless_data(&self) -> u64 {
+        self.useless_data_in_useless_msgs + self.piggybacked_useless_data
+    }
+}
+
+/// Statistics of a whole cluster run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClusterStats {
+    /// One entry per processor.
+    pub per_proc: Vec<ProcStats>,
+}
+
+impl ClusterStats {
+    /// Modeled parallel execution time: the latest finishing processor.
+    pub fn exec_time_ns(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.exec_time_ns).max().unwrap_or(0)
+    }
+
+    /// Total messages across all processors.
+    pub fn total_messages(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.message_count()).sum()
+    }
+
+    /// Total wire bytes across all processors.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.per_proc.iter().map(|p| p.wire_bytes()).sum()
+    }
+
+    /// Derive the paper's communication breakdown.
+    pub fn breakdown(&self) -> CommBreakdown {
+        let mut b = CommBreakdown {
+            exec_time_ns: self.exec_time_ns(),
+            total_wire_bytes: self.total_wire_bytes(),
+            ..Default::default()
+        };
+        let nprocs = self.per_proc.len();
+        b.signature = SignatureHistogram::new(nprocs.saturating_sub(1));
+        for p in &self.per_proc {
+            b.faults += p.faults.len() as u64;
+            // Control messages are always necessary -> useful.
+            b.useful_messages += p.control.len() as u64;
+            for e in &p.exchanges {
+                if e.is_useful() {
+                    b.useful_messages += 2;
+                    b.useful_data += e.useful_payload;
+                    b.piggybacked_useless_data += e.useless_payload();
+                } else {
+                    b.useless_messages += 2;
+                    b.useless_data_in_useless_msgs += e.useless_payload();
+                }
+            }
+            for f in &p.faults {
+                let mut useful = 0;
+                let mut useless = 0;
+                for &id in &f.exchange_ids {
+                    // Exchange ids are indices into the per-proc exchange log.
+                    if let Some(e) = p.exchanges.get(id as usize) {
+                        if e.is_useful() {
+                            useful += 1;
+                        } else {
+                            useless += 1;
+                        }
+                    }
+                }
+                b.signature.record(f.concurrent_writers, useful, useless);
+            }
+        }
+        b
+    }
+}
+
+/// A `(value, baseline)` pair normalized the way the paper's figures are:
+/// every statistic divided by its value at the 4 KB consistency unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normalized {
+    /// Raw value of the configuration under study.
+    pub value: f64,
+    /// Raw value of the baseline (4 KB) configuration.
+    pub baseline: f64,
+}
+
+impl Normalized {
+    /// value / baseline, or 1.0 when the baseline is zero and the value is
+    /// zero too, or +inf when only the baseline is zero.
+    pub fn ratio(&self) -> f64 {
+        if self.baseline == 0.0 {
+            if self.value == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.value / self.baseline
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{DiffExchange, FaultRecord};
+
+    fn exchange(id: u32, delivered: u64, useful: u64) -> DiffExchange {
+        DiffExchange {
+            id,
+            responder: ProcId(1),
+            pages_requested: 1,
+            diffs_carried: 1,
+            request_bytes: MSG_HEADER_BYTES,
+            reply_bytes: MSG_HEADER_BYTES + delivered,
+            delivered_payload: delivered,
+            useful_payload: useful,
+        }
+    }
+
+    #[test]
+    fn breakdown_classifies_messages_and_data() {
+        let mut p = ProcStats::new(ProcId(0));
+        p.exchanges.push(exchange(0, 100, 60)); // useful, 40 piggybacked
+        p.exchanges.push(exchange(1, 50, 0)); // useless
+        p.faults.push(FaultRecord {
+            concurrent_writers: 2,
+            exchange_ids: vec![0, 1],
+            pages_validated: 1,
+        });
+        p.record_control(MsgKind::BarrierArrive, 8);
+        p.exec_time_ns = 1000;
+
+        let stats = ClusterStats { per_proc: vec![p] };
+        let b = stats.breakdown();
+        assert_eq!(b.useful_messages, 2 + 1); // useful exchange + control msg
+        assert_eq!(b.useless_messages, 2);
+        assert_eq!(b.useful_data, 60);
+        assert_eq!(b.piggybacked_useless_data, 40);
+        assert_eq!(b.useless_data_in_useless_msgs, 50);
+        assert_eq!(b.total_messages(), 5);
+        assert_eq!(b.total_payload(), 150);
+        assert_eq!(b.faults, 1);
+        assert_eq!(b.exec_time_ns, 1000);
+        let bucket = b.signature.bucket(2);
+        assert_eq!(bucket.faults, 1);
+        assert_eq!(bucket.useful_exchanges, 1);
+        assert_eq!(bucket.useless_exchanges, 1);
+    }
+
+    #[test]
+    fn exec_time_is_max_over_processors() {
+        let mut a = ProcStats::new(ProcId(0));
+        a.exec_time_ns = 500;
+        let mut b = ProcStats::new(ProcId(1));
+        b.exec_time_ns = 900;
+        let stats = ClusterStats {
+            per_proc: vec![a, b],
+        };
+        assert_eq!(stats.exec_time_ns(), 900);
+    }
+
+    #[test]
+    fn signature_histogram_statistics() {
+        let mut h = SignatureHistogram::new(7);
+        h.record(1, 1, 0);
+        h.record(1, 1, 0);
+        h.record(7, 1, 6);
+        assert_eq!(h.total_faults(), 3);
+        assert_eq!(h.bucket(1).faults, 2);
+        assert_eq!(h.bucket(7).useless_exchanges, 6);
+        assert_eq!(h.max_writers(), 7);
+        assert!((h.frequency(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((h.mean_writers() - 3.0).abs() < 1e-12);
+
+        let mut other = SignatureHistogram::new(7);
+        other.record(2, 2, 0);
+        h.merge(&other);
+        assert_eq!(h.total_faults(), 4);
+        assert_eq!(h.bucket(2).faults, 1);
+    }
+
+    #[test]
+    fn signature_grows_beyond_initial_capacity() {
+        let mut h = SignatureHistogram::new(3);
+        h.record(9, 0, 9);
+        assert_eq!(h.bucket(9).faults, 1);
+        assert_eq!(h.max_writers(), 9);
+    }
+
+    #[test]
+    fn normalized_ratio_edge_cases() {
+        assert_eq!(Normalized { value: 2.0, baseline: 4.0 }.ratio(), 0.5);
+        assert_eq!(Normalized { value: 0.0, baseline: 0.0 }.ratio(), 1.0);
+        assert!(Normalized { value: 1.0, baseline: 0.0 }.ratio().is_infinite());
+    }
+
+    #[test]
+    fn proc_stats_message_and_byte_counts() {
+        let mut p = ProcStats::new(ProcId(2));
+        p.exchanges.push(exchange(0, 10, 10));
+        p.record_control(MsgKind::LockRequest, 0);
+        p.record_control(MsgKind::LockGrant, 16);
+        assert_eq!(p.message_count(), 4);
+        assert_eq!(
+            p.wire_bytes(),
+            (2 * MSG_HEADER_BYTES + 10) + MSG_HEADER_BYTES + (MSG_HEADER_BYTES + 16)
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Word-granularity run-length diffs.
+//!
+//! TreadMarks' multiple-writer protocol records the modifications a processor
+//! made to a page by *twinning* the page on the first write and later
+//! comparing the twin against the modified copy.  The result is a *diff*: a
+//! run-length encoding of the 32-bit words that changed.  Diffs are what the
+//! wire actually carries in response to page-fault requests, so their encoded
+//! size is what the paper's "data" metric measures.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layout::{PageId, WORD_SIZE};
+
+/// One maximal run of consecutive modified words.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiffRun {
+    /// Byte offset of the first modified word within the page.
+    pub offset: u32,
+    /// The new contents of the modified words.
+    pub bytes: Vec<u8>,
+}
+
+impl DiffRun {
+    /// Number of bytes carried by this run.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the run carries no bytes (never produced by [`Diff::create`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// A record of the modifications made to one hardware page, encoded as
+/// maximal runs of changed 32-bit words.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diff {
+    /// Page this diff applies to.
+    pub page: PageId,
+    /// Maximal runs of modified words, in increasing offset order.
+    pub runs: Vec<DiffRun>,
+}
+
+/// Per-run wire header: offset + length, as in the TreadMarks encoding.
+pub const RUN_HEADER_BYTES: u64 = 8;
+/// Per-diff wire header: page id + run count + interval identification.
+pub const DIFF_HEADER_BYTES: u64 = 16;
+
+impl Diff {
+    /// Compare `twin` (the page contents when the current writing interval
+    /// started) against `current` (the contents now) and encode the changed
+    /// words.
+    ///
+    /// # Panics
+    /// Panics if the two buffers differ in length or are not word-aligned in
+    /// size.
+    pub fn create(page: PageId, twin: &[u8], current: &[u8]) -> Diff {
+        assert_eq!(twin.len(), current.len(), "twin/current size mismatch");
+        assert_eq!(twin.len() % WORD_SIZE, 0, "page size must be word aligned");
+        let words = twin.len() / WORD_SIZE;
+        let mut runs = Vec::new();
+        let mut w = 0;
+        while w < words {
+            let lo = w * WORD_SIZE;
+            let hi = lo + WORD_SIZE;
+            if twin[lo..hi] != current[lo..hi] {
+                // start of a run; extend while words keep differing
+                let start = w;
+                while w < words
+                    && twin[w * WORD_SIZE..(w + 1) * WORD_SIZE]
+                        != current[w * WORD_SIZE..(w + 1) * WORD_SIZE]
+                {
+                    w += 1;
+                }
+                runs.push(DiffRun {
+                    offset: (start * WORD_SIZE) as u32,
+                    bytes: current[start * WORD_SIZE..w * WORD_SIZE].to_vec(),
+                });
+            } else {
+                w += 1;
+            }
+        }
+        Diff { page, runs }
+    }
+
+    /// Apply the diff to `target`, overwriting the words it records.
+    ///
+    /// # Panics
+    /// Panics if any run falls outside `target`.
+    pub fn apply(&self, target: &mut [u8]) {
+        for run in &self.runs {
+            let lo = run.offset as usize;
+            let hi = lo + run.bytes.len();
+            assert!(hi <= target.len(), "diff run outside page bounds");
+            target[lo..hi].copy_from_slice(&run.bytes);
+        }
+    }
+
+    /// True if the diff records no modifications.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of payload bytes (modified word contents only).
+    pub fn payload_bytes(&self) -> u64 {
+        self.runs.iter().map(|r| r.bytes.len() as u64).sum()
+    }
+
+    /// Size of the diff as it would travel on the wire: payload plus the
+    /// per-run and per-diff headers of the TreadMarks encoding.
+    pub fn wire_bytes(&self) -> u64 {
+        DIFF_HEADER_BYTES + self.runs.len() as u64 * RUN_HEADER_BYTES + self.payload_bytes()
+    }
+
+    /// Iterate over the page-relative word indices this diff overwrites.
+    pub fn touched_words(&self) -> impl Iterator<Item = usize> + '_ {
+        self.runs.iter().flat_map(|r| {
+            let first = r.offset as usize / WORD_SIZE;
+            let count = r.bytes.len() / WORD_SIZE;
+            first..first + count
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_of(pattern: impl Fn(usize) -> u8, len: usize) -> Vec<u8> {
+        (0..len).map(pattern).collect()
+    }
+
+    #[test]
+    fn identical_pages_produce_empty_diff() {
+        let a = page_of(|i| (i % 251) as u8, 4096);
+        let d = Diff::create(PageId(0), &a, &a);
+        assert!(d.is_empty());
+        assert_eq!(d.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn single_word_change() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        cur[8] = 0xAB;
+        let d = Diff::create(PageId(1), &twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 8);
+        assert_eq!(d.runs[0].bytes.len(), WORD_SIZE);
+        assert_eq!(d.payload_bytes(), 4);
+
+        let mut target = twin.clone();
+        d.apply(&mut target);
+        assert_eq!(target, cur);
+    }
+
+    #[test]
+    fn adjacent_changes_coalesce_into_one_run() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        for b in 16..32 {
+            cur[b] = 1;
+        }
+        let d = Diff::create(PageId(0), &twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 16);
+        assert_eq!(d.runs[0].bytes.len(), 16);
+    }
+
+    #[test]
+    fn disjoint_changes_produce_separate_runs() {
+        let twin = vec![0u8; 128];
+        let mut cur = twin.clone();
+        cur[0] = 1;
+        cur[64] = 2;
+        let d = Diff::create(PageId(0), &twin, &cur);
+        assert_eq!(d.runs.len(), 2);
+        assert_eq!(d.runs[0].offset, 0);
+        assert_eq!(d.runs[1].offset, 64);
+    }
+
+    #[test]
+    fn whole_page_change_is_one_full_run() {
+        let twin = vec![0u8; 256];
+        let cur = vec![0xFFu8; 256];
+        let d = Diff::create(PageId(0), &twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.payload_bytes(), 256);
+        assert_eq!(
+            d.wire_bytes(),
+            DIFF_HEADER_BYTES + RUN_HEADER_BYTES + 256
+        );
+    }
+
+    #[test]
+    fn touched_words_enumeration() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        cur[4] = 9; // word 1
+        cur[12] = 9; // word 3
+        cur[16] = 9; // word 4 (adjacent to word 3 -> same run)
+        let d = Diff::create(PageId(0), &twin, &cur);
+        let words: Vec<_> = d.touched_words().collect();
+        assert_eq!(words, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn sub_word_change_is_recorded_as_a_word() {
+        // Changing a single byte dirties its whole 32-bit word, exactly as
+        // the word-granular TreadMarks diff does.
+        let twin = vec![7u8; 32];
+        let mut cur = twin.clone();
+        cur[5] = 8;
+        let d = Diff::create(PageId(0), &twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 4);
+        assert_eq!(d.runs[0].bytes, vec![7, 8, 7, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_lengths_panic() {
+        Diff::create(PageId(0), &[0u8; 8], &[0u8; 12]);
+    }
+}

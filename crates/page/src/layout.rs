@@ -1,0 +1,234 @@
+//! Global address space layout: pages, words, and address arithmetic.
+//!
+//! The DSM exposes a single flat, byte-addressed *global* address space that
+//! every processor shares.  The space is carved into fixed-size *hardware
+//! pages*; the hardware page is the granularity at which twins and diffs are
+//! made, and the smallest possible consistency unit.  Word granularity
+//! (32-bit) is the granularity at which diffs record modifications and at
+//! which the useful/useless-data classifier attributes delivered data.
+
+use serde::{Deserialize, Serialize};
+
+/// Size in bytes of the diff/attribution word.  TreadMarks diffs record
+/// modifications at 32-bit granularity; the paper's instrumentation counts
+/// useful/useless data per word.
+pub const WORD_SIZE: usize = 4;
+
+/// Identifier of one hardware page of the global address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Numeric index of the page.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// A byte offset into the global shared address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GlobalAddr(pub u64);
+
+impl GlobalAddr {
+    /// Byte offset from the start of the shared space.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0
+    }
+
+    /// Address `bytes` bytes past `self`.
+    #[inline]
+    pub fn add(self, bytes: u64) -> GlobalAddr {
+        GlobalAddr(self.0 + bytes)
+    }
+}
+
+impl std::fmt::Display for GlobalAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g+0x{:x}", self.0)
+    }
+}
+
+/// Describes the geometry of the paged global address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageLayout {
+    page_size: usize,
+    total_pages: u32,
+}
+
+impl PageLayout {
+    /// Create a layout with the given hardware page size (bytes) and total
+    /// number of pages.
+    ///
+    /// # Panics
+    /// Panics if `page_size` is zero, not a multiple of [`WORD_SIZE`], or not
+    /// a power of two, or if `total_pages` is zero.
+    pub fn new(page_size: usize, total_pages: u32) -> Self {
+        assert!(page_size > 0, "page size must be non-zero");
+        assert!(
+            page_size % WORD_SIZE == 0,
+            "page size must be a multiple of the {WORD_SIZE}-byte word"
+        );
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        assert!(total_pages > 0, "layout must contain at least one page");
+        PageLayout {
+            page_size,
+            total_pages,
+        }
+    }
+
+    /// Hardware page size in bytes.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of 32-bit words per hardware page.
+    #[inline]
+    pub fn words_per_page(&self) -> usize {
+        self.page_size / WORD_SIZE
+    }
+
+    /// Total number of hardware pages in the shared space.
+    #[inline]
+    pub fn total_pages(&self) -> u32 {
+        self.total_pages
+    }
+
+    /// Total size of the shared space in bytes.
+    #[inline]
+    pub fn total_bytes(&self) -> u64 {
+        self.page_size as u64 * self.total_pages as u64
+    }
+
+    /// Page containing the byte at `addr`.
+    ///
+    /// # Panics
+    /// Panics if `addr` is outside the space.
+    #[inline]
+    pub fn page_of(&self, addr: GlobalAddr) -> PageId {
+        assert!(
+            addr.0 < self.total_bytes(),
+            "address {addr} outside shared space of {} bytes",
+            self.total_bytes()
+        );
+        PageId((addr.0 / self.page_size as u64) as u32)
+    }
+
+    /// Byte offset of `addr` within its page.
+    #[inline]
+    pub fn offset_in_page(&self, addr: GlobalAddr) -> usize {
+        (addr.0 % self.page_size as u64) as usize
+    }
+
+    /// Global address of the first byte of `page`.
+    #[inline]
+    pub fn page_base(&self, page: PageId) -> GlobalAddr {
+        GlobalAddr(page.0 as u64 * self.page_size as u64)
+    }
+
+    /// Iterator over the pages that the byte range `[addr, addr + len)`
+    /// touches.  An empty range touches no pages.
+    pub fn pages_of_range(&self, addr: GlobalAddr, len: u64) -> impl Iterator<Item = PageId> {
+        let page_size = self.page_size as u64;
+        let (first, last) = if len == 0 {
+            (1, 0) // empty iterator
+        } else {
+            assert!(
+                addr.0 + len <= self.total_bytes(),
+                "range [{addr}, +{len}) exceeds shared space of {} bytes",
+                self.total_bytes()
+            );
+            (addr.0 / page_size, (addr.0 + len - 1) / page_size)
+        };
+        (first..=last).map(|p| PageId(p as u32))
+    }
+
+    /// Word index (within its page) of the byte at `addr`.
+    #[inline]
+    pub fn word_in_page(&self, addr: GlobalAddr) -> usize {
+        self.offset_in_page(addr) / WORD_SIZE
+    }
+
+    /// Range of word indices within a page covered by the byte range
+    /// `[offset, offset + len)` of that page (any byte of a word counts).
+    #[inline]
+    pub fn words_covering(&self, offset: usize, len: usize) -> std::ops::Range<usize> {
+        if len == 0 {
+            return 0..0;
+        }
+        debug_assert!(offset + len <= self.page_size);
+        (offset / WORD_SIZE)..((offset + len - 1) / WORD_SIZE + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_basic_geometry() {
+        let l = PageLayout::new(4096, 16);
+        assert_eq!(l.page_size(), 4096);
+        assert_eq!(l.words_per_page(), 1024);
+        assert_eq!(l.total_pages(), 16);
+        assert_eq!(l.total_bytes(), 65536);
+    }
+
+    #[test]
+    fn page_of_and_offsets() {
+        let l = PageLayout::new(4096, 16);
+        assert_eq!(l.page_of(GlobalAddr(0)), PageId(0));
+        assert_eq!(l.page_of(GlobalAddr(4095)), PageId(0));
+        assert_eq!(l.page_of(GlobalAddr(4096)), PageId(1));
+        assert_eq!(l.offset_in_page(GlobalAddr(4100)), 4);
+        assert_eq!(l.page_base(PageId(3)), GlobalAddr(3 * 4096));
+        assert_eq!(l.word_in_page(GlobalAddr(4096 + 8)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside shared space")]
+    fn page_of_out_of_range_panics() {
+        let l = PageLayout::new(4096, 2);
+        l.page_of(GlobalAddr(8192));
+    }
+
+    #[test]
+    fn pages_of_range_spans() {
+        let l = PageLayout::new(4096, 8);
+        let pages: Vec<_> = l.pages_of_range(GlobalAddr(4000), 200).collect();
+        assert_eq!(pages, vec![PageId(0), PageId(1)]);
+        let pages: Vec<_> = l.pages_of_range(GlobalAddr(0), 4096).collect();
+        assert_eq!(pages, vec![PageId(0)]);
+        let pages: Vec<_> = l.pages_of_range(GlobalAddr(100), 0).collect();
+        assert!(pages.is_empty());
+        let pages: Vec<_> = l.pages_of_range(GlobalAddr(0), 3 * 4096 + 1).collect();
+        assert_eq!(pages.len(), 4);
+    }
+
+    #[test]
+    fn words_covering_ranges() {
+        let l = PageLayout::new(4096, 1);
+        assert_eq!(l.words_covering(0, 4), 0..1);
+        assert_eq!(l.words_covering(0, 5), 0..2);
+        assert_eq!(l.words_covering(2, 4), 0..2);
+        assert_eq!(l.words_covering(8, 8), 2..4);
+        assert_eq!(l.words_covering(10, 0), 0..0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_page_size_rejected() {
+        PageLayout::new(3000, 4);
+    }
+}

@@ -1,0 +1,128 @@
+//! # tm-page — paged shared-memory substrate
+//!
+//! This crate provides the memory substrate underneath the `tdsm-core`
+//! software DSM, reproducing the mechanisms TreadMarks builds on top of the
+//! operating system's virtual memory:
+//!
+//! * a paged **global address space** ([`PageLayout`], [`GlobalAddr`],
+//!   [`PageId`]),
+//! * per-processor **local copies** of the shared pages ([`PageStore`],
+//!   [`LocalPage`]),
+//! * **twinning and diffing** — the multiple-writer protocol's write
+//!   detection ([`Diff`], [`DiffRun`]),
+//! * a shared-region **bump allocator** ([`RegionAllocator`]), and
+//! * the per-word **delivery attribution** used by the paper's
+//!   instrumentation to classify delivered data as *useful* (read before
+//!   overwritten) or *useless*.
+//!
+//! The crate knows nothing about consistency models, synchronization, or the
+//! network; those live in `tdsm-core` and `tm-net`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alloc;
+pub mod diff;
+pub mod layout;
+pub mod page;
+
+pub use alloc::{Align, OutOfSharedMemory, RegionAllocator};
+pub use diff::{Diff, DiffRun, DIFF_HEADER_BYTES, RUN_HEADER_BYTES};
+pub use layout::{GlobalAddr, PageId, PageLayout, WORD_SIZE};
+pub use page::{LocalPage, PageStore, NO_EXCHANGE};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn word_aligned_page() -> impl Strategy<Value = Vec<u8>> {
+        prop::collection::vec(any::<u8>(), 64..=256).prop_map(|mut v| {
+            let len = v.len() / WORD_SIZE * WORD_SIZE;
+            v.truncate(len.max(WORD_SIZE));
+            v
+        })
+    }
+
+    proptest! {
+        /// Applying the diff of (twin, current) onto a copy of the twin must
+        /// reconstruct `current` exactly — the fundamental multiple-writer
+        /// protocol invariant.
+        #[test]
+        fn diff_roundtrip(twin in word_aligned_page(), seed in any::<u64>()) {
+            let mut current = twin.clone();
+            // Mutate a pseudo-random subset of bytes.
+            let mut state = seed | 1;
+            for (i, b) in current.iter_mut().enumerate() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if state % 3 == 0 {
+                    *b = (state >> 32) as u8 ^ (i as u8);
+                }
+            }
+            let diff = Diff::create(PageId(0), &twin, &current);
+            let mut rebuilt = twin.clone();
+            diff.apply(&mut rebuilt);
+            prop_assert_eq!(rebuilt, current);
+        }
+
+        /// A diff never carries more payload than the page size and its runs
+        /// are sorted, disjoint, word-aligned and maximal.
+        #[test]
+        fn diff_runs_are_canonical(twin in word_aligned_page(), seed in any::<u64>()) {
+            let mut current = twin.clone();
+            let mut state = seed | 1;
+            for b in current.iter_mut() {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                if state % 5 == 0 {
+                    *b = (state >> 24) as u8;
+                }
+            }
+            let diff = Diff::create(PageId(0), &twin, &current);
+            prop_assert!(diff.payload_bytes() as usize <= twin.len());
+            let mut prev_end: Option<usize> = None;
+            for run in &diff.runs {
+                prop_assert_eq!(run.offset as usize % WORD_SIZE, 0);
+                prop_assert_eq!(run.bytes.len() % WORD_SIZE, 0);
+                prop_assert!(!run.bytes.is_empty());
+                if let Some(end) = prev_end {
+                    // Maximality: adjacent runs would have been merged.
+                    prop_assert!(run.offset as usize > end);
+                }
+                prev_end = Some(run.offset as usize + run.bytes.len());
+            }
+        }
+
+        /// Allocations from the bump allocator never overlap and respect
+        /// their alignment.
+        #[test]
+        fn allocator_non_overlapping(sizes in prop::collection::vec(1u64..500, 1..20)) {
+            let layout = PageLayout::new(4096, 64);
+            let mut alloc = RegionAllocator::new(layout);
+            let mut regions: Vec<(u64, u64)> = Vec::new();
+            for (i, sz) in sizes.iter().enumerate() {
+                let align = match i % 3 {
+                    0 => Align::Word,
+                    1 => Align::Bytes(64),
+                    _ => Align::Page,
+                };
+                let addr = alloc.alloc(*sz, align).unwrap();
+                for &(b, e) in &regions {
+                    prop_assert!(addr.0 >= e || addr.0 + sz <= b, "overlap");
+                }
+                regions.push((addr.0, addr.0 + sz));
+            }
+        }
+
+        /// PageStore write/read roundtrip at arbitrary (addr, len).
+        #[test]
+        fn store_roundtrip(offset in 0u64..7000, data in prop::collection::vec(any::<u8>(), 1..600)) {
+            let layout = PageLayout::new(4096, 4);
+            prop_assume!(offset + data.len() as u64 <= layout.total_bytes());
+            let mut store = PageStore::new(layout);
+            store.write(GlobalAddr(offset), &data);
+            let mut out = vec![0u8; data.len()];
+            store.read(GlobalAddr(offset), &mut out, |_, _| {});
+            prop_assert_eq!(out, data);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! A processor's private copy of the shared address space.
+//!
+//! Every DSM processor holds its own [`PageStore`]: the local copies of the
+//! shared pages, the twins used by the multiple-writer protocol, and the
+//! per-word *delivery attribution* used by the paper's instrumentation to
+//! decide, for every word a diff delivered, whether it was eventually read
+//! (useful data) or never read before being overwritten or the end of the run
+//! (useless data).
+
+use crate::diff::Diff;
+use crate::layout::{GlobalAddr, PageId, PageLayout, WORD_SIZE};
+
+/// Sentinel attribution meaning "this word was not delivered by any exchange
+/// (or its delivery has already been classified)".
+pub const NO_EXCHANGE: u32 = u32::MAX;
+
+/// One hardware page as held by one processor: current contents, the twin
+/// made at the first write of the current interval (if any), and per-word
+/// delivery attribution.
+#[derive(Debug)]
+pub struct LocalPage {
+    data: Box<[u8]>,
+    twin: Option<Box<[u8]>>,
+    /// For each 32-bit word: the exchange id that last delivered it and has
+    /// not yet been read or overwritten locally, or [`NO_EXCHANGE`].
+    attribution: Box<[u32]>,
+}
+
+impl LocalPage {
+    /// Create a zero-filled page of `page_size` bytes.
+    pub fn new_zeroed(page_size: usize) -> Self {
+        LocalPage {
+            data: vec![0u8; page_size].into_boxed_slice(),
+            twin: None,
+            attribution: vec![NO_EXCHANGE; page_size / WORD_SIZE].into_boxed_slice(),
+        }
+    }
+
+    /// Current contents of the page.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Whether a twin exists (i.e. the page is dirty in the current interval).
+    #[inline]
+    pub fn has_twin(&self) -> bool {
+        self.twin.is_some()
+    }
+
+    /// Create the twin if it does not exist yet.  Returns `true` if a twin
+    /// was created by this call (the "first write to a shared page" event).
+    pub fn ensure_twin(&mut self) -> bool {
+        if self.twin.is_none() {
+            self.twin = Some(self.data.clone());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Compare the twin against the current contents and produce the diff of
+    /// the current writing interval.  Returns `None` if the page has no twin.
+    pub fn make_diff(&self, page: PageId) -> Option<Diff> {
+        self.twin
+            .as_ref()
+            .map(|twin| Diff::create(page, twin, &self.data))
+    }
+
+    /// Discard the twin (the interval's modifications have been encoded).
+    pub fn drop_twin(&mut self) {
+        self.twin = None;
+    }
+
+    /// Write `src` at byte `offset`.  Any delivered-but-unread words covered
+    /// by the write lose their attribution: the paper counts them as useless
+    /// data ("overwritten before being read").
+    pub fn write_bytes(&mut self, offset: usize, src: &[u8]) {
+        let end = offset + src.len();
+        assert!(end <= self.data.len(), "write outside page bounds");
+        self.data[offset..end].copy_from_slice(src);
+        if !src.is_empty() {
+            let first = offset / WORD_SIZE;
+            let last = (end - 1) / WORD_SIZE;
+            for w in first..=last {
+                self.attribution[w] = NO_EXCHANGE;
+            }
+        }
+    }
+
+    /// Read `dst.len()` bytes at byte `offset` into `dst`.  For every covered
+    /// word that still carries a delivery attribution, `on_useful(exchange)`
+    /// is invoked once per word ("read before overwritten" ⇒ useful data) and
+    /// the attribution is cleared so the word is only credited once.
+    pub fn read_bytes(&mut self, offset: usize, dst: &mut [u8], mut on_useful: impl FnMut(u32)) {
+        let end = offset + dst.len();
+        assert!(end <= self.data.len(), "read outside page bounds");
+        dst.copy_from_slice(&self.data[offset..end]);
+        if !dst.is_empty() {
+            let first = offset / WORD_SIZE;
+            let last = (end - 1) / WORD_SIZE;
+            for w in first..=last {
+                let e = self.attribution[w];
+                if e != NO_EXCHANGE {
+                    on_useful(e);
+                    self.attribution[w] = NO_EXCHANGE;
+                }
+            }
+        }
+    }
+
+    /// Apply a diff received from another processor.  Every word the diff
+    /// overwrites is attributed to `exchange` (pass [`NO_EXCHANGE`] to skip
+    /// attribution, e.g. for locally generated corrections in tests).
+    pub fn apply_diff(&mut self, diff: &Diff, exchange: u32) {
+        diff.apply(&mut self.data);
+        if exchange != NO_EXCHANGE {
+            for w in diff.touched_words() {
+                self.attribution[w] = exchange;
+            }
+        }
+    }
+
+    /// Number of words currently carrying a delivery attribution (delivered
+    /// but neither read nor overwritten yet).
+    pub fn pending_attributions(&self) -> usize {
+        self.attribution.iter().filter(|&&a| a != NO_EXCHANGE).count()
+    }
+}
+
+/// A processor's private view of the entire shared address space.
+///
+/// Pages are materialized lazily: a page that was never touched by this
+/// processor costs nothing.
+#[derive(Debug)]
+pub struct PageStore {
+    layout: PageLayout,
+    pages: Vec<Option<Box<LocalPage>>>,
+}
+
+impl PageStore {
+    /// Create an empty store for the given layout.
+    pub fn new(layout: PageLayout) -> Self {
+        PageStore {
+            layout,
+            pages: (0..layout.total_pages()).map(|_| None).collect(),
+        }
+    }
+
+    /// The layout this store was created with.
+    #[inline]
+    pub fn layout(&self) -> PageLayout {
+        self.layout
+    }
+
+    /// Number of pages that have been materialized so far.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Get the page, materializing a zero-filled copy on first touch.
+    pub fn page_mut(&mut self, page: PageId) -> &mut LocalPage {
+        let idx = page.index();
+        assert!(idx < self.pages.len(), "page {page} outside layout");
+        self.pages[idx]
+            .get_or_insert_with(|| Box::new(LocalPage::new_zeroed(self.layout.page_size())))
+    }
+
+    /// Get the page if it has been materialized.
+    pub fn page(&self, page: PageId) -> Option<&LocalPage> {
+        self.pages.get(page.index()).and_then(|p| p.as_deref())
+    }
+
+    /// Write `src` at global address `addr`, splitting across pages as
+    /// needed.  The caller (the DSM protocol layer) is responsible for having
+    /// made every touched page writable first (twin creation, fault handling).
+    pub fn write(&mut self, addr: GlobalAddr, src: &[u8]) {
+        let mut remaining = src;
+        let mut cursor = addr;
+        while !remaining.is_empty() {
+            let page = self.layout.page_of(cursor);
+            let off = self.layout.offset_in_page(cursor);
+            let avail = self.layout.page_size() - off;
+            let take = avail.min(remaining.len());
+            self.page_mut(page).write_bytes(off, &remaining[..take]);
+            remaining = &remaining[take..];
+            cursor = cursor.add(take as u64);
+        }
+    }
+
+    /// Read into `dst` from global address `addr`, splitting across pages.
+    /// `on_useful(exchange, words)` is invoked for delivered words read for
+    /// the first time, aggregated per page segment.
+    pub fn read(
+        &mut self,
+        addr: GlobalAddr,
+        dst: &mut [u8],
+        mut on_useful: impl FnMut(u32, u64),
+    ) {
+        let mut filled = 0usize;
+        let mut cursor = addr;
+        while filled < dst.len() {
+            let page = self.layout.page_of(cursor);
+            let off = self.layout.offset_in_page(cursor);
+            let avail = self.layout.page_size() - off;
+            let take = avail.min(dst.len() - filled);
+            self.page_mut(page)
+                .read_bytes(off, &mut dst[filled..filled + take], |e| {
+                    on_useful(e, WORD_SIZE as u64)
+                });
+            filled += take;
+            cursor = cursor.add(take as u64);
+        }
+    }
+
+    /// Total number of delivered-but-unread words across all resident pages.
+    pub fn pending_attributions(&self) -> usize {
+        self.pages
+            .iter()
+            .flatten()
+            .map(|p| p.pending_attributions())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> PageLayout {
+        PageLayout::new(256, 8)
+    }
+
+    #[test]
+    fn zero_initialised_and_lazy() {
+        let mut store = PageStore::new(layout());
+        assert_eq!(store.resident_pages(), 0);
+        let mut buf = [0xFFu8; 16];
+        store.read(GlobalAddr(10), &mut buf, |_, _| {});
+        assert_eq!(buf, [0u8; 16]);
+        assert_eq!(store.resident_pages(), 1);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip_across_pages() {
+        let mut store = PageStore::new(layout());
+        let data: Vec<u8> = (0..300).map(|i| (i % 255) as u8).collect();
+        store.write(GlobalAddr(200), &data);
+        let mut out = vec![0u8; 300];
+        store.read(GlobalAddr(200), &mut out, |_, _| {});
+        assert_eq!(out, data);
+        assert_eq!(store.resident_pages(), 2); // bytes 200..500 touch pages 0 and 1
+    }
+
+    #[test]
+    fn twin_and_diff_cycle() {
+        let mut store = PageStore::new(layout());
+        let page = PageId(2);
+        let p = store.page_mut(page);
+        assert!(p.ensure_twin());
+        assert!(!p.ensure_twin());
+        p.write_bytes(8, &[1, 2, 3, 4]);
+        let diff = p.make_diff(page).unwrap();
+        assert_eq!(diff.runs.len(), 1);
+        assert_eq!(diff.payload_bytes(), 4);
+        p.drop_twin();
+        assert!(!p.has_twin());
+    }
+
+    #[test]
+    fn attribution_read_before_overwrite_is_useful() {
+        let mut store = PageStore::new(layout());
+        let page = PageId(0);
+        // Build a diff that delivers words 2 and 3.
+        let twin = vec![0u8; 256];
+        let mut cur = twin.clone();
+        cur[8..16].copy_from_slice(&[9; 8]);
+        let diff = Diff::create(page, &twin, &cur);
+
+        store.page_mut(page).apply_diff(&diff, 7);
+        assert_eq!(store.pending_attributions(), 2);
+
+        // Read one delivered word: exchange 7 gets credited exactly once.
+        let mut credited = Vec::new();
+        let mut buf = [0u8; 4];
+        store.read(GlobalAddr(8), &mut buf, |e, b| credited.push((e, b)));
+        assert_eq!(credited, vec![(7, 4)]);
+        assert_eq!(buf, [9, 9, 9, 9]);
+        // Re-reading does not double count.
+        credited.clear();
+        store.read(GlobalAddr(8), &mut buf, |e, b| credited.push((e, b)));
+        assert!(credited.is_empty());
+        assert_eq!(store.pending_attributions(), 1);
+    }
+
+    #[test]
+    fn attribution_overwrite_before_read_is_not_credited() {
+        let mut store = PageStore::new(layout());
+        let page = PageId(0);
+        let twin = vec![0u8; 256];
+        let mut cur = twin.clone();
+        cur[0..4].copy_from_slice(&[5; 4]);
+        let diff = Diff::create(page, &twin, &cur);
+        store.page_mut(page).apply_diff(&diff, 3);
+
+        // Local write lands on the delivered word before any read.
+        store.write(GlobalAddr(0), &[1, 1, 1, 1]);
+        let mut credited = Vec::new();
+        let mut buf = [0u8; 4];
+        store.read(GlobalAddr(0), &mut buf, |e, b| credited.push((e, b)));
+        assert!(credited.is_empty());
+        assert_eq!(buf, [1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside layout")]
+    fn out_of_range_page_panics() {
+        let mut store = PageStore::new(layout());
+        store.page_mut(PageId(100));
+    }
+}

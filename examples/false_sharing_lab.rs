@@ -1,0 +1,113 @@
+//! A laboratory for the two false-sharing effects of §2 of the paper:
+//!
+//! 1. **Useless messages** from write-write false sharing: two processors
+//!    write disjoint halves of a page, a third reads only one half — but must
+//!    request diffs from *both* writers.
+//! 2. **Useless (piggybacked) data** from coarse diffs: one processor writes
+//!    a whole page, another reads only half of it — one message, but half the
+//!    delivered data is never read.
+//!
+//! Run with: `cargo run -p tm-apps --release --example false_sharing_lab`
+
+use tdsm_core::{Align, Dsm, DsmConfig, UnitPolicy};
+
+fn scenario_useless_messages() {
+    println!("— scenario 1: write-write false sharing ⇒ useless messages —");
+    let mut dsm = Dsm::new(DsmConfig::with_procs(3).shared_pages(16));
+    let page = dsm.alloc_array::<u32>(1024, Align::Page); // exactly one 4 KB page
+
+    let out = dsm.run(|ctx| {
+        match ctx.rank() {
+            0 => page.write_slice(ctx, 0, &vec![7u32; 512]), // top half
+            1 => page.write_slice(ctx, 512, &vec![9u32; 512]), // bottom half
+            _ => {}
+        }
+        ctx.barrier();
+        if ctx.rank() == 2 {
+            // Reads only the top half, but the fault contacts both writers.
+            page.read_vec(ctx, 0, 512).iter().map(|&v| v as u64).sum::<u64>()
+        } else {
+            0
+        }
+    });
+
+    let b = out.breakdown();
+    println!("  reader result: {}", out.results[2]);
+    println!(
+        "  messages: {} useful, {} useless   (the exchange with the bottom-half writer is useless)",
+        b.useful_messages, b.useless_messages
+    );
+    println!(
+        "  data: {} B useful, {} B useless in useless messages\n",
+        b.useful_data, b.useless_data_in_useless_msgs
+    );
+}
+
+fn scenario_piggybacked_useless_data() {
+    println!("— scenario 2: whole-page diff, half-page read ⇒ piggybacked useless data —");
+    let mut dsm = Dsm::new(DsmConfig::with_procs(2).shared_pages(16));
+    let page = dsm.alloc_array::<u32>(1024, Align::Page);
+
+    let out = dsm.run(|ctx| {
+        if ctx.rank() == 0 {
+            page.write_slice(ctx, 0, &(0..1024u32).collect::<Vec<_>>());
+        }
+        ctx.barrier();
+        if ctx.rank() == 1 {
+            page.read_vec(ctx, 0, 512).iter().map(|&v| v as u64).sum::<u64>()
+        } else {
+            0
+        }
+    });
+
+    let b = out.breakdown();
+    println!("  reader result: {}", out.results[1]);
+    println!(
+        "  messages: {} useful, {} useless   (the single exchange is useful)",
+        b.useful_messages, b.useless_messages
+    );
+    println!(
+        "  data: {} B useful, {} B piggybacked useless (the unread bottom half)\n",
+        b.useful_data, b.piggybacked_useless_data
+    );
+}
+
+fn scenario_aggregation_tradeoff() {
+    println!("— scenario 3: §3's aggregation trade-off, 4 KB vs 8 KB units —");
+    for (label, unit) in [
+        ("4K", UnitPolicy::Static { pages: 1 }),
+        ("8K", UnitPolicy::Static { pages: 2 }),
+    ] {
+        let mut dsm = Dsm::new(DsmConfig::with_procs(2).shared_pages(16).unit(unit));
+        let two_pages = dsm.alloc_array::<u32>(2048, Align::Page);
+        let out = dsm.run(|ctx| {
+            if ctx.rank() == 0 {
+                // Writer touches both contiguous pages.
+                two_pages.write_slice(ctx, 0, &vec![1u32; 2048]);
+            }
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                // Reader reads both pages: with 4 KB units this is two
+                // faults and two exchanges; with 8 KB units a single fault
+                // fetches both diffs in one exchange.
+                two_pages.read_vec(ctx, 0, 2048).iter().map(|&v| v as u64).sum::<u64>()
+            } else {
+                0
+            }
+        });
+        let b = out.breakdown();
+        println!(
+            "  {label}: faults={} messages={} data={} B  modeled time={:.2} ms",
+            b.faults,
+            b.total_messages(),
+            b.total_payload(),
+            b.exec_time_ns as f64 / 1e6
+        );
+    }
+}
+
+fn main() {
+    scenario_useless_messages();
+    scenario_piggybacked_useless_data();
+    scenario_aggregation_tradeoff();
+}

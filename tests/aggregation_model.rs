@@ -1,0 +1,195 @@
+//! Integration tests for §3 (static aggregation) and §4 (dynamic
+//! aggregation): the message-count model
+//! `messages = access(P) × card(CW(P))` and its consequences when pages are
+//! coalesced into larger consistency units or page groups.
+
+use tdsm_core::{Align, Dsm, DsmConfig, UnitPolicy};
+
+fn dsm(nprocs: usize, unit: UnitPolicy) -> Dsm {
+    Dsm::new(DsmConfig::with_procs(nprocs).shared_pages(64).unit(unit))
+}
+
+/// §3, first example: p1 writes two contiguous pages, p2 reads both.  With
+/// 4 KB units this is two exchanges; doubling the unit merges them into one
+/// exchange while the amount of data stays the same.
+#[test]
+fn aggregation_halves_messages_for_contiguous_producer_consumer()
+{
+    let mut exchanged = Vec::new();
+    for unit in [UnitPolicy::Static { pages: 1 }, UnitPolicy::Static { pages: 2 }] {
+        let mut d = dsm(2, unit);
+        let pages = d.alloc_array::<u32>(2048, Align::Page);
+        let out = d.run(|ctx| {
+            if ctx.rank() == 0 {
+                pages.write_slice(ctx, 0, &vec![3u32; 2048]);
+            }
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                pages.read_vec(ctx, 0, 2048).iter().map(|&v| u64::from(v)).sum()
+            } else {
+                0u64
+            }
+        });
+        assert_eq!(out.results[1], 3 * 2048);
+        exchanged.push(out.breakdown());
+    }
+    let (small, large) = (&exchanged[0], &exchanged[1]);
+    // Two faults / two exchanges at 4 KB, one fault / one exchange at 8 KB.
+    assert_eq!(small.faults, 2);
+    assert_eq!(large.faults, 1);
+    // 2 exchanges (4 messages) + 2 barrier messages vs 1 exchange + barrier.
+    assert_eq!(small.total_messages(), 6);
+    assert_eq!(large.total_messages(), 4);
+    // The data exchanged stays (essentially) the same.
+    assert_eq!(small.total_payload(), large.total_payload());
+    assert_eq!(large.useless_messages, 0);
+}
+
+/// §3, variation: p2 only reads the *first* page after the synchronization.
+/// The message count stays at one when the unit is doubled, but the modified
+/// data of the second page now travels as piggybacked useless data.
+#[test]
+fn aggregation_adds_useless_data_when_only_part_is_read() {
+    let mut d = dsm(2, UnitPolicy::Static { pages: 2 });
+    let pages = d.alloc_array::<u32>(2048, Align::Page);
+    let out = d.run(|ctx| {
+        if ctx.rank() == 0 {
+            pages.write_slice(ctx, 0, &vec![5u32; 2048]);
+        }
+        ctx.barrier();
+        if ctx.rank() == 1 {
+            pages.read_vec(ctx, 0, 1024).iter().map(|&v| u64::from(v)).sum()
+        } else {
+            0u64
+        }
+    });
+    assert_eq!(out.results[1], 5 * 1024);
+    let b = out.breakdown();
+    assert_eq!(b.total_messages(), 4); // one exchange + the barrier traffic
+    assert_eq!(b.useless_messages, 0);
+    assert_eq!(b.useful_data, 4096);
+    assert_eq!(b.piggybacked_useless_data, 4096); // the whole unread page
+}
+
+/// §3, second variation: p1 writes page A, p2 writes page B, p3 reads only
+/// page A.  With page-sized units there is a single (useful) exchange with
+/// p1; with a doubled unit p3 must additionally exchange with p2 — a useless
+/// message introduced purely by aggregation.
+#[test]
+fn aggregation_introduces_useless_messages_across_distinct_writers() {
+    let mut results = Vec::new();
+    for unit in [UnitPolicy::Static { pages: 1 }, UnitPolicy::Static { pages: 2 }] {
+        let mut d = dsm(3, unit);
+        let pages = d.alloc_array::<u32>(2048, Align::Page);
+        let out = d.run(|ctx| {
+            match ctx.rank() {
+                0 => pages.write_slice(ctx, 0, &vec![1u32; 1024]),
+                1 => pages.write_slice(ctx, 1024, &vec![2u32; 1024]),
+                _ => {}
+            }
+            ctx.barrier();
+            if ctx.rank() == 2 {
+                pages.read_vec(ctx, 0, 1024).iter().map(|&v| u64::from(v)).sum()
+            } else {
+                0u64
+            }
+        });
+        assert_eq!(out.results[2], 1024);
+        results.push(out.breakdown());
+    }
+    let (small, large) = (&results[0], &results[1]);
+    assert_eq!(small.useless_messages, 0);
+    assert_eq!(small.total_messages(), 6); // one exchange + 2x2 barrier msgs
+    // The doubled unit forces an exchange with the second writer too.
+    assert_eq!(large.useless_messages, 2);
+    assert_eq!(large.total_messages(), 8);
+    // The false-sharing signature shifts right: bucket 1 → bucket 2.
+    assert_eq!(small.signature.bucket(1).faults, 1);
+    assert_eq!(large.signature.bucket(2).faults, 1);
+}
+
+/// §4: dynamic aggregation groups non-contiguous pages that were faulted on
+/// together and prefetches them on the next fault, reducing messages for a
+/// repeated scattered working set below what any static unit achieves —
+/// without introducing useless messages.
+#[test]
+fn dynamic_aggregation_prefetches_repeated_scattered_working_set() {
+    let working_set: [usize; 4] = [1, 5, 9, 13];
+    let rounds = 5u64;
+
+    let run_with = |unit: UnitPolicy| {
+        let mut d = dsm(2, unit);
+        let region = d.alloc_array::<u64>(16 * 512, Align::Page);
+        let out = d.run(|ctx| {
+            let mut acc = 0u64;
+            for round in 0..rounds {
+                if ctx.rank() == 0 {
+                    for &p in &working_set {
+                        let vals: Vec<u64> = (0..512u64).map(|i| i + round).collect();
+                        region.write_slice(ctx, p * 512, &vals);
+                    }
+                }
+                ctx.barrier();
+                if ctx.rank() == 1 {
+                    for &p in &working_set {
+                        acc += region.read_vec(ctx, p * 512, 512).iter().sum::<u64>();
+                    }
+                }
+                ctx.barrier();
+            }
+            acc
+        });
+        (out.results[1], out.breakdown())
+    };
+
+    let (v_static, b_static) = run_with(UnitPolicy::Static { pages: 1 });
+    let (v_static16, b_static16) = run_with(UnitPolicy::Static { pages: 4 });
+    let (v_dyn, b_dyn) = run_with(UnitPolicy::Dynamic { max_group_pages: 4 });
+
+    // Same answer everywhere.
+    assert_eq!(v_static, v_dyn);
+    assert_eq!(v_static, v_static16);
+
+    // The static page protocol pays one exchange per page per round; dynamic
+    // aggregation pays one exchange per round after the first (groups are
+    // rebuilt at each synchronization from the previous interval's faults).
+    assert!(b_dyn.total_messages() < b_static.total_messages());
+    // The scattered pages are not contiguous, so the 16 KB static unit cannot
+    // aggregate them either (they live in different units).
+    assert!(b_dyn.total_messages() < b_static16.total_messages());
+    // And the prefetches are all of data the consumer really reads.
+    assert_eq!(b_dyn.useless_messages, 0);
+}
+
+/// The dynamic scheme's bookkeeping: faults that needed no exchange because
+/// the data was already prefetched are counted separately and appear in
+/// signature bucket 0.
+#[test]
+fn prefetched_faults_are_recorded() {
+    let mut d = dsm(2, UnitPolicy::Dynamic { max_group_pages: 4 });
+    let region = d.alloc_array::<u64>(4 * 512, Align::Page);
+    let out = d.run(|ctx| {
+        for round in 0..3u64 {
+            if ctx.rank() == 0 {
+                for p in 0..4usize {
+                    let vals: Vec<u64> = (0..512u64).map(|i| i + round).collect();
+                    region.write_slice(ctx, p * 512, &vals);
+                }
+            }
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                for p in 0..4usize {
+                    let _ = region.read_vec(ctx, p * 512, 512);
+                }
+            }
+            ctx.barrier();
+        }
+        0u64
+    });
+    let consumer = &out.stats.per_proc[1];
+    assert!(
+        consumer.prefetched_faults > 0,
+        "group-mate pages should fault without needing an exchange"
+    );
+    assert!(out.breakdown().signature.bucket(0).faults > 0);
+}

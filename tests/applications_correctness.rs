@@ -1,0 +1,125 @@
+//! Cross-crate integration tests: every application of the suite produces
+//! the sequential answer on the DSM, across processor counts and
+//! consistency-unit policies, and the suite registry drives them correctly.
+
+use tdsm_core::UnitPolicy;
+use tm_apps::{barnes, fft3d, ilink, jacobi, mgs, shallow, tsp, water};
+use tm_apps::{checksums_match, AppConfig, AppId, Workload};
+
+fn policies() -> Vec<UnitPolicy> {
+    vec![
+        UnitPolicy::Static { pages: 1 },
+        UnitPolicy::Static { pages: 4 },
+        UnitPolicy::Dynamic { max_group_pages: 4 },
+    ]
+}
+
+#[test]
+fn jacobi_all_policies_and_proc_counts() {
+    let size = jacobi::JacobiSize::tiny();
+    let seq = jacobi::run_sequential(&size);
+    for procs in [2usize, 8] {
+        for unit in policies() {
+            let par = jacobi::run_parallel(&AppConfig::with_procs(procs).unit(unit), &size);
+            assert!(checksums_match(par.checksum, seq, 1e-12), "{procs} procs {unit:?}");
+        }
+    }
+}
+
+#[test]
+fn mgs_all_policies() {
+    let size = mgs::MgsSize::tiny();
+    let seq = mgs::run_sequential(&size);
+    for unit in policies() {
+        let par = mgs::run_parallel(&AppConfig::with_procs(8).unit(unit), &size);
+        assert!(checksums_match(par.checksum, seq, 1e-9), "{unit:?}");
+    }
+}
+
+#[test]
+fn fft_all_policies() {
+    let size = fft3d::FftSize::tiny();
+    let seq = fft3d::run_sequential(&size);
+    for unit in policies() {
+        let par = fft3d::run_parallel(&AppConfig::with_procs(4).unit(unit), &size);
+        assert!(checksums_match(par.checksum, seq, 1e-9), "{unit:?}");
+    }
+}
+
+#[test]
+fn shallow_all_policies() {
+    let size = shallow::ShallowSize::tiny();
+    let seq = shallow::run_sequential(&size);
+    for unit in policies() {
+        let par = shallow::run_parallel(&AppConfig::with_procs(4).unit(unit), &size);
+        assert!(checksums_match(par.checksum, seq, 1e-9), "{unit:?}");
+    }
+}
+
+#[test]
+fn water_eight_procs() {
+    let size = water::WaterSize::tiny();
+    let seq = water::run_sequential(&size);
+    let par = water::run_parallel(&AppConfig::with_procs(8), &size);
+    assert!(checksums_match(par.checksum, seq, 1e-6));
+}
+
+#[test]
+fn barnes_eight_procs_dynamic() {
+    let size = barnes::BarnesSize::tiny();
+    let seq = barnes::run_sequential(&size);
+    let par = barnes::run_parallel(
+        &AppConfig::with_procs(8).unit(UnitPolicy::Dynamic { max_group_pages: 8 }),
+        &size,
+    );
+    assert!(checksums_match(par.checksum, seq, 1e-9));
+}
+
+#[test]
+fn tsp_eight_procs() {
+    let size = tsp::TspSize::tiny();
+    let seq = tsp::run_sequential(&size);
+    let par = tsp::run_parallel(&AppConfig::with_procs(8), &size);
+    assert_eq!(par.checksum, seq);
+}
+
+#[test]
+fn ilink_eight_procs_large_unit() {
+    let size = ilink::IlinkSize::tiny();
+    let seq = ilink::run_sequential(&size);
+    let par = ilink::run_parallel(
+        &AppConfig::with_procs(8).unit(UnitPolicy::Static { pages: 4 }),
+        &size,
+    );
+    assert!(checksums_match(par.checksum, seq, 1e-9));
+}
+
+#[test]
+fn suite_registry_is_consistent_with_the_paper() {
+    let suite = Workload::paper_suite();
+    assert_eq!(suite.len(), 16, "the paper evaluates 16 (app, size) pairs");
+    // Figure groupings cover all apps exactly once.
+    let all: Vec<AppId> = AppId::all();
+    assert_eq!(all.len(), 8);
+    for app in all {
+        assert!(!Workload::for_app(app).is_empty());
+    }
+}
+
+#[test]
+fn single_processor_runs_produce_no_messages_for_every_app() {
+    // On one processor there is no invalidation and hence no communication —
+    // a basic sanity property of the whole protocol stack, checked through
+    // the real applications.
+    let cfg = AppConfig::with_procs(1);
+    let runs = vec![
+        jacobi::run_parallel(&cfg, &jacobi::JacobiSize::tiny()).breakdown,
+        mgs::run_parallel(&cfg, &mgs::MgsSize::tiny()).breakdown,
+        ilink::run_parallel(&cfg, &ilink::IlinkSize::tiny()).breakdown,
+        tsp::run_parallel(&cfg, &tsp::TspSize::tiny()).breakdown,
+    ];
+    for b in runs {
+        assert_eq!(b.total_messages(), 0);
+        assert_eq!(b.total_payload(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Stress and property-style integration tests of the DSM core: many
+//! processors, many locks, contended pages, repeated runs, and statistics
+//! invariants that must hold for arbitrary access patterns.
+
+use proptest::prelude::*;
+use tdsm_core::{Align, Dsm, DsmConfig, UnitPolicy};
+
+fn config(nprocs: usize, unit: UnitPolicy) -> DsmConfig {
+    DsmConfig::with_procs(nprocs).shared_pages(128).unit(unit)
+}
+
+#[test]
+fn sixteen_processors_heavy_lock_contention() {
+    let mut dsm = Dsm::new(config(16, UnitPolicy::Static { pages: 1 }));
+    let counters = dsm.alloc_array::<u64>(8, Align::Page);
+    let out = dsm.run(|ctx| {
+        for i in 0..40usize {
+            let slot = i % 8;
+            ctx.acquire(slot);
+            let v = counters.get(ctx, slot);
+            counters.set(ctx, slot, v + 1);
+            ctx.release(slot);
+        }
+        ctx.barrier();
+        (0..8).map(|s| counters.get(ctx, s)).sum::<u64>()
+    });
+    for r in out.results {
+        assert_eq!(r, 16 * 40);
+    }
+}
+
+#[test]
+fn repeated_runs_are_independent_and_deterministic_in_content() {
+    let mut dsm = Dsm::new(config(4, UnitPolicy::Static { pages: 2 }));
+    let arr = dsm.alloc_array::<u64>(4096, Align::Page);
+    let mut sums = Vec::new();
+    for _ in 0..3 {
+        let out = dsm.run(|ctx| {
+            let me = ctx.rank();
+            let chunk = arr.len() / ctx.nprocs();
+            let vals: Vec<u64> = (0..chunk as u64).map(|i| i + me as u64).collect();
+            arr.write_slice(ctx, me * chunk, &vals);
+            ctx.barrier();
+            arr.read_vec(ctx, 0, arr.len()).iter().sum::<u64>()
+        });
+        assert_eq!(out.results[0], out.results[3]);
+        sums.push(out.results[0]);
+    }
+    assert_eq!(sums[0], sums[1]);
+    assert_eq!(sums[1], sums[2]);
+}
+
+#[test]
+fn ping_pong_migratory_page() {
+    // A page whose ownership migrates back and forth under a lock: the
+    // classic migratory pattern.  Checks both the final value and that the
+    // diff traffic is all useful (each hand-off's data is read by the next
+    // holder).
+    let mut dsm = Dsm::new(config(2, UnitPolicy::Static { pages: 1 }));
+    let cell = dsm.alloc_scalar::<u64>(Align::Page);
+    let out = dsm.run(|ctx| {
+        for _ in 0..50 {
+            ctx.acquire(0);
+            let v = cell.get(ctx);
+            cell.set(ctx, v + 1);
+            ctx.release(0);
+        }
+        ctx.barrier();
+        cell.get(ctx)
+    });
+    assert_eq!(out.results[0], 100);
+    let b = out.breakdown();
+    assert_eq!(b.useless_messages, 0, "migratory data is always read by the next holder");
+}
+
+#[test]
+fn statistics_invariants_hold_for_a_mixed_workload() {
+    for unit in [
+        UnitPolicy::Static { pages: 1 },
+        UnitPolicy::Static { pages: 4 },
+        UnitPolicy::Dynamic { max_group_pages: 4 },
+    ] {
+        let mut dsm = Dsm::new(config(6, unit));
+        let shared = dsm.alloc_array::<u64>(32 * 512, Align::Page);
+        let out = dsm.run(|ctx| {
+            let me = ctx.rank();
+            let n = ctx.nprocs();
+            for round in 0..3u64 {
+                for slot in (me..32).step_by(n) {
+                    let vals: Vec<u64> = (0..512u64).map(|i| i * round + slot as u64).collect();
+                    shared.write_slice(ctx, slot * 512, &vals);
+                }
+                ctx.barrier();
+                // Read the next processor's slots.
+                for slot in (((me + 1) % n)..32).step_by(n) {
+                    let _ = shared.read_vec(ctx, slot * 512, 256);
+                }
+                ctx.barrier();
+            }
+            0u64
+        });
+        let b = out.breakdown();
+        let stats = &out.stats;
+        // Conservation: message totals and byte totals derived two ways agree.
+        assert_eq!(b.total_messages(), stats.total_messages());
+        assert!(b.total_payload() <= stats.total_wire_bytes());
+        // Useful data can never exceed what was delivered.
+        assert!(b.useful_data <= b.total_payload());
+        // Every fault appears in the signature histogram.
+        assert_eq!(b.signature.total_faults(), b.faults);
+        // Execution time is the maximum over the processors.
+        let max_proc = stats.per_proc.iter().map(|p| p.exec_time_ns).max().unwrap();
+        assert_eq!(b.exec_time_ns, max_proc);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For arbitrary disjoint writer/reader patterns the DSM must deliver the
+    /// values the writers produced, and the statistics invariants must hold.
+    #[test]
+    fn arbitrary_disjoint_ownership_patterns(seed in 0u64..1000) {
+        let nprocs = 2 + (seed % 3) as usize; // 2..4 processors
+        let mut dsm = Dsm::new(config(nprocs, UnitPolicy::Static { pages: 1 }));
+        let arr = dsm.alloc_array::<u64>(nprocs * 1024, Align::Page);
+        let out = dsm.run(|ctx| {
+            let me = ctx.rank();
+            let vals: Vec<u64> = (0..1024u64).map(|i| i.wrapping_mul(seed + 1) + me as u64).collect();
+            arr.write_slice(ctx, me * 1024, &vals);
+            ctx.barrier();
+            // Everyone reads everything.
+            arr.read_vec(ctx, 0, arr.len()).iter().copied().sum::<u64>()
+        });
+        let expected: u64 = (0..nprocs as u64)
+            .flat_map(|p| (0..1024u64).map(move |i| i.wrapping_mul(seed + 1) + p))
+            .fold(0u64, |a, b| a.wrapping_add(b));
+        for r in &out.results {
+            prop_assert_eq!(*r, expected);
+        }
+        let b = out.breakdown();
+        prop_assert!(b.useful_data <= b.total_payload());
+        prop_assert_eq!(b.signature.total_faults(), b.faults);
+    }
+}

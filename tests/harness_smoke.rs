@@ -1,0 +1,88 @@
+//! Smoke tests of the benchmark harness (`tm-bench`): the sweep, table and
+//! signature machinery must run end-to-end and produce internally consistent
+//! rows.  Uses reduced processor counts so the whole file stays fast in
+//! debug builds; the full-scale figures are produced by the release binaries.
+
+use tdsm_core::UnitPolicy;
+use tm_apps::{AppId, Workload};
+use tm_bench::{run_configuration, run_policy_sweep, signature_of, table1_row, to_csv};
+
+#[test]
+fn policy_sweep_produces_all_four_configurations() {
+    // TSP at its standard size is the cheapest full workload to drive here.
+    let w = &Workload::for_app(AppId::Jacobi)[0];
+    let rows = run_policy_sweep(w, 2);
+    assert_eq!(rows.len(), 4);
+    let labels: Vec<&str> = rows.iter().map(|r| r.policy.as_str()).collect();
+    assert_eq!(labels, vec!["4K", "8K", "16K", "Dyn"]);
+    // All configurations computed the same checksum.
+    for r in &rows {
+        assert!((r.checksum - rows[0].checksum).abs() <= 1e-9 * rows[0].checksum.abs());
+        assert_eq!(r.total_msgs(), r.useful_msgs + r.useless_msgs);
+        assert_eq!(
+            r.total_data(),
+            r.useful_data + r.piggybacked_useless + r.useless_in_useless
+        );
+    }
+    // CSV export covers every row plus the header.
+    let csv = to_csv(&rows);
+    assert_eq!(csv.lines().count(), 5);
+}
+
+#[test]
+fn table1_row_reports_speedup_and_verification() {
+    let w = &Workload::for_app(AppId::Fft3d)[0];
+    let row = table1_row(w, 4);
+    assert!(row.verified, "parallel checksum must match the 1-processor run");
+    assert!(row.seq_time_ns > 0);
+    assert!(row.par_time_ns > 0);
+    assert!(row.speedup() > 1.0, "4 processors should beat 1 processor for 3D-FFT");
+}
+
+#[test]
+fn signatures_shift_right_for_mgs_but_not_for_ilink() {
+    // The central qualitative claim of §3: MGS's false-sharing signature
+    // shifts towards more concurrent writers when the unit grows, Ilink's
+    // does not (materially).
+    let mgs = &Workload::for_app(AppId::Mgs)[1]; // the 1K-element-vector set
+    let mgs_4k = signature_of(mgs, 4, UnitPolicy::Static { pages: 1 });
+    let mgs_16k = signature_of(mgs, 4, UnitPolicy::Static { pages: 4 });
+    assert!(
+        mgs_16k.mean_writers() > mgs_4k.mean_writers() + 0.5,
+        "MGS signature must shift right: {} -> {}",
+        mgs_4k.mean_writers(),
+        mgs_16k.mean_writers()
+    );
+
+    let ilink = &Workload::for_app(AppId::Ilink)[0];
+    let il_4k = signature_of(ilink, 4, UnitPolicy::Static { pages: 1 });
+    let il_16k = signature_of(ilink, 4, UnitPolicy::Static { pages: 4 });
+    assert!(
+        (il_16k.mean_writers() - il_4k.mean_writers()).abs() < 1.0,
+        "Ilink signature must stay roughly invariant: {} -> {}",
+        il_4k.mean_writers(),
+        il_16k.mean_writers()
+    );
+}
+
+#[test]
+fn dynamic_aggregation_never_explodes_useless_messages() {
+    // The §4 claim: the dynamic scheme tracks the best static choice and in
+    // particular avoids MGS's useless-message explosion at large units.
+    let mgs = &Workload::for_app(AppId::Mgs)[1];
+    let base = run_configuration(mgs, 4, "4K", UnitPolicy::Static { pages: 1 });
+    let large = run_configuration(mgs, 4, "16K", UnitPolicy::Static { pages: 4 });
+    let dynamic = run_configuration(
+        mgs,
+        4,
+        "Dyn",
+        UnitPolicy::Dynamic { max_group_pages: 4 },
+    );
+    assert!(large.useless_msgs > base.useless_msgs, "16K must hurt MGS");
+    assert!(
+        dynamic.useless_msgs <= base.useless_msgs + base.total_msgs() / 10,
+        "dynamic aggregation must not introduce MGS's useless messages: {} vs {}",
+        dynamic.useless_msgs,
+        base.useless_msgs
+    );
+}
