@@ -34,12 +34,18 @@ impl BarnesSize {
     /// The paper's 16 K-body run, scaled down in body count (the sharing
     /// pattern per page of bodies is unchanged).
     pub fn standard() -> Self {
-        BarnesSize { bodies: 2048, steps: 2 }
+        BarnesSize {
+            bodies: 2048,
+            steps: 2,
+        }
     }
 
     /// A tiny size for unit tests.
     pub fn tiny() -> Self {
-        BarnesSize { bodies: 96, steps: 2 }
+        BarnesSize {
+            bodies: 96,
+            steps: 2,
+        }
     }
 
     /// Label used in reports.
@@ -288,7 +294,9 @@ pub fn run_sequential(size: &BarnesSize) -> f64 {
     }
     pos.iter()
         .zip(vel.iter())
-        .map(|(p, v)| p.iter().map(|x| x.abs()).sum::<f64>() + v.iter().map(|x| x.abs()).sum::<f64>())
+        .map(|(p, v)| {
+            p.iter().map(|x| x.abs()).sum::<f64>() + v.iter().map(|x| x.abs()).sum::<f64>()
+        })
         .sum()
 }
 

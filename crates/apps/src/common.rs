@@ -134,9 +134,7 @@ pub struct DetRng {
 impl DetRng {
     /// Create a generator from a non-zero seed.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            state: seed.max(1),
-        }
+        DetRng { state: seed.max(1) }
     }
 
     /// Next raw 64-bit value.

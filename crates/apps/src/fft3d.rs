@@ -34,23 +34,39 @@ pub struct FftSize {
 impl FftSize {
     /// The paper's 64×64×32 data set (transpose read granularity 4 KB).
     pub fn s64_64_32() -> Self {
-        FftSize { nx: 32, ny: 64, nz: 32 }
+        FftSize {
+            nx: 32,
+            ny: 64,
+            nz: 32,
+        }
     }
 
     /// The paper's 64×64×64 data set (transpose read granularity 8 KB).
     pub fn s64() -> Self {
-        FftSize { nx: 32, ny: 64, nz: 64 }
+        FftSize {
+            nx: 32,
+            ny: 64,
+            nz: 64,
+        }
     }
 
     /// The paper's 128×128×128 data set (transpose read granularity 32 KB),
     /// scaled in the plane count only.
     pub fn s128() -> Self {
-        FftSize { nx: 32, ny: 128, nz: 128 }
+        FftSize {
+            nx: 32,
+            ny: 128,
+            nz: 128,
+        }
     }
 
     /// A tiny size for unit tests.
     pub fn tiny() -> Self {
-        FftSize { nx: 8, ny: 8, nz: 8 }
+        FftSize {
+            nx: 8,
+            ny: 8,
+            nz: 8,
+        }
     }
 
     /// Label used in reports (paper naming).
@@ -265,9 +281,9 @@ pub fn run_parallel(cfg: &AppConfig, size: &FftSize) -> AppRun {
         let mut block_re: Vec<Vec<f64>> = Vec::with_capacity(nx);
         let mut block_im: Vec<Vec<f64>> = Vec::with_capacity(nx);
         for x in 0..nx {
-            let chunk = data
-                .as_array()
-                .read_vec(ctx, x * 2 * plane + 2 * my_pencils.start, 2 * npencils);
+            let chunk =
+                data.as_array()
+                    .read_vec(ctx, x * 2 * plane + 2 * my_pencils.start, 2 * npencils);
             block_re.push((0..npencils).map(|e| chunk[2 * e]).collect());
             block_im.push((0..npencils).map(|e| chunk[2 * e + 1]).collect());
         }

@@ -36,12 +36,22 @@ pub struct IlinkSize {
 impl IlinkSize {
     /// The run standing in for the paper's CLP 2x4x4x4 input.
     pub fn clp() -> Self {
-        IlinkSize { arrays: 24, entries: 4096, density_pct: 30, iterations: 3 }
+        IlinkSize {
+            arrays: 24,
+            entries: 4096,
+            density_pct: 30,
+            iterations: 3,
+        }
     }
 
     /// A tiny size for unit tests.
     pub fn tiny() -> Self {
-        IlinkSize { arrays: 4, entries: 512, density_pct: 40, iterations: 2 }
+        IlinkSize {
+            arrays: 4,
+            entries: 512,
+            density_pct: 40,
+            iterations: 2,
+        }
     }
 
     /// Label used in reports.

@@ -194,7 +194,11 @@ mod tests {
         let size = JacobiSize::tiny();
         let seq = run_sequential(&size);
         let par = run_parallel(&AppConfig::with_procs(1), &size);
-        assert!(checksums_match(par.checksum, seq, 1e-12), "{} vs {seq}", par.checksum);
+        assert!(
+            checksums_match(par.checksum, seq, 1e-12),
+            "{} vs {seq}",
+            par.checksum
+        );
     }
 
     #[test]

@@ -30,17 +30,26 @@ pub struct MgsSize {
 impl MgsSize {
     /// The paper's 1K×1K data set: vector = one 4 KB page.
     pub fn v1k() -> Self {
-        MgsSize { nvec: 48, dim: 1024 }
+        MgsSize {
+            nvec: 48,
+            dim: 1024,
+        }
     }
 
     /// The paper's 2K×2K data set: vector = two pages.
     pub fn v2k() -> Self {
-        MgsSize { nvec: 48, dim: 2048 }
+        MgsSize {
+            nvec: 48,
+            dim: 2048,
+        }
     }
 
     /// The paper's 1K×4K data set: vector = four pages.
     pub fn v4k() -> Self {
-        MgsSize { nvec: 48, dim: 4096 }
+        MgsSize {
+            nvec: 48,
+            dim: 4096,
+        }
     }
 
     /// The paper's 1K×0.5K data set: two vectors per page.
@@ -65,7 +74,11 @@ fn initial_element(v: usize, d: usize) -> f32 {
 }
 
 fn normalise(vec: &mut [f32]) {
-    let norm = vec.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32;
+    let norm = vec
+        .iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt() as f32;
     for x in vec.iter_mut() {
         *x /= norm;
     }
@@ -174,7 +187,12 @@ pub fn run_parallel(cfg: &AppConfig, size: &MgsSize) -> AppRun {
 
 /// The data-set sizes reported in the paper's figures for MGS.
 pub fn paper_sizes() -> Vec<MgsSize> {
-    vec![MgsSize::v05k(), MgsSize::v1k(), MgsSize::v2k(), MgsSize::v4k()]
+    vec![
+        MgsSize::v05k(),
+        MgsSize::v1k(),
+        MgsSize::v2k(),
+        MgsSize::v4k(),
+    ]
 }
 
 #[cfg(test)]
@@ -214,7 +232,10 @@ mod tests {
             }
         }
         let dot = |a: &[f32], b: &[f32]| {
-            a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum::<f64>()
+            a.iter()
+                .zip(b)
+                .map(|(&x, &y)| x as f64 * y as f64)
+                .sum::<f64>()
         };
         assert!((dot(&vecs[0], &vecs[0]) - 1.0).abs() < 1e-4);
         assert!(dot(&vecs[0], &vecs[5]).abs() < 1e-3);

@@ -36,22 +36,38 @@ pub struct ShallowSize {
 impl ShallowSize {
     /// The paper's 1K×0.5K data set (column = one 4 KB page).
     pub fn small() -> Self {
-        ShallowSize { rows: 512, cols: 96, steps: 3 }
+        ShallowSize {
+            rows: 512,
+            cols: 96,
+            steps: 3,
+        }
     }
 
     /// The paper's 2K×0.5K data set (column = two pages).
     pub fn medium() -> Self {
-        ShallowSize { rows: 1024, cols: 96, steps: 3 }
+        ShallowSize {
+            rows: 1024,
+            cols: 96,
+            steps: 3,
+        }
     }
 
     /// The paper's 4K×0.5K data set (column = four pages).
     pub fn large() -> Self {
-        ShallowSize { rows: 2048, cols: 96, steps: 3 }
+        ShallowSize {
+            rows: 2048,
+            cols: 96,
+            steps: 3,
+        }
     }
 
     /// A tiny size for unit tests.
     pub fn tiny() -> Self {
-        ShallowSize { rows: 64, cols: 24, steps: 2 }
+        ShallowSize {
+            rows: 64,
+            cols: 24,
+            steps: 2,
+        }
     }
 
     /// Label used in reports.
@@ -97,8 +113,15 @@ impl SeqGrid {
 /// One flux-computation step: `cu`, `cv`, `z`, `h` from `u`, `v`, `p`.
 /// These reads need the right neighbour's first column (the Jacobi-like
 /// pattern).
-fn flux(u: &[f64], v: &[f64], p: &[f64], u_r: &[f64], v_r: &[f64], p_r: &[f64], rows: usize)
-    -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+fn flux(
+    u: &[f64],
+    v: &[f64],
+    p: &[f64],
+    u_r: &[f64],
+    v_r: &[f64],
+    p_r: &[f64],
+    rows: usize,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
     let mut cu = vec![0.0; rows];
     let mut cv = vec![0.0; rows];
     let mut z = vec![0.0; rows];
@@ -116,10 +139,17 @@ fn flux(u: &[f64], v: &[f64], p: &[f64], u_r: &[f64], v_r: &[f64], p_r: &[f64], 
 /// Time-advance step for one column: new `u`, `v`, `p` from the fluxes of
 /// this column and the right neighbour.
 fn advance(
-    cu: &[f64], cv: &[f64], z: &[f64], h: &[f64],
-    cu_r: &[f64], h_r: &[f64],
-    u: &[f64], v: &[f64], p: &[f64],
-    rows: usize, dt: f64,
+    cu: &[f64],
+    cv: &[f64],
+    z: &[f64],
+    h: &[f64],
+    cu_r: &[f64],
+    h_r: &[f64],
+    u: &[f64],
+    v: &[f64],
+    p: &[f64],
+    rows: usize,
+    dt: f64,
 ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let mut un = vec![0.0; rows];
     let mut vn = vec![0.0; rows];
@@ -156,8 +186,12 @@ pub fn run_sequential(size: &ShallowSize) -> f64 {
         for c in 0..cols {
             let cr = (c + 1) % cols;
             let (fcu, fcv, fz, fh) = flux(
-                u.col(c), v.col(c), p.col(c),
-                u.col(cr), v.col(cr), p.col(cr),
+                u.col(c),
+                v.col(c),
+                p.col(c),
+                u.col(cr),
+                v.col(cr),
+                p.col(cr),
                 rows,
             );
             for r in 0..rows {
@@ -174,10 +208,17 @@ pub fn run_sequential(size: &ShallowSize) -> f64 {
         for c in 0..cols {
             let cr = (c + 1) % cols;
             let (au, av, ap) = advance(
-                cu.col(c), cv.col(c), z.col(c), h.col(c),
-                cu.col(cr), h.col(cr),
-                u.col(c), v.col(c), p.col(c),
-                rows, dt,
+                cu.col(c),
+                cv.col(c),
+                z.col(c),
+                h.col(c),
+                cu.col(cr),
+                h.col(cr),
+                u.col(c),
+                v.col(c),
+                p.col(c),
+                rows,
+                dt,
             );
             for r in 0..rows {
                 un.set(r, c, au[r]);
@@ -274,8 +315,9 @@ pub fn run_parallel(cfg: &AppConfig, size: &ShallowSize) -> AppRun {
                 let ucol = u.read_row(ctx, t);
                 let vcol = v.read_row(ctx, t);
                 let pcol = p.read_row(ctx, t);
-                let (au, av, ap) =
-                    advance(&fcu, &fcv, &fz, &fh, &fcur, &fhr, &ucol, &vcol, &pcol, rows, dt);
+                let (au, av, ap) = advance(
+                    &fcu, &fcv, &fz, &fh, &fcur, &fhr, &ucol, &vcol, &pcol, rows, dt,
+                );
                 ctx.compute(rows as u64 * 1500);
                 un.write_row(ctx, t, &au);
                 vn.write_row(ctx, t, &av);
@@ -330,7 +372,11 @@ pub fn run_parallel(cfg: &AppConfig, size: &ShallowSize) -> AppRun {
 
 /// The data-set sizes reported in the paper's figures for Shallow.
 pub fn paper_sizes() -> Vec<ShallowSize> {
-    vec![ShallowSize::small(), ShallowSize::medium(), ShallowSize::large()]
+    vec![
+        ShallowSize::small(),
+        ShallowSize::medium(),
+        ShallowSize::large(),
+    ]
 }
 
 #[cfg(test)]

@@ -60,6 +60,15 @@ impl AppId {
     }
 }
 
+/// Selects which data set of an application a [`Workload`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SizeSel {
+    /// Index into the application's `paper_sizes()`.
+    Paper(usize),
+    /// The application's `tiny()` smoke-test size.
+    Tiny,
+}
+
 /// One (application, data set) pair of the evaluation.
 #[derive(Debug, Clone)]
 pub struct Workload {
@@ -67,7 +76,7 @@ pub struct Workload {
     pub app: AppId,
     /// Data-set label (as printed in the tables/figures).
     pub size_label: String,
-    size_index: usize,
+    size: SizeSel,
 }
 
 impl Workload {
@@ -79,11 +88,36 @@ impl Workload {
                 out.push(Workload {
                     app,
                     size_label: label,
-                    size_index: i,
+                    size: SizeSel::Paper(i),
                 });
             }
         }
         out
+    }
+
+    /// The application's tiny smoke-test workload (the data set the unit
+    /// tests and the figure binaries' `--tiny` mode use).
+    pub fn tiny(app: AppId) -> Workload {
+        let label = match app {
+            AppId::Barnes => barnes::BarnesSize::tiny().label(),
+            AppId::Ilink => ilink::IlinkSize::tiny().label(),
+            AppId::Tsp => tsp::TspSize::tiny().label(),
+            AppId::Water => water::WaterSize::tiny().label(),
+            AppId::Jacobi => jacobi::JacobiSize::tiny().label(),
+            AppId::Fft3d => fft3d::FftSize::tiny().label(),
+            AppId::Mgs => mgs::MgsSize::tiny().label(),
+            AppId::Shallow => shallow::ShallowSize::tiny().label(),
+        };
+        Workload {
+            app,
+            size_label: format!("{label}(tiny)"),
+            size: SizeSel::Tiny,
+        }
+    }
+
+    /// One tiny workload per application — the whole suite at smoke scale.
+    pub fn tiny_suite() -> Vec<Workload> {
+        AppId::all().into_iter().map(Workload::tiny).collect()
     }
 
     /// The workloads belonging to one application.
@@ -96,31 +130,55 @@ impl Workload {
 
     /// Run the sequential reference version; returns the checksum.
     pub fn run_sequential(&self) -> f64 {
-        match self.app {
-            AppId::Barnes => barnes::run_sequential(&barnes::paper_sizes()[self.size_index]),
-            AppId::Ilink => ilink::run_sequential(&ilink::paper_sizes()[self.size_index]),
-            AppId::Tsp => tsp::run_sequential(&tsp::paper_sizes()[self.size_index]),
-            AppId::Water => water::run_sequential(&water::paper_sizes()[self.size_index]),
-            AppId::Jacobi => jacobi::run_sequential(&jacobi::paper_sizes()[self.size_index]),
-            AppId::Fft3d => fft3d::run_sequential(&fft3d::paper_sizes()[self.size_index]),
-            AppId::Mgs => mgs::run_sequential(&mgs::paper_sizes()[self.size_index]),
-            AppId::Shallow => shallow::run_sequential(&shallow::paper_sizes()[self.size_index]),
+        match (self.app, self.size) {
+            (AppId::Barnes, s) => barnes::run_sequential(&barnes_size(s)),
+            (AppId::Ilink, s) => ilink::run_sequential(&ilink_size(s)),
+            (AppId::Tsp, s) => tsp::run_sequential(&tsp_size(s)),
+            (AppId::Water, s) => water::run_sequential(&water_size(s)),
+            (AppId::Jacobi, s) => jacobi::run_sequential(&jacobi_size(s)),
+            (AppId::Fft3d, s) => fft3d::run_sequential(&fft_size(s)),
+            (AppId::Mgs, s) => mgs::run_sequential(&mgs_size(s)),
+            (AppId::Shallow, s) => shallow::run_sequential(&shallow_size(s)),
         }
     }
 
     /// Run the DSM version under the given configuration.
     pub fn run_parallel(&self, cfg: &AppConfig) -> AppRun {
-        match self.app {
-            AppId::Barnes => barnes::run_parallel(cfg, &barnes::paper_sizes()[self.size_index]),
-            AppId::Ilink => ilink::run_parallel(cfg, &ilink::paper_sizes()[self.size_index]),
-            AppId::Tsp => tsp::run_parallel(cfg, &tsp::paper_sizes()[self.size_index]),
-            AppId::Water => water::run_parallel(cfg, &water::paper_sizes()[self.size_index]),
-            AppId::Jacobi => jacobi::run_parallel(cfg, &jacobi::paper_sizes()[self.size_index]),
-            AppId::Fft3d => fft3d::run_parallel(cfg, &fft3d::paper_sizes()[self.size_index]),
-            AppId::Mgs => mgs::run_parallel(cfg, &mgs::paper_sizes()[self.size_index]),
-            AppId::Shallow => shallow::run_parallel(cfg, &shallow::paper_sizes()[self.size_index]),
+        match (self.app, self.size) {
+            (AppId::Barnes, s) => barnes::run_parallel(cfg, &barnes_size(s)),
+            (AppId::Ilink, s) => ilink::run_parallel(cfg, &ilink_size(s)),
+            (AppId::Tsp, s) => tsp::run_parallel(cfg, &tsp_size(s)),
+            (AppId::Water, s) => water::run_parallel(cfg, &water_size(s)),
+            (AppId::Jacobi, s) => jacobi::run_parallel(cfg, &jacobi_size(s)),
+            (AppId::Fft3d, s) => fft3d::run_parallel(cfg, &fft_size(s)),
+            (AppId::Mgs, s) => mgs::run_parallel(cfg, &mgs_size(s)),
+            (AppId::Shallow, s) => shallow::run_parallel(cfg, &shallow_size(s)),
         }
     }
+}
+
+macro_rules! size_selector {
+    ($($fn_name:ident, $module:ident, $ty:ident;)*) => {
+        $(
+            fn $fn_name(sel: SizeSel) -> $module::$ty {
+                match sel {
+                    SizeSel::Paper(i) => $module::paper_sizes()[i],
+                    SizeSel::Tiny => $module::$ty::tiny(),
+                }
+            }
+        )*
+    };
+}
+
+size_selector! {
+    barnes_size, barnes, BarnesSize;
+    ilink_size, ilink, IlinkSize;
+    tsp_size, tsp, TspSize;
+    water_size, water, WaterSize;
+    jacobi_size, jacobi, JacobiSize;
+    fft_size, fft3d, FftSize;
+    mgs_size, mgs, MgsSize;
+    shallow_size, shallow, ShallowSize;
 }
 
 fn size_labels(app: AppId) -> Vec<String> {
@@ -143,7 +201,10 @@ pub fn paper_unit_policies() -> Vec<(String, UnitPolicy)> {
         ("4K".to_string(), UnitPolicy::Static { pages: 1 }),
         ("8K".to_string(), UnitPolicy::Static { pages: 2 }),
         ("16K".to_string(), UnitPolicy::Static { pages: 4 }),
-        ("Dyn".to_string(), UnitPolicy::Dynamic { max_group_pages: 4 }),
+        (
+            "Dyn".to_string(),
+            UnitPolicy::Dynamic { max_group_pages: 4 },
+        ),
     ]
 }
 

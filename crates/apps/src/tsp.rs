@@ -33,7 +33,10 @@ pub struct TspSize {
 impl TspSize {
     /// The run used for the paper-style figures.
     pub fn standard() -> Self {
-        TspSize { cities: 11, seed: 12 }
+        TspSize {
+            cities: 11,
+            seed: 12,
+        }
     }
 
     /// A tiny size for unit tests.

@@ -38,12 +38,18 @@ pub struct WaterSize {
 impl WaterSize {
     /// The paper-scale run (512 molecules, as in the SPLASH default input).
     pub fn standard() -> Self {
-        WaterSize { molecules: 512, steps: 2 }
+        WaterSize {
+            molecules: 512,
+            steps: 2,
+        }
     }
 
     /// A tiny size for unit tests.
     pub fn tiny() -> Self {
-        WaterSize { molecules: 64, steps: 2 }
+        WaterSize {
+            molecules: 64,
+            steps: 2,
+        }
     }
 
     /// Label used in reports.
@@ -128,11 +134,7 @@ pub fn run_sequential(size: &WaterSize) -> f64 {
         }
     }
     (0..n)
-        .map(|m| {
-            (0..6)
-                .map(|d| mol[m * MOL_FIELDS + d].abs())
-                .sum::<f64>()
-        })
+        .map(|m| (0..6).map(|d| mol[m * MOL_FIELDS + d].abs()).sum::<f64>())
         .sum()
 }
 

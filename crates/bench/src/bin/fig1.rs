@@ -3,21 +3,19 @@
 //! 16 K and dynamic-aggregation consistency units, normalized to 4 K, with
 //! the useful / useless / piggybacked breakdown.
 //!
-//! Usage: `cargo run -p tm-bench --release --bin fig1 [nprocs]`
+//! Usage: `cargo run -p tm-bench --release --bin fig1 [nprocs] [--tiny]`
 
-use tm_apps::{AppId, Workload};
-use tm_bench::{print_figure_panel, run_policy_sweep, to_csv};
+use tm_apps::AppId;
+use tm_bench::{print_figure_panel, run_policy_sweep, to_csv, BenchArgs};
 
 fn main() {
-    let nprocs: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let args = BenchArgs::parse(8);
+    let nprocs = args.nprocs;
 
     println!("Figure 1 — Barnes, Ilink, TSP, Water ({nprocs} processors)");
     let mut all_rows = Vec::new();
     for app in AppId::figure1() {
-        for w in Workload::for_app(app) {
+        for w in args.workloads_for(app) {
             let rows = run_policy_sweep(&w, nprocs);
             print_figure_panel(&rows);
             all_rows.extend(rows);

@@ -7,24 +7,25 @@
 //! message explosion (MGS); a signature that stays put predicts that
 //! aggregation will help (Barnes, Ilink, Water).
 //!
-//! Usage: `cargo run -p tm-bench --release --bin fig3 [nprocs]`
+//! Usage: `cargo run -p tm-bench --release --bin fig3 [nprocs] [--tiny]`
 
 use tdsm_core::UnitPolicy;
-use tm_apps::Workload;
-use tm_bench::{figure3_apps, print_signature, signature_of};
+use tm_bench::{figure3_apps, print_signature, signature_of, BenchArgs};
 
 fn main() {
-    let nprocs: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let args = BenchArgs::parse(8);
+    let nprocs = args.nprocs;
 
     println!("Figure 3 — false-sharing signatures at 4 KB and 16 KB ({nprocs} processors)");
     for app in figure3_apps() {
         // Figure 3 shows one data set per application: the first (for MGS the
         // paper uses the 1Kx1K set, which is the second entry of our list).
-        let workloads = Workload::for_app(app);
-        let w = if workloads.len() > 1 { &workloads[1] } else { &workloads[0] };
+        let workloads = args.workloads_for(app);
+        let w = if workloads.len() > 1 {
+            &workloads[1]
+        } else {
+            &workloads[0]
+        };
         for (label, unit) in [
             ("4K", UnitPolicy::Static { pages: 1 }),
             ("16K", UnitPolicy::Static { pages: 4 }),

@@ -6,22 +6,24 @@
 //! and one that is hurt by false sharing (MGS) — and reports execution time
 //! and message counts relative to the 4 KB static baseline.
 //!
-//! Usage: `cargo run -p tm-bench --release --bin fig_dyn_group [nprocs]`
+//! Usage: `cargo run -p tm-bench --release --bin fig_dyn_group [nprocs] [--tiny]`
 
 use tdsm_core::UnitPolicy;
-use tm_apps::{AppId, Workload};
-use tm_bench::run_configuration;
+use tm_apps::AppId;
+use tm_bench::{run_configuration, BenchArgs};
 
 fn main() {
-    let nprocs: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let args = BenchArgs::parse(8);
+    let nprocs = args.nprocs;
 
     println!("Dynamic aggregation group-size ablation ({nprocs} processors)");
     for app in [AppId::Ilink, AppId::Mgs] {
-        let workloads = Workload::for_app(app);
-        let w = if workloads.len() > 1 { &workloads[1] } else { &workloads[0] };
+        let workloads = args.workloads_for(app);
+        let w = if workloads.len() > 1 {
+            &workloads[1]
+        } else {
+            &workloads[0]
+        };
         let base = run_configuration(w, nprocs, "4K", UnitPolicy::Static { pages: 1 });
         println!(
             "\n=== {} {} (baseline 4K: {:.1} ms, {} msgs) ===",
@@ -30,7 +32,10 @@ fn main() {
             base.exec_time_ns as f64 / 1e6,
             base.total_msgs()
         );
-        println!("{:<10} {:>12} {:>12} {:>14}", "max group", "time", "msgs", "useless msgs");
+        println!(
+            "{:<10} {:>12} {:>12} {:>14}",
+            "max group", "time", "msgs", "useless msgs"
+        );
         for max_group in [2u32, 4, 8, 16] {
             let row = run_configuration(
                 w,

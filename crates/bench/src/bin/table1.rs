@@ -5,23 +5,20 @@
 //! comparable to the 1997 testbed; the speedup column is the quantity whose
 //! shape should match the paper (roughly 4–6.5 on 8 processors).
 //!
-//! Usage: `cargo run -p tm-bench --release --bin table1 [nprocs]`
+//! Usage: `cargo run -p tm-bench --release --bin table1 [nprocs] [--tiny]`
 
-use tm_apps::Workload;
-use tm_bench::table1_row;
+use tm_bench::{table1_row, BenchArgs};
 
 fn main() {
-    let nprocs: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let args = BenchArgs::parse(8);
+    let nprocs = args.nprocs;
 
     println!("Table 1 — sequential times and {nprocs}-processor speedups (4 KB unit)");
     println!(
         "{:<10} {:<14} {:>14} {:>14} {:>9} {:>9}",
         "Program", "Input Size", "Seq. Time (ms)", "Par. Time (ms)", "Speedup", "Verified"
     );
-    for w in Workload::paper_suite() {
+    for w in args.suite() {
         let row = table1_row(&w, nprocs);
         println!(
             "{:<10} {:<14} {:>14.1} {:>14.1} {:>9.2} {:>9}",

@@ -211,8 +211,14 @@ pub fn signature_of(w: &Workload, nprocs: usize, unit: UnitPolicy) -> SignatureH
 /// Print a signature histogram in the style of Figure 3: one line per
 /// concurrent-writer count with its frequency and useful/useless split.
 pub fn print_signature(app: &str, size: &str, policy: &str, sig: &SignatureHistogram) {
-    println!("\n--- {app} {size} @ {policy} (mean writers {:.2}) ---", sig.mean_writers());
-    println!("{:>8} {:>10} {:>10} {:>10}", "writers", "freq", "useful", "useless");
+    println!(
+        "\n--- {app} {size} @ {policy} (mean writers {:.2}) ---",
+        sig.mean_writers()
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "writers", "freq", "useful", "useless"
+    );
     for k in 1..=sig.max_writers().max(1) {
         let b = sig.bucket(k);
         if b.faults == 0 {
@@ -231,6 +237,81 @@ pub fn print_signature(app: &str, size: &str, policy: &str, sig: &SignatureHisto
 /// The four applications whose signatures Figure 3 shows.
 pub fn figure3_apps() -> Vec<AppId> {
     vec![AppId::Barnes, AppId::Ilink, AppId::Water, AppId::Mgs]
+}
+
+/// Command-line options shared by every figure/table binary.
+///
+/// Usage accepted by all binaries: `[nprocs] [--tiny]`.
+/// `--tiny` switches to the smoke configuration: one tiny data set per
+/// application and a 2-processor cluster (unless a processor count was given
+/// explicitly) — the mode `tests/harness_smoke.rs` drives end-to-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Number of simulated processors.
+    pub nprocs: usize,
+    /// Run the tiny smoke configuration instead of the paper data sets.
+    pub tiny: bool,
+}
+
+impl BenchArgs {
+    /// Parse `std::env::args`, defaulting to `default_nprocs` processors
+    /// (2 in `--tiny` mode). Exits with a usage message on an invalid
+    /// processor count or an unrecognized flag.
+    pub fn parse(default_nprocs: usize) -> Self {
+        match Self::from_iter(std::env::args().skip(1), default_nprocs) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}\nusage: [nprocs (1-64)] [--tiny]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    fn from_iter(
+        args: impl Iterator<Item = String>,
+        default_nprocs: usize,
+    ) -> Result<Self, String> {
+        let mut tiny = false;
+        let mut nprocs = None;
+        for arg in args {
+            match arg.as_str() {
+                "--tiny" => tiny = true,
+                other => match other.parse::<usize>() {
+                    // The same bounds DsmConfig::validate enforces, reported
+                    // as a usage error instead of a panic.
+                    Ok(_) if nprocs.is_some() => {
+                        return Err(format!("processor count given twice ('{other}')"))
+                    }
+                    Ok(n) if (1..=64).contains(&n) => nprocs = Some(n),
+                    Ok(n) => return Err(format!("processor count {n} outside 1-64")),
+                    Err(_) => return Err(format!("unrecognized argument '{other}'")),
+                },
+            }
+        }
+        Ok(BenchArgs {
+            nprocs: nprocs.unwrap_or(if tiny { 2 } else { default_nprocs }),
+            tiny,
+        })
+    }
+
+    /// The workloads of `app` under these options: its paper data sets, or
+    /// its single tiny data set in `--tiny` mode.
+    pub fn workloads_for(&self, app: AppId) -> Vec<Workload> {
+        if self.tiny {
+            vec![Workload::tiny(app)]
+        } else {
+            Workload::for_app(app)
+        }
+    }
+
+    /// The full suite under these options.
+    pub fn suite(&self) -> Vec<Workload> {
+        if self.tiny {
+            Workload::tiny_suite()
+        } else {
+            Workload::paper_suite()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -261,7 +342,75 @@ mod tests {
         };
         let csv = to_csv(&[row]);
         assert_eq!(csv.lines().count(), 2);
-        assert!(csv.lines().nth(1).unwrap().starts_with("X,s,4K,1.000,2,1,10,5,3,4"));
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("X,s,4K,1.000,2,1,10,5,3,4"));
+    }
+
+    #[test]
+    fn bench_args_parse_tiny_and_nprocs() {
+        let parse = |args: &[&str], default| {
+            BenchArgs::from_iter(args.iter().map(|s| s.to_string()), default).unwrap()
+        };
+        assert_eq!(
+            parse(&[], 8),
+            BenchArgs {
+                nprocs: 8,
+                tiny: false
+            }
+        );
+        assert_eq!(
+            parse(&["4"], 8),
+            BenchArgs {
+                nprocs: 4,
+                tiny: false
+            }
+        );
+        assert_eq!(
+            parse(&["--tiny"], 8),
+            BenchArgs {
+                nprocs: 2,
+                tiny: true
+            }
+        );
+        assert_eq!(
+            parse(&["--tiny", "3"], 8),
+            BenchArgs {
+                nprocs: 3,
+                tiny: true
+            }
+        );
+        assert_eq!(
+            parse(&["3", "--tiny"], 8),
+            BenchArgs {
+                nprocs: 3,
+                tiny: true
+            }
+        );
+        let err = |args: &[&str]| {
+            BenchArgs::from_iter(args.iter().map(|s| s.to_string()), 8).unwrap_err()
+        };
+        assert!(err(&["0"]).contains("outside 1-64"));
+        assert!(err(&["99"]).contains("outside 1-64"));
+        assert!(err(&["--bogus"]).contains("unrecognized"));
+        assert!(err(&["4", "8"]).contains("twice"));
+    }
+
+    #[test]
+    fn tiny_workload_selection() {
+        let args = BenchArgs {
+            nprocs: 2,
+            tiny: true,
+        };
+        assert_eq!(args.suite().len(), 8);
+        assert_eq!(args.workloads_for(AppId::Jacobi).len(), 1);
+        let full = BenchArgs {
+            nprocs: 8,
+            tiny: false,
+        };
+        assert_eq!(full.suite().len(), 16);
     }
 
     #[test]

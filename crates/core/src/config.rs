@@ -149,10 +149,16 @@ impl DsmConfig {
             "simulated cluster limited to 64 processors"
         );
         if let UnitPolicy::Static { pages } = self.unit {
-            assert!(pages >= 1, "static consistency unit must be at least one page");
+            assert!(
+                pages >= 1,
+                "static consistency unit must be at least one page"
+            );
         }
         if let UnitPolicy::Dynamic { max_group_pages } = self.unit {
-            assert!(max_group_pages >= 1, "dynamic page groups must allow at least one page");
+            assert!(
+                max_group_pages >= 1,
+                "dynamic page groups must allow at least one page"
+            );
         }
         let _ = self.layout(); // validates page size / page count
     }
@@ -173,7 +179,10 @@ mod tests {
         assert_eq!(UnitPolicy::Static { pages: 1 }.label(4096), "4K");
         assert_eq!(UnitPolicy::Static { pages: 2 }.label(4096), "8K");
         assert_eq!(UnitPolicy::Static { pages: 4 }.label(4096), "16K");
-        assert_eq!(UnitPolicy::Dynamic { max_group_pages: 4 }.label(4096), "Dyn");
+        assert_eq!(
+            UnitPolicy::Dynamic { max_group_pages: 4 }.label(4096),
+            "Dyn"
+        );
     }
 
     #[test]

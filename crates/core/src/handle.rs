@@ -107,10 +107,7 @@ impl<T: SharedVal> GArray<T> {
         assert!(start + count <= self.len, "range out of bounds");
         let mut bytes = vec![0u8; count * T::BYTES];
         ctx.read_bytes(self.addr(start), &mut bytes);
-        bytes
-            .chunks_exact(T::BYTES)
-            .map(|c| T::load(c))
-            .collect()
+        bytes.chunks_exact(T::BYTES).map(|c| T::load(c)).collect()
     }
 
     /// Write the elements of `values` starting at index `start` (one bulk

@@ -292,7 +292,9 @@ impl ProcCtx {
         // program, so their relative order does not matter.
         to_apply.sort_by_key(|(w, writer, seq, _, _)| (*w, *writer, *seq));
         for (_, _, _, diff, exchange_id) in &to_apply {
-            self.store.page_mut(diff.page).apply_diff(diff, *exchange_id);
+            self.store
+                .page_mut(diff.page)
+                .apply_diff(diff, *exchange_id);
         }
 
         // Book-keeping: fetched pages have no pending notices left; pages of

@@ -215,9 +215,12 @@ impl GlobalSync {
     /// # Panics
     /// Panics if `id` is outside the configured lock table.
     pub fn lock(&self, id: usize) -> &GlobalLock {
-        self.locks
-            .get(id)
-            .unwrap_or_else(|| panic!("lock id {id} outside the configured table of {} locks", self.locks.len()))
+        self.locks.get(id).unwrap_or_else(|| {
+            panic!(
+                "lock id {id} outside the configured table of {} locks",
+                self.locks.len()
+            )
+        })
     }
 }
 

@@ -1,1 +1,20 @@
-pub fn placeholder() {}
+//! # tm-integration — cross-crate integration surface
+//!
+//! This crate exists to *own build targets*, not code: the repository-root
+//! `tests/` (the paper-scenario, application-correctness, stress and harness
+//! smoke suites) and `examples/` are wired to this workspace member via
+//! explicit `[[test]]`/`[[example]]` entries in its manifest, so
+//! `cargo test`/`cargo run --example` pick them up even though the sources
+//! live outside any single crate's directory.
+//!
+//! The library itself only re-exports the workspace crates under one roof,
+//! which is occasionally convenient in scratch examples.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use tdsm_core;
+pub use tm_apps;
+pub use tm_bench;
+pub use tm_net;
+pub use tm_page;

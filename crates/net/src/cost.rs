@@ -232,7 +232,10 @@ mod tests {
         // one, because the replies serialize at the faulting node.
         let seven = m.fault_stall(&[1024; 7], 7 * 1024);
         let one = m.fault_stall(&[1024], 1024);
-        assert!(seven > 2 * one, "seven-writer fault {seven} vs single {one}");
+        assert!(
+            seven > 2 * one,
+            "seven-writer fault {seven} vs single {one}"
+        );
         // Two single-page faults from the same writer still cost more than
         // one aggregated two-page fault (the aggregation argument of §3).
         let two_faults = 2 * m.fault_stall(&[2048], 2048);

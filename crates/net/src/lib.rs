@@ -16,6 +16,35 @@
 //!
 //! It deliberately knows nothing about pages, diffs or consistency — only
 //! about counting and timing communication.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tm_net::{ClusterStats, CostModel, DiffExchange, ProcId, ProcStats, MSG_HEADER_BYTES};
+//!
+//! // One diff exchange that delivered a full page, half of which the
+//! // application later read (the other half is piggybacked useless data).
+//! let mut p = ProcStats::new(ProcId(0));
+//! p.exchanges.push(DiffExchange {
+//!     id: 0,
+//!     responder: ProcId(1),
+//!     pages_requested: 1,
+//!     diffs_carried: 1,
+//!     request_bytes: MSG_HEADER_BYTES,
+//!     reply_bytes: MSG_HEADER_BYTES + 4096,
+//!     delivered_payload: 4096,
+//!     useful_payload: 2048,
+//! });
+//!
+//! let stats = ClusterStats { per_proc: vec![p] };
+//! let b = stats.breakdown();
+//! assert_eq!(b.total_messages(), 2); // request + reply, both useful
+//! assert_eq!(b.useful_data, 2048);
+//! assert_eq!(b.piggybacked_useless_data, 2048);
+//!
+//! // The calibrated 1997 cost model: an 8-processor barrier costs 861 µs.
+//! assert_eq!(CostModel::pentium_ethernet_1997().barrier_latency(8), 861_000);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,6 +67,10 @@ mod proptests {
     use proptest::prelude::*;
 
     proptest! {
+        // Bounded so the whole-workspace test run stays fast in CI; raise
+        // locally with PROPTEST_CASES for deeper sweeps.
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
         /// The breakdown's message and data totals must always be consistent
         /// with the raw per-processor records, whatever the mix of exchanges.
         #[test]

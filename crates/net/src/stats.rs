@@ -131,10 +131,7 @@ impl SignatureHistogram {
 
     /// Largest bucket index with at least one fault.
     pub fn max_writers(&self) -> usize {
-        self.buckets
-            .iter()
-            .rposition(|b| b.faults > 0)
-            .unwrap_or(0)
+        self.buckets.iter().rposition(|b| b.faults > 0).unwrap_or(0)
     }
 
     /// Total number of faults recorded.
@@ -234,7 +231,11 @@ pub struct ClusterStats {
 impl ClusterStats {
     /// Modeled parallel execution time: the latest finishing processor.
     pub fn exec_time_ns(&self) -> u64 {
-        self.per_proc.iter().map(|p| p.exec_time_ns).max().unwrap_or(0)
+        self.per_proc
+            .iter()
+            .map(|p| p.exec_time_ns)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total messages across all processors.
@@ -406,9 +407,28 @@ mod tests {
 
     #[test]
     fn normalized_ratio_edge_cases() {
-        assert_eq!(Normalized { value: 2.0, baseline: 4.0 }.ratio(), 0.5);
-        assert_eq!(Normalized { value: 0.0, baseline: 0.0 }.ratio(), 1.0);
-        assert!(Normalized { value: 1.0, baseline: 0.0 }.ratio().is_infinite());
+        assert_eq!(
+            Normalized {
+                value: 2.0,
+                baseline: 4.0
+            }
+            .ratio(),
+            0.5
+        );
+        assert_eq!(
+            Normalized {
+                value: 0.0,
+                baseline: 0.0
+            }
+            .ratio(),
+            1.0
+        );
+        assert!(Normalized {
+            value: 1.0,
+            baseline: 0.0
+        }
+        .ratio()
+        .is_infinite());
     }
 
     #[test]

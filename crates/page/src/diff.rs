@@ -190,10 +190,7 @@ mod tests {
         let d = Diff::create(PageId(0), &twin, &cur);
         assert_eq!(d.runs.len(), 1);
         assert_eq!(d.payload_bytes(), 256);
-        assert_eq!(
-            d.wire_bytes(),
-            DIFF_HEADER_BYTES + RUN_HEADER_BYTES + 256
-        );
+        assert_eq!(d.wire_bytes(), DIFF_HEADER_BYTES + RUN_HEADER_BYTES + 256);
     }
 
     #[test]

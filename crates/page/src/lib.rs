@@ -17,6 +17,31 @@
 //!
 //! The crate knows nothing about consistency models, synchronization, or the
 //! network; those live in `tdsm-core` and `tm-net`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tm_page::{Align, Diff, PageId, PageLayout, RegionAllocator};
+//!
+//! // Carve a 4-page shared space and place an allocation on a fresh page.
+//! let layout = PageLayout::new(4096, 4);
+//! let mut alloc = RegionAllocator::new(layout);
+//! let addr = alloc.alloc(128, Align::Page).unwrap();
+//! assert_eq!(layout.page_of(addr), PageId(0));
+//!
+//! // Twin/diff: record exactly the words an interval modified.
+//! let twin = vec![0u8; 4096];
+//! let mut current = twin.clone();
+//! current[64..72].copy_from_slice(&[7; 8]);
+//! let diff = Diff::create(PageId(0), &twin, &current);
+//! assert_eq!(diff.payload_bytes(), 8);
+//!
+//! // Applying the diff onto the twin reconstructs the modified page — the
+//! // multiple-writer protocol's fundamental invariant.
+//! let mut rebuilt = twin.clone();
+//! diff.apply(&mut rebuilt);
+//! assert_eq!(rebuilt, current);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -45,6 +70,10 @@ mod proptests {
     }
 
     proptest! {
+        // Bounded so the whole-workspace test run stays fast in CI; raise
+        // locally with PROPTEST_CASES for deeper sweeps.
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
         /// Applying the diff of (twin, current) onto a copy of the twin must
         /// reconstruct `current` exactly — the fundamental multiple-writer
         /// protocol invariant.

@@ -124,7 +124,10 @@ impl LocalPage {
     /// Number of words currently carrying a delivery attribution (delivered
     /// but neither read nor overwritten yet).
     pub fn pending_attributions(&self) -> usize {
-        self.attribution.iter().filter(|&&a| a != NO_EXCHANGE).count()
+        self.attribution
+            .iter()
+            .filter(|&&a| a != NO_EXCHANGE)
+            .count()
     }
 }
 
@@ -191,12 +194,7 @@ impl PageStore {
     /// Read into `dst` from global address `addr`, splitting across pages.
     /// `on_useful(exchange, words)` is invoked for delivered words read for
     /// the first time, aggregated per page segment.
-    pub fn read(
-        &mut self,
-        addr: GlobalAddr,
-        dst: &mut [u8],
-        mut on_useful: impl FnMut(u32, u64),
-    ) {
+    pub fn read(&mut self, addr: GlobalAddr, dst: &mut [u8], mut on_useful: impl FnMut(u32, u64)) {
         let mut filled = 0usize;
         let mut cursor = addr;
         while filled < dst.len() {

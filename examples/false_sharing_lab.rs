@@ -25,7 +25,10 @@ fn scenario_useless_messages() {
         ctx.barrier();
         if ctx.rank() == 2 {
             // Reads only the top half, but the fault contacts both writers.
-            page.read_vec(ctx, 0, 512).iter().map(|&v| v as u64).sum::<u64>()
+            page.read_vec(ctx, 0, 512)
+                .iter()
+                .map(|&v| v as u64)
+                .sum::<u64>()
         } else {
             0
         }
@@ -54,7 +57,10 @@ fn scenario_piggybacked_useless_data() {
         }
         ctx.barrier();
         if ctx.rank() == 1 {
-            page.read_vec(ctx, 0, 512).iter().map(|&v| v as u64).sum::<u64>()
+            page.read_vec(ctx, 0, 512)
+                .iter()
+                .map(|&v| v as u64)
+                .sum::<u64>()
         } else {
             0
         }
@@ -90,7 +96,11 @@ fn scenario_aggregation_tradeoff() {
                 // Reader reads both pages: with 4 KB units this is two
                 // faults and two exchanges; with 8 KB units a single fault
                 // fetches both diffs in one exchange.
-                two_pages.read_vec(ctx, 0, 2048).iter().map(|&v| v as u64).sum::<u64>()
+                two_pages
+                    .read_vec(ctx, 0, 2048)
+                    .iter()
+                    .map(|&v| v as u64)
+                    .sum::<u64>()
             } else {
                 0
             }

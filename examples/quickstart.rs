@@ -53,11 +53,17 @@ fn main() {
     // The statistics the paper's evaluation is built from:
     let b = out.breakdown();
     println!("\ncommunication breakdown");
-    println!("  messages: {} useful + {} useless", b.useful_messages, b.useless_messages);
+    println!(
+        "  messages: {} useful + {} useless",
+        b.useful_messages, b.useless_messages
+    );
     println!(
         "  data:     {} B useful, {} B piggybacked useless, {} B in useless messages",
         b.useful_data, b.piggybacked_useless_data, b.useless_data_in_useless_msgs
     );
     println!("  faults:   {}", b.faults);
-    println!("  modeled 8-proc execution time: {:.2} ms", b.exec_time_ns as f64 / 1e6);
+    println!(
+        "  modeled 8-proc execution time: {:.2} ms",
+        b.exec_time_ns as f64 / 1e6
+    );
 }

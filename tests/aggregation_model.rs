@@ -13,10 +13,12 @@ fn dsm(nprocs: usize, unit: UnitPolicy) -> Dsm {
 /// 4 KB units this is two exchanges; doubling the unit merges them into one
 /// exchange while the amount of data stays the same.
 #[test]
-fn aggregation_halves_messages_for_contiguous_producer_consumer()
-{
+fn aggregation_halves_messages_for_contiguous_producer_consumer() {
     let mut exchanged = Vec::new();
-    for unit in [UnitPolicy::Static { pages: 1 }, UnitPolicy::Static { pages: 2 }] {
+    for unit in [
+        UnitPolicy::Static { pages: 1 },
+        UnitPolicy::Static { pages: 2 },
+    ] {
         let mut d = dsm(2, unit);
         let pages = d.alloc_array::<u32>(2048, Align::Page);
         let out = d.run(|ctx| {
@@ -25,7 +27,11 @@ fn aggregation_halves_messages_for_contiguous_producer_consumer()
             }
             ctx.barrier();
             if ctx.rank() == 1 {
-                pages.read_vec(ctx, 0, 2048).iter().map(|&v| u64::from(v)).sum()
+                pages
+                    .read_vec(ctx, 0, 2048)
+                    .iter()
+                    .map(|&v| u64::from(v))
+                    .sum()
             } else {
                 0u64
             }
@@ -58,7 +64,11 @@ fn aggregation_adds_useless_data_when_only_part_is_read() {
         }
         ctx.barrier();
         if ctx.rank() == 1 {
-            pages.read_vec(ctx, 0, 1024).iter().map(|&v| u64::from(v)).sum()
+            pages
+                .read_vec(ctx, 0, 1024)
+                .iter()
+                .map(|&v| u64::from(v))
+                .sum()
         } else {
             0u64
         }
@@ -78,7 +88,10 @@ fn aggregation_adds_useless_data_when_only_part_is_read() {
 #[test]
 fn aggregation_introduces_useless_messages_across_distinct_writers() {
     let mut results = Vec::new();
-    for unit in [UnitPolicy::Static { pages: 1 }, UnitPolicy::Static { pages: 2 }] {
+    for unit in [
+        UnitPolicy::Static { pages: 1 },
+        UnitPolicy::Static { pages: 2 },
+    ] {
         let mut d = dsm(3, unit);
         let pages = d.alloc_array::<u32>(2048, Align::Page);
         let out = d.run(|ctx| {
@@ -89,7 +102,11 @@ fn aggregation_introduces_useless_messages_across_distinct_writers() {
             }
             ctx.barrier();
             if ctx.rank() == 2 {
-                pages.read_vec(ctx, 0, 1024).iter().map(|&v| u64::from(v)).sum()
+                pages
+                    .read_vec(ctx, 0, 1024)
+                    .iter()
+                    .map(|&v| u64::from(v))
+                    .sum()
             } else {
                 0u64
             }
@@ -100,6 +117,7 @@ fn aggregation_introduces_useless_messages_across_distinct_writers() {
     let (small, large) = (&results[0], &results[1]);
     assert_eq!(small.useless_messages, 0);
     assert_eq!(small.total_messages(), 6); // one exchange + 2x2 barrier msgs
+
     // The doubled unit forces an exchange with the second writer too.
     assert_eq!(large.useless_messages, 2);
     assert_eq!(large.total_messages(), 8);

@@ -21,7 +21,10 @@ fn jacobi_all_policies_and_proc_counts() {
     for procs in [2usize, 8] {
         for unit in policies() {
             let par = jacobi::run_parallel(&AppConfig::with_procs(procs).unit(unit), &size);
-            assert!(checksums_match(par.checksum, seq, 1e-12), "{procs} procs {unit:?}");
+            assert!(
+                checksums_match(par.checksum, seq, 1e-12),
+                "{procs} procs {unit:?}"
+            );
         }
     }
 }

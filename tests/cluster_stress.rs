@@ -70,7 +70,10 @@ fn ping_pong_migratory_page() {
     });
     assert_eq!(out.results[0], 100);
     let b = out.breakdown();
-    assert_eq!(b.useless_messages, 0, "migratory data is always read by the next holder");
+    assert_eq!(
+        b.useless_messages, 0,
+        "migratory data is always read by the next holder"
+    );
 }
 
 #[test]

@@ -33,10 +33,16 @@ fn policy_sweep_produces_all_four_configurations() {
 fn table1_row_reports_speedup_and_verification() {
     let w = &Workload::for_app(AppId::Fft3d)[0];
     let row = table1_row(w, 4);
-    assert!(row.verified, "parallel checksum must match the 1-processor run");
+    assert!(
+        row.verified,
+        "parallel checksum must match the 1-processor run"
+    );
     assert!(row.seq_time_ns > 0);
     assert!(row.par_time_ns > 0);
-    assert!(row.speedup() > 1.0, "4 processors should beat 1 processor for 3D-FFT");
+    assert!(
+        row.speedup() > 1.0,
+        "4 processors should beat 1 processor for 3D-FFT"
+    );
 }
 
 #[test]
@@ -65,6 +71,65 @@ fn signatures_shift_right_for_mgs_but_not_for_ilink() {
     );
 }
 
+/// The five figure/table binaries must run their `--tiny` smoke configuration
+/// end-to-end without panicking and produce the expected report header.
+#[test]
+fn all_five_bench_binaries_run_tiny_mode() {
+    let bins = [
+        ("table1", "Table 1"),
+        ("fig1", "Figure 1"),
+        ("fig2", "Figure 2"),
+        ("fig3", "Figure 3"),
+        ("fig_dyn_group", "Dynamic aggregation group-size ablation"),
+    ];
+    for (bin, expected_header) in bins {
+        // `cargo run` rather than probing target/ for a prebuilt artifact:
+        // it always (re)builds the bin from the current sources (a stale
+        // binary must not be smoke-tested in its place) and it resolves the
+        // output directory itself, so custom `--target` layouts cannot
+        // desynchronize the path. Cargo's own locking makes the nested
+        // invocation safe, and matching the outer profile below keeps the
+        // build a fast no-op when artifacts are fresh.
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+        let mut cmd = std::process::Command::new(cargo);
+        cmd.args(["run", "-q", "-p", "tm-bench", "--bin", bin]);
+        if running_release_profile() {
+            cmd.arg("--release");
+        }
+        let output = cmd
+            .args(["--", "--tiny"])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch cargo run --bin {bin}: {e}"));
+        assert!(
+            output.status.success(),
+            "{bin} --tiny exited with {:?}\nstderr:\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains(expected_header),
+            "{bin} --tiny output missing '{expected_header}':\n{stdout}"
+        );
+    }
+}
+
+/// Whether this test binary was built under the `release` profile (best
+/// effort, by directory name: `<target>/release/deps/<test>-<hash>`), so the
+/// nested `cargo run` can reuse the same artifacts instead of cold-building
+/// the other profile.
+fn running_release_profile() -> bool {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.parent() // deps/
+                .and_then(|p| p.parent()) // <profile>/
+                .and_then(|p| p.file_name())
+                .map(|n| n == "release")
+        })
+        .unwrap_or(false)
+}
+
 #[test]
 fn dynamic_aggregation_never_explodes_useless_messages() {
     // The §4 claim: the dynamic scheme tracks the best static choice and in
@@ -72,12 +137,7 @@ fn dynamic_aggregation_never_explodes_useless_messages() {
     let mgs = &Workload::for_app(AppId::Mgs)[1];
     let base = run_configuration(mgs, 4, "4K", UnitPolicy::Static { pages: 1 });
     let large = run_configuration(mgs, 4, "16K", UnitPolicy::Static { pages: 4 });
-    let dynamic = run_configuration(
-        mgs,
-        4,
-        "Dyn",
-        UnitPolicy::Dynamic { max_group_pages: 4 },
-    );
+    let dynamic = run_configuration(mgs, 4, "Dyn", UnitPolicy::Dynamic { max_group_pages: 4 });
     assert!(large.useless_msgs > base.useless_msgs, "16K must hurt MGS");
     assert!(
         dynamic.useless_msgs <= base.useless_msgs + base.total_msgs() / 10,

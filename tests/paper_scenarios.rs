@@ -25,7 +25,10 @@ fn write_write_false_sharing_produces_useless_messages() {
         }
         ctx.barrier();
         if ctx.rank() == 2 {
-            page.read_vec(ctx, 0, 512).iter().map(|&v| u64::from(v)).sum()
+            page.read_vec(ctx, 0, 512)
+                .iter()
+                .map(|&v| u64::from(v))
+                .sum()
         } else {
             0u64
         }
@@ -61,7 +64,10 @@ fn whole_page_diff_with_partial_read_produces_piggybacked_useless_data() {
         }
         ctx.barrier();
         if ctx.rank() == 1 {
-            page.read_vec(ctx, 0, 512).iter().map(|&v| u64::from(v)).sum()
+            page.read_vec(ctx, 0, 512)
+                .iter()
+                .map(|&v| u64::from(v))
+                .sum()
         } else {
             0u64
         }
@@ -86,7 +92,10 @@ fn full_read_has_no_useless_data() {
         }
         ctx.barrier();
         if ctx.rank() == 1 {
-            page.read_vec(ctx, 0, 1024).iter().map(|&v| u64::from(v)).sum()
+            page.read_vec(ctx, 0, 1024)
+                .iter()
+                .map(|&v| u64::from(v))
+                .sum()
         } else {
             0u64
         }
@@ -148,7 +157,9 @@ fn multiple_writer_merge_under_all_policies() {
         let out = dsm.run(|ctx| {
             let me = ctx.rank();
             let quarter = 256usize;
-            let vals: Vec<u32> = (0..quarter as u32).map(|i| i + 1 + 1000 * me as u32).collect();
+            let vals: Vec<u32> = (0..quarter as u32)
+                .map(|i| i + 1 + 1000 * me as u32)
+                .collect();
             page.write_slice(ctx, me * quarter, &vals);
             ctx.barrier();
             let all = page.read_vec(ctx, 0, 1024);

@@ -1,0 +1,239 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BenchmarkId`] and [`BatchSize`] — over a deliberately small harness.
+//!
+//! By default (and always under `--test`) every registered routine is
+//! executed exactly once, so `cargo test`/`cargo bench` smoke-test the bench
+//! code quickly. Set `CRITERION_FULL=1` to instead run a short timed loop
+//! per benchmark and report a rough ns/iter figure. This keeps benchmark
+//! sources compiling and runnable offline; swap the workspace dependency
+//! back to crates.io `criterion` for statistically meaningful measurements.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (accepted, ignored by this harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark routines; runs the measured closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Measure `routine` over this bencher's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measure `routine` over fresh inputs produced by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The benchmark manager: registers and runs benchmark functions.
+pub struct Criterion {
+    /// In quick mode (the default, and always under `--test`) every routine
+    /// runs exactly once; `CRITERION_FULL=1` opts into a short timed loop.
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--test` when running them under
+        // `cargo test`; that always forces quick mode.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            quick: test_mode || std::env::var("CRITERION_FULL").is_err(),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if self.quick {
+            let mut b = Bencher::new(1);
+            f(&mut b);
+            println!("bench {id}: ok (1 iter, {:?})", b.elapsed);
+        } else {
+            // Calibrate: one iteration, then size a loop for ~50 ms.
+            let mut probe = Bencher::new(1);
+            f(&mut probe);
+            let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+            let iters = (Duration::from_millis(50).as_nanos() / per_iter.as_nanos())
+                .clamp(1, 10_000) as u64;
+            let mut b = Bencher::new(iters);
+            f(&mut b);
+            let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+            println!("bench {id}: {ns:.0} ns/iter ({iters} iters)");
+        }
+    }
+
+    /// Run one benchmark routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (accepted for API compatibility; this harness
+    /// sizes its loop by time, not samples).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement time (accepted, ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one routine in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Run one routine parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate the `main` function running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_each_routine_once() {
+        let mut runs = 0u32;
+        let mut c = Criterion { quick: true };
+        c.bench_function("counted", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn groups_and_batched_iteration() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut seen = Vec::new();
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &41u32, |b, &v| {
+            b.iter_batched(|| v + 1, |input| seen.push(input), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(seen, vec![42]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names this workspace imports —
+//! both as derive macros (no-op expansion, re-exported from the companion
+//! `serde_derive` stand-in) and as marker traits, so either use resolves.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (never used as a bound here).
+pub trait SerializeMarker {}
+
+/// Marker counterpart of `serde::Deserialize` (never used as a bound here).
+pub trait DeserializeMarker {}
+
+impl<T: ?Sized> SerializeMarker for T {}
+impl<T: ?Sized> DeserializeMarker for T {}
