@@ -42,6 +42,12 @@ impl AppId {
         }
     }
 
+    /// Inverse of [`name`](Self::name): resolve a paper display name back to
+    /// the application (used when reloading machine-readable results).
+    pub fn from_name(name: &str) -> Option<AppId> {
+        AppId::all().into_iter().find(|a| a.name() == name)
+    }
+
     /// The applications of Figure 1 (size-independent false sharing).
     pub fn figure1() -> Vec<AppId> {
         vec![AppId::Barnes, AppId::Ilink, AppId::Tsp, AppId::Water]
@@ -126,6 +132,21 @@ impl Workload {
             .into_iter()
             .filter(|w| w.app == app)
             .collect()
+    }
+
+    /// Resolve a workload from its `(application, size label)` identity —
+    /// the inverse of the labels this registry hands out, covering both the
+    /// paper data sets and the tiny smoke sets (whose labels carry the
+    /// `(tiny)` suffix). This is how the experiment engine rebuilds runnable
+    /// cells from a declarative spec or a reloaded results file.
+    pub fn lookup(app: AppId, size_label: &str) -> Option<Workload> {
+        let tiny = Workload::tiny(app);
+        if tiny.size_label == size_label {
+            return Some(tiny);
+        }
+        Self::for_app(app)
+            .into_iter()
+            .find(|w| w.size_label == size_label)
     }
 
     /// Run the sequential reference version; returns the checksum.
@@ -230,6 +251,24 @@ mod tests {
         for a in &f1 {
             assert!(!f2.contains(a));
         }
+    }
+
+    #[test]
+    fn names_and_labels_roundtrip_through_lookup() {
+        for app in AppId::all() {
+            assert_eq!(AppId::from_name(app.name()), Some(app));
+        }
+        assert_eq!(AppId::from_name("NoSuchApp"), None);
+
+        for w in Workload::paper_suite()
+            .iter()
+            .chain(&Workload::tiny_suite())
+        {
+            let found = Workload::lookup(w.app, &w.size_label)
+                .unwrap_or_else(|| panic!("lookup lost {} {}", w.app.name(), w.size_label));
+            assert_eq!(found.size, w.size);
+        }
+        assert!(Workload::lookup(AppId::Jacobi, "bogus").is_none());
     }
 
     #[test]

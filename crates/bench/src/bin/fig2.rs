@@ -3,23 +3,13 @@
 //! applications whose false-sharing behaviour depends on the problem size —
 //! under 4 K, 8 K, 16 K and dynamic consistency units, normalized to 4 K.
 //!
-//! Usage: `cargo run -p tm-bench --release --bin fig2 [nprocs] [--tiny]`
+//! Usage: `cargo run -p tm-bench --release --bin fig2 -- [nprocs] [--tiny]
+//! [--threads N] [--format human|json|csv] [--out FILE]`
 
-use tm_apps::AppId;
-use tm_bench::{print_figure_panel, run_policy_sweep, to_csv, BenchArgs};
+use tm_bench::{BenchArgs, Experiment};
 
 fn main() {
     let args = BenchArgs::parse(8);
-    let nprocs = args.nprocs;
-
-    println!("Figure 2 — Jacobi, 3D-FFT, MGS, Shallow ({nprocs} processors)");
-    let mut all_rows = Vec::new();
-    for app in AppId::figure2() {
-        for w in args.workloads_for(app) {
-            let rows = run_policy_sweep(&w, nprocs);
-            print_figure_panel(&rows);
-            all_rows.extend(rows);
-        }
-    }
-    println!("\nCSV:\n{}", to_csv(&all_rows));
+    let exp = Experiment::fig2(&args);
+    args.run_and_emit(&exp).expect("failed to write results");
 }

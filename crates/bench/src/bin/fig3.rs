@@ -7,31 +7,13 @@
 //! message explosion (MGS); a signature that stays put predicts that
 //! aggregation will help (Barnes, Ilink, Water).
 //!
-//! Usage: `cargo run -p tm-bench --release --bin fig3 [nprocs] [--tiny]`
+//! Usage: `cargo run -p tm-bench --release --bin fig3 -- [nprocs] [--tiny]
+//! [--threads N] [--format human|json|csv] [--out FILE]`
 
-use tdsm_core::UnitPolicy;
-use tm_bench::{figure3_apps, print_signature, signature_of, BenchArgs};
+use tm_bench::{BenchArgs, Experiment};
 
 fn main() {
     let args = BenchArgs::parse(8);
-    let nprocs = args.nprocs;
-
-    println!("Figure 3 — false-sharing signatures at 4 KB and 16 KB ({nprocs} processors)");
-    for app in figure3_apps() {
-        // Figure 3 shows one data set per application: the first (for MGS the
-        // paper uses the 1Kx1K set, which is the second entry of our list).
-        let workloads = args.workloads_for(app);
-        let w = if workloads.len() > 1 {
-            &workloads[1]
-        } else {
-            &workloads[0]
-        };
-        for (label, unit) in [
-            ("4K", UnitPolicy::Static { pages: 1 }),
-            ("16K", UnitPolicy::Static { pages: 4 }),
-        ] {
-            let sig = signature_of(w, nprocs, unit);
-            print_signature(w.app.name(), &w.size_label, label, &sig);
-        }
-    }
+    let exp = Experiment::fig3(&args);
+    args.run_and_emit(&exp).expect("failed to write results");
 }

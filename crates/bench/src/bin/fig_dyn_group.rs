@@ -6,52 +6,13 @@
 //! and one that is hurt by false sharing (MGS) — and reports execution time
 //! and message counts relative to the 4 KB static baseline.
 //!
-//! Usage: `cargo run -p tm-bench --release --bin fig_dyn_group [nprocs] [--tiny]`
+//! Usage: `cargo run -p tm-bench --release --bin fig_dyn_group -- [nprocs]
+//! [--tiny] [--threads N] [--format human|json|csv] [--out FILE]`
 
-use tdsm_core::UnitPolicy;
-use tm_apps::AppId;
-use tm_bench::{run_configuration, BenchArgs};
+use tm_bench::{BenchArgs, Experiment};
 
 fn main() {
     let args = BenchArgs::parse(8);
-    let nprocs = args.nprocs;
-
-    println!("Dynamic aggregation group-size ablation ({nprocs} processors)");
-    for app in [AppId::Ilink, AppId::Mgs] {
-        let workloads = args.workloads_for(app);
-        let w = if workloads.len() > 1 {
-            &workloads[1]
-        } else {
-            &workloads[0]
-        };
-        let base = run_configuration(w, nprocs, "4K", UnitPolicy::Static { pages: 1 });
-        println!(
-            "\n=== {} {} (baseline 4K: {:.1} ms, {} msgs) ===",
-            base.app,
-            base.size,
-            base.exec_time_ns as f64 / 1e6,
-            base.total_msgs()
-        );
-        println!(
-            "{:<10} {:>12} {:>12} {:>14}",
-            "max group", "time", "msgs", "useless msgs"
-        );
-        for max_group in [2u32, 4, 8, 16] {
-            let row = run_configuration(
-                w,
-                nprocs,
-                &format!("Dyn{max_group}"),
-                UnitPolicy::Dynamic {
-                    max_group_pages: max_group,
-                },
-            );
-            println!(
-                "{:<10} {:>12.3} {:>12.3} {:>14.3}",
-                max_group,
-                row.exec_time_ns as f64 / base.exec_time_ns as f64,
-                row.total_msgs() as f64 / base.total_msgs().max(1) as f64,
-                row.useless_msgs as f64 / base.total_msgs().max(1) as f64,
-            );
-        }
-    }
+    let exp = Experiment::dyn_group(&args);
+    args.run_and_emit(&exp).expect("failed to write results");
 }

@@ -5,29 +5,13 @@
 //! comparable to the 1997 testbed; the speedup column is the quantity whose
 //! shape should match the paper (roughly 4–6.5 on 8 processors).
 //!
-//! Usage: `cargo run -p tm-bench --release --bin table1 [nprocs] [--tiny]`
+//! Usage: `cargo run -p tm-bench --release --bin table1 -- [nprocs] [--tiny]
+//! [--threads N] [--format human|json|csv] [--out FILE]`
 
-use tm_bench::{table1_row, BenchArgs};
+use tm_bench::{BenchArgs, Experiment};
 
 fn main() {
     let args = BenchArgs::parse(8);
-    let nprocs = args.nprocs;
-
-    println!("Table 1 — sequential times and {nprocs}-processor speedups (4 KB unit)");
-    println!(
-        "{:<10} {:<14} {:>14} {:>14} {:>9} {:>9}",
-        "Program", "Input Size", "Seq. Time (ms)", "Par. Time (ms)", "Speedup", "Verified"
-    );
-    for w in args.suite() {
-        let row = table1_row(&w, nprocs);
-        println!(
-            "{:<10} {:<14} {:>14.1} {:>14.1} {:>9.2} {:>9}",
-            row.app,
-            row.size,
-            row.seq_time_ns as f64 / 1e6,
-            row.par_time_ns as f64 / 1e6,
-            row.speedup(),
-            if row.verified { "yes" } else { "NO" }
-        );
-    }
+    let exp = Experiment::table1(&args);
+    args.run_and_emit(&exp).expect("failed to write results");
 }

@@ -1,0 +1,398 @@
+//! Pluggable result emitters: human report, JSON document, CSV table.
+//!
+//! The JSON schema (documented in `EXPERIMENTS.md`) is versioned via the
+//! top-level `"schema"` field and round-trips: [`ExperimentResult`]
+//! implements both [`ToJson`] and [`FromJson`], and the integration tests
+//! emit → parse → compare every named experiment. CSV is a flat projection
+//! (one line per cell) for spreadsheet use; the human report reproduces the
+//! layout of the paper's figures and tables, normalized to the 4 KB
+//! baseline where the paper normalizes.
+
+use std::fmt::Write as _;
+
+use serde::json::{parse, Value};
+use serde::{field_arr, field_f64, field_str, field_u64, FromJson, JsonSchemaError, ToJson};
+use tdsm_core::{CommBreakdown, UnitPolicy};
+use tm_apps::AppId;
+
+use crate::experiment::Cell;
+use crate::runner::{CellResult, ExperimentResult};
+use crate::{figure_panel_string, signature_string};
+
+/// Identifier of the emitted JSON schema; bumped on breaking changes.
+pub const RESULT_SCHEMA: &str = "tm-bench/experiment-result/v1";
+
+/// The output formats every figure/table binary supports via `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// The paper-style report (default).
+    #[default]
+    Human,
+    /// The versioned JSON document.
+    Json,
+    /// One CSV line per cell.
+    Csv,
+}
+
+impl std::str::FromStr for OutputFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "human" | "text" => Ok(OutputFormat::Human),
+            "json" => Ok(OutputFormat::Json),
+            "csv" => Ok(OutputFormat::Csv),
+            other => Err(format!(
+                "unknown format '{other}' (expected human, json or csv)"
+            )),
+        }
+    }
+}
+
+/// Render `result` in the requested format.
+pub fn render(result: &ExperimentResult, format: OutputFormat) -> String {
+    match format {
+        OutputFormat::Human => render_human(result),
+        OutputFormat::Json => result.to_json().pretty(),
+        OutputFormat::Csv => render_csv(result),
+    }
+}
+
+/// Parse a JSON document previously produced by [`render`] /
+/// [`ToJson::to_json`] back into an [`ExperimentResult`].
+pub fn parse_result(text: &str) -> Result<ExperimentResult, String> {
+    let v = parse(text).map_err(|e| e.to_string())?;
+    ExperimentResult::from_json(&v).map_err(|e| e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+impl ToJson for Cell {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("app", Value::Str(self.app.name().to_string())),
+            ("size", Value::Str(self.size_label.clone())),
+            ("policy", Value::Str(self.policy_label.clone())),
+            ("unit", self.unit.to_json()),
+            ("nprocs", Value::Num(self.nprocs as f64)),
+            // Seeds are full 64-bit hashes — above 2^53 they would lose
+            // precision as JSON numbers, so they travel as hex strings.
+            ("seed", Value::Str(format!("{:016x}", self.seed))),
+        ])
+    }
+}
+
+impl FromJson for Cell {
+    fn from_json(v: &Value) -> Result<Self, JsonSchemaError> {
+        let app_name = field_str(v, "app")?;
+        let app = AppId::from_name(app_name)
+            .ok_or_else(|| JsonSchemaError::new("app", "a known application name"))?;
+        Ok(Cell {
+            app,
+            size_label: field_str(v, "size")?.to_string(),
+            policy_label: field_str(v, "policy")?.to_string(),
+            unit: {
+                let unit = v
+                    .get("unit")
+                    .ok_or_else(|| JsonSchemaError::new("unit", "object"))?;
+                UnitPolicy::from_json(unit).map_err(|e| e.in_context("unit"))?
+            },
+            nprocs: field_u64(v, "nprocs")? as usize,
+            seed: u64::from_str_radix(field_str(v, "seed")?, 16)
+                .map_err(|_| JsonSchemaError::new("seed", "16-digit hex string"))?,
+        })
+    }
+}
+
+impl ToJson for CellResult {
+    fn to_json(&self) -> Value {
+        let mut pairs = match self.cell.to_json() {
+            Value::Obj(pairs) => pairs,
+            _ => unreachable!("Cell::to_json returns an object"),
+        };
+        pairs.push(("exec_time_ns".into(), Value::Num(self.exec_time_ns as f64)));
+        pairs.push(("checksum".into(), Value::Num(self.checksum)));
+        pairs.push(("host_wall_ns".into(), Value::Num(self.host_wall_ns as f64)));
+        pairs.push(("breakdown".into(), self.breakdown.to_json()));
+        Value::Obj(pairs)
+    }
+}
+
+impl FromJson for CellResult {
+    fn from_json(v: &Value) -> Result<Self, JsonSchemaError> {
+        Ok(CellResult {
+            cell: Cell::from_json(v)?,
+            exec_time_ns: field_u64(v, "exec_time_ns")?,
+            checksum: field_f64(v, "checksum")?,
+            host_wall_ns: field_u64(v, "host_wall_ns")?,
+            breakdown: {
+                let b = v
+                    .get("breakdown")
+                    .ok_or_else(|| JsonSchemaError::new("breakdown", "object"))?;
+                CommBreakdown::from_json(b).map_err(|e| e.in_context("breakdown"))?
+            },
+        })
+    }
+}
+
+impl ToJson for ExperimentResult {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("schema", Value::Str(RESULT_SCHEMA.to_string())),
+            ("experiment", Value::Str(self.name.clone())),
+            ("title", Value::Str(self.title.clone())),
+            ("threads", Value::Num(self.threads as f64)),
+            ("host_wall_ns", Value::Num(self.host_wall_ns as f64)),
+            (
+                "cells",
+                Value::Arr(self.cells.iter().map(|c| c.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ExperimentResult {
+    fn from_json(v: &Value) -> Result<Self, JsonSchemaError> {
+        let schema = field_str(v, "schema")?;
+        if schema != RESULT_SCHEMA {
+            return Err(JsonSchemaError::new("schema", RESULT_SCHEMA));
+        }
+        let mut cells = Vec::new();
+        for (i, c) in field_arr(v, "cells")?.iter().enumerate() {
+            cells.push(CellResult::from_json(c).map_err(|e| e.in_context(&format!("cells[{i}]")))?);
+        }
+        Ok(ExperimentResult {
+            name: field_str(v, "experiment")?.to_string(),
+            title: field_str(v, "title")?.to_string(),
+            threads: field_u64(v, "threads")? as usize,
+            host_wall_ns: field_u64(v, "host_wall_ns")?,
+            cells,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+/// Header of the per-cell CSV projection.
+pub const CSV_HEADER: &str = "experiment,app,size,policy,nprocs,seed,exec_time_ms,useful_msgs,\
+useless_msgs,useful_data,piggybacked_useless,useless_in_useless,faults,mean_writers,checksum";
+
+fn render_csv(result: &ExperimentResult) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for r in &result.cells {
+        let b = &r.breakdown;
+        let _ = writeln!(
+            out,
+            // Seeds are hex here as in JSON, so rows join across formats.
+            "{},{},{},{},{},{:016x},{:.3},{},{},{},{},{},{},{:.3},{}",
+            result.name,
+            r.cell.app.name(),
+            r.cell.size_label,
+            r.cell.policy_label,
+            r.cell.nprocs,
+            r.cell.seed,
+            r.exec_time_ns as f64 / 1e6,
+            b.useful_messages,
+            b.useless_messages,
+            b.useful_data,
+            b.piggybacked_useless_data,
+            b.useless_data_in_useless_msgs,
+            b.faults,
+            b.signature.mean_writers(),
+            r.checksum,
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Human report
+// ---------------------------------------------------------------------------
+
+fn render_human(result: &ExperimentResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", result.title);
+    match result.name.as_str() {
+        "table1" => render_table1(&mut out, result),
+        "fig3" => render_signatures(&mut out, result),
+        "fig_dyn_group" => render_ablation(&mut out, result),
+        // fig1, fig2 and any future policy sweep: per-workload panels.
+        _ => render_panels(&mut out, result),
+    }
+    let _ = writeln!(
+        out,
+        "\n[{}: {} cells, {} threads, host wall {:.1} ms]",
+        result.name,
+        result.cells.len(),
+        result.threads,
+        result.host_wall_ns as f64 / 1e6
+    );
+    out
+}
+
+/// Group consecutive cells that belong to the same (app, size) workload.
+fn workload_groups(result: &ExperimentResult) -> Vec<&[CellResult]> {
+    let mut groups: Vec<&[CellResult]> = Vec::new();
+    let cells = &result.cells[..];
+    let mut start = 0;
+    for i in 1..=cells.len() {
+        let boundary = i == cells.len()
+            || cells[i].cell.app != cells[start].cell.app
+            || cells[i].cell.size_label != cells[start].cell.size_label;
+        if boundary {
+            groups.push(&cells[start..i]);
+            start = i;
+        }
+    }
+    groups
+}
+
+fn render_panels(out: &mut String, result: &ExperimentResult) {
+    for group in workload_groups(result) {
+        let rows: Vec<crate::FigRow> = group.iter().map(|r| r.fig_row()).collect();
+        out.push_str(&figure_panel_string(&rows));
+    }
+}
+
+fn render_table1(out: &mut String, result: &ExperimentResult) {
+    let _ = writeln!(
+        out,
+        "{:<10} {:<14} {:>14} {:>14} {:>9} {:>9}",
+        "Program", "Input Size", "Seq. Time (ms)", "Par. Time (ms)", "Speedup", "Verified"
+    );
+    for group in workload_groups(result) {
+        let seq = group
+            .iter()
+            .find(|r| r.cell.nprocs == 1)
+            .expect("table1 experiments always contain the 1-processor cell");
+        let par = group
+            .iter()
+            .max_by_key(|r| r.cell.nprocs)
+            .expect("group is non-empty");
+        let speedup = if par.exec_time_ns == 0 {
+            0.0
+        } else {
+            seq.exec_time_ns as f64 / par.exec_time_ns as f64
+        };
+        let verified = tm_apps::checksums_match(par.checksum, seq.checksum, 1e-6);
+        let _ = writeln!(
+            out,
+            "{:<10} {:<14} {:>14.1} {:>14.1} {:>9.2} {:>9}",
+            par.cell.app.name(),
+            par.cell.size_label,
+            seq.exec_time_ns as f64 / 1e6,
+            par.exec_time_ns as f64 / 1e6,
+            speedup,
+            if verified { "yes" } else { "NO" }
+        );
+    }
+}
+
+fn render_signatures(out: &mut String, result: &ExperimentResult) {
+    for r in &result.cells {
+        out.push_str(&signature_string(
+            r.cell.app.name(),
+            &r.cell.size_label,
+            &r.cell.policy_label,
+            &r.breakdown.signature,
+        ));
+    }
+}
+
+fn render_ablation(out: &mut String, result: &ExperimentResult) {
+    for group in workload_groups(result) {
+        let base = group
+            .iter()
+            .find(|r| r.cell.policy_label == "4K")
+            .expect("ablation groups carry the 4K baseline");
+        let base_row = base.fig_row();
+        let _ = writeln!(
+            out,
+            "\n=== {} {} (baseline 4K: {:.1} ms, {} msgs) ===",
+            base.cell.app.name(),
+            base.cell.size_label,
+            base.exec_time_ns as f64 / 1e6,
+            base_row.total_msgs()
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>12} {:>14}",
+            "max group", "time", "msgs", "useless msgs"
+        );
+        for r in group {
+            let UnitPolicy::Dynamic { max_group_pages } = r.cell.unit else {
+                continue; // the baseline row itself
+            };
+            let row = r.fig_row();
+            let _ = writeln!(
+                out,
+                "{:<10} {:>12.3} {:>12.3} {:>14.3}",
+                max_group_pages,
+                r.exec_time_ns as f64 / base.exec_time_ns as f64,
+                row.total_msgs() as f64 / base_row.total_msgs().max(1) as f64,
+                row.useless_msgs as f64 / base_row.total_msgs().max(1) as f64,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_experiment, RunnerOptions};
+    use crate::{BenchArgs, Experiment};
+
+    fn tiny_result(name: &str) -> ExperimentResult {
+        let args = BenchArgs {
+            nprocs: 2,
+            tiny: true,
+            ..BenchArgs::defaults(2)
+        };
+        let exp = Experiment::named(name, &args).unwrap();
+        run_experiment(&exp, &RunnerOptions { threads: 2 })
+    }
+
+    #[test]
+    fn format_parsing() {
+        use std::str::FromStr;
+        assert_eq!(OutputFormat::from_str("json"), Ok(OutputFormat::Json));
+        assert_eq!(OutputFormat::from_str("csv"), Ok(OutputFormat::Csv));
+        assert_eq!(OutputFormat::from_str("human"), Ok(OutputFormat::Human));
+        assert!(OutputFormat::from_str("xml").is_err());
+    }
+
+    #[test]
+    fn json_roundtrips_and_schema_is_enforced() {
+        let result = tiny_result("fig_dyn_group");
+        let text = render(&result, OutputFormat::Json);
+        let parsed = parse_result(&text).unwrap();
+        assert_eq!(parsed, result);
+
+        let wrong = text.replace(RESULT_SCHEMA, "tm-bench/experiment-result/v0");
+        assert!(parse_result(&wrong).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn csv_has_one_line_per_cell() {
+        let result = tiny_result("fig3");
+        let csv = render(&result, OutputFormat::Csv);
+        assert_eq!(csv.lines().count(), result.cells.len() + 1);
+        assert!(csv.lines().next().unwrap().starts_with("experiment,app,"));
+        assert!(csv.contains("fig3,Barnes,"));
+    }
+
+    #[test]
+    fn human_reports_carry_title_and_footer() {
+        for name in ["table1", "fig1", "fig3", "fig_dyn_group"] {
+            let result = tiny_result(name);
+            let text = render(&result, OutputFormat::Human);
+            assert!(text.starts_with(&result.title), "{name} missing title");
+            assert!(text.contains("threads, host wall"), "{name} missing footer");
+        }
+    }
+}

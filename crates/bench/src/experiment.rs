@@ -1,0 +1,297 @@
+//! The declarative sweep model behind every figure and table binary.
+//!
+//! An [`Experiment`] is a named, ordered set of [`Cell`]s — one cell per
+//! (application, data set, consistency-unit policy, processor count)
+//! configuration that the paper artifact measures. The five named
+//! experiments ([`Experiment::fig1`] … [`Experiment::dyn_group`]) are built
+//! from the `tm_apps` workload registry crossed with a
+//! [`tdsm_core::SweepSpec`]; the worker pool in [`crate::runner`] executes
+//! the cells and the emitters in [`crate::emit`] render the results.
+//!
+//! Cells carry a deterministic seed derived from their identity (FNV-1a over
+//! the cell key). The simulator does not consume it — the applications fix
+//! their own input seeds — it is a stable identity token recorded in every
+//! emitted row, so results files are traceable to their exact configuration
+//! and joinable across formats and runs.
+
+use tdsm_core::{SweepSpec, UnitPolicy};
+use tm_apps::{AppId, Workload};
+
+use crate::BenchArgs;
+
+/// One runnable configuration of one workload — the unit of work the
+/// experiment engine schedules, and one entry of the emitted results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Which application.
+    pub app: AppId,
+    /// Data-set label identifying the workload in the registry
+    /// ([`Workload::lookup`] resolves it back).
+    pub size_label: String,
+    /// Display label of the unit policy ("4K", "16K", "Dyn", "Dyn8", ...).
+    pub policy_label: String,
+    /// The consistency-unit policy to run under.
+    pub unit: UnitPolicy,
+    /// Number of simulated processors.
+    pub nprocs: usize,
+    /// Deterministic seed: FNV-1a of [`key`](Self::key). Recorded in the
+    /// results so every row is traceable to its exact configuration.
+    pub seed: u64,
+}
+
+impl Cell {
+    /// Build a cell for `w` under (`policy_label`, `unit`) on `nprocs`
+    /// processors, deriving the seed from the identity.
+    pub fn new(w: &Workload, policy_label: &str, unit: UnitPolicy, nprocs: usize) -> Cell {
+        let mut cell = Cell {
+            app: w.app,
+            size_label: w.size_label.clone(),
+            policy_label: policy_label.to_string(),
+            unit,
+            nprocs,
+            seed: 0,
+        };
+        cell.seed = fnv1a(cell.key().as_bytes());
+        cell
+    }
+
+    /// Stable textual identity: `app/size/policy/pN`. Golden tests pin the
+    /// key set of each named experiment so figure definitions cannot drift
+    /// silently.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/p{}",
+            self.app.name(),
+            self.size_label,
+            self.policy_label,
+            self.nprocs
+        )
+    }
+
+    /// Resolve the workload this cell runs (`None` if the size label is not
+    /// in the registry — possible for cells reloaded from a foreign file).
+    pub fn workload(&self) -> Option<Workload> {
+        Workload::lookup(self.app, &self.size_label)
+    }
+}
+
+/// FNV-1a 64-bit hash — the seed derivation for cells.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A named set of cells reproducing one artifact of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experiment {
+    /// Machine name ("fig1", "fig2", "fig3", "table1", "fig_dyn_group").
+    pub name: String,
+    /// Human title printed as the report header.
+    pub title: String,
+    /// The cells, in deterministic definition order.
+    pub cells: Vec<Cell>,
+}
+
+impl Experiment {
+    /// The five named experiments, in paper order.
+    pub fn all_names() -> [&'static str; 5] {
+        ["table1", "fig1", "fig2", "fig3", "fig_dyn_group"]
+    }
+
+    /// Look up a named experiment under the given options.
+    pub fn named(name: &str, args: &BenchArgs) -> Option<Experiment> {
+        match name {
+            "table1" => Some(Self::table1(args)),
+            "fig1" => Some(Self::fig1(args)),
+            "fig2" => Some(Self::fig2(args)),
+            "fig3" => Some(Self::fig3(args)),
+            "fig_dyn_group" => Some(Self::dyn_group(args)),
+            _ => None,
+        }
+    }
+
+    /// Figure 1 — the 4 K / 8 K / 16 K / Dyn sweep over the applications
+    /// whose false sharing is size-independent (Barnes, Ilink, TSP, Water).
+    pub fn fig1(args: &BenchArgs) -> Experiment {
+        Self::policy_sweep(
+            "fig1",
+            format!(
+                "Figure 1 — Barnes, Ilink, TSP, Water ({} processors)",
+                args.nprocs
+            ),
+            AppId::figure1(),
+            args,
+        )
+    }
+
+    /// Figure 2 — the same sweep over the applications whose false sharing
+    /// depends on the problem size (Jacobi, 3D-FFT, MGS, Shallow).
+    pub fn fig2(args: &BenchArgs) -> Experiment {
+        Self::policy_sweep(
+            "fig2",
+            format!(
+                "Figure 2 — Jacobi, 3D-FFT, MGS, Shallow ({} processors)",
+                args.nprocs
+            ),
+            AppId::figure2(),
+            args,
+        )
+    }
+
+    fn policy_sweep(name: &str, title: String, apps: Vec<AppId>, args: &BenchArgs) -> Experiment {
+        let spec = SweepSpec::paper_units(args.nprocs);
+        let mut cells = Vec::new();
+        for app in apps {
+            for w in args.workloads_for(app) {
+                for p in spec.points() {
+                    cells.push(Cell::new(&w, &p.label, p.unit, p.nprocs));
+                }
+            }
+        }
+        Experiment {
+            name: name.to_string(),
+            title,
+            cells,
+        }
+    }
+
+    /// Table 1 — for every workload of the suite, a 1-processor reference
+    /// run and an `nprocs`-processor run at the 4 KB unit; the renderer
+    /// derives the speedup and checksum-verification columns from the pair.
+    pub fn table1(args: &BenchArgs) -> Experiment {
+        let unit = UnitPolicy::Static { pages: 1 };
+        let mut cells = Vec::new();
+        for w in args.suite() {
+            cells.push(Cell::new(&w, "4K", unit, 1));
+            if args.nprocs != 1 {
+                cells.push(Cell::new(&w, "4K", unit, args.nprocs));
+            }
+        }
+        Experiment {
+            name: "table1".to_string(),
+            title: format!(
+                "Table 1 — sequential times and {}-processor speedups (4 KB unit)",
+                args.nprocs
+            ),
+            cells,
+        }
+    }
+
+    /// Figure 3 — false-sharing signatures at the 4 KB and 16 KB units for
+    /// Barnes, Ilink, Water and MGS (one representative data set each).
+    pub fn fig3(args: &BenchArgs) -> Experiment {
+        let mut cells = Vec::new();
+        for app in crate::figure3_apps() {
+            let w = representative(args, app);
+            for (label, unit) in [
+                ("4K", UnitPolicy::Static { pages: 1 }),
+                ("16K", UnitPolicy::Static { pages: 4 }),
+            ] {
+                cells.push(Cell::new(&w, label, unit, args.nprocs));
+            }
+        }
+        Experiment {
+            name: "fig3".to_string(),
+            title: format!(
+                "Figure 3 — false-sharing signatures at 4 KB and 16 KB ({} processors)",
+                args.nprocs
+            ),
+            cells,
+        }
+    }
+
+    /// The §4 ablation — dynamic aggregation with maximum group sizes 2, 4,
+    /// 8 and 16 pages against the 4 KB static baseline, on one application
+    /// that loves aggregation (Ilink) and one that false sharing hurts (MGS).
+    pub fn dyn_group(args: &BenchArgs) -> Experiment {
+        let mut cells = Vec::new();
+        for app in [AppId::Ilink, AppId::Mgs] {
+            let w = representative(args, app);
+            cells.push(Cell::new(
+                &w,
+                "4K",
+                UnitPolicy::Static { pages: 1 },
+                args.nprocs,
+            ));
+            for p in SweepSpec::dyn_group_ablation(args.nprocs).points() {
+                cells.push(Cell::new(&w, &p.label, p.unit, p.nprocs));
+            }
+        }
+        Experiment {
+            name: "fig_dyn_group".to_string(),
+            title: format!(
+                "Dynamic aggregation group-size ablation ({} processors)",
+                args.nprocs
+            ),
+            cells,
+        }
+    }
+}
+
+/// The data set a single-workload-per-app experiment shows: the second paper
+/// size where one exists (Figure 3 uses MGS's 1Kx1K set, the second of our
+/// list), otherwise the only one.
+fn representative(args: &BenchArgs, app: AppId) -> Workload {
+    let mut workloads = args.workloads_for(app);
+    if workloads.len() > 1 {
+        workloads.swap_remove(1)
+    } else {
+        workloads.swap_remove(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(nprocs: usize, tiny: bool) -> BenchArgs {
+        BenchArgs {
+            nprocs,
+            tiny,
+            ..BenchArgs::defaults(nprocs)
+        }
+    }
+
+    #[test]
+    fn cell_seeds_are_deterministic_and_distinct() {
+        let a = args(8, false);
+        let exp = Experiment::fig1(&a);
+        let again = Experiment::fig1(&a);
+        assert_eq!(exp, again);
+        let mut seeds: Vec<u64> = exp.cells.iter().map(|c| c.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), exp.cells.len(), "seed collision across cells");
+    }
+
+    #[test]
+    fn named_lookup_covers_all_five() {
+        let a = args(2, true);
+        for name in Experiment::all_names() {
+            let exp = Experiment::named(name, &a).expect(name);
+            assert_eq!(exp.name, name);
+            assert!(!exp.cells.is_empty());
+            for cell in &exp.cells {
+                assert!(
+                    cell.workload().is_some(),
+                    "unresolvable cell {}",
+                    cell.key()
+                );
+            }
+        }
+        assert!(Experiment::named("fig9", &a).is_none());
+    }
+
+    #[test]
+    fn table1_collapses_to_one_cell_per_workload_at_one_proc() {
+        let exp = Experiment::table1(&args(1, true));
+        assert_eq!(exp.cells.len(), 8);
+        assert!(exp.cells.iter().all(|c| c.nprocs == 1));
+        let exp8 = Experiment::table1(&args(8, true));
+        assert_eq!(exp8.cells.len(), 16);
+    }
+}

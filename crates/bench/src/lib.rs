@@ -11,11 +11,25 @@
 //! | `fig3` | Figure 3 — false-sharing signatures at 4 K and 16 K |
 //! | `fig_dyn_group` | ablation — dynamic-aggregation maximum group size |
 //!
-//! This library crate holds the shared sweep and formatting code so the
-//! binaries stay thin and the integration tests can exercise the same paths.
+//! Since PR 2 all five binaries run through one shared **experiment
+//! engine**: [`Experiment`] declares the cell grid (application ×
+//! consistency-unit policy × processor count), [`runner`] executes it on a
+//! std-thread worker pool, and [`emit`] renders the result as the paper-style
+//! human report, a versioned JSON document or CSV (`--format`, `--out`).
+//! This library crate holds that engine plus the shared sweep and formatting
+//! code, so the binaries stay thin and the integration tests can exercise
+//! the same paths.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod emit;
+pub mod experiment;
+pub mod runner;
+
+pub use emit::{parse_result, render, OutputFormat, RESULT_SCHEMA};
+pub use experiment::{Cell, Experiment};
+pub use runner::{run_cell, run_experiment, CellResult, ExperimentResult, RunnerOptions};
 
 use tdsm_core::{SignatureHistogram, UnitPolicy};
 use tm_apps::{paper_unit_policies, AppConfig, AppId, Workload};
@@ -101,15 +115,18 @@ fn norm(value: u64, baseline: u64) -> f64 {
     }
 }
 
-/// Print one workload's sweep the way the paper's Figures 1 and 2 present it:
-/// execution time, messages and data normalized to the 4 KB configuration,
-/// with the useful/useless/piggybacked breakdown.
-pub fn print_figure_panel(rows: &[FigRow]) {
+/// Render one workload's sweep the way the paper's Figures 1 and 2 present
+/// it: execution time, messages and data normalized to the 4 KB
+/// configuration, with the useful/useless/piggybacked breakdown.
+pub fn figure_panel_string(rows: &[FigRow]) -> String {
+    use std::fmt::Write as _;
     let base = rows
         .iter()
         .find(|r| r.policy == "4K")
         .expect("sweep must contain the 4K baseline");
-    println!(
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
         "\n=== {} {} (normalized to 4K; absolute 4K: {:.1} ms, {} msgs, {} KB) ===",
         base.app,
         base.size,
@@ -117,12 +134,14 @@ pub fn print_figure_panel(rows: &[FigRow]) {
         base.total_msgs(),
         base.total_data() / 1024
     );
-    println!(
+    let _ = writeln!(
+        out,
         "{:<6} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "unit", "time", "msgs", "useless-msg", "data", "useful", "piggyback", "useless"
     );
     for r in rows {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<6} {:>10.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
             r.policy,
             norm(r.exec_time_ns, base.exec_time_ns),
@@ -134,6 +153,12 @@ pub fn print_figure_panel(rows: &[FigRow]) {
             norm(r.useless_in_useless, base.total_data()),
         );
     }
+    out
+}
+
+/// Print a figure panel to stdout (see [`figure_panel_string`]).
+pub fn print_figure_panel(rows: &[FigRow]) {
+    print!("{}", figure_panel_string(rows));
 }
 
 /// Emit the rows as CSV (machine-readable output for EXPERIMENTS.md).
@@ -208,14 +233,18 @@ pub fn signature_of(w: &Workload, nprocs: usize, unit: UnitPolicy) -> SignatureH
     run.breakdown.signature
 }
 
-/// Print a signature histogram in the style of Figure 3: one line per
+/// Render a signature histogram in the style of Figure 3: one line per
 /// concurrent-writer count with its frequency and useful/useless split.
-pub fn print_signature(app: &str, size: &str, policy: &str, sig: &SignatureHistogram) {
-    println!(
+pub fn signature_string(app: &str, size: &str, policy: &str, sig: &SignatureHistogram) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
         "\n--- {app} {size} @ {policy} (mean writers {:.2}) ---",
         sig.mean_writers()
     );
-    println!(
+    let _ = writeln!(
+        out,
         "{:>8} {:>10} {:>10} {:>10}",
         "writers", "freq", "useful", "useless"
     );
@@ -224,7 +253,8 @@ pub fn print_signature(app: &str, size: &str, policy: &str, sig: &SignatureHisto
         if b.faults == 0 {
             continue;
         }
-        println!(
+        let _ = writeln!(
+            out,
             "{:>8} {:>10.3} {:>10} {:>10}",
             k,
             sig.frequency(k),
@@ -232,6 +262,12 @@ pub fn print_signature(app: &str, size: &str, policy: &str, sig: &SignatureHisto
             b.useless_exchanges
         );
     }
+    out
+}
+
+/// Print a signature histogram to stdout (see [`signature_string`]).
+pub fn print_signature(app: &str, size: &str, policy: &str, sig: &SignatureHistogram) {
+    print!("{}", signature_string(app, size, policy, sig));
 }
 
 /// The four applications whose signatures Figure 3 shows.
@@ -241,19 +277,46 @@ pub fn figure3_apps() -> Vec<AppId> {
 
 /// Command-line options shared by every figure/table binary.
 ///
-/// Usage accepted by all binaries: `[nprocs] [--tiny]`.
-/// `--tiny` switches to the smoke configuration: one tiny data set per
-/// application and a 2-processor cluster (unless a processor count was given
-/// explicitly) — the mode `tests/harness_smoke.rs` drives end-to-end.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Usage accepted by all binaries:
+/// `[nprocs] [--tiny] [--threads N] [--format human|json|csv] [--out FILE]`.
+///
+/// * `--tiny` switches to the smoke configuration: one tiny data set per
+///   application and a 2-processor cluster (unless a processor count was
+///   given explicitly) — the mode `tests/harness_smoke.rs` drives
+///   end-to-end.
+/// * `--threads N` sets the worker-pool width (default: one per CPU).
+/// * `--format` selects what is written to stdout (default: the human
+///   report).
+/// * `--out FILE` additionally writes the machine-readable document to
+///   `FILE` (in the `--format` format, or JSON when the format is `human`),
+///   keeping the human report on stdout.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchArgs {
     /// Number of simulated processors.
     pub nprocs: usize,
     /// Run the tiny smoke configuration instead of the paper data sets.
     pub tiny: bool,
+    /// Worker threads for the experiment runner (0 = one per CPU).
+    pub threads: usize,
+    /// Format written to stdout.
+    pub format: OutputFormat,
+    /// Optional path for a machine-readable copy of the results.
+    pub out: Option<String>,
 }
 
 impl BenchArgs {
+    /// The defaults the binaries start from: `default_nprocs` processors,
+    /// full data sets, auto-sized worker pool, human output, no out-file.
+    pub fn defaults(default_nprocs: usize) -> Self {
+        BenchArgs {
+            nprocs: default_nprocs,
+            tiny: false,
+            threads: 0,
+            format: OutputFormat::Human,
+            out: None,
+        }
+    }
+
     /// Parse `std::env::args`, defaulting to `default_nprocs` processors
     /// (2 in `--tiny` mode). Exits with a usage message on an invalid
     /// processor count or an unrecognized flag.
@@ -261,7 +324,10 @@ impl BenchArgs {
         match Self::from_iter(std::env::args().skip(1), default_nprocs) {
             Ok(args) => args,
             Err(msg) => {
-                eprintln!("error: {msg}\nusage: [nprocs (1-64)] [--tiny]");
+                eprintln!(
+                    "error: {msg}\nusage: [nprocs (1-64)] [--tiny] [--threads N] \
+                     [--format human|json|csv] [--out FILE]"
+                );
                 std::process::exit(2);
             }
         }
@@ -271,11 +337,30 @@ impl BenchArgs {
         args: impl Iterator<Item = String>,
         default_nprocs: usize,
     ) -> Result<Self, String> {
-        let mut tiny = false;
+        let mut out = Self::defaults(default_nprocs);
         let mut nprocs = None;
-        for arg in args {
+        let mut args = args;
+        while let Some(arg) = args.next() {
+            let mut flag_value = |flag: &str| {
+                args.next()
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
             match arg.as_str() {
-                "--tiny" => tiny = true,
+                "--tiny" => out.tiny = true,
+                "--threads" => {
+                    let v = flag_value("--threads")?;
+                    out.threads = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| (1..=256).contains(&n))
+                        .ok_or_else(|| format!("invalid --threads '{v}' (expected 1-256)"))?;
+                }
+                "--format" => {
+                    out.format = flag_value("--format")?.parse()?;
+                }
+                "--out" => {
+                    out.out = Some(flag_value("--out")?);
+                }
                 other => match other.parse::<usize>() {
                     // The same bounds DsmConfig::validate enforces, reported
                     // as a usage error instead of a panic.
@@ -288,10 +373,33 @@ impl BenchArgs {
                 },
             }
         }
-        Ok(BenchArgs {
-            nprocs: nprocs.unwrap_or(if tiny { 2 } else { default_nprocs }),
-            tiny,
-        })
+        out.nprocs = nprocs.unwrap_or(if out.tiny { 2 } else { default_nprocs });
+        Ok(out)
+    }
+
+    /// Run `exp` on the worker pool and emit the results as these options
+    /// request: the `--format` rendering to stdout, plus a machine-readable
+    /// copy to `--out` when given (the binaries' single driver entry point).
+    /// Returns the result for further inspection.
+    pub fn run_and_emit(&self, exp: &Experiment) -> std::io::Result<ExperimentResult> {
+        let result = run_experiment(
+            exp,
+            &RunnerOptions {
+                threads: self.threads,
+            },
+        );
+        if let Some(path) = &self.out {
+            // `--out` always yields a machine-readable file: JSON unless a
+            // machine format was requested explicitly.
+            let file_format = match self.format {
+                OutputFormat::Human => OutputFormat::Json,
+                f => f,
+            };
+            std::fs::write(path, render(&result, file_format))?;
+            eprintln!("wrote {path}");
+        }
+        print!("{}", render(&result, self.format));
+        Ok(result)
     }
 
     /// The workloads of `app` under these options: its paper data sets, or
@@ -354,41 +462,32 @@ mod tests {
         let parse = |args: &[&str], default| {
             BenchArgs::from_iter(args.iter().map(|s| s.to_string()), default).unwrap()
         };
-        assert_eq!(
-            parse(&[], 8),
-            BenchArgs {
-                nprocs: 8,
-                tiny: false
-            }
-        );
+        assert_eq!(parse(&[], 8), BenchArgs::defaults(8));
         assert_eq!(
             parse(&["4"], 8),
             BenchArgs {
                 nprocs: 4,
-                tiny: false
+                ..BenchArgs::defaults(8)
             }
         );
         assert_eq!(
             parse(&["--tiny"], 8),
             BenchArgs {
                 nprocs: 2,
-                tiny: true
+                tiny: true,
+                ..BenchArgs::defaults(8)
             }
         );
-        assert_eq!(
-            parse(&["--tiny", "3"], 8),
-            BenchArgs {
-                nprocs: 3,
-                tiny: true
-            }
-        );
-        assert_eq!(
-            parse(&["3", "--tiny"], 8),
-            BenchArgs {
-                nprocs: 3,
-                tiny: true
-            }
-        );
+        for order in [["--tiny", "3"], ["3", "--tiny"]] {
+            assert_eq!(
+                parse(&order, 8),
+                BenchArgs {
+                    nprocs: 3,
+                    tiny: true,
+                    ..BenchArgs::defaults(8)
+                }
+            );
+        }
         let err = |args: &[&str]| {
             BenchArgs::from_iter(args.iter().map(|s| s.to_string()), 8).unwrap_err()
         };
@@ -399,17 +498,39 @@ mod tests {
     }
 
     #[test]
+    fn bench_args_parse_engine_flags() {
+        let parse =
+            |args: &[&str]| BenchArgs::from_iter(args.iter().map(|s| s.to_string()), 8).unwrap();
+        assert_eq!(
+            parse(&["--threads", "4", "--format", "json", "--out", "r.json"]),
+            BenchArgs {
+                threads: 4,
+                format: OutputFormat::Json,
+                out: Some("r.json".to_string()),
+                ..BenchArgs::defaults(8)
+            }
+        );
+        assert_eq!(parse(&["--format", "csv"]).format, OutputFormat::Csv);
+
+        let err = |args: &[&str]| {
+            BenchArgs::from_iter(args.iter().map(|s| s.to_string()), 8).unwrap_err()
+        };
+        assert!(err(&["--threads"]).contains("requires a value"));
+        assert!(err(&["--threads", "0"]).contains("expected 1-256"));
+        assert!(err(&["--format", "xml"]).contains("unknown format"));
+        assert!(err(&["--out"]).contains("requires a value"));
+    }
+
+    #[test]
     fn tiny_workload_selection() {
         let args = BenchArgs {
             nprocs: 2,
             tiny: true,
+            ..BenchArgs::defaults(2)
         };
         assert_eq!(args.suite().len(), 8);
         assert_eq!(args.workloads_for(AppId::Jacobi).len(), 1);
-        let full = BenchArgs {
-            nprocs: 8,
-            tiny: false,
-        };
+        let full = BenchArgs::defaults(8);
         assert_eq!(full.suite().len(), 16);
     }
 

@@ -1,6 +1,7 @@
 //! DSM configuration: cluster geometry and the consistency-unit policy.
 
-use serde::{Deserialize, Serialize};
+use serde::json::Value;
+use serde::{field_u64, Deserialize, FromJson, JsonSchemaError, Serialize, ToJson};
 use tm_net::CostModel;
 use tm_page::{PageId, PageLayout};
 
@@ -63,6 +64,190 @@ impl UnitPolicy {
     /// True if this is the dynamic-aggregation policy.
     pub fn is_dynamic(&self) -> bool {
         matches!(self, UnitPolicy::Dynamic { .. })
+    }
+}
+
+impl ToJson for UnitPolicy {
+    fn to_json(&self) -> Value {
+        match self {
+            UnitPolicy::Static { pages } => Value::obj(vec![
+                ("kind", Value::Str("static".into())),
+                ("pages", Value::Num(*pages as f64)),
+            ]),
+            UnitPolicy::Dynamic { max_group_pages } => Value::obj(vec![
+                ("kind", Value::Str("dynamic".into())),
+                ("max_group_pages", Value::Num(*max_group_pages as f64)),
+            ]),
+        }
+    }
+}
+
+impl FromJson for UnitPolicy {
+    fn from_json(v: &Value) -> Result<Self, JsonSchemaError> {
+        match v.get("kind").and_then(|k| k.as_str()) {
+            Some("static") => Ok(UnitPolicy::Static {
+                pages: field_u64(v, "pages")? as u32,
+            }),
+            Some("dynamic") => Ok(UnitPolicy::Dynamic {
+                max_group_pages: field_u64(v, "max_group_pages")? as u32,
+            }),
+            _ => Err(JsonSchemaError::new("kind", "\"static\" or \"dynamic\"")),
+        }
+    }
+}
+
+/// One point of a [`SweepSpec`]: a concrete (processor count, unit policy)
+/// configuration together with the label the figures print for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// Number of simulated processors.
+    pub nprocs: usize,
+    /// Consistency-unit policy at this point.
+    pub unit: UnitPolicy,
+    /// Display label ("4K", "8K", "16K", "Dyn", "Dyn8", ...).
+    pub label: String,
+}
+
+/// Declarative description of the configuration grid an experiment sweeps:
+/// the cross product of processor counts and consistency-unit policies.
+///
+/// This is the paper's experimental design expressed as data — Figures 1
+/// and 2 are [`SweepSpec::paper_units`] over each application, the group-size
+/// ablation is [`SweepSpec::dyn_group_ablation`] — and it is what the
+/// `tm-bench` experiment engine expands into runnable cells.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Processor counts to sweep (each must be in 1..=64).
+    pub procs: Vec<usize>,
+    /// Consistency-unit policies to sweep.
+    pub units: Vec<UnitPolicy>,
+    /// Hardware page size labels are computed against (4096 in the paper).
+    pub page_size: usize,
+}
+
+impl SweepSpec {
+    /// The paper's policy axis (4 K / 8 K / 16 K / Dyn) at one processor
+    /// count — the sweep behind Figures 1 and 2.
+    pub fn paper_units(nprocs: usize) -> Self {
+        SweepSpec {
+            procs: vec![nprocs],
+            units: vec![
+                UnitPolicy::Static { pages: 1 },
+                UnitPolicy::Static { pages: 2 },
+                UnitPolicy::Static { pages: 4 },
+                UnitPolicy::Dynamic { max_group_pages: 4 },
+            ],
+            page_size: 4096,
+        }
+    }
+
+    /// The §4 ablation axis: dynamic aggregation with maximum group sizes of
+    /// 2, 4, 8 and 16 pages, at one processor count.
+    pub fn dyn_group_ablation(nprocs: usize) -> Self {
+        SweepSpec {
+            procs: vec![nprocs],
+            units: [2u32, 4, 8, 16]
+                .into_iter()
+                .map(|max_group_pages| UnitPolicy::Dynamic { max_group_pages })
+                .collect(),
+            page_size: 4096,
+        }
+    }
+
+    /// A single-configuration "sweep" (used for Table 1's fixed 4 KB unit).
+    pub fn single(nprocs: usize, unit: UnitPolicy) -> Self {
+        SweepSpec {
+            procs: vec![nprocs],
+            units: vec![unit],
+            page_size: 4096,
+        }
+    }
+
+    /// Expand into concrete points: the cross product of processor counts and
+    /// unit policies, in deterministic (procs-major) order.
+    ///
+    /// Dynamic policies other than the paper's default group size are
+    /// labelled with their size (`Dyn8`), so ablation points stay
+    /// distinguishable.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        let mut out = Vec::with_capacity(self.procs.len() * self.units.len());
+        for &nprocs in &self.procs {
+            for &unit in &self.units {
+                let label = match unit {
+                    UnitPolicy::Dynamic { max_group_pages } if max_group_pages != 4 => {
+                        format!("Dyn{max_group_pages}")
+                    }
+                    u => u.label(self.page_size),
+                };
+                out.push(SweepPoint {
+                    nprocs,
+                    unit,
+                    label,
+                });
+            }
+        }
+        out
+    }
+
+    /// Validate the spec, panicking on empty axes or out-of-range values
+    /// (same bounds as [`DsmConfig::validate`]).
+    pub fn validate(&self) {
+        assert!(
+            !self.procs.is_empty(),
+            "sweep needs at least one processor count"
+        );
+        assert!(
+            !self.units.is_empty(),
+            "sweep needs at least one unit policy"
+        );
+        for &n in &self.procs {
+            assert!((1..=64).contains(&n), "processor count {n} outside 1-64");
+        }
+        for &u in &self.units {
+            DsmConfig {
+                unit: u,
+                ..DsmConfig::paper_default()
+            }
+            .validate();
+        }
+    }
+}
+
+impl ToJson for SweepSpec {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            (
+                "procs",
+                Value::Arr(self.procs.iter().map(|&p| Value::Num(p as f64)).collect()),
+            ),
+            (
+                "units",
+                Value::Arr(self.units.iter().map(|u| u.to_json()).collect()),
+            ),
+            ("page_size", Value::Num(self.page_size as f64)),
+        ])
+    }
+}
+
+impl FromJson for SweepSpec {
+    fn from_json(v: &Value) -> Result<Self, JsonSchemaError> {
+        let mut procs = Vec::new();
+        for (i, p) in serde::field_arr(v, "procs")?.iter().enumerate() {
+            procs.push(
+                p.as_u64().ok_or_else(|| {
+                    JsonSchemaError::new(format!("procs[{i}]"), "unsigned integer")
+                })? as usize,
+            );
+        }
+        let mut units = Vec::new();
+        for (i, u) in serde::field_arr(v, "units")?.iter().enumerate() {
+            units.push(UnitPolicy::from_json(u).map_err(|e| e.in_context(&format!("units[{i}]")))?);
+        }
+        Ok(SweepSpec {
+            procs,
+            units,
+            page_size: field_u64(v, "page_size")? as usize,
+        })
     }
 }
 
@@ -216,6 +401,50 @@ mod tests {
         assert_eq!(cfg.nprocs, 8);
         assert_eq!(cfg.unit_bytes(), 4096);
         assert_eq!(cfg.layout().page_size(), 4096);
+    }
+
+    #[test]
+    fn sweep_spec_expands_in_deterministic_order() {
+        let spec = SweepSpec::paper_units(8);
+        spec.validate();
+        let points = spec.points();
+        let labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, vec!["4K", "8K", "16K", "Dyn"]);
+        assert!(points.iter().all(|p| p.nprocs == 8));
+
+        let ablation = SweepSpec::dyn_group_ablation(4).points();
+        let labels: Vec<&str> = ablation.iter().map(|p| p.label.as_str()).collect();
+        // The paper-default group size 4 keeps the plain "Dyn" label.
+        assert_eq!(labels, vec!["Dyn2", "Dyn", "Dyn8", "Dyn16"]);
+
+        let multi = SweepSpec {
+            procs: vec![2, 4],
+            units: vec![UnitPolicy::Static { pages: 1 }],
+            page_size: 4096,
+        };
+        assert_eq!(multi.points().len(), 2);
+        assert_eq!(multi.points()[1].nprocs, 4);
+    }
+
+    #[test]
+    fn sweep_spec_json_roundtrip() {
+        use serde::{FromJson, ToJson};
+        let spec = SweepSpec {
+            procs: vec![1, 8],
+            units: vec![
+                UnitPolicy::Static { pages: 2 },
+                UnitPolicy::Dynamic { max_group_pages: 8 },
+            ],
+            page_size: 4096,
+        };
+        let parsed =
+            SweepSpec::from_json(&serde::json::parse(&spec.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+
+        let bad = serde::json::parse(r#"{"procs":[1],"units":[{"kind":"wat"}],"page_size":4096}"#)
+            .unwrap();
+        let err = SweepSpec::from_json(&bad).unwrap_err();
+        assert_eq!(err.path, "units[0].kind");
     }
 
     #[test]

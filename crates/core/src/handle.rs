@@ -4,7 +4,7 @@
 //! arrays and scalars from the [`Dsm`](crate::cluster::Dsm) before the
 //! parallel section and access them through these handles, which translate
 //! element indices into byte-level shared-memory accesses on a
-//! [`ProcCtx`](crate::proc::ProcCtx).
+//! [`ProcCtx`].
 
 use std::marker::PhantomData;
 

@@ -13,7 +13,8 @@
 //! [`ProcStats`] collects the raw records on each processor;
 //! [`ClusterStats::breakdown`] derives the figures.
 
-use serde::{Deserialize, Serialize};
+use serde::json::Value;
+use serde::{field_arr, field_u64, Deserialize, FromJson, JsonSchemaError, Serialize, ToJson};
 
 use crate::msg::{ControlMsg, DiffExchange, FaultRecord, MsgKind, ProcId, MSG_HEADER_BYTES};
 
@@ -291,6 +292,96 @@ impl ClusterStats {
     }
 }
 
+impl ToJson for SignatureBucket {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("faults", Value::Num(self.faults as f64)),
+            ("useful_exchanges", Value::Num(self.useful_exchanges as f64)),
+            (
+                "useless_exchanges",
+                Value::Num(self.useless_exchanges as f64),
+            ),
+        ])
+    }
+}
+
+impl FromJson for SignatureBucket {
+    fn from_json(v: &Value) -> Result<Self, JsonSchemaError> {
+        Ok(SignatureBucket {
+            faults: field_u64(v, "faults")?,
+            useful_exchanges: field_u64(v, "useful_exchanges")?,
+            useless_exchanges: field_u64(v, "useless_exchanges")?,
+        })
+    }
+}
+
+impl ToJson for SignatureHistogram {
+    /// Bucket `k` of the emitted array is the bucket for `k` concurrent
+    /// writers (index 0 = faults that needed no exchange).
+    fn to_json(&self) -> Value {
+        Value::obj(vec![(
+            "buckets",
+            Value::Arr(self.buckets.iter().map(|b| b.to_json()).collect()),
+        )])
+    }
+}
+
+impl FromJson for SignatureHistogram {
+    fn from_json(v: &Value) -> Result<Self, JsonSchemaError> {
+        let mut buckets = Vec::new();
+        for (i, b) in field_arr(v, "buckets")?.iter().enumerate() {
+            buckets.push(
+                SignatureBucket::from_json(b)
+                    .map_err(|e| e.in_context(&format!("buckets[{i}]")))?,
+            );
+        }
+        Ok(SignatureHistogram { buckets })
+    }
+}
+
+impl ToJson for CommBreakdown {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("useful_messages", Value::Num(self.useful_messages as f64)),
+            ("useless_messages", Value::Num(self.useless_messages as f64)),
+            ("useful_data", Value::Num(self.useful_data as f64)),
+            (
+                "useless_data_in_useless_msgs",
+                Value::Num(self.useless_data_in_useless_msgs as f64),
+            ),
+            (
+                "piggybacked_useless_data",
+                Value::Num(self.piggybacked_useless_data as f64),
+            ),
+            ("total_wire_bytes", Value::Num(self.total_wire_bytes as f64)),
+            ("exec_time_ns", Value::Num(self.exec_time_ns as f64)),
+            ("faults", Value::Num(self.faults as f64)),
+            ("signature", self.signature.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CommBreakdown {
+    fn from_json(v: &Value) -> Result<Self, JsonSchemaError> {
+        Ok(CommBreakdown {
+            useful_messages: field_u64(v, "useful_messages")?,
+            useless_messages: field_u64(v, "useless_messages")?,
+            useful_data: field_u64(v, "useful_data")?,
+            useless_data_in_useless_msgs: field_u64(v, "useless_data_in_useless_msgs")?,
+            piggybacked_useless_data: field_u64(v, "piggybacked_useless_data")?,
+            total_wire_bytes: field_u64(v, "total_wire_bytes")?,
+            exec_time_ns: field_u64(v, "exec_time_ns")?,
+            faults: field_u64(v, "faults")?,
+            signature: {
+                let sig = v
+                    .get("signature")
+                    .ok_or_else(|| JsonSchemaError::new("signature", "object"))?;
+                SignatureHistogram::from_json(sig).map_err(|e| e.in_context("signature"))?
+            },
+        })
+    }
+}
+
 /// A `(value, baseline)` pair normalized the way the paper's figures are:
 /// every statistic divided by its value at the 4 KB consistency unit.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -429,6 +520,29 @@ mod tests {
         }
         .ratio()
         .is_infinite());
+    }
+
+    #[test]
+    fn breakdown_json_roundtrip() {
+        let mut p = ProcStats::new(ProcId(0));
+        p.exchanges.push(exchange(0, 100, 60));
+        p.exchanges.push(exchange(1, 50, 0));
+        p.faults.push(FaultRecord {
+            concurrent_writers: 2,
+            exchange_ids: vec![0, 1],
+            pages_validated: 1,
+        });
+        p.record_control(MsgKind::BarrierArrive, 8);
+        p.exec_time_ns = 1000;
+        let b = ClusterStats { per_proc: vec![p] }.breakdown();
+
+        let text = b.to_json().pretty();
+        let parsed = CommBreakdown::from_json(&serde::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, b);
+
+        // A missing field reports its path.
+        let err = CommBreakdown::from_json(&serde::json::parse("{}").unwrap()).unwrap_err();
+        assert_eq!(err.path, "useful_messages");
     }
 
     #[test]

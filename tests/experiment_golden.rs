@@ -1,0 +1,199 @@
+//! Golden test pinning the cell set of each named experiment.
+//!
+//! The five figure/table experiments ARE the paper's experimental design;
+//! their cell grids must not drift when the engine or the registry is
+//! refactored. Each constant below is the exact, ordered key list
+//! (`app/size/policy/pN`) the experiment must expand to at the paper's
+//! 8-processor configuration. If an intentional design change alters a
+//! grid, update the constant in the same commit and say why.
+
+use tm_bench::{BenchArgs, Experiment};
+
+const TABLE1_8P: &str = "\
+Barnes/2048bodies/4K/p1
+Barnes/2048bodies/4K/p8
+Ilink/CLP-24x4096/4K/p1
+Ilink/CLP-24x4096/4K/p8
+TSP/11cities/4K/p1
+TSP/11cities/4K/p8
+Water/512mol/4K/p1
+Water/512mol/4K/p8
+Jacobi/256x1024/4K/p1
+Jacobi/256x1024/4K/p8
+Jacobi/256x2048/4K/p1
+Jacobi/256x2048/4K/p8
+3D-FFT/32x64x32/4K/p1
+3D-FFT/32x64x32/4K/p8
+3D-FFT/32x64x64/4K/p1
+3D-FFT/32x64x64/4K/p8
+3D-FFT/32x128x128/4K/p1
+3D-FFT/32x128x128/4K/p8
+MGS/48x512/4K/p1
+MGS/48x512/4K/p8
+MGS/48x1024/4K/p1
+MGS/48x1024/4K/p8
+MGS/48x2048/4K/p1
+MGS/48x2048/4K/p8
+MGS/48x4096/4K/p1
+MGS/48x4096/4K/p8
+Shallow/512x96/4K/p1
+Shallow/512x96/4K/p8
+Shallow/1024x96/4K/p1
+Shallow/1024x96/4K/p8
+Shallow/2048x96/4K/p1
+Shallow/2048x96/4K/p8";
+
+const FIG1_8P: &str = "\
+Barnes/2048bodies/4K/p8
+Barnes/2048bodies/8K/p8
+Barnes/2048bodies/16K/p8
+Barnes/2048bodies/Dyn/p8
+Ilink/CLP-24x4096/4K/p8
+Ilink/CLP-24x4096/8K/p8
+Ilink/CLP-24x4096/16K/p8
+Ilink/CLP-24x4096/Dyn/p8
+TSP/11cities/4K/p8
+TSP/11cities/8K/p8
+TSP/11cities/16K/p8
+TSP/11cities/Dyn/p8
+Water/512mol/4K/p8
+Water/512mol/8K/p8
+Water/512mol/16K/p8
+Water/512mol/Dyn/p8";
+
+const FIG2_8P: &str = "\
+Jacobi/256x1024/4K/p8
+Jacobi/256x1024/8K/p8
+Jacobi/256x1024/16K/p8
+Jacobi/256x1024/Dyn/p8
+Jacobi/256x2048/4K/p8
+Jacobi/256x2048/8K/p8
+Jacobi/256x2048/16K/p8
+Jacobi/256x2048/Dyn/p8
+3D-FFT/32x64x32/4K/p8
+3D-FFT/32x64x32/8K/p8
+3D-FFT/32x64x32/16K/p8
+3D-FFT/32x64x32/Dyn/p8
+3D-FFT/32x64x64/4K/p8
+3D-FFT/32x64x64/8K/p8
+3D-FFT/32x64x64/16K/p8
+3D-FFT/32x64x64/Dyn/p8
+3D-FFT/32x128x128/4K/p8
+3D-FFT/32x128x128/8K/p8
+3D-FFT/32x128x128/16K/p8
+3D-FFT/32x128x128/Dyn/p8
+MGS/48x512/4K/p8
+MGS/48x512/8K/p8
+MGS/48x512/16K/p8
+MGS/48x512/Dyn/p8
+MGS/48x1024/4K/p8
+MGS/48x1024/8K/p8
+MGS/48x1024/16K/p8
+MGS/48x1024/Dyn/p8
+MGS/48x2048/4K/p8
+MGS/48x2048/8K/p8
+MGS/48x2048/16K/p8
+MGS/48x2048/Dyn/p8
+MGS/48x4096/4K/p8
+MGS/48x4096/8K/p8
+MGS/48x4096/16K/p8
+MGS/48x4096/Dyn/p8
+Shallow/512x96/4K/p8
+Shallow/512x96/8K/p8
+Shallow/512x96/16K/p8
+Shallow/512x96/Dyn/p8
+Shallow/1024x96/4K/p8
+Shallow/1024x96/8K/p8
+Shallow/1024x96/16K/p8
+Shallow/1024x96/Dyn/p8
+Shallow/2048x96/4K/p8
+Shallow/2048x96/8K/p8
+Shallow/2048x96/16K/p8
+Shallow/2048x96/Dyn/p8";
+
+const FIG3_8P: &str = "\
+Barnes/2048bodies/4K/p8
+Barnes/2048bodies/16K/p8
+Ilink/CLP-24x4096/4K/p8
+Ilink/CLP-24x4096/16K/p8
+Water/512mol/4K/p8
+Water/512mol/16K/p8
+MGS/48x1024/4K/p8
+MGS/48x1024/16K/p8";
+
+const FIG_DYN_GROUP_8P: &str = "\
+Ilink/CLP-24x4096/4K/p8
+Ilink/CLP-24x4096/Dyn2/p8
+Ilink/CLP-24x4096/Dyn/p8
+Ilink/CLP-24x4096/Dyn8/p8
+Ilink/CLP-24x4096/Dyn16/p8
+MGS/48x1024/4K/p8
+MGS/48x1024/Dyn2/p8
+MGS/48x1024/Dyn/p8
+MGS/48x1024/Dyn8/p8
+MGS/48x1024/Dyn16/p8";
+
+fn keys(name: &str, args: &BenchArgs) -> String {
+    Experiment::named(name, args)
+        .unwrap_or_else(|| panic!("unknown experiment {name}"))
+        .cells
+        .iter()
+        .map(|c| c.key())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn full_cell_grids_match_the_paper_design() {
+    let args = BenchArgs::defaults(8);
+    for (name, golden) in [
+        ("table1", TABLE1_8P),
+        ("fig1", FIG1_8P),
+        ("fig2", FIG2_8P),
+        ("fig3", FIG3_8P),
+        ("fig_dyn_group", FIG_DYN_GROUP_8P),
+    ] {
+        assert_eq!(
+            keys(name, &args),
+            golden,
+            "cell grid of '{name}' drifted from the pinned paper design"
+        );
+    }
+}
+
+#[test]
+fn tiny_cell_grids_keep_their_shape() {
+    let args = BenchArgs {
+        nprocs: 2,
+        tiny: true,
+        ..BenchArgs::defaults(2)
+    };
+    // Tiny grids mirror the full ones with one data set per application; pin
+    // the counts and spot-check structure rather than every label.
+    for (name, cells) in [
+        ("table1", 16),
+        ("fig1", 16),
+        ("fig2", 16),
+        ("fig3", 8),
+        ("fig_dyn_group", 10),
+    ] {
+        let exp = Experiment::named(name, &args).unwrap();
+        assert_eq!(exp.cells.len(), cells, "tiny cell count of '{name}'");
+        assert!(
+            exp.cells.iter().all(|c| c.size_label.ends_with("(tiny)")),
+            "'{name}' tiny mode must only use tiny data sets"
+        );
+    }
+    let fig3 = Experiment::named("fig3", &args).unwrap();
+    assert!(fig3.cells.iter().all(|c| c.nprocs == 2));
+}
+
+#[test]
+fn seeds_are_stable_across_processes() {
+    // Seeds derive from cell identity only (FNV-1a of the key), so they are
+    // reproducible across runs, machines and thread counts. Pin one.
+    let args = BenchArgs::defaults(8);
+    let fig1 = Experiment::fig1(&args);
+    assert_eq!(fig1.cells[0].key(), "Barnes/2048bodies/4K/p8");
+    assert_eq!(fig1.cells[0].seed, 0x1ad4ea2346c363c2);
+}

@@ -3,8 +3,18 @@
 //! Provides the `Serialize`/`Deserialize` names this workspace imports —
 //! both as derive macros (no-op expansion, re-exported from the companion
 //! `serde_derive` stand-in) and as marker traits, so either use resolves.
+//!
+//! Since PR 2 the stand-in also carries a real (if small) serialization
+//! facility: the [`json`] module holds a JSON document model with a parser
+//! and writers, and the [`ToJson`]/[`FromJson`] traits are implemented by
+//! hand on the workspace types that the benchmark harness emits
+//! (`tm_net::stats`, `tdsm_core::config`, `tm_bench`'s experiment results).
+//! The derive macros stay no-ops; the hand impls are the source of truth for
+//! the wire schema documented in `EXPERIMENTS.md`.
 
 pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
 
 /// Marker counterpart of `serde::Serialize` (never used as a bound here).
 pub trait SerializeMarker {}
@@ -14,3 +24,85 @@ pub trait DeserializeMarker {}
 
 impl<T: ?Sized> SerializeMarker for T {}
 impl<T: ?Sized> DeserializeMarker for T {}
+
+/// Types that can render themselves as a JSON [`json::Value`].
+pub trait ToJson {
+    /// Build the JSON representation of `self`.
+    fn to_json(&self) -> json::Value;
+}
+
+/// Types that can be reconstructed from a JSON [`json::Value`].
+pub trait FromJson: Sized {
+    /// Rebuild a value from its JSON representation, reporting which field
+    /// was malformed or missing on failure.
+    fn from_json(v: &json::Value) -> Result<Self, JsonSchemaError>;
+}
+
+/// A [`FromJson`] failure: which field of which type did not match the
+/// expected schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonSchemaError {
+    /// Dotted path of the offending field (e.g. `"cells[3].breakdown"`).
+    pub path: String,
+    /// What was expected there.
+    pub expected: String,
+}
+
+impl JsonSchemaError {
+    /// Build an error for `path` expecting `expected`.
+    pub fn new(path: impl Into<String>, expected: impl Into<String>) -> Self {
+        JsonSchemaError {
+            path: path.into(),
+            expected: expected.into(),
+        }
+    }
+
+    /// Prefix the field path with an enclosing context (used while bubbling
+    /// errors out of nested structures).
+    pub fn in_context(mut self, ctx: &str) -> Self {
+        self.path = if self.path.is_empty() {
+            ctx.to_string()
+        } else {
+            format!("{ctx}.{}", self.path)
+        };
+        self
+    }
+}
+
+impl std::fmt::Display for JsonSchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "at '{}': expected {}", self.path, self.expected)
+    }
+}
+
+impl std::error::Error for JsonSchemaError {}
+
+/// Fetch `key` from a JSON object and decode it as a `u64`, with a precise
+/// error path on failure. Shared helper for the hand-written [`FromJson`]
+/// impls across the workspace.
+pub fn field_u64(v: &json::Value, key: &str) -> Result<u64, JsonSchemaError> {
+    v.get(key)
+        .and_then(|f| f.as_u64())
+        .ok_or_else(|| JsonSchemaError::new(key, "unsigned integer"))
+}
+
+/// Fetch `key` from a JSON object and decode it as an `f64`.
+pub fn field_f64(v: &json::Value, key: &str) -> Result<f64, JsonSchemaError> {
+    v.get(key)
+        .and_then(|f| f.as_f64())
+        .ok_or_else(|| JsonSchemaError::new(key, "number"))
+}
+
+/// Fetch `key` from a JSON object and decode it as a string.
+pub fn field_str<'a>(v: &'a json::Value, key: &str) -> Result<&'a str, JsonSchemaError> {
+    v.get(key)
+        .and_then(|f| f.as_str())
+        .ok_or_else(|| JsonSchemaError::new(key, "string"))
+}
+
+/// Fetch `key` from a JSON object as an array slice.
+pub fn field_arr<'a>(v: &'a json::Value, key: &str) -> Result<&'a [json::Value], JsonSchemaError> {
+    v.get(key)
+        .and_then(|f| f.as_arr())
+        .ok_or_else(|| JsonSchemaError::new(key, "array"))
+}
