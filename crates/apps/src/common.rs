@@ -12,7 +12,7 @@
 //! The benchmark harness drives all applications uniformly through the
 //! [`suite`](crate::suite) registry.
 
-use tdsm_core::{CommBreakdown, CostModel, DsmConfig, UnitPolicy};
+use tdsm_core::{ClusterStats, CommBreakdown, CostModel, DsmConfig, SchedConfig, UnitPolicy};
 
 /// Configuration of one application run: how many processors and which
 /// consistency-unit policy.
@@ -27,6 +27,9 @@ pub struct AppConfig {
     /// Shared-space size in pages (applications with large footprints raise
     /// this).
     pub shared_pages: u32,
+    /// Deterministic-scheduler configuration (tie-break mode and seed);
+    /// together with the fields above it fully determines the run's results.
+    pub sched: SchedConfig,
 }
 
 impl AppConfig {
@@ -37,6 +40,7 @@ impl AppConfig {
             unit: UnitPolicy::Static { pages: 1 },
             cost: CostModel::pentium_ethernet_1997(),
             shared_pages: 16 * 1024, // 64 MB
+            sched: SchedConfig::default(),
         }
     }
 
@@ -60,6 +64,12 @@ impl AppConfig {
         self
     }
 
+    /// Builder-style setter for the scheduling configuration.
+    pub fn sched(mut self, sched: SchedConfig) -> Self {
+        self.sched = sched;
+        self
+    }
+
     /// Convert into the DSM configuration used to build the cluster.
     pub fn dsm_config(&self) -> DsmConfig {
         DsmConfig {
@@ -69,6 +79,7 @@ impl AppConfig {
             unit: self.unit,
             cost: self.cost.clone(),
             max_locks: 4096,
+            sched: self.sched,
         }
     }
 }
@@ -92,6 +103,11 @@ pub struct AppRun {
     pub exec_time_ns: u64,
     /// The paper's communication breakdown for this run.
     pub breakdown: CommBreakdown,
+    /// The raw per-processor statistics the breakdown was derived from.
+    /// Under the deterministic scheduler these reproduce bit-identically
+    /// for a fixed `(app, config, seed)` — the determinism tests compare
+    /// them whole.
+    pub stats: ClusterStats,
 }
 
 impl AppRun {
@@ -210,10 +226,13 @@ mod tests {
 
     #[test]
     fn app_config_conversion() {
-        let cfg = AppConfig::with_procs(4).unit(UnitPolicy::Static { pages: 2 });
+        let cfg = AppConfig::with_procs(4)
+            .unit(UnitPolicy::Static { pages: 2 })
+            .sched(SchedConfig::seeded(0xfeed));
         let dsm = cfg.dsm_config();
         assert_eq!(dsm.nprocs, 4);
         assert_eq!(dsm.unit, UnitPolicy::Static { pages: 2 });
+        assert_eq!(dsm.sched, SchedConfig::seeded(0xfeed));
         dsm.validate();
     }
 }

@@ -201,6 +201,7 @@ pub fn run_parallel(cfg: &AppConfig, size: &IlinkSize) -> AppRun {
         checksum: out.results[0],
         exec_time_ns: out.stats.exec_time_ns(),
         breakdown: out.breakdown(),
+        stats: out.stats,
     }
 }
 

@@ -175,6 +175,7 @@ pub fn run_parallel(cfg: &AppConfig, size: &JacobiSize) -> AppRun {
         checksum: out.results[0],
         exec_time_ns: out.stats.exec_time_ns(),
         breakdown: out.breakdown(),
+        stats: out.stats,
     }
 }
 

@@ -19,6 +19,7 @@ fn config(unit: UnitPolicy) -> DsmConfig {
         unit,
         cost: CostModel::pentium_ethernet_1997(),
         max_locks: 16,
+        sched: tdsm_core::SchedConfig::default(),
     }
 }
 

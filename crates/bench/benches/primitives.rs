@@ -17,6 +17,7 @@ fn small_config(nprocs: usize) -> DsmConfig {
         unit: UnitPolicy::Static { pages: 1 },
         cost: CostModel::pentium_ethernet_1997(),
         max_locks: 64,
+        sched: tdsm_core::SchedConfig::default(),
     }
 }
 

@@ -4,7 +4,8 @@
 //! the useful / useless / piggybacked breakdown.
 //!
 //! Usage: `cargo run -p tm-bench --release --bin fig1 -- [nprocs] [--tiny]
-//! [--threads N] [--format human|json|csv] [--out FILE]`
+//! [--threads N] [--seed N] [--schedule fifo|seeded]
+//! [--format human|json|csv] [--out FILE]`
 
 use tm_bench::{BenchArgs, Experiment};
 

@@ -4,7 +4,8 @@
 //! under 4 K, 8 K, 16 K and dynamic consistency units, normalized to 4 K.
 //!
 //! Usage: `cargo run -p tm-bench --release --bin fig2 -- [nprocs] [--tiny]
-//! [--threads N] [--format human|json|csv] [--out FILE]`
+//! [--threads N] [--seed N] [--schedule fifo|seeded]
+//! [--format human|json|csv] [--out FILE]`
 
 use tm_bench::{BenchArgs, Experiment};
 

@@ -8,7 +8,8 @@
 //! aggregation will help (Barnes, Ilink, Water).
 //!
 //! Usage: `cargo run -p tm-bench --release --bin fig3 -- [nprocs] [--tiny]
-//! [--threads N] [--format human|json|csv] [--out FILE]`
+//! [--threads N] [--seed N] [--schedule fifo|seeded]
+//! [--format human|json|csv] [--out FILE]`
 
 use tm_bench::{BenchArgs, Experiment};
 

@@ -7,7 +7,8 @@
 //! and message counts relative to the 4 KB static baseline.
 //!
 //! Usage: `cargo run -p tm-bench --release --bin fig_dyn_group -- [nprocs]
-//! [--tiny] [--threads N] [--format human|json|csv] [--out FILE]`
+//! [--tiny] [--threads N] [--seed N] [--schedule fifo|seeded]
+//! [--format human|json|csv] [--out FILE]`
 
 use tm_bench::{BenchArgs, Experiment};
 

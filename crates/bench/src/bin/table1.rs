@@ -6,7 +6,8 @@
 //! shape should match the paper (roughly 4–6.5 on 8 processors).
 //!
 //! Usage: `cargo run -p tm-bench --release --bin table1 -- [nprocs] [--tiny]
-//! [--threads N] [--format human|json|csv] [--out FILE]`
+//! [--threads N] [--seed N] [--schedule fifo|seeded]
+//! [--format human|json|csv] [--out FILE]`
 
 use tm_bench::{BenchArgs, Experiment};
 

@@ -7,6 +7,11 @@
 //! (one line per cell) for spreadsheet use; the human report reproduces the
 //! layout of the paper's figures and tables, normalized to the 4 KB
 //! baseline where the paper normalizes.
+//!
+//! The machine formats carry only *deterministic* quantities: host
+//! wall-clock timings stay in the human report's footer, so two runs with
+//! the same `(app, policy, nprocs, seed, schedule)` emit byte-identical
+//! JSON/CSV — the property CI's determinism gate diffs for.
 
 use std::fmt::Write as _;
 
@@ -20,6 +25,11 @@ use crate::runner::{CellResult, ExperimentResult};
 use crate::{figure_panel_string, signature_string};
 
 /// Identifier of the emitted JSON schema; bumped on breaking changes.
+///
+/// v1 history: the deterministic-scheduler rework added the per-cell
+/// `schedule` field and stopped emitting `host_wall_ns` (host timing is
+/// nondeterministic and the documents must be byte-stable). Readers must
+/// treat both as optional; this parser does, in both directions.
 pub const RESULT_SCHEMA: &str = "tm-bench/experiment-result/v1";
 
 /// The output formats every figure/table binary supports via `--format`.
@@ -80,6 +90,7 @@ impl ToJson for Cell {
             // Seeds are full 64-bit hashes — above 2^53 they would lose
             // precision as JSON numbers, so they travel as hex strings.
             ("seed", Value::Str(format!("{:016x}", self.seed))),
+            ("schedule", Value::Str(self.schedule.as_str().to_string())),
         ])
     }
 }
@@ -102,6 +113,16 @@ impl FromJson for Cell {
             nprocs: field_u64(v, "nprocs")? as usize,
             seed: u64::from_str_radix(field_str(v, "seed")?, 16)
                 .map_err(|_| JsonSchemaError::new("seed", "16-digit hex string"))?,
+            // Additive v1 field: documents emitted before the deterministic
+            // scheduler carry no mode; they ran free-running, which today's
+            // default ("seeded") replays deterministically.
+            schedule: match v.get("schedule") {
+                None => tm_sched::ScheduleMode::Seeded,
+                Some(s) => s
+                    .as_str()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| JsonSchemaError::new("schedule", "\"fifo\" or \"seeded\""))?,
+            },
         })
     }
 }
@@ -114,7 +135,10 @@ impl ToJson for CellResult {
         };
         pairs.push(("exec_time_ns".into(), Value::Num(self.exec_time_ns as f64)));
         pairs.push(("checksum".into(), Value::Num(self.checksum)));
-        pairs.push(("host_wall_ns".into(), Value::Num(self.host_wall_ns as f64)));
+        // Host wall time is deliberately NOT emitted: it is the one
+        // nondeterministic measurement, and the machine formats must stay
+        // byte-identical across identical runs (it lives in the human
+        // report's footer instead).
         pairs.push(("breakdown".into(), self.breakdown.to_json()));
         Value::Obj(pairs)
     }
@@ -126,7 +150,9 @@ impl FromJson for CellResult {
             cell: Cell::from_json(v)?,
             exec_time_ns: field_u64(v, "exec_time_ns")?,
             checksum: field_f64(v, "checksum")?,
-            host_wall_ns: field_u64(v, "host_wall_ns")?,
+            // Not part of the document (nondeterministic); v1 files written
+            // before the determinism rework may still carry it — ignored.
+            host_wall_ns: 0,
             breakdown: {
                 let b = v
                     .get("breakdown")
@@ -144,7 +170,6 @@ impl ToJson for ExperimentResult {
             ("experiment", Value::Str(self.name.clone())),
             ("title", Value::Str(self.title.clone())),
             ("threads", Value::Num(self.threads as f64)),
-            ("host_wall_ns", Value::Num(self.host_wall_ns as f64)),
             (
                 "cells",
                 Value::Arr(self.cells.iter().map(|c| c.to_json()).collect()),
@@ -167,7 +192,7 @@ impl FromJson for ExperimentResult {
             name: field_str(v, "experiment")?.to_string(),
             title: field_str(v, "title")?.to_string(),
             threads: field_u64(v, "threads")? as usize,
-            host_wall_ns: field_u64(v, "host_wall_ns")?,
+            host_wall_ns: 0,
             cells,
         })
     }
@@ -178,8 +203,9 @@ impl FromJson for ExperimentResult {
 // ---------------------------------------------------------------------------
 
 /// Header of the per-cell CSV projection.
-pub const CSV_HEADER: &str = "experiment,app,size,policy,nprocs,seed,exec_time_ms,useful_msgs,\
-useless_msgs,useful_data,piggybacked_useless,useless_in_useless,faults,mean_writers,checksum";
+pub const CSV_HEADER: &str = "experiment,app,size,policy,nprocs,seed,schedule,exec_time_ms,\
+useful_msgs,useless_msgs,useful_data,piggybacked_useless,useless_in_useless,faults,mean_writers,\
+checksum";
 
 fn render_csv(result: &ExperimentResult) -> String {
     let mut out = String::from(CSV_HEADER);
@@ -189,13 +215,14 @@ fn render_csv(result: &ExperimentResult) -> String {
         let _ = writeln!(
             out,
             // Seeds are hex here as in JSON, so rows join across formats.
-            "{},{},{},{},{},{:016x},{:.3},{},{},{},{},{},{},{:.3},{}",
+            "{},{},{},{},{},{:016x},{},{:.3},{},{},{},{},{},{},{:.3},{}",
             result.name,
             r.cell.app.name(),
             r.cell.size_label,
             r.cell.policy_label,
             r.cell.nprocs,
             r.cell.seed,
+            r.cell.schedule.as_str(),
             r.exec_time_ns as f64 / 1e6,
             b.useful_messages,
             b.useless_messages,
@@ -371,7 +398,14 @@ mod tests {
         let result = tiny_result("fig_dyn_group");
         let text = render(&result, OutputFormat::Json);
         let parsed = parse_result(&text).unwrap();
-        assert_eq!(parsed, result);
+        // Host wall times are display-only and never emitted, so the parsed
+        // document equals the result with them stripped.
+        assert_eq!(parsed, result.without_host_times());
+        assert!(
+            !text.contains("host_wall_ns"),
+            "host timing must not leak into the machine format"
+        );
+        assert!(text.contains("\"schedule\": \"seeded\""));
 
         let wrong = text.replace(RESULT_SCHEMA, "tm-bench/experiment-result/v0");
         assert!(parse_result(&wrong).unwrap_err().contains("schema"));

@@ -9,13 +9,16 @@
 //! the cells and the emitters in [`crate::emit`] render the results.
 //!
 //! Cells carry a deterministic seed derived from their identity (FNV-1a over
-//! the cell key). The simulator does not consume it — the applications fix
-//! their own input seeds — it is a stable identity token recorded in every
-//! emitted row, so results files are traceable to their exact configuration
-//! and joinable across formats and runs.
+//! the cell key, XOR the sweep's `--seed` base). Since the deterministic
+//! scheduling rework the simulator *consumes* that seed: it feeds the
+//! scheduler's tie-breaking (`tm_sched`), so the seed recorded in every
+//! emitted row — together with the schedule mode — pins the exact
+//! interleaving the cell ran under. Same `(app, policy, nprocs, seed)`,
+//! same results, bit for bit.
 
-use tdsm_core::{SweepSpec, UnitPolicy};
+use tdsm_core::{SchedConfig, SweepSpec, UnitPolicy};
 use tm_apps::{AppId, Workload};
+use tm_sched::ScheduleMode;
 
 use crate::BenchArgs;
 
@@ -34,15 +37,25 @@ pub struct Cell {
     pub unit: UnitPolicy,
     /// Number of simulated processors.
     pub nprocs: usize,
-    /// Deterministic seed: FNV-1a of [`key`](Self::key). Recorded in the
-    /// results so every row is traceable to its exact configuration.
+    /// Deterministic seed consumed by the scheduler: FNV-1a of
+    /// [`key`](Self::key), XOR the sweep's base seed (`--seed`, default 0).
+    /// Recorded in the results so every row is traceable *and* replayable.
     pub seed: u64,
+    /// Scheduler tie-break mode the cell runs under (`--schedule`).
+    pub schedule: ScheduleMode,
 }
 
 impl Cell {
     /// Build a cell for `w` under (`policy_label`, `unit`) on `nprocs`
-    /// processors, deriving the seed from the identity.
-    pub fn new(w: &Workload, policy_label: &str, unit: UnitPolicy, nprocs: usize) -> Cell {
+    /// processors. `sched.seed` is the sweep's *base* seed, mixed into the
+    /// cell's FNV identity seed; `sched.mode` is adopted as-is.
+    pub fn new(
+        w: &Workload,
+        policy_label: &str,
+        unit: UnitPolicy,
+        nprocs: usize,
+        sched: SchedConfig,
+    ) -> Cell {
         let mut cell = Cell {
             app: w.app,
             size_label: w.size_label.clone(),
@@ -50,9 +63,18 @@ impl Cell {
             unit,
             nprocs,
             seed: 0,
+            schedule: sched.mode,
         };
-        cell.seed = fnv1a(cell.key().as_bytes());
+        cell.seed = fnv1a(cell.key().as_bytes()) ^ sched.seed;
         cell
+    }
+
+    /// The scheduler configuration this cell's simulation runs under.
+    pub fn sched_config(&self) -> SchedConfig {
+        SchedConfig {
+            mode: self.schedule,
+            seed: self.seed,
+        }
     }
 
     /// Stable textual identity: `app/size/policy/pN`. Golden tests pin the
@@ -143,12 +165,12 @@ impl Experiment {
     }
 
     fn policy_sweep(name: &str, title: String, apps: Vec<AppId>, args: &BenchArgs) -> Experiment {
-        let spec = SweepSpec::paper_units(args.nprocs);
+        let spec = SweepSpec::paper_units(args.nprocs).with_sched(args.sched());
         let mut cells = Vec::new();
         for app in apps {
             for w in args.workloads_for(app) {
                 for p in spec.points() {
-                    cells.push(Cell::new(&w, &p.label, p.unit, p.nprocs));
+                    cells.push(Cell::new(&w, &p.label, p.unit, p.nprocs, spec.sched));
                 }
             }
         }
@@ -166,9 +188,9 @@ impl Experiment {
         let unit = UnitPolicy::Static { pages: 1 };
         let mut cells = Vec::new();
         for w in args.suite() {
-            cells.push(Cell::new(&w, "4K", unit, 1));
+            cells.push(Cell::new(&w, "4K", unit, 1, args.sched()));
             if args.nprocs != 1 {
-                cells.push(Cell::new(&w, "4K", unit, args.nprocs));
+                cells.push(Cell::new(&w, "4K", unit, args.nprocs, args.sched()));
             }
         }
         Experiment {
@@ -191,7 +213,7 @@ impl Experiment {
                 ("4K", UnitPolicy::Static { pages: 1 }),
                 ("16K", UnitPolicy::Static { pages: 4 }),
             ] {
-                cells.push(Cell::new(&w, label, unit, args.nprocs));
+                cells.push(Cell::new(&w, label, unit, args.nprocs, args.sched()));
             }
         }
         Experiment {
@@ -216,9 +238,11 @@ impl Experiment {
                 "4K",
                 UnitPolicy::Static { pages: 1 },
                 args.nprocs,
+                args.sched(),
             ));
-            for p in SweepSpec::dyn_group_ablation(args.nprocs).points() {
-                cells.push(Cell::new(&w, &p.label, p.unit, p.nprocs));
+            let spec = SweepSpec::dyn_group_ablation(args.nprocs).with_sched(args.sched());
+            for p in spec.points() {
+                cells.push(Cell::new(&w, &p.label, p.unit, p.nprocs, spec.sched));
             }
         }
         Experiment {
@@ -266,6 +290,28 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), exp.cells.len(), "seed collision across cells");
+    }
+
+    #[test]
+    fn base_seed_and_schedule_flow_into_every_cell() {
+        use tm_sched::ScheduleMode;
+        let plain = args(8, false);
+        let mut shifted = args(8, false);
+        shifted.seed = 0x5a5a;
+        shifted.schedule = ScheduleMode::Fifo;
+        for name in Experiment::all_names() {
+            let a = Experiment::named(name, &plain).unwrap();
+            let b = Experiment::named(name, &shifted).unwrap();
+            for (ca, cb) in a.cells.iter().zip(&b.cells) {
+                assert_eq!(ca.key(), cb.key(), "grids must not depend on the seed");
+                // XOR mixing: the base seed shifts every cell seed...
+                assert_eq!(cb.seed, ca.seed ^ 0x5a5a);
+                // ...and the schedule mode is adopted verbatim.
+                assert_eq!(ca.schedule, ScheduleMode::Seeded);
+                assert_eq!(cb.schedule, ScheduleMode::Fifo);
+                assert_eq!(cb.sched_config().seed, cb.seed);
+            }
+        }
     }
 
     #[test]

@@ -31,8 +31,9 @@ pub use emit::{parse_result, render, OutputFormat, RESULT_SCHEMA};
 pub use experiment::{Cell, Experiment};
 pub use runner::{run_cell, run_experiment, CellResult, ExperimentResult, RunnerOptions};
 
-use tdsm_core::{SignatureHistogram, UnitPolicy};
+use tdsm_core::{SchedConfig, SignatureHistogram, UnitPolicy};
 use tm_apps::{paper_unit_policies, AppConfig, AppId, Workload};
+use tm_sched::ScheduleMode;
 
 /// One measured configuration of one workload — a column of the paper's bar
 /// charts.
@@ -275,16 +276,30 @@ pub fn figure3_apps() -> Vec<AppId> {
     vec![AppId::Barnes, AppId::Ilink, AppId::Water, AppId::Mgs]
 }
 
+/// Parse a `--seed` value: decimal, or hexadecimal with a `0x` prefix.
+fn parse_seed(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse::<u64>().ok(),
+    }
+}
+
 /// Command-line options shared by every figure/table binary.
 ///
 /// Usage accepted by all binaries:
-/// `[nprocs] [--tiny] [--threads N] [--format human|json|csv] [--out FILE]`.
+/// `[nprocs] [--tiny] [--threads N] [--seed N] [--schedule fifo|seeded]
+/// [--format human|json|csv] [--out FILE]`.
 ///
 /// * `--tiny` switches to the smoke configuration: one tiny data set per
 ///   application and a 2-processor cluster (unless a processor count was
 ///   given explicitly) — the mode `tests/harness_smoke.rs` drives
 ///   end-to-end.
 /// * `--threads N` sets the worker-pool width (default: one per CPU).
+/// * `--seed N` sets the base scheduling seed (decimal or `0x`-hex) mixed
+///   into every cell's identity seed; same seed, same results, bit for bit.
+/// * `--schedule` picks the deterministic scheduler's tie-break mode:
+///   `seeded` (default; the seed selects the interleaving) or `fifo`
+///   (rank-ordered ties, seed-independent).
 /// * `--format` selects what is written to stdout (default: the human
 ///   report).
 /// * `--out FILE` additionally writes the machine-readable document to
@@ -298,6 +313,10 @@ pub struct BenchArgs {
     pub tiny: bool,
     /// Worker threads for the experiment runner (0 = one per CPU).
     pub threads: usize,
+    /// Base scheduling seed mixed into every cell's identity seed.
+    pub seed: u64,
+    /// Deterministic-scheduler tie-break mode.
+    pub schedule: ScheduleMode,
     /// Format written to stdout.
     pub format: OutputFormat,
     /// Optional path for a machine-readable copy of the results.
@@ -312,8 +331,19 @@ impl BenchArgs {
             nprocs: default_nprocs,
             tiny: false,
             threads: 0,
+            seed: 0,
+            schedule: ScheduleMode::Seeded,
             format: OutputFormat::Human,
             out: None,
+        }
+    }
+
+    /// The scheduler configuration these options request: the tie-break mode
+    /// plus the *base* seed (each cell mixes its identity hash into it).
+    pub fn sched(&self) -> SchedConfig {
+        SchedConfig {
+            mode: self.schedule,
+            seed: self.seed,
         }
     }
 
@@ -326,6 +356,7 @@ impl BenchArgs {
             Err(msg) => {
                 eprintln!(
                     "error: {msg}\nusage: [nprocs (1-64)] [--tiny] [--threads N] \
+                     [--seed N] [--schedule fifo|seeded] \
                      [--format human|json|csv] [--out FILE]"
                 );
                 std::process::exit(2);
@@ -354,6 +385,14 @@ impl BenchArgs {
                         .ok()
                         .filter(|&n| (1..=256).contains(&n))
                         .ok_or_else(|| format!("invalid --threads '{v}' (expected 1-256)"))?;
+                }
+                "--seed" => {
+                    let v = flag_value("--seed")?;
+                    out.seed = parse_seed(&v)
+                        .ok_or_else(|| format!("invalid --seed '{v}' (expected u64 or 0x-hex)"))?;
+                }
+                "--schedule" => {
+                    out.schedule = flag_value("--schedule")?.parse()?;
                 }
                 "--format" => {
                     out.format = flag_value("--format")?.parse()?;
@@ -519,6 +558,36 @@ mod tests {
         assert!(err(&["--threads", "0"]).contains("expected 1-256"));
         assert!(err(&["--format", "xml"]).contains("unknown format"));
         assert!(err(&["--out"]).contains("requires a value"));
+    }
+
+    #[test]
+    fn bench_args_parse_scheduling_flags() {
+        let parse =
+            |args: &[&str]| BenchArgs::from_iter(args.iter().map(|s| s.to_string()), 8).unwrap();
+        // Defaults: seeded schedule, base seed 0.
+        assert_eq!(parse(&[]).schedule, ScheduleMode::Seeded);
+        assert_eq!(parse(&[]).seed, 0);
+        assert_eq!(
+            parse(&["--seed", "42", "--schedule", "fifo"]),
+            BenchArgs {
+                seed: 42,
+                schedule: ScheduleMode::Fifo,
+                ..BenchArgs::defaults(8)
+            }
+        );
+        // Hex seeds join with the hex values recorded in JSON/CSV rows.
+        assert_eq!(parse(&["--seed", "0xdeadbeef"]).seed, 0xdead_beef);
+        assert_eq!(
+            parse(&["--schedule", "seeded"]).sched(),
+            SchedConfig::seeded(0)
+        );
+
+        let err = |args: &[&str]| {
+            BenchArgs::from_iter(args.iter().map(|s| s.to_string()), 8).unwrap_err()
+        };
+        assert!(err(&["--seed"]).contains("requires a value"));
+        assert!(err(&["--seed", "banana"]).contains("invalid --seed"));
+        assert!(err(&["--schedule", "random"]).contains("unknown schedule"));
     }
 
     #[test]

@@ -7,12 +7,14 @@
 //! however many workers ran or how they were scheduled.
 //!
 //! Determinism: the pool adds none of its own nondeterminism — a cell
-//! computes the same result whichever worker runs it. Barrier-structured
-//! applications are bit-identical run to run; the lock-based ones (TSP,
-//! Water) inherit the simulator's lock-arrival nondeterminism from
-//! `Dsm::run`'s per-processor threads (their checksums still verify within
-//! tolerance, message counts vary a few percent run to run — exactly as on
-//! the paper's real cluster).
+//! computes the same result whichever worker runs it — and since the
+//! deterministic scheduling rework the cells themselves are bit-identical
+//! run to run, lock-based applications (TSP, Water) included: each cell's
+//! FNV-1a identity seed is consumed by `tm_sched`'s turn-taking scheduler
+//! inside `Dsm::run`, so every measurement is a pure function of
+//! `(app, policy, nprocs, seed, schedule mode)`. Only the host wall-clock
+//! fields differ between identical runs, and those never reach the
+//! machine-readable formats.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -91,13 +93,30 @@ pub struct ExperimentResult {
     pub cells: Vec<CellResult>,
 }
 
+impl ExperimentResult {
+    /// A copy with every host wall-clock field zeroed — the exact value the
+    /// machine-readable formats describe (host timing is display-only, so
+    /// emitted documents stay byte-identical across reruns) and therefore
+    /// the fixed point of an emit → parse round-trip.
+    pub fn without_host_times(&self) -> ExperimentResult {
+        let mut out = self.clone();
+        out.host_wall_ns = 0;
+        for cell in &mut out.cells {
+            cell.host_wall_ns = 0;
+        }
+        out
+    }
+}
+
 /// Execute one cell (panics if its size label is not in the registry —
 /// named experiments only build resolvable cells).
 pub fn run_cell(cell: &Cell) -> CellResult {
     let w = cell
         .workload()
         .unwrap_or_else(|| panic!("cell {} does not resolve to a workload", cell.key()));
-    let cfg = AppConfig::with_procs(cell.nprocs).unit(cell.unit);
+    let cfg = AppConfig::with_procs(cell.nprocs)
+        .unit(cell.unit)
+        .sched(cell.sched_config());
     let started = Instant::now();
     let run = w.run_parallel(&cfg);
     CellResult {

@@ -5,6 +5,15 @@
 //! per simulated processor, hands each a [`ProcCtx`], waits for every
 //! processor to finish, and returns the per-processor results together with
 //! the cluster-wide statistics the paper's figures are derived from.
+//!
+//! Execution is **deterministic**: the processors run under the cooperative
+//! turn-taking of [`tm_sched::Scheduler`] — exactly one runs at a time, and
+//! every blocking point (lock acquire/release, barrier arrival, fault
+//! service) hands the turn to the runnable processor with the smallest
+//! `(logical clock, tie-break)` pair.  Every statistic of a run is therefore
+//! a pure function of `(program, DsmConfig)` — including
+//! [`DsmConfig::sched`]'s mode and seed, which select among legal
+//! interleavings.
 
 use std::sync::Arc;
 
@@ -108,7 +117,11 @@ impl Dsm {
                 .map(|_| Mutex::new(IntervalLog::new()))
                 .collect(),
         );
-        let sync = Arc::new(GlobalSync::new(nprocs, self.config.max_locks));
+        let sync = Arc::new(GlobalSync::new(
+            nprocs,
+            self.config.max_locks,
+            self.config.sched,
+        ));
         let body = &body;
 
         let mut per_proc = Vec::with_capacity(nprocs);
@@ -119,9 +132,33 @@ impl Dsm {
                 let sync = Arc::clone(&sync);
                 let config = &self.config;
                 handles.push(scope.spawn(move || {
-                    let mut ctx = ProcCtx::new(rank, config, logs, sync);
-                    let result = body(&mut ctx);
-                    (result, ctx.finish())
+                    // The scheduler serializes the simulated processors:
+                    // wait for the first turn before touching any shared
+                    // simulation state, retire the rank afterwards so the
+                    // remaining processors can proceed.  The catch_unwind
+                    // nets exist purely so a panicking processor still
+                    // retires its rank (instead of leaving everyone else
+                    // parked forever) and so a scheduler abort triggered by
+                    // the retirement cannot mask the original panic; every
+                    // panic is re-raised and surfaces through join.
+                    sync.scheduler().wait_first_turn(rank);
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut ctx = ProcCtx::new(rank, config, Arc::clone(&logs), sync.clone());
+                        let result = body(&mut ctx);
+                        (result, ctx.finish())
+                    }));
+                    let retired = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        sync.scheduler().finish(rank)
+                    }));
+                    match (outcome, retired) {
+                        (Ok(pair), Ok(())) => pair,
+                        // Retiring the last runnable processor while others
+                        // stay blocked is a simulated deadlock: propagate it.
+                        (Ok(_), Err(abort)) => std::panic::resume_unwind(abort),
+                        // The body's own panic is the root cause; it wins
+                        // over any secondary scheduler abort.
+                        (Err(payload), _) => std::panic::resume_unwind(payload),
+                    }
                 }));
             }
             for handle in handles {
@@ -153,6 +190,7 @@ mod tests {
             unit: UnitPolicy::Static { pages: 1 },
             cost: CostModel::pentium_ethernet_1997(),
             max_locks: 16,
+            sched: tm_sched::SchedConfig::default(),
         }
     }
 
@@ -240,6 +278,65 @@ mod tests {
         });
         assert_eq!(out.results[0], (0, 1000));
         assert_eq!(out.results[1], (0, 1000));
+    }
+
+    #[test]
+    fn contended_runs_reproduce_per_seed_and_vary_across_seeds() {
+        use tm_sched::SchedConfig;
+        // A lock-contended workload whose *message counts* depend on the
+        // hand-off order: under the deterministic scheduler the full stats
+        // must reproduce exactly per seed, while different seeds remain free
+        // to produce different (but individually stable) interleavings.
+        let run = |sched: SchedConfig| {
+            let mut dsm = Dsm::new(DsmConfig {
+                sched,
+                ..small_config(4)
+            });
+            let counter = dsm.alloc_scalar::<u64>(Align::Page);
+            let out = dsm.run(|ctx| {
+                for _ in 0..10 {
+                    ctx.acquire(0);
+                    let v = counter.get(ctx);
+                    counter.set(ctx, v + 1);
+                    ctx.release(0);
+                }
+                ctx.barrier();
+                counter.get(ctx)
+            });
+            assert_eq!(out.results, vec![40, 40, 40, 40]);
+            out.stats
+        };
+        for sched in [
+            SchedConfig::fifo(),
+            SchedConfig::seeded(0),
+            SchedConfig::seeded(17),
+        ] {
+            let a = run(sched);
+            let b = run(sched);
+            assert_eq!(
+                a.breakdown(),
+                b.breakdown(),
+                "{sched:?} must reproduce bit-identically"
+            );
+            assert_eq!(a.exec_time_ns(), b.exec_time_ns());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "processor thread panicked")]
+    fn panicking_processor_aborts_the_run_instead_of_hanging() {
+        // Rank 1 panics before its barrier; the remaining processors block
+        // there forever. The scheduler must abort the whole cluster (every
+        // parked thread panics) so the failure propagates through join —
+        // with three or more processors a regression here used to park the
+        // survivors forever instead.
+        let dsm = Dsm::new(small_config(3));
+        dsm.run(|ctx| {
+            if ctx.rank() == 1 {
+                panic!("application failure on rank 1");
+            }
+            ctx.barrier();
+        });
     }
 
     #[test]

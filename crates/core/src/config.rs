@@ -4,6 +4,7 @@ use serde::json::Value;
 use serde::{field_u64, Deserialize, FromJson, JsonSchemaError, Serialize, ToJson};
 use tm_net::CostModel;
 use tm_page::{PageId, PageLayout};
+use tm_sched::{SchedConfig, ScheduleMode};
 
 /// How hardware pages are grouped into consistency units — the central knob
 /// of the paper.
@@ -123,6 +124,10 @@ pub struct SweepSpec {
     pub units: Vec<UnitPolicy>,
     /// Hardware page size labels are computed against (4096 in the paper).
     pub page_size: usize,
+    /// Deterministic-scheduler configuration every point runs under: the
+    /// tie-break mode, and the *base* seed the harness mixes into each
+    /// cell's identity seed.
+    pub sched: SchedConfig,
 }
 
 impl SweepSpec {
@@ -138,6 +143,7 @@ impl SweepSpec {
                 UnitPolicy::Dynamic { max_group_pages: 4 },
             ],
             page_size: 4096,
+            sched: SchedConfig::default(),
         }
     }
 
@@ -151,6 +157,7 @@ impl SweepSpec {
                 .map(|max_group_pages| UnitPolicy::Dynamic { max_group_pages })
                 .collect(),
             page_size: 4096,
+            sched: SchedConfig::default(),
         }
     }
 
@@ -160,7 +167,14 @@ impl SweepSpec {
             procs: vec![nprocs],
             units: vec![unit],
             page_size: 4096,
+            sched: SchedConfig::default(),
         }
+    }
+
+    /// Builder-style setter for the scheduling configuration.
+    pub fn with_sched(mut self, sched: SchedConfig) -> Self {
+        self.sched = sched;
+        self
     }
 
     /// Expand into concrete points: the cross product of processor counts and
@@ -213,6 +227,27 @@ impl SweepSpec {
     }
 }
 
+/// JSON form of a [`SchedConfig`]: `{"mode": "fifo"|"seeded", "seed": hex}`.
+/// Seeds are full 64-bit values, so — like cell seeds — they travel as hex
+/// strings to stay exact in JSON. (Free functions rather than trait impls:
+/// both `ToJson` and `SchedConfig` are foreign to this crate.)
+pub fn sched_to_json(sched: &SchedConfig) -> Value {
+    Value::obj(vec![
+        ("mode", Value::Str(sched.mode.as_str().to_string())),
+        ("seed", Value::Str(format!("{:016x}", sched.seed))),
+    ])
+}
+
+/// Inverse of [`sched_to_json`].
+pub fn sched_from_json(v: &Value) -> Result<SchedConfig, JsonSchemaError> {
+    let mode: ScheduleMode = serde::field_str(v, "mode")?
+        .parse()
+        .map_err(|_| JsonSchemaError::new("mode", "\"fifo\" or \"seeded\""))?;
+    let seed = u64::from_str_radix(serde::field_str(v, "seed")?, 16)
+        .map_err(|_| JsonSchemaError::new("seed", "16-digit hex string"))?;
+    Ok(SchedConfig { mode, seed })
+}
+
 impl ToJson for SweepSpec {
     fn to_json(&self) -> Value {
         Value::obj(vec![
@@ -225,6 +260,7 @@ impl ToJson for SweepSpec {
                 Value::Arr(self.units.iter().map(|u| u.to_json()).collect()),
             ),
             ("page_size", Value::Num(self.page_size as f64)),
+            ("sched", sched_to_json(&self.sched)),
         ])
     }
 }
@@ -247,6 +283,12 @@ impl FromJson for SweepSpec {
             procs,
             units,
             page_size: field_u64(v, "page_size")? as usize,
+            // Additive field: documents emitted before the deterministic
+            // scheduler landed simply carry the default configuration.
+            sched: match v.get("sched") {
+                Some(s) => sched_from_json(s).map_err(|e| e.in_context("sched"))?,
+                None => SchedConfig::default(),
+            },
         })
     }
 }
@@ -266,6 +308,10 @@ pub struct DsmConfig {
     pub cost: CostModel,
     /// Number of global locks available to the application.
     pub max_locks: usize,
+    /// Deterministic-scheduler configuration (tie-break mode and seed); a
+    /// run's results are a pure function of the rest of this configuration
+    /// plus this field.
+    pub sched: SchedConfig,
 }
 
 impl DsmConfig {
@@ -279,6 +325,7 @@ impl DsmConfig {
             unit: UnitPolicy::Static { pages: 1 },
             cost: CostModel::pentium_ethernet_1997(),
             max_locks: 4096,
+            sched: SchedConfig::default(),
         }
     }
 
@@ -312,6 +359,12 @@ impl DsmConfig {
     /// Builder-style setter for the number of locks.
     pub fn max_locks(mut self, locks: usize) -> Self {
         self.max_locks = locks;
+        self
+    }
+
+    /// Builder-style setter for the scheduling configuration.
+    pub fn sched(mut self, sched: SchedConfig) -> Self {
+        self.sched = sched;
         self
     }
 
@@ -421,6 +474,7 @@ mod tests {
             procs: vec![2, 4],
             units: vec![UnitPolicy::Static { pages: 1 }],
             page_size: 4096,
+            sched: SchedConfig::default(),
         };
         assert_eq!(multi.points().len(), 2);
         assert_eq!(multi.points()[1].nprocs, 4);
@@ -436,6 +490,10 @@ mod tests {
                 UnitPolicy::Dynamic { max_group_pages: 8 },
             ],
             page_size: 4096,
+            sched: SchedConfig {
+                mode: ScheduleMode::Fifo,
+                seed: 0xdead_beef,
+            },
         };
         let parsed =
             SweepSpec::from_json(&serde::json::parse(&spec.to_json().pretty()).unwrap()).unwrap();
@@ -445,6 +503,22 @@ mod tests {
             .unwrap();
         let err = SweepSpec::from_json(&bad).unwrap_err();
         assert_eq!(err.path, "units[0].kind");
+
+        // Pre-scheduler documents (no "sched" field) parse to the default.
+        let legacy = serde::json::parse(
+            r#"{"procs":[1],"units":[{"kind":"static","pages":1}],"page_size":4096}"#,
+        )
+        .unwrap();
+        let parsed = SweepSpec::from_json(&legacy).unwrap();
+        assert_eq!(parsed.sched, SchedConfig::default());
+
+        let bad_mode = serde::json::parse(
+            r#"{"procs":[1],"units":[{"kind":"static","pages":1}],"page_size":4096,
+                "sched":{"mode":"random","seed":"00"}}"#,
+        )
+        .unwrap();
+        let err = SweepSpec::from_json(&bad_mode).unwrap_err();
+        assert_eq!(err.path, "sched.mode");
     }
 
     #[test]

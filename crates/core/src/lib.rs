@@ -55,7 +55,7 @@ pub mod vc;
 
 pub use aggregation::DynamicAggregator;
 pub use cluster::{Dsm, RunOutput};
-pub use config::{DsmConfig, SweepPoint, SweepSpec, UnitPolicy};
+pub use config::{sched_from_json, sched_to_json, DsmConfig, SweepPoint, SweepSpec, UnitPolicy};
 pub use handle::{GArray, GMatrix, GScalar, SharedVal};
 pub use interval::{IntervalId, IntervalLog, IntervalRecord, WriteNotice, NOTICE_WIRE_BYTES};
 pub use proc::ProcCtx;
@@ -66,3 +66,4 @@ pub use vc::{VcOrder, VectorClock};
 // public API, so applications only need one dependency.
 pub use tm_net::{ClusterStats, CommBreakdown, CostModel, ProcStats, SignatureHistogram};
 pub use tm_page::{Align, Diff, GlobalAddr, PageId, PageLayout};
+pub use tm_sched::{SchedConfig, ScheduleMode, Scheduler};

@@ -214,6 +214,14 @@ impl ProcCtx {
     /// concurrent writer, apply the diffs in happens-before order, validate
     /// and account.
     fn fault_on(&mut self, page: PageId) {
+        // Fault service is a scheduling point: yield to the deterministic
+        // scheduler so a processor with an earlier logical clock runs first.
+        // What this fault fetches is fixed by our own pending-notice state,
+        // so the yield affects ordering only, never the fetched contents.
+        self.sync
+            .scheduler()
+            .yield_turn(self.rank.index(), self.clock.now_ns());
+
         // Pages whose diffs are fetched by this fault, and pages that become
         // valid afterwards.
         let (fetch_pages, validate_pages) = match self.unit {
@@ -445,7 +453,9 @@ impl ProcCtx {
         self.resync_aggregator();
 
         let stall_start = self.clock.now_ns();
-        let grant = self.sync.lock(lock_id).acquire_blocking();
+        let grant = self
+            .sync
+            .acquire_lock(lock_id, self.rank.index(), stall_start);
 
         // Modeled time: the lock cannot be granted before the last release
         // happened, and the transfer itself costs the calibrated latency
@@ -501,9 +511,12 @@ impl ProcCtx {
     pub fn release(&mut self, lock_id: usize) {
         self.close_interval();
         self.resync_aggregator();
-        self.sync
-            .lock(lock_id)
-            .release(self.rank.0, self.vc.clone(), self.clock.now_ns());
+        self.sync.release_lock(
+            lock_id,
+            self.rank.index(),
+            self.vc.clone(),
+            self.clock.now_ns(),
+        );
     }
 
     /// Cross the global barrier, incorporating every other processor's write
@@ -522,7 +535,7 @@ impl ProcCtx {
         self.notices_since_barrier = 0;
 
         let my_published = self.vc.get(self.rank.index());
-        let epoch = self.sync.barrier.arrive(
+        let epoch = self.sync.barrier_arrive(
             self.rank.index(),
             self.clock.now_ns(),
             self.cost.barrier_latency(self.nprocs as u32),

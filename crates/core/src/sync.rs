@@ -2,12 +2,20 @@
 //!
 //! TreadMarks provides exactly two synchronization primitives — locks and
 //! barriers — and lazy release consistency piggybacks its write notices on
-//! them.  The simulated cluster implements the *blocking* behaviour with real
-//! in-process primitives (so application threads genuinely wait for each
-//! other) while the *consistency information* (vector clock of the last
-//! release) and the *modeled time* of the operation travel alongside.
+//! them.  Since the deterministic scheduling rework, the *blocking*
+//! behaviour no longer races on OS primitives: every lock and barrier is a
+//! plain state machine, and waiting is delegated to the cluster's
+//! [`tm_sched::Scheduler`], which serializes the simulated processors under
+//! cooperative turn-taking ordered by `(logical clock, tie-break)`.  Who
+//! acquires a contended lock next is therefore a pure function of the run's
+//! configuration and seed, never of host thread scheduling.  The
+//! *consistency information* (vector clock of the last release) and the
+//! *modeled time* of each operation travel alongside, unchanged.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tm_sched::{SchedConfig, Scheduler, WaitKey};
 
 use crate::vc::VectorClock;
 
@@ -33,10 +41,13 @@ struct LockInner {
 }
 
 /// One global application lock (TreadMarks lock id).
+///
+/// The lock itself never blocks: [`try_acquire`](Self::try_acquire) either
+/// takes it or reports it held, and [`GlobalSync::acquire_lock`] parks the
+/// caller on the scheduler until a release wakes it.
 #[derive(Debug)]
 pub struct GlobalLock {
     inner: Mutex<LockInner>,
-    cv: Condvar,
 }
 
 impl GlobalLock {
@@ -52,20 +63,19 @@ impl GlobalLock {
                 },
                 acquisitions: 0,
             }),
-            cv: Condvar::new(),
         }
     }
 
-    /// Block until the lock is free, take it, and return the snapshot of the
-    /// last release (the grant's consistency payload).
-    pub fn acquire_blocking(&self) -> LockRelease {
+    /// Take the lock if it is free, returning the snapshot of the last
+    /// release (the grant's consistency payload); `None` if it is held.
+    pub fn try_acquire(&self) -> Option<LockRelease> {
         let mut inner = self.inner.lock();
-        while inner.held {
-            self.cv.wait(&mut inner);
+        if inner.held {
+            return None;
         }
         inner.held = true;
         inner.acquisitions += 1;
-        inner.last.clone()
+        Some(inner.last.clone())
     }
 
     /// Release the lock, publishing the releaser's identity, vector time and
@@ -79,7 +89,6 @@ impl GlobalLock {
             vc,
             clock_ns,
         };
-        self.cv.notify_one();
     }
 
     /// Number of times the lock has been acquired (statistics/tests).
@@ -108,18 +117,30 @@ struct BarrierInner {
     arrived: usize,
     max_clock_ns: u64,
     lens: Vec<u32>,
-    epoch: std::sync::Arc<BarrierEpoch>,
+    epoch: Arc<BarrierEpoch>,
+}
+
+/// Outcome of recording one barrier arrival.
+enum Arrival {
+    /// This was the last arriver: the episode is sealed; wake the waiters of
+    /// the given generation.
+    Sealed {
+        generation: u64,
+        epoch: Arc<BarrierEpoch>,
+    },
+    /// More arrivals pending: park on the given generation.
+    Wait { generation: u64 },
 }
 
 /// The centralized barrier (managed by processor 0 in TreadMarks).
 ///
-/// Besides blocking every processor until all have arrived, the barrier
+/// Besides gating every processor until all have arrived (the parking is
+/// done by the scheduler, see [`GlobalSync::barrier_arrive`]), the barrier
 /// computes the modeled departure time: the latest arrival's logical clock
 /// plus the calibrated barrier latency.
 #[derive(Debug)]
 pub struct CentralBarrier {
     inner: Mutex<BarrierInner>,
-    cv: Condvar,
     nprocs: usize,
 }
 
@@ -132,12 +153,11 @@ impl CentralBarrier {
                 arrived: 0,
                 max_clock_ns: 0,
                 lens: vec![0; nprocs],
-                epoch: std::sync::Arc::new(BarrierEpoch {
+                epoch: Arc::new(BarrierEpoch {
                     depart_clock_ns: 0,
                     published_intervals: vec![0; nprocs],
                 }),
             }),
-            cv: Condvar::new(),
             nprocs,
         }
     }
@@ -147,67 +167,67 @@ impl CentralBarrier {
         self.nprocs
     }
 
-    /// Arrive at the barrier as processor `rank`, announcing the caller's
-    /// modeled clock and the number of intervals it has published so far.
-    /// Blocks until everyone has arrived and returns the barrier episode
-    /// (common departure time + published-interval snapshot).
-    pub fn arrive(
+    /// Record the arrival of processor `rank` without blocking.
+    fn arrive(
         &self,
         rank: usize,
         my_clock_ns: u64,
         barrier_latency_ns: u64,
         my_published_intervals: u32,
-    ) -> std::sync::Arc<BarrierEpoch> {
+    ) -> Arrival {
         let mut inner = self.inner.lock();
         let generation = inner.generation;
         inner.max_clock_ns = inner.max_clock_ns.max(my_clock_ns);
         inner.lens[rank] = my_published_intervals;
         inner.arrived += 1;
         if inner.arrived == self.nprocs {
-            // Last arriver: seal the episode, open the next generation and
-            // wake everyone.
-            let epoch = std::sync::Arc::new(BarrierEpoch {
+            // Last arriver: seal the episode and open the next generation.
+            let epoch = Arc::new(BarrierEpoch {
                 depart_clock_ns: inner.max_clock_ns + barrier_latency_ns,
                 published_intervals: inner.lens.clone(),
             });
-            inner.epoch = std::sync::Arc::clone(&epoch);
+            inner.epoch = Arc::clone(&epoch);
             inner.arrived = 0;
             inner.max_clock_ns = 0;
             inner.generation += 1;
-            self.cv.notify_all();
-            epoch
+            Arrival::Sealed { generation, epoch }
         } else {
-            while inner.generation == generation {
-                self.cv.wait(&mut inner);
-            }
-            std::sync::Arc::clone(&inner.epoch)
+            Arrival::Wait { generation }
         }
     }
 
-    /// Convenience wrapper returning only the departure time (rank and
-    /// published-interval bookkeeping irrelevant; used by tests).
-    pub fn wait(&self, my_clock_ns: u64, barrier_latency_ns: u64) -> u64 {
-        self.arrive(0, my_clock_ns, barrier_latency_ns, 0)
-            .depart_clock_ns
+    /// The most recently sealed episode.
+    fn epoch(&self) -> Arc<BarrierEpoch> {
+        Arc::clone(&self.inner.lock().epoch)
     }
 }
 
-/// The cluster-wide synchronization state shared by all processors.
+/// The cluster-wide synchronization state shared by all processors: the
+/// lock table, the barrier, and the deterministic scheduler that serializes
+/// every blocking point.
 #[derive(Debug)]
 pub struct GlobalSync {
     /// Application locks, indexed by lock id.
     pub locks: Vec<GlobalLock>,
     /// The single centralized barrier.
     pub barrier: CentralBarrier,
+    sched: Scheduler,
 }
 
 impl GlobalSync {
-    /// Create the synchronization state for a cluster.
-    pub fn new(nprocs: usize, max_locks: usize) -> Self {
+    /// Create the synchronization state for a cluster running under the
+    /// given scheduling configuration.
+    pub fn new(nprocs: usize, max_locks: usize, sched: SchedConfig) -> Self {
         GlobalSync {
             locks: (0..max_locks).map(|_| GlobalLock::new(nprocs)).collect(),
             barrier: CentralBarrier::new(nprocs),
+            sched: Scheduler::new(nprocs, sched),
         }
+    }
+
+    /// The deterministic scheduler serializing this cluster's processors.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
     }
 
     /// The lock with the given id.
@@ -222,22 +242,103 @@ impl GlobalSync {
             )
         })
     }
+
+    /// Acquire lock `id` as processor `rank` whose logical clock reads
+    /// `clock_ns`, yielding to the scheduler first (so any processor with an
+    /// earlier clock gets its request in before us) and parking until the
+    /// lock is granted.  Contended hand-off order is therefore
+    /// `(request clock, tie-break)` — deterministic.
+    pub fn acquire_lock(&self, id: usize, rank: usize, clock_ns: u64) -> LockRelease {
+        self.sched.yield_turn(rank, clock_ns);
+        loop {
+            if let Some(grant) = self.lock(id).try_acquire() {
+                return grant;
+            }
+            self.sched
+                .block_on(rank, WaitKey::Lock(id as u32), clock_ns);
+        }
+    }
+
+    /// Release lock `id`, wake its waiters, and yield the turn so that a
+    /// waiter with an earlier request clock runs before we race ahead.
+    pub fn release_lock(&self, id: usize, rank: usize, vc: VectorClock, clock_ns: u64) {
+        self.lock(id).release(rank as u32, vc, clock_ns);
+        self.sched.wake_all(WaitKey::Lock(id as u32));
+        self.sched.yield_turn(rank, clock_ns);
+    }
+
+    /// Arrive at the barrier as processor `rank`, announcing the caller's
+    /// modeled clock and the number of intervals it has published so far.
+    /// Parks (on the scheduler) until everyone has arrived and returns the
+    /// barrier episode (common departure time + published-interval
+    /// snapshot).
+    pub fn barrier_arrive(
+        &self,
+        rank: usize,
+        clock_ns: u64,
+        barrier_latency_ns: u64,
+        published_intervals: u32,
+    ) -> Arc<BarrierEpoch> {
+        self.sched.yield_turn(rank, clock_ns);
+        match self
+            .barrier
+            .arrive(rank, clock_ns, barrier_latency_ns, published_intervals)
+        {
+            Arrival::Sealed { generation, epoch } => {
+                self.sched.wake_all(WaitKey::Barrier(generation));
+                epoch
+            }
+            Arrival::Wait { generation } => {
+                self.sched
+                    .block_on(rank, WaitKey::Barrier(generation), clock_ns);
+                self.barrier.epoch()
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use tm_sched::ScheduleMode;
+
+    /// Run `nprocs` threads against one `GlobalSync`, following the
+    /// scheduler protocol (first-turn wait + finish), and collect each
+    /// thread's result in rank order.
+    fn drive<R, F>(sync: &GlobalSync, nprocs: usize, body: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let body = &body;
+        let mut out = Vec::with_capacity(nprocs);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for rank in 0..nprocs {
+                handles.push(scope.spawn(move || {
+                    sync.scheduler().wait_first_turn(rank);
+                    let r = body(rank);
+                    sync.scheduler().finish(rank);
+                    r
+                }));
+            }
+            for h in handles {
+                out.push(h.join().expect("sync test thread panicked"));
+            }
+        });
+        out
+    }
 
     #[test]
     fn lock_hands_over_release_snapshot() {
         let lock = GlobalLock::new(2);
-        let first = lock.acquire_blocking();
+        let first = lock.try_acquire().expect("free lock must be acquirable");
         assert!(first.releaser.is_none());
+        assert!(lock.try_acquire().is_none(), "held lock must refuse");
         let mut vc = VectorClock::zero(2);
         vc.set(0, 3);
         lock.release(0, vc.clone(), 1234);
-        let second = lock.acquire_blocking();
+        let second = lock.try_acquire().expect("released lock must be free");
         assert_eq!(second.releaser, Some(0));
         assert_eq!(second.vc, vc);
         assert_eq!(second.clock_ns, 1234);
@@ -245,71 +346,108 @@ mod tests {
     }
 
     #[test]
-    fn lock_mutual_exclusion_across_threads() {
-        let lock = Arc::new(GlobalLock::new(4));
-        let counter = Arc::new(Mutex::new(0u64));
-        let mut handles = Vec::new();
-        for t in 0..4u32 {
-            let lock = Arc::clone(&lock);
-            let counter = Arc::clone(&counter);
-            handles.push(std::thread::spawn(move || {
-                for i in 0..200u32 {
-                    let _grant = lock.acquire_blocking();
+    fn lock_mutual_exclusion_and_deterministic_handoff() {
+        // Four processors increment a plain (non-atomic-protocol) counter
+        // 200 times each under the global lock. Mutual exclusion makes the
+        // total exact; the scheduler makes the hand-off ORDER a pure
+        // function of the seed, which we check by tracing two identical
+        // runs.
+        let run = |seed: u64| {
+            let sync = GlobalSync::new(4, 4, SchedConfig::seeded(seed));
+            let order = Mutex::new(Vec::new());
+            let counter = Mutex::new(0u64);
+            drive(&sync, 4, |rank| {
+                for i in 0..200u64 {
+                    let clock = rank as u64 + 4 * i;
+                    let _grant = sync.acquire_lock(0, rank, clock);
                     {
                         let mut c = counter.lock();
                         let v = *c;
-                        // A data race here would manifest as a lost update.
                         std::hint::black_box(&v);
                         *c = v + 1;
                     }
-                    lock.release(t, VectorClock::zero(4), (t * 1000 + i) as u64);
+                    order.lock().push(rank as u32);
+                    sync.release_lock(0, rank, VectorClock::zero(4), clock + 1);
                 }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(*counter.lock(), 800);
+            });
+            assert_eq!(*counter.lock(), 800);
+            assert_eq!(sync.lock(0).acquisitions(), 800);
+            order.into_inner()
+        };
+        assert_eq!(run(7), run(7), "same seed must give the same handoff order");
+    }
+
+    #[test]
+    fn contended_lock_grants_follow_request_clocks() {
+        // Rank 0 takes the lock at clock 0 and holds it until clock 10_000;
+        // ranks 1..4 request it at clocks 300, 200, 100. Hand-off must be in
+        // request-clock order: 3, 2, 1.
+        let sync = GlobalSync::new(4, 1, SchedConfig::fifo());
+        let order = Mutex::new(Vec::new());
+        drive(&sync, 4, |rank| {
+            if rank == 0 {
+                let _ = sync.acquire_lock(0, 0, 0);
+                // Let the others get their requests in, then release late.
+                sync.scheduler().yield_turn(0, 9_000);
+                sync.release_lock(0, 0, VectorClock::zero(4), 10_000);
+            } else {
+                let clock = 100 * (4 - rank) as u64;
+                let _ = sync.acquire_lock(0, rank, clock);
+                order.lock().push(rank);
+                sync.release_lock(0, rank, VectorClock::zero(4), 10_000 + clock);
+            }
+        });
+        assert_eq!(*order.lock(), vec![3, 2, 1]);
     }
 
     #[test]
     fn barrier_departure_is_max_arrival_plus_latency() {
-        let barrier = Arc::new(CentralBarrier::new(3));
-        let mut handles = Vec::new();
-        for (i, clock) in [100u64, 900, 400].into_iter().enumerate() {
-            let barrier = Arc::clone(&barrier);
-            handles.push(std::thread::spawn(move || {
-                let _ = i;
-                barrier.wait(clock, 50)
-            }));
-        }
-        let departs: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let sync = GlobalSync::new(3, 1, SchedConfig::fifo());
+        let departs = drive(&sync, 3, |rank| {
+            let clock = [100u64, 900, 400][rank];
+            sync.barrier_arrive(rank, clock, 50, 0).depart_clock_ns
+        });
         assert_eq!(departs, vec![950, 950, 950]);
     }
 
     #[test]
     fn barrier_is_reusable_across_generations() {
-        let barrier = Arc::new(CentralBarrier::new(2));
-        let b2 = Arc::clone(&barrier);
-        let handle = std::thread::spawn(move || {
-            let a = b2.wait(10, 5);
-            let b = b2.wait(a + 100, 5);
+        let sync = GlobalSync::new(2, 1, SchedConfig::fifo());
+        let results = drive(&sync, 2, |rank| {
+            let first = [20u64, 10][rank];
+            let a = sync.barrier_arrive(rank, first, 5, 0).depart_clock_ns;
+            let second = if rank == 0 { a + 1 } else { a + 100 };
+            let b = sync.barrier_arrive(rank, second, 5, 0).depart_clock_ns;
             (a, b)
         });
-        let a = barrier.wait(20, 5);
-        let b = barrier.wait(a + 1, 5);
-        let (ta, tb) = handle.join().unwrap();
-        assert_eq!(a, 25);
-        assert_eq!(ta, 25);
-        // Second episode: max(125, 26) + 5.
-        assert_eq!(b, 130);
-        assert_eq!(tb, 130);
+        // First episode: max(20, 10) + 5; second: max(26, 125) + 5.
+        assert_eq!(results, vec![(25, 130), (25, 130)]);
+    }
+
+    #[test]
+    fn barrier_snapshots_published_intervals() {
+        let sync = GlobalSync::new(3, 1, SchedConfig::seeded(3));
+        let epochs = drive(&sync, 3, |rank| {
+            sync.barrier_arrive(rank, 10 * rank as u64, 7, rank as u32 * 2)
+        });
+        for e in epochs {
+            assert_eq!(e.published_intervals, vec![0, 2, 4]);
+            assert_eq!(e.depart_clock_ns, 27);
+        }
+    }
+
+    #[test]
+    fn scheduler_mode_is_wired_through() {
+        let sync = GlobalSync::new(2, 1, SchedConfig::seeded(99));
+        assert_eq!(sync.scheduler().config().seed, 99);
+        assert_eq!(sync.scheduler().config().mode, ScheduleMode::Seeded);
+        assert_eq!(sync.scheduler().nprocs(), 2);
     }
 
     #[test]
     #[should_panic(expected = "outside the configured table")]
     fn out_of_range_lock_id_panics() {
-        let sync = GlobalSync::new(2, 4);
+        let sync = GlobalSync::new(2, 4, SchedConfig::default());
         sync.lock(10);
     }
 }

@@ -46,7 +46,10 @@
 //! assert_eq!(CostModel::pentium_ethernet_1997().barrier_latency(8), 861_000);
 //! ```
 
-#![warn(missing_docs)]
+// Like tdsm-core and tm-page, this substrate crate hard-enforces rustdoc
+// coverage; the doc build itself is kept warning-clean by CI
+// (RUSTDOCFLAGS="-D warnings").
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod clock;

@@ -61,7 +61,7 @@ pub const MSG_HEADER_BYTES: u64 = 42;
 /// One request/reply *diff exchange* between a faulting processor and one
 /// concurrent writer.  The exchange is the unit the paper classifies as a
 /// useful or useless message pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DiffExchange {
     /// Requester-local exchange id; also used as the delivery-attribution tag
     /// in the requester's page store.
@@ -105,7 +105,7 @@ impl DiffExchange {
 
 /// The record of one page/consistency-unit fault, used to build the
 /// false-sharing signature (Figure 3 of the paper).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultRecord {
     /// Number of concurrent writers the faulting processor had to contact
     /// (the number of diff exchanges issued by this fault).
@@ -119,7 +119,7 @@ pub struct FaultRecord {
 
 /// A control message (lock or barrier traffic) — accounted but never
 /// classified as useless: synchronization traffic is always necessary.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ControlMsg {
     /// What kind of control message.
     pub kind: MsgKind,

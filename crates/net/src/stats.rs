@@ -19,7 +19,7 @@ use serde::{field_arr, field_u64, Deserialize, FromJson, JsonSchemaError, Serial
 use crate::msg::{ControlMsg, DiffExchange, FaultRecord, MsgKind, ProcId, MSG_HEADER_BYTES};
 
 /// Statistics gathered by one processor during a run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ProcStats {
     /// Rank of the processor these statistics belong to.
     pub proc: u32,
@@ -223,7 +223,7 @@ impl CommBreakdown {
 }
 
 /// Statistics of a whole cluster run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ClusterStats {
     /// One entry per processor.
     pub per_proc: Vec<ProcStats>,
