@@ -48,6 +48,14 @@ impl BarnesSize {
         }
     }
 
+    /// The `--scale large` stress tier (8K bodies, two extra steps).
+    pub fn huge() -> Self {
+        BarnesSize {
+            bodies: 8192,
+            steps: 4,
+        }
+    }
+
     /// Label used in reports.
     pub fn label(&self) -> String {
         format!("{}bodies", self.bodies)

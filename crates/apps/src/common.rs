@@ -12,7 +12,9 @@
 //! The benchmark harness drives all applications uniformly through the
 //! [`suite`](crate::suite) registry.
 
-use tdsm_core::{ClusterStats, CommBreakdown, CostModel, DsmConfig, SchedConfig, UnitPolicy};
+use tdsm_core::{
+    ClusterStats, CommBreakdown, CostModel, DiffTiming, DsmConfig, SchedConfig, UnitPolicy,
+};
 
 /// Configuration of one application run: how many processors and which
 /// consistency-unit policy.
@@ -30,6 +32,13 @@ pub struct AppConfig {
     /// Deterministic-scheduler configuration (tie-break mode and seed);
     /// together with the fields above it fully determines the run's results.
     pub sched: SchedConfig,
+    /// When diffs are created and charged (TreadMarks-faithful lazy
+    /// on-demand creation by default; message counts/volumes are identical
+    /// either way).
+    pub diff_timing: DiffTiming,
+    /// Pending-notice count above which a barrier triggers the interval
+    /// GC's validation flush (see `DsmConfig::gc_flush_pending_limit`).
+    pub gc_flush_pending_limit: usize,
 }
 
 impl AppConfig {
@@ -41,6 +50,8 @@ impl AppConfig {
             cost: CostModel::pentium_ethernet_1997(),
             shared_pages: 16 * 1024, // 64 MB
             sched: SchedConfig::default(),
+            diff_timing: DiffTiming::default(),
+            gc_flush_pending_limit: tdsm_core::config::DEFAULT_GC_FLUSH_PENDING_LIMIT,
         }
     }
 
@@ -70,16 +81,23 @@ impl AppConfig {
         self
     }
 
+    /// Builder-style setter for the diff-timing knob.
+    pub fn diff_timing(mut self, timing: DiffTiming) -> Self {
+        self.diff_timing = timing;
+        self
+    }
+
     /// Convert into the DSM configuration used to build the cluster.
     pub fn dsm_config(&self) -> DsmConfig {
         DsmConfig {
             nprocs: self.nprocs,
-            page_size: 4096,
             shared_pages: self.shared_pages,
             unit: self.unit,
             cost: self.cost.clone(),
-            max_locks: 4096,
             sched: self.sched,
+            diff_timing: self.diff_timing,
+            gc_flush_pending_limit: self.gc_flush_pending_limit,
+            ..DsmConfig::paper_default()
         }
     }
 }

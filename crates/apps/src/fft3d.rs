@@ -69,6 +69,16 @@ impl FftSize {
         }
     }
 
+    /// The `--scale large` stress tier (twice the planes of the 128-class
+    /// data set).
+    pub fn huge() -> Self {
+        FftSize {
+            nx: 64,
+            ny: 128,
+            nz: 128,
+        }
+    }
+
     /// Label used in reports (paper naming).
     pub fn label(&self) -> String {
         format!("{}x{}x{}", self.nx, self.ny, self.nz)

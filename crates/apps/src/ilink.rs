@@ -14,7 +14,7 @@
 //!
 //! The real program evaluates pedigree likelihoods on the CLP data set; we
 //! substitute a synthetic sparse workload with the same assignment, update
-//! and reduction structure (see DESIGN.md, substitutions).
+//! and reduction structure (see DESIGN.md, "Application substitutions").
 
 use tdsm_core::{Align, Dsm};
 
@@ -51,6 +51,17 @@ impl IlinkSize {
             entries: 512,
             density_pct: 40,
             iterations: 2,
+        }
+    }
+
+    /// The `--scale large` stress tier: a 4× pool updated for twice as many
+    /// iterations.
+    pub fn huge() -> Self {
+        IlinkSize {
+            arrays: 96,
+            entries: 8192,
+            density_pct: 30,
+            iterations: 6,
         }
     }
 

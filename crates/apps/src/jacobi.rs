@@ -55,6 +55,19 @@ impl JacobiSize {
         }
     }
 
+    /// The `--scale large` stress tier: a 1K×2K grid relaxed for 64
+    /// iterations.  Before interval garbage collection landed this tier was
+    /// memory-prohibitive — every iteration's diffs (≈16 MB across both
+    /// grids) stayed in the interval logs for the whole run; with the GC the
+    /// logs hold only the watermark lag (a few iterations' worth).
+    pub fn huge() -> Self {
+        JacobiSize {
+            rows: 1024,
+            cols: 2048,
+            iters: 64,
+        }
+    }
+
     /// Label used in reports ("1Kx1K"-style, describing the *row* width the
     /// size reproduces).
     pub fn label(&self) -> String {

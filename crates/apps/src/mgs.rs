@@ -62,6 +62,15 @@ impl MgsSize {
         MgsSize { nvec: 12, dim: 256 }
     }
 
+    /// The `--scale large` stress tier: twice the vectors of the paper
+    /// runs at an eight-page vector.
+    pub fn huge() -> Self {
+        MgsSize {
+            nvec: 96,
+            dim: 8192,
+        }
+    }
+
     /// Label used in reports.
     pub fn label(&self) -> String {
         format!("{}x{}", self.nvec, self.dim)

@@ -70,6 +70,16 @@ impl ShallowSize {
         }
     }
 
+    /// The `--scale large` stress tier (double the largest paper grid,
+    /// twice the steps).
+    pub fn huge() -> Self {
+        ShallowSize {
+            rows: 4096,
+            cols: 192,
+            steps: 6,
+        }
+    }
+
     /// Label used in reports.
     pub fn label(&self) -> String {
         format!("{}x{}", self.rows, self.cols)

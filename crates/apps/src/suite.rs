@@ -73,6 +73,8 @@ enum SizeSel {
     Paper(usize),
     /// The application's `tiny()` smoke-test size.
     Tiny,
+    /// The application's `huge()` stress size (the `--scale large` tier).
+    Large,
 }
 
 /// One (application, data set) pair of the evaluation.
@@ -126,6 +128,32 @@ impl Workload {
         AppId::all().into_iter().map(Workload::tiny).collect()
     }
 
+    /// The application's `--scale large` stress workload: data sets several
+    /// times the paper sizes, sized so that a run without interval garbage
+    /// collection would hold the whole execution's diffs in memory at once.
+    pub fn large(app: AppId) -> Workload {
+        let label = match app {
+            AppId::Barnes => barnes::BarnesSize::huge().label(),
+            AppId::Ilink => ilink::IlinkSize::huge().label(),
+            AppId::Tsp => tsp::TspSize::huge().label(),
+            AppId::Water => water::WaterSize::huge().label(),
+            AppId::Jacobi => jacobi::JacobiSize::huge().label(),
+            AppId::Fft3d => fft3d::FftSize::huge().label(),
+            AppId::Mgs => mgs::MgsSize::huge().label(),
+            AppId::Shallow => shallow::ShallowSize::huge().label(),
+        };
+        Workload {
+            app,
+            size_label: format!("{label}(large)"),
+            size: SizeSel::Large,
+        }
+    }
+
+    /// One large workload per application — the whole suite at stress scale.
+    pub fn large_suite() -> Vec<Workload> {
+        AppId::all().into_iter().map(Workload::large).collect()
+    }
+
     /// The workloads belonging to one application.
     pub fn for_app(app: AppId) -> Vec<Workload> {
         Self::paper_suite()
@@ -143,6 +171,10 @@ impl Workload {
         let tiny = Workload::tiny(app);
         if tiny.size_label == size_label {
             return Some(tiny);
+        }
+        let large = Workload::large(app);
+        if large.size_label == size_label {
+            return Some(large);
         }
         Self::for_app(app)
             .into_iter()
@@ -185,6 +217,7 @@ macro_rules! size_selector {
                 match sel {
                     SizeSel::Paper(i) => $module::paper_sizes()[i],
                     SizeSel::Tiny => $module::$ty::tiny(),
+                    SizeSel::Large => $module::$ty::huge(),
                 }
             }
         )*
@@ -263,12 +296,30 @@ mod tests {
         for w in Workload::paper_suite()
             .iter()
             .chain(&Workload::tiny_suite())
+            .chain(&Workload::large_suite())
         {
             let found = Workload::lookup(w.app, &w.size_label)
                 .unwrap_or_else(|| panic!("lookup lost {} {}", w.app.name(), w.size_label));
             assert_eq!(found.size, w.size);
         }
         assert!(Workload::lookup(AppId::Jacobi, "bogus").is_none());
+    }
+
+    #[test]
+    fn large_suite_covers_all_apps_with_distinct_labels() {
+        let large = Workload::large_suite();
+        assert_eq!(large.len(), 8);
+        for w in &large {
+            assert!(
+                w.size_label.ends_with("(large)"),
+                "large label {} must carry the tier suffix",
+                w.size_label
+            );
+            // The tier must never shadow a paper or tiny data set.
+            assert!(Workload::for_app(w.app)
+                .iter()
+                .all(|p| p.size_label != w.size_label));
+        }
     }
 
     #[test]

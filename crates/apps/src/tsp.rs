@@ -44,6 +44,15 @@ impl TspSize {
         TspSize { cities: 8, seed: 7 }
     }
 
+    /// The `--scale large` stress tier (one more city multiplies the
+    /// branch-and-bound tree roughly twelvefold).
+    pub fn huge() -> Self {
+        TspSize {
+            cities: 12,
+            seed: 12,
+        }
+    }
+
     /// Label used in reports.
     pub fn label(&self) -> String {
         format!("{}cities", self.cities)

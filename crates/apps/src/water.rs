@@ -14,7 +14,7 @@
 //!
 //! The physics is simplified to a generic pairwise potential with a cut-off —
 //! the sharing pattern, record layout and synchronization structure are what
-//! the study depends on (see DESIGN.md, substitutions).
+//! the study depends on (see DESIGN.md, "Application substitutions").
 
 use tdsm_core::{Align, Dsm};
 
@@ -49,6 +49,14 @@ impl WaterSize {
         WaterSize {
             molecules: 64,
             steps: 2,
+        }
+    }
+
+    /// The `--scale large` stress tier (2× molecules, one extra step).
+    pub fn huge() -> Self {
+        WaterSize {
+            molecules: 1024,
+            steps: 3,
         }
     }
 

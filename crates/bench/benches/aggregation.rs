@@ -20,6 +20,7 @@ fn config(unit: UnitPolicy) -> DsmConfig {
         cost: CostModel::pentium_ethernet_1997(),
         max_locks: 16,
         sched: tdsm_core::SchedConfig::default(),
+        ..DsmConfig::paper_default()
     }
 }
 

@@ -18,6 +18,7 @@ fn small_config(nprocs: usize) -> DsmConfig {
         cost: CostModel::pentium_ethernet_1997(),
         max_locks: 64,
         sched: tdsm_core::SchedConfig::default(),
+        ..DsmConfig::paper_default()
     }
 }
 

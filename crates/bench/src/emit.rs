@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 
 use serde::json::{parse, Value};
 use serde::{field_arr, field_f64, field_str, field_u64, FromJson, JsonSchemaError, ToJson};
-use tdsm_core::{CommBreakdown, UnitPolicy};
+use tdsm_core::{CommBreakdown, GcCounters, UnitPolicy};
 use tm_apps::AppId;
 
 use crate::experiment::Cell;
@@ -28,8 +28,10 @@ use crate::{figure_panel_string, signature_string};
 ///
 /// v1 history: the deterministic-scheduler rework added the per-cell
 /// `schedule` field and stopped emitting `host_wall_ns` (host timing is
-/// nondeterministic and the documents must be byte-stable). Readers must
-/// treat both as optional; this parser does, in both directions.
+/// nondeterministic and the documents must be byte-stable); the lazy-diffing
+/// rework added the per-cell `diff_timing` field and the `gc`
+/// interval-garbage-collection counters. Readers must treat all of these as
+/// optional; this parser does, in both directions.
 pub const RESULT_SCHEMA: &str = "tm-bench/experiment-result/v1";
 
 /// The output formats every figure/table binary supports via `--format`.
@@ -91,6 +93,10 @@ impl ToJson for Cell {
             // precision as JSON numbers, so they travel as hex strings.
             ("seed", Value::Str(format!("{:016x}", self.seed))),
             ("schedule", Value::Str(self.schedule.as_str().to_string())),
+            (
+                "diff_timing",
+                Value::Str(self.diff_timing.as_str().to_string()),
+            ),
         ])
     }
 }
@@ -123,6 +129,15 @@ impl FromJson for Cell {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| JsonSchemaError::new("schedule", "\"fifo\" or \"seeded\""))?,
             },
+            // Additive v1 field: documents emitted before the lazy-diffing
+            // rework ran the then-only eager variant.
+            diff_timing: match v.get("diff_timing") {
+                None => tdsm_core::DiffTiming::Eager,
+                Some(t) => t
+                    .as_str()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| JsonSchemaError::new("diff_timing", "\"eager\" or \"lazy\""))?,
+            },
         })
     }
 }
@@ -140,6 +155,7 @@ impl ToJson for CellResult {
         // byte-identical across identical runs (it lives in the human
         // report's footer instead).
         pairs.push(("breakdown".into(), self.breakdown.to_json()));
+        pairs.push(("gc".into(), self.gc.to_json()));
         Value::Obj(pairs)
     }
 }
@@ -158,6 +174,12 @@ impl FromJson for CellResult {
                     .get("breakdown")
                     .ok_or_else(|| JsonSchemaError::new("breakdown", "object"))?;
                 CommBreakdown::from_json(b).map_err(|e| e.in_context("breakdown"))?
+            },
+            // Additive v1 field: absent in documents from before the
+            // interval GC landed.
+            gc: match v.get("gc") {
+                None => GcCounters::default(),
+                Some(g) => GcCounters::from_json(g).map_err(|e| e.in_context("gc"))?,
             },
         })
     }
@@ -203,9 +225,9 @@ impl FromJson for ExperimentResult {
 // ---------------------------------------------------------------------------
 
 /// Header of the per-cell CSV projection.
-pub const CSV_HEADER: &str = "experiment,app,size,policy,nprocs,seed,schedule,exec_time_ms,\
-useful_msgs,useless_msgs,useful_data,piggybacked_useless,useless_in_useless,faults,mean_writers,\
-checksum";
+pub const CSV_HEADER: &str = "experiment,app,size,policy,nprocs,seed,schedule,diff_timing,\
+exec_time_ms,useful_msgs,useless_msgs,useful_data,piggybacked_useless,useless_in_useless,faults,\
+mean_writers,intervals_closed,intervals_retired,checksum";
 
 fn render_csv(result: &ExperimentResult) -> String {
     let mut out = String::from(CSV_HEADER);
@@ -215,7 +237,7 @@ fn render_csv(result: &ExperimentResult) -> String {
         let _ = writeln!(
             out,
             // Seeds are hex here as in JSON, so rows join across formats.
-            "{},{},{},{},{},{:016x},{},{:.3},{},{},{},{},{},{},{:.3},{}",
+            "{},{},{},{},{},{:016x},{},{},{:.3},{},{},{},{},{},{},{:.3},{},{},{}",
             result.name,
             r.cell.app.name(),
             r.cell.size_label,
@@ -223,6 +245,7 @@ fn render_csv(result: &ExperimentResult) -> String {
             r.cell.nprocs,
             r.cell.seed,
             r.cell.schedule.as_str(),
+            r.cell.diff_timing.as_str(),
             r.exec_time_ns as f64 / 1e6,
             b.useful_messages,
             b.useless_messages,
@@ -231,6 +254,8 @@ fn render_csv(result: &ExperimentResult) -> String {
             b.useless_data_in_useless_msgs,
             b.faults,
             b.signature.mean_writers(),
+            r.gc.intervals_closed,
+            r.gc.intervals_retired,
             r.checksum,
         );
     }
@@ -251,13 +276,24 @@ fn render_human(result: &ExperimentResult) -> String {
         // fig1, fig2 and any future policy sweep: per-workload panels.
         _ => render_panels(&mut out, result),
     }
+    let mut gc = GcCounters::default();
+    for r in &result.cells {
+        gc.intervals_closed += r.gc.intervals_closed;
+        gc.intervals_retired += r.gc.intervals_retired;
+        gc.diffs_retired += r.gc.diffs_retired;
+    }
     let _ = writeln!(
         out,
-        "\n[{}: {} cells, {} threads, host wall {:.1} ms]",
+        "\n[{}: {} cells, {} threads, host wall {:.1} ms | interval GC: \
+         {}/{} intervals retired ({:.0}%), {} diffs freed]",
         result.name,
         result.cells.len(),
         result.threads,
-        result.host_wall_ns as f64 / 1e6
+        result.host_wall_ns as f64 / 1e6,
+        gc.intervals_retired,
+        gc.intervals_closed,
+        gc.retired_fraction() * 100.0,
+        gc.diffs_retired,
     );
     out
 }
@@ -377,7 +413,7 @@ mod tests {
     fn tiny_result(name: &str) -> ExperimentResult {
         let args = BenchArgs {
             nprocs: 2,
-            tiny: true,
+            scale: crate::Scale::Tiny,
             ..BenchArgs::defaults(2)
         };
         let exp = Experiment::named(name, &args).unwrap();

@@ -16,7 +16,7 @@
 //! interleaving the cell ran under. Same `(app, policy, nprocs, seed)`,
 //! same results, bit for bit.
 
-use tdsm_core::{SchedConfig, SweepSpec, UnitPolicy};
+use tdsm_core::{DiffTiming, SchedConfig, SweepSpec, UnitPolicy};
 use tm_apps::{AppId, Workload};
 use tm_sched::ScheduleMode;
 
@@ -43,6 +43,10 @@ pub struct Cell {
     pub seed: u64,
     /// Scheduler tie-break mode the cell runs under (`--schedule`).
     pub schedule: ScheduleMode,
+    /// When diffs are created and charged (`--diff-timing`).  Never part of
+    /// the cell key or seed: both timings exchange identical messages, so a
+    /// cell's identity is timing-independent by design.
+    pub diff_timing: DiffTiming,
 }
 
 impl Cell {
@@ -55,6 +59,7 @@ impl Cell {
         unit: UnitPolicy,
         nprocs: usize,
         sched: SchedConfig,
+        diff_timing: DiffTiming,
     ) -> Cell {
         let mut cell = Cell {
             app: w.app,
@@ -64,6 +69,7 @@ impl Cell {
             nprocs,
             seed: 0,
             schedule: sched.mode,
+            diff_timing,
         };
         cell.seed = fnv1a(cell.key().as_bytes()) ^ sched.seed;
         cell
@@ -170,7 +176,14 @@ impl Experiment {
         for app in apps {
             for w in args.workloads_for(app) {
                 for p in spec.points() {
-                    cells.push(Cell::new(&w, &p.label, p.unit, p.nprocs, spec.sched));
+                    cells.push(Cell::new(
+                        &w,
+                        &p.label,
+                        p.unit,
+                        p.nprocs,
+                        spec.sched,
+                        args.diff_timing,
+                    ));
                 }
             }
         }
@@ -188,9 +201,16 @@ impl Experiment {
         let unit = UnitPolicy::Static { pages: 1 };
         let mut cells = Vec::new();
         for w in args.suite() {
-            cells.push(Cell::new(&w, "4K", unit, 1, args.sched()));
+            cells.push(Cell::new(&w, "4K", unit, 1, args.sched(), args.diff_timing));
             if args.nprocs != 1 {
-                cells.push(Cell::new(&w, "4K", unit, args.nprocs, args.sched()));
+                cells.push(Cell::new(
+                    &w,
+                    "4K",
+                    unit,
+                    args.nprocs,
+                    args.sched(),
+                    args.diff_timing,
+                ));
             }
         }
         Experiment {
@@ -208,12 +228,21 @@ impl Experiment {
     pub fn fig3(args: &BenchArgs) -> Experiment {
         let mut cells = Vec::new();
         for app in crate::figure3_apps() {
-            let w = representative(args, app);
+            let Some(w) = representative(args, app) else {
+                continue; // excluded by --app
+            };
             for (label, unit) in [
                 ("4K", UnitPolicy::Static { pages: 1 }),
                 ("16K", UnitPolicy::Static { pages: 4 }),
             ] {
-                cells.push(Cell::new(&w, label, unit, args.nprocs, args.sched()));
+                cells.push(Cell::new(
+                    &w,
+                    label,
+                    unit,
+                    args.nprocs,
+                    args.sched(),
+                    args.diff_timing,
+                ));
             }
         }
         Experiment {
@@ -232,17 +261,27 @@ impl Experiment {
     pub fn dyn_group(args: &BenchArgs) -> Experiment {
         let mut cells = Vec::new();
         for app in [AppId::Ilink, AppId::Mgs] {
-            let w = representative(args, app);
+            let Some(w) = representative(args, app) else {
+                continue; // excluded by --app
+            };
             cells.push(Cell::new(
                 &w,
                 "4K",
                 UnitPolicy::Static { pages: 1 },
                 args.nprocs,
                 args.sched(),
+                args.diff_timing,
             ));
             let spec = SweepSpec::dyn_group_ablation(args.nprocs).with_sched(args.sched());
             for p in spec.points() {
-                cells.push(Cell::new(&w, &p.label, p.unit, p.nprocs, spec.sched));
+                cells.push(Cell::new(
+                    &w,
+                    &p.label,
+                    p.unit,
+                    p.nprocs,
+                    spec.sched,
+                    args.diff_timing,
+                ));
             }
         }
         Experiment {
@@ -258,13 +297,16 @@ impl Experiment {
 
 /// The data set a single-workload-per-app experiment shows: the second paper
 /// size where one exists (Figure 3 uses MGS's 1Kx1K set, the second of our
-/// list), otherwise the only one.
-fn representative(args: &BenchArgs, app: AppId) -> Workload {
+/// list), otherwise the only one — or `None` when `--app` excludes the
+/// application entirely.
+fn representative(args: &BenchArgs, app: AppId) -> Option<Workload> {
     let mut workloads = args.workloads_for(app);
     if workloads.len() > 1 {
-        workloads.swap_remove(1)
+        Some(workloads.swap_remove(1))
+    } else if workloads.len() == 1 {
+        Some(workloads.swap_remove(0))
     } else {
-        workloads.swap_remove(0)
+        None
     }
 }
 
@@ -275,7 +317,11 @@ mod tests {
     fn args(nprocs: usize, tiny: bool) -> BenchArgs {
         BenchArgs {
             nprocs,
-            tiny,
+            scale: if tiny {
+                crate::Scale::Tiny
+            } else {
+                crate::Scale::Paper
+            },
             ..BenchArgs::defaults(nprocs)
         }
     }

@@ -31,9 +31,49 @@ pub use emit::{parse_result, render, OutputFormat, RESULT_SCHEMA};
 pub use experiment::{Cell, Experiment};
 pub use runner::{run_cell, run_experiment, CellResult, ExperimentResult, RunnerOptions};
 
-use tdsm_core::{SchedConfig, SignatureHistogram, UnitPolicy};
+use tdsm_core::{DiffTiming, SchedConfig, SignatureHistogram, UnitPolicy};
 use tm_apps::{paper_unit_policies, AppConfig, AppId, Workload};
 use tm_sched::ScheduleMode;
+
+/// The workload tier a sweep runs at (`--scale`, with `--tiny` kept as an
+/// alias for `--scale tiny`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// One tiny data set per application — the CI smoke tier.
+    Tiny,
+    /// The paper's data sets (default).
+    #[default]
+    Paper,
+    /// The stress tier: data sets several times the paper sizes, feasible
+    /// in bounded memory thanks to interval garbage collection.
+    Large,
+}
+
+impl Scale {
+    /// Stable lowercase name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Paper => "paper",
+            Scale::Large => "large",
+        }
+    }
+}
+
+impl std::str::FromStr for Scale {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "tiny" => Ok(Scale::Tiny),
+            "paper" => Ok(Scale::Paper),
+            "large" => Ok(Scale::Large),
+            other => Err(format!(
+                "unknown scale '{other}' (expected tiny, paper or large)"
+            )),
+        }
+    }
+}
 
 /// One measured configuration of one workload — a column of the paper's bar
 /// charts.
@@ -287,19 +327,28 @@ fn parse_seed(s: &str) -> Option<u64> {
 /// Command-line options shared by every figure/table binary.
 ///
 /// Usage accepted by all binaries:
-/// `[nprocs] [--tiny] [--threads N] [--seed N] [--schedule fifo|seeded]
+/// `[nprocs] [--scale tiny|paper|large] [--tiny] [--threads N] [--seed N]
+/// [--schedule fifo|seeded] [--diff-timing eager|lazy] [--app NAME]
 /// [--format human|json|csv] [--out FILE]`.
 ///
-/// * `--tiny` switches to the smoke configuration: one tiny data set per
-///   application and a 2-processor cluster (unless a processor count was
-///   given explicitly) — the mode `tests/harness_smoke.rs` drives
-///   end-to-end.
+/// * `--scale` picks the workload tier: `tiny` (one smoke data set per
+///   application and a 2-processor cluster unless a count was given
+///   explicitly — the mode `tests/harness_smoke.rs` drives end-to-end),
+///   `paper` (the default data sets) or `large` (the stress tier the
+///   interval GC makes memory-feasible).  `--tiny` is an alias for
+///   `--scale tiny`.
 /// * `--threads N` sets the worker-pool width (default: one per CPU).
 /// * `--seed N` sets the base scheduling seed (decimal or `0x`-hex) mixed
 ///   into every cell's identity seed; same seed, same results, bit for bit.
 /// * `--schedule` picks the deterministic scheduler's tie-break mode:
 ///   `seeded` (default; the seed selects the interleaving) or `fifo`
 ///   (rank-ordered ties, seed-independent).
+/// * `--diff-timing` picks when diffs are created and charged: `lazy`
+///   (TreadMarks' on-demand creation, the default) or `eager` (at interval
+///   close).  Message counts and volumes are identical either way.
+/// * `--app NAME` restricts the run to one application (paper display name,
+///   e.g. `Jacobi`) — the lever the CI memory gate uses to time a single
+///   `--scale large` cell.
 /// * `--format` selects what is written to stdout (default: the human
 ///   report).
 /// * `--out FILE` additionally writes the machine-readable document to
@@ -309,14 +358,18 @@ fn parse_seed(s: &str) -> Option<u64> {
 pub struct BenchArgs {
     /// Number of simulated processors.
     pub nprocs: usize,
-    /// Run the tiny smoke configuration instead of the paper data sets.
-    pub tiny: bool,
+    /// Workload tier to run (`--scale`).
+    pub scale: Scale,
     /// Worker threads for the experiment runner (0 = one per CPU).
     pub threads: usize,
     /// Base scheduling seed mixed into every cell's identity seed.
     pub seed: u64,
     /// Deterministic-scheduler tie-break mode.
     pub schedule: ScheduleMode,
+    /// Diff-timing knob applied to every cell.
+    pub diff_timing: DiffTiming,
+    /// Restrict the experiment to this application (paper display name).
+    pub app: Option<AppId>,
     /// Format written to stdout.
     pub format: OutputFormat,
     /// Optional path for a machine-readable copy of the results.
@@ -325,14 +378,17 @@ pub struct BenchArgs {
 
 impl BenchArgs {
     /// The defaults the binaries start from: `default_nprocs` processors,
-    /// full data sets, auto-sized worker pool, human output, no out-file.
+    /// the paper data sets, auto-sized worker pool, human output, no
+    /// out-file.
     pub fn defaults(default_nprocs: usize) -> Self {
         BenchArgs {
             nprocs: default_nprocs,
-            tiny: false,
+            scale: Scale::Paper,
             threads: 0,
             seed: 0,
             schedule: ScheduleMode::Seeded,
+            diff_timing: DiffTiming::default(),
+            app: None,
             format: OutputFormat::Human,
             out: None,
         }
@@ -355,8 +411,9 @@ impl BenchArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!(
-                    "error: {msg}\nusage: [nprocs (1-64)] [--tiny] [--threads N] \
-                     [--seed N] [--schedule fifo|seeded] \
+                    "error: {msg}\nusage: [nprocs (1-64)] [--scale tiny|paper|large] [--tiny] \
+                     [--threads N] [--seed N] [--schedule fifo|seeded] \
+                     [--diff-timing eager|lazy] [--app NAME] \
                      [--format human|json|csv] [--out FILE]"
                 );
                 std::process::exit(2);
@@ -377,7 +434,26 @@ impl BenchArgs {
                     .ok_or_else(|| format!("{flag} requires a value"))
             };
             match arg.as_str() {
-                "--tiny" => out.tiny = true,
+                "--tiny" => out.scale = Scale::Tiny,
+                "--scale" => {
+                    out.scale = flag_value("--scale")?.parse()?;
+                }
+                "--diff-timing" => {
+                    out.diff_timing = flag_value("--diff-timing")?.parse()?;
+                }
+                "--app" => {
+                    let v = flag_value("--app")?;
+                    out.app = Some(AppId::from_name(&v).ok_or_else(|| {
+                        format!(
+                            "unknown application '{v}' (expected one of {})",
+                            AppId::all()
+                                .iter()
+                                .map(|a| a.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    })?);
+                }
                 "--threads" => {
                     let v = flag_value("--threads")?;
                     out.threads = v
@@ -412,7 +488,11 @@ impl BenchArgs {
                 },
             }
         }
-        out.nprocs = nprocs.unwrap_or(if out.tiny { 2 } else { default_nprocs });
+        out.nprocs = nprocs.unwrap_or(if out.scale == Scale::Tiny {
+            2
+        } else {
+            default_nprocs
+        });
         Ok(out)
     }
 
@@ -441,22 +521,29 @@ impl BenchArgs {
         Ok(result)
     }
 
-    /// The workloads of `app` under these options: its paper data sets, or
-    /// its single tiny data set in `--tiny` mode.
+    /// The workloads of `app` under these options: its data sets at the
+    /// requested `--scale`, or nothing when `--app` excludes it.
     pub fn workloads_for(&self, app: AppId) -> Vec<Workload> {
-        if self.tiny {
-            vec![Workload::tiny(app)]
-        } else {
-            Workload::for_app(app)
+        if self.app.is_some_and(|only| only != app) {
+            return Vec::new();
+        }
+        match self.scale {
+            Scale::Tiny => vec![Workload::tiny(app)],
+            Scale::Paper => Workload::for_app(app),
+            Scale::Large => vec![Workload::large(app)],
         }
     }
 
-    /// The full suite under these options.
+    /// The full suite under these options (honouring `--scale` and `--app`).
     pub fn suite(&self) -> Vec<Workload> {
-        if self.tiny {
-            Workload::tiny_suite()
-        } else {
-            Workload::paper_suite()
+        let all = match self.scale {
+            Scale::Tiny => Workload::tiny_suite(),
+            Scale::Paper => Workload::paper_suite(),
+            Scale::Large => Workload::large_suite(),
+        };
+        match self.app {
+            Some(only) => all.into_iter().filter(|w| w.app == only).collect(),
+            None => all,
         }
     }
 }
@@ -513,7 +600,7 @@ mod tests {
             parse(&["--tiny"], 8),
             BenchArgs {
                 nprocs: 2,
-                tiny: true,
+                scale: Scale::Tiny,
                 ..BenchArgs::defaults(8)
             }
         );
@@ -522,7 +609,7 @@ mod tests {
                 parse(&order, 8),
                 BenchArgs {
                     nprocs: 3,
-                    tiny: true,
+                    scale: Scale::Tiny,
                     ..BenchArgs::defaults(8)
                 }
             );
@@ -594,13 +681,50 @@ mod tests {
     fn tiny_workload_selection() {
         let args = BenchArgs {
             nprocs: 2,
-            tiny: true,
+            scale: Scale::Tiny,
             ..BenchArgs::defaults(2)
         };
         assert_eq!(args.suite().len(), 8);
         assert_eq!(args.workloads_for(AppId::Jacobi).len(), 1);
         let full = BenchArgs::defaults(8);
         assert_eq!(full.suite().len(), 16);
+    }
+
+    #[test]
+    fn scale_and_filter_flags() {
+        let parse =
+            |args: &[&str]| BenchArgs::from_iter(args.iter().map(|s| s.to_string()), 8).unwrap();
+        // --tiny is an alias for --scale tiny (including the 2-proc default).
+        assert_eq!(parse(&["--tiny"]), parse(&["--scale", "tiny"]));
+        let large = parse(&["--scale", "large"]);
+        assert_eq!(large.scale, Scale::Large);
+        assert_eq!(large.nprocs, 8, "large keeps the binary's default nprocs");
+        assert_eq!(large.suite().len(), 8);
+        assert!(large
+            .workloads_for(AppId::Jacobi)
+            .iter()
+            .all(|w| w.size_label.ends_with("(large)")));
+
+        // --diff-timing flows into the options.
+        use tdsm_core::DiffTiming;
+        assert_eq!(parse(&[]).diff_timing, DiffTiming::Lazy);
+        assert_eq!(
+            parse(&["--diff-timing", "eager"]).diff_timing,
+            DiffTiming::Eager
+        );
+
+        // --app narrows every selector to one application.
+        let only = parse(&["--app", "Jacobi"]);
+        assert_eq!(only.app, Some(AppId::Jacobi));
+        assert!(only.suite().iter().all(|w| w.app == AppId::Jacobi));
+        assert!(only.workloads_for(AppId::Water).is_empty());
+
+        let err = |args: &[&str]| {
+            BenchArgs::from_iter(args.iter().map(|s| s.to_string()), 8).unwrap_err()
+        };
+        assert!(err(&["--scale", "huge"]).contains("unknown scale"));
+        assert!(err(&["--diff-timing", "sometimes"]).contains("unknown diff timing"));
+        assert!(err(&["--app", "Pong"]).contains("unknown application"));
     }
 
     #[test]

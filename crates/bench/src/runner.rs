@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use tdsm_core::CommBreakdown;
+use tdsm_core::{CommBreakdown, GcCounters};
 use tm_apps::AppConfig;
 
 use crate::experiment::{Cell, Experiment};
@@ -52,6 +52,10 @@ pub struct CellResult {
     /// The paper's full communication breakdown, including the
     /// false-sharing signature.
     pub breakdown: CommBreakdown,
+    /// Interval-log garbage-collection counters of the run (identical under
+    /// eager and lazy diff timing — they are a pure function of the
+    /// write-notice flow).
+    pub gc: GcCounters,
     /// Host wall-clock time spent simulating this cell (ns) — the harness's
     /// own perf trajectory, not a paper quantity.
     pub host_wall_ns: u64,
@@ -116,7 +120,8 @@ pub fn run_cell(cell: &Cell) -> CellResult {
         .unwrap_or_else(|| panic!("cell {} does not resolve to a workload", cell.key()));
     let cfg = AppConfig::with_procs(cell.nprocs)
         .unit(cell.unit)
-        .sched(cell.sched_config());
+        .sched(cell.sched_config())
+        .diff_timing(cell.diff_timing);
     let started = Instant::now();
     let run = w.run_parallel(&cfg);
     CellResult {
@@ -124,6 +129,7 @@ pub fn run_cell(cell: &Cell) -> CellResult {
         exec_time_ns: run.exec_time_ns,
         checksum: run.checksum,
         breakdown: run.breakdown,
+        gc: run.stats.gc_counters(),
         host_wall_ns: started.elapsed().as_nanos() as u64,
     }
 }
@@ -187,7 +193,7 @@ mod tests {
     fn parallel_run_matches_sequential_run_exactly() {
         let args = BenchArgs {
             nprocs: 2,
-            tiny: true,
+            scale: crate::Scale::Tiny,
             ..BenchArgs::defaults(2)
         };
         let exp = Experiment::dyn_group(&args);

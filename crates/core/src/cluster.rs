@@ -168,7 +168,19 @@ impl Dsm {
 
         let mut results = Vec::with_capacity(nprocs);
         let mut stats = ClusterStats::default();
-        for (result, proc_stats) in per_proc {
+        for (rank, (result, mut proc_stats)) in per_proc.into_iter().enumerate() {
+            // Fold in the owner's shared-log counters.  They are folded
+            // here, after every processor has joined, because serving and
+            // retirement touch a processor's log after its own `finish()`
+            // (e.g. rank 0's post-run verification reads lazily materialize
+            // diffs in everyone else's logs).
+            let log = logs[rank].lock();
+            let c = log.counters();
+            proc_stats.diffs_created += c.diffs_created_on_demand;
+            proc_stats.diff_bytes_created += c.diff_bytes_created_on_demand;
+            proc_stats.diffs_created_on_demand = c.diffs_created_on_demand;
+            proc_stats.intervals_retired = c.intervals_retired;
+            proc_stats.diffs_retired = c.diffs_retired;
             results.push(result);
             stats.per_proc.push(proc_stats);
         }
@@ -191,6 +203,8 @@ mod tests {
             cost: CostModel::pentium_ethernet_1997(),
             max_locks: 16,
             sched: tm_sched::SchedConfig::default(),
+            diff_timing: crate::config::DiffTiming::default(),
+            gc_flush_pending_limit: crate::config::DEFAULT_GC_FLUSH_PENDING_LIMIT,
         }
     }
 

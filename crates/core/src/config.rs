@@ -6,6 +6,59 @@ use tm_net::CostModel;
 use tm_page::{PageId, PageLayout};
 use tm_sched::{SchedConfig, ScheduleMode};
 
+/// When a dirty page's diff is encoded — at interval close, or on demand at
+/// the first request that needs it.
+///
+/// TreadMarks creates diffs *lazily*: closing an interval publishes only
+/// write notices, and the twin comparison runs on the responder's serve path
+/// the first time some processor requests the diff (never, for a diff nobody
+/// asks for).  The eager variant pays the creation cost up front on the
+/// writer.  Both timings exchange exactly the same write notices and diffs,
+/// so the paper's message counts and volumes are independent of this knob;
+/// only where and when `CostModel::diff_create_cost` is charged differs (see
+/// DESIGN.md, "Eager versus lazy diff creation").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiffTiming {
+    /// Encode every dirty page's diff when the interval closes (charged to
+    /// the writer at close time).
+    Eager,
+    /// Encode a diff at the first request that needs it (charged to the
+    /// responder's serve path, which the faulting processor stalls on).
+    /// This is TreadMarks' behaviour and the default.
+    #[default]
+    Lazy,
+}
+
+impl DiffTiming {
+    /// Stable lowercase name, used by CLI flags and machine-readable rows.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DiffTiming::Eager => "eager",
+            DiffTiming::Lazy => "lazy",
+        }
+    }
+}
+
+impl std::str::FromStr for DiffTiming {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "eager" => Ok(DiffTiming::Eager),
+            "lazy" => Ok(DiffTiming::Lazy),
+            other => Err(format!(
+                "unknown diff timing '{other}' (expected eager or lazy)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for DiffTiming {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// How hardware pages are grouped into consistency units — the central knob
 /// of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -293,6 +346,10 @@ impl FromJson for SweepSpec {
     }
 }
 
+/// Default pending-notice count above which a barrier triggers the GC
+/// validation flush (see [`DsmConfig::gc_flush_pending_limit`]).
+pub const DEFAULT_GC_FLUSH_PENDING_LIMIT: usize = 16_384;
+
 /// Complete configuration of a DSM cluster.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DsmConfig {
@@ -312,6 +369,21 @@ pub struct DsmConfig {
     /// run's results are a pure function of the rest of this configuration
     /// plus this field.
     pub sched: SchedConfig,
+    /// When diffs are encoded and their creation cost charged (TreadMarks'
+    /// lazy on-demand creation by default; message counts and volumes are
+    /// unaffected by the choice).
+    pub diff_timing: DiffTiming,
+    /// Memory-pressure trigger of the interval GC: when a processor arrives
+    /// at a barrier holding more than this many pending (incorporated but
+    /// unapplied) write notices, it first validates them all — fetching the
+    /// outstanding diffs in one aggregated exchange per writer, exactly like
+    /// TreadMarks' garbage-collection validation — so the logs behind them
+    /// can retire.  The paper-scale workloads never reach the default
+    /// ([`DEFAULT_GC_FLUSH_PENDING_LIMIT`], 16384); the `--scale large`
+    /// tier does.  The flush adds real
+    /// messages, so runs below the threshold are bit-identical to runs with
+    /// the flush disabled.
+    pub gc_flush_pending_limit: usize,
 }
 
 impl DsmConfig {
@@ -326,6 +398,8 @@ impl DsmConfig {
             cost: CostModel::pentium_ethernet_1997(),
             max_locks: 4096,
             sched: SchedConfig::default(),
+            diff_timing: DiffTiming::default(),
+            gc_flush_pending_limit: DEFAULT_GC_FLUSH_PENDING_LIMIT,
         }
     }
 
@@ -365,6 +439,18 @@ impl DsmConfig {
     /// Builder-style setter for the scheduling configuration.
     pub fn sched(mut self, sched: SchedConfig) -> Self {
         self.sched = sched;
+        self
+    }
+
+    /// Builder-style setter for the diff-timing knob.
+    pub fn diff_timing(mut self, timing: DiffTiming) -> Self {
+        self.diff_timing = timing;
+        self
+    }
+
+    /// Builder-style setter for the GC validation-flush trigger.
+    pub fn gc_flush_pending_limit(mut self, limit: usize) -> Self {
+        self.gc_flush_pending_limit = limit;
         self
     }
 
@@ -519,6 +605,21 @@ mod tests {
         .unwrap();
         let err = SweepSpec::from_json(&bad_mode).unwrap_err();
         assert_eq!(err.path, "sched.mode");
+    }
+
+    #[test]
+    fn diff_timing_parses_and_defaults_to_lazy() {
+        assert_eq!(DsmConfig::paper_default().diff_timing, DiffTiming::Lazy);
+        assert_eq!("eager".parse(), Ok(DiffTiming::Eager));
+        assert_eq!("lazy".parse(), Ok(DiffTiming::Lazy));
+        assert!("sometimes".parse::<DiffTiming>().is_err());
+        assert_eq!(DiffTiming::Eager.to_string(), "eager");
+        assert_eq!(
+            DsmConfig::paper_default()
+                .diff_timing(DiffTiming::Eager)
+                .diff_timing,
+            DiffTiming::Eager
+        );
     }
 
     #[test]

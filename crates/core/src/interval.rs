@@ -1,11 +1,15 @@
-//! Intervals and write notices.
+//! Intervals, write notices, and the per-processor interval log.
 //!
 //! An *interval* is the stretch of a processor's execution between two
 //! consecutive synchronization operations.  When an interval closes the
 //! processor records which shared pages it wrote (its *write notices*) and
-//! the vector time at which the interval ended; the eager variant used here
-//! also encodes the diffs of those pages at the same moment (see DESIGN.md
-//! for why this does not change any of the paper's measured quantities).
+//! the vector time at which the interval ended.  Whether the diffs of those
+//! pages are encoded at the same moment or on demand at the first request is
+//! the [`DiffTiming`] knob (see DESIGN.md, "Eager versus lazy diff
+//! creation"); either way the log is also the unit of garbage collection:
+//! once an interval is covered by every processor's vector clock and its
+//! diffs have been applied everywhere they were pending, the record and its
+//! diffs are retired (see DESIGN.md, "Interval garbage collection").
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -13,6 +17,7 @@ use std::sync::Arc;
 
 use tm_page::{Diff, PageId};
 
+use crate::config::DiffTiming;
 use crate::vc::VectorClock;
 
 /// Identifies one closed interval of one processor.  Interval sequence
@@ -63,16 +68,62 @@ impl IntervalRecord {
     }
 }
 
+/// One stored diff and its modeled lifecycle state.
+#[derive(Debug, Clone)]
+struct StoredDiff {
+    diff: Arc<Diff>,
+    /// Whether the diff has been *created* in the modeled protocol: true
+    /// from publication under eager timing, set by the first serving request
+    /// under lazy timing.  (The encoded bytes exist either way — the
+    /// simulator derives them from the twin at close so both timings ship
+    /// identical diffs — but an unmaterialized diff has not yet been charged
+    /// or counted.)
+    materialized: bool,
+}
+
+/// Counters of a log's garbage-collection and on-demand-creation activity,
+/// folded into the owning processor's `ProcStats` when the run completes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogCounters {
+    /// Interval records retired by [`IntervalLog::retire_up_to`].
+    pub intervals_retired: u64,
+    /// Stored diffs retired together with their interval.
+    pub diffs_retired: u64,
+    /// Diffs materialized on demand by [`IntervalLog::fetch_diff`].
+    pub diffs_created_on_demand: u64,
+    /// Payload bytes of the on-demand materializations.
+    pub diff_bytes_created_on_demand: u64,
+}
+
+/// The outcome of one [`IntervalLog::fetch_diff`] call.
+#[derive(Debug, Clone)]
+pub struct FetchedDiff {
+    /// The requested diff.
+    pub diff: Arc<Diff>,
+    /// True if this request materialized the diff (lazy timing only): the
+    /// requester must charge the creation cost to the responder's serve
+    /// path.
+    pub created_now: bool,
+}
+
 /// The part of a processor's protocol state that other processors consult:
-/// its closed-interval log and the eagerly created diffs of those intervals.
+/// its closed-interval log and the stored diffs of those intervals.
 ///
 /// On the real system this state is only reachable through request messages;
 /// here other threads read it directly under a mutex while the simulated
 /// network charges the cost of the messages they would have sent.
+///
+/// The log is a retirement window: `retired` leading records have been
+/// garbage-collected, so live records cover sequence numbers
+/// `retired+1 ..= retired+records.len()`.
 #[derive(Debug, Default)]
 pub struct IntervalLog {
+    /// Number of leading (oldest) records already retired.
+    retired: u32,
+    /// Live records, oldest first; `records[i]` has seq `retired + i + 1`.
     records: Vec<IntervalRecord>,
-    diffs: HashMap<(PageId, u32), Arc<Diff>>,
+    diffs: HashMap<(PageId, u32), StoredDiff>,
+    counters: LogCounters,
 }
 
 impl IntervalLog {
@@ -81,61 +132,144 @@ impl IntervalLog {
         Self::default()
     }
 
-    /// Number of closed intervals.
+    /// Total number of intervals ever published (live + retired).
+    pub fn published(&self) -> u32 {
+        self.retired + self.records.len() as u32
+    }
+
+    /// Number of live (not yet retired) records.
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
-    /// True if no interval has closed yet.
+    /// True if the log holds no live record.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
 
+    /// Sequence numbers at or below this have been retired.
+    pub fn retired_below(&self) -> u32 {
+        self.retired
+    }
+
+    /// Garbage-collection and lazy-creation counters accumulated so far.
+    pub fn counters(&self) -> LogCounters {
+        self.counters
+    }
+
     /// Publish a closed interval together with the diffs of the pages it
     /// wrote.  `seq` must be exactly one past the previously published
-    /// interval.
-    pub fn publish(&mut self, record: IntervalRecord, diffs: Vec<(PageId, Arc<Diff>)>) {
+    /// interval.  Under [`DiffTiming::Eager`] the diffs are already
+    /// materialized; under [`DiffTiming::Lazy`] they sit unmaterialized
+    /// until the first [`fetch_diff`](Self::fetch_diff).
+    pub fn publish(
+        &mut self,
+        record: IntervalRecord,
+        diffs: Vec<(PageId, Arc<Diff>)>,
+        timing: DiffTiming,
+    ) {
         debug_assert_eq!(
-            record.id.seq as usize,
-            self.records.len() + 1,
+            record.id.seq,
+            self.published() + 1,
             "interval sequence numbers must be contiguous"
         );
         for (page, diff) in diffs {
-            self.diffs.insert((page, record.id.seq), diff);
+            self.diffs.insert(
+                (page, record.id.seq),
+                StoredDiff {
+                    diff,
+                    materialized: timing == DiffTiming::Eager,
+                },
+            );
         }
         self.records.push(record);
     }
 
-    /// The record of interval `seq` (1-based), if it has closed.
+    /// The record of interval `seq` (1-based), if it has closed and has not
+    /// been retired.
     pub fn record(&self, seq: u32) -> Option<&IntervalRecord> {
-        if seq == 0 {
+        if seq <= self.retired {
             return None;
         }
-        self.records.get(seq as usize - 1)
+        self.records.get((seq - self.retired) as usize - 1)
     }
 
-    /// All records with sequence numbers in `(after, up_to]`.
+    /// All live records with sequence numbers in `(after, up_to]`.
+    ///
+    /// The GC invariant guarantees a caller's `after` (its vector-clock
+    /// entry for this log's owner) is never below the retirement watermark
+    /// when it still needs records, so retirement is invisible here; the
+    /// debug assertion pins that.
     pub fn records_between(&self, after: u32, up_to: u32) -> &[IntervalRecord] {
-        let lo = (after as usize).min(self.records.len());
-        let hi = (up_to as usize).min(self.records.len());
+        debug_assert!(
+            after >= self.retired || up_to <= after,
+            "consumer at vc={after} fell behind the retirement watermark {}",
+            self.retired
+        );
+        let lo = ((after.max(self.retired) - self.retired) as usize).min(self.records.len());
+        let hi = ((up_to.max(self.retired) - self.retired) as usize).min(self.records.len());
         if lo >= hi {
             return &[];
         }
         &self.records[lo..hi]
     }
 
-    /// All records with sequence numbers greater than `after`.
+    /// All live records with sequence numbers greater than `after`.
     pub fn records_after(&self, after: u32) -> &[IntervalRecord] {
-        self.records_between(after, self.records.len() as u32)
+        self.records_between(after, self.published())
     }
 
     /// The diff of `page` created when interval `seq` closed, if that
-    /// interval wrote the page.
+    /// interval wrote the page (read-only peek: does not materialize).
     pub fn diff(&self, page: PageId, seq: u32) -> Option<Arc<Diff>> {
-        self.diffs.get(&(page, seq)).cloned()
+        self.diffs.get(&(page, seq)).map(|s| s.diff.clone())
     }
 
-    /// Total number of stored diffs (used by tests and the GC ablation).
+    /// Serve the diff of `page` for interval `seq`, materializing it if this
+    /// is the first request (lazy timing).  `created_now` tells the caller
+    /// to charge the creation cost to this responder's serve path and is
+    /// never true under eager timing.
+    pub fn fetch_diff(&mut self, page: PageId, seq: u32) -> Option<FetchedDiff> {
+        let stored = self.diffs.get_mut(&(page, seq))?;
+        let created_now = !stored.materialized;
+        if created_now {
+            stored.materialized = true;
+            self.counters.diffs_created_on_demand += 1;
+            self.counters.diff_bytes_created_on_demand += stored.diff.payload_bytes();
+        }
+        Some(FetchedDiff {
+            diff: stored.diff.clone(),
+            created_now,
+        })
+    }
+
+    /// Retire every record with sequence number `<= seq` together with its
+    /// diffs.  Callers must have established the GC invariant first: every
+    /// processor's vector clock covers `seq` and no processor still has a
+    /// pending (unapplied) write notice at or below it.  Returns the number
+    /// of records retired by this call.
+    pub fn retire_up_to(&mut self, seq: u32) -> u64 {
+        if seq <= self.retired {
+            return 0;
+        }
+        let n = ((seq - self.retired) as usize).min(self.records.len());
+        if n == 0 {
+            return 0;
+        }
+        for record in self.records.drain(..n) {
+            for &page in &record.pages {
+                if self.diffs.remove(&(page, record.id.seq)).is_some() {
+                    self.counters.diffs_retired += 1;
+                }
+            }
+            self.retired = record.id.seq;
+            self.counters.intervals_retired += 1;
+        }
+        n as u64
+    }
+
+    /// Total number of stored live diffs (used by tests and the GC
+    /// ablation).
     pub fn stored_diffs(&self) -> usize {
         self.diffs.len()
     }
@@ -155,16 +289,25 @@ mod tests {
         }
     }
 
+    fn diff_of(page: u32, bytes: usize) -> Arc<Diff> {
+        let twin = vec![0u8; bytes.max(4)];
+        let mut cur = twin.clone();
+        cur[0] = 1;
+        Arc::new(Diff::create(PageId(page), &twin, &cur))
+    }
+
     #[test]
     fn publish_and_lookup() {
         let mut log = IntervalLog::new();
         assert!(log.is_empty());
-        let diff = Arc::new(Diff {
-            page: PageId(3),
-            runs: vec![],
-        });
-        log.publish(record(0, 1, 2, &[3, 4]), vec![(PageId(3), diff.clone())]);
+        let diff = diff_of(3, 8);
+        log.publish(
+            record(0, 1, 2, &[3, 4]),
+            vec![(PageId(3), diff.clone())],
+            DiffTiming::Eager,
+        );
         assert_eq!(log.len(), 1);
+        assert_eq!(log.published(), 1);
         assert!(log.record(1).is_some());
         assert!(log.record(0).is_none());
         assert!(log.record(2).is_none());
@@ -174,16 +317,82 @@ mod tests {
     }
 
     #[test]
+    fn eager_diffs_are_born_materialized() {
+        let mut log = IntervalLog::new();
+        log.publish(
+            record(0, 1, 2, &[3]),
+            vec![(PageId(3), diff_of(3, 8))],
+            DiffTiming::Eager,
+        );
+        let fetched = log.fetch_diff(PageId(3), 1).unwrap();
+        assert!(!fetched.created_now);
+        assert_eq!(log.counters().diffs_created_on_demand, 0);
+    }
+
+    #[test]
+    fn lazy_diffs_materialize_exactly_once() {
+        let mut log = IntervalLog::new();
+        let diff = diff_of(3, 8);
+        let payload = diff.payload_bytes();
+        log.publish(
+            record(0, 1, 2, &[3]),
+            vec![(PageId(3), diff)],
+            DiffTiming::Lazy,
+        );
+        let first = log.fetch_diff(PageId(3), 1).unwrap();
+        assert!(first.created_now, "first request creates the diff");
+        let second = log.fetch_diff(PageId(3), 1).unwrap();
+        assert!(!second.created_now, "subsequent requests hit the cache");
+        assert_eq!(log.counters().diffs_created_on_demand, 1);
+        assert_eq!(log.counters().diff_bytes_created_on_demand, payload);
+        assert!(log.fetch_diff(PageId(9), 1).is_none());
+    }
+
+    #[test]
     fn records_between_windows() {
         let mut log = IntervalLog::new();
         for seq in 1..=5 {
-            log.publish(record(1, seq, 2, &[seq]), vec![]);
+            log.publish(record(1, seq, 2, &[seq]), vec![], DiffTiming::Lazy);
         }
         assert_eq!(log.records_between(0, 5).len(), 5);
         assert_eq!(log.records_between(2, 4).len(), 2);
         assert_eq!(log.records_between(4, 2).len(), 0);
         assert_eq!(log.records_after(3).len(), 2);
         assert_eq!(log.records_after(9).len(), 0);
+    }
+
+    #[test]
+    fn retirement_frees_records_and_diffs_but_keeps_the_tail() {
+        let mut log = IntervalLog::new();
+        for seq in 1..=5 {
+            log.publish(
+                record(1, seq, 2, &[seq]),
+                vec![(PageId(seq), diff_of(seq, 8))],
+                DiffTiming::Lazy,
+            );
+        }
+        assert_eq!(log.retire_up_to(3), 3);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.published(), 5, "published count survives retirement");
+        assert_eq!(log.retired_below(), 3);
+        assert_eq!(log.stored_diffs(), 2);
+        assert!(log.record(3).is_none());
+        assert!(log.record(4).is_some());
+        assert_eq!(log.records_between(3, 5).len(), 2);
+        let c = log.counters();
+        assert_eq!(c.intervals_retired, 3);
+        assert_eq!(c.diffs_retired, 3);
+
+        // Retiring again below the watermark is a no-op.
+        assert_eq!(log.retire_up_to(3), 0);
+        // Publication continues seamlessly after retirement.
+        log.publish(record(1, 6, 2, &[6]), vec![], DiffTiming::Lazy);
+        assert_eq!(log.published(), 6);
+        // Retire everything, including not-yet-covered requests capped at
+        // the live tail.
+        assert_eq!(log.retire_up_to(100), 3);
+        assert!(log.is_empty());
+        assert_eq!(log.stored_diffs(), 0);
     }
 
     #[test]
@@ -199,6 +408,6 @@ mod tests {
     #[should_panic(expected = "contiguous")]
     fn non_contiguous_publish_is_rejected_in_debug() {
         let mut log = IntervalLog::new();
-        log.publish(record(0, 2, 2, &[]), vec![]);
+        log.publish(record(0, 2, 2, &[]), vec![], DiffTiming::Lazy);
     }
 }

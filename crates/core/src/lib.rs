@@ -55,15 +55,22 @@ pub mod vc;
 
 pub use aggregation::DynamicAggregator;
 pub use cluster::{Dsm, RunOutput};
-pub use config::{sched_from_json, sched_to_json, DsmConfig, SweepPoint, SweepSpec, UnitPolicy};
+pub use config::{
+    sched_from_json, sched_to_json, DiffTiming, DsmConfig, SweepPoint, SweepSpec, UnitPolicy,
+};
 pub use handle::{GArray, GMatrix, GScalar, SharedVal};
-pub use interval::{IntervalId, IntervalLog, IntervalRecord, WriteNotice, NOTICE_WIRE_BYTES};
+pub use interval::{
+    FetchedDiff, IntervalId, IntervalLog, IntervalRecord, LogCounters, WriteNotice,
+    NOTICE_WIRE_BYTES,
+};
 pub use proc::ProcCtx;
-pub use sync::{BarrierEpoch, CentralBarrier, GlobalLock, GlobalSync, LockRelease};
+pub use sync::{gc_thresholds, BarrierEpoch, CentralBarrier, GlobalLock, GlobalSync, LockRelease};
 pub use vc::{VcOrder, VectorClock};
 
 // Re-export the pieces of the substrate crates that appear in this crate's
 // public API, so applications only need one dependency.
-pub use tm_net::{ClusterStats, CommBreakdown, CostModel, ProcStats, SignatureHistogram};
+pub use tm_net::{
+    ClusterStats, CommBreakdown, CostModel, GcCounters, ProcStats, SignatureHistogram,
+};
 pub use tm_page::{Align, Diff, GlobalAddr, PageId, PageLayout};
 pub use tm_sched::{SchedConfig, ScheduleMode, Scheduler};

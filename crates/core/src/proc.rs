@@ -21,13 +21,13 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use tm_net::{
-    CostModel, DiffExchange, FaultRecord, LogicalClock, MsgKind, ProcId, ProcStats,
+    CostModel, DiffExchange, FaultRecord, LogicalClock, MsgKind, ProcId, ProcStats, ResponderCost,
     MSG_HEADER_BYTES,
 };
 use tm_page::{Diff, GlobalAddr, PageId, PageLayout, PageStore, WORD_SIZE};
 
 use crate::aggregation::DynamicAggregator;
-use crate::config::{DsmConfig, UnitPolicy};
+use crate::config::{DiffTiming, DsmConfig, UnitPolicy};
 use crate::interval::{IntervalId, IntervalLog, IntervalRecord, NOTICE_WIRE_BYTES};
 use crate::sync::GlobalSync;
 use crate::vc::VectorClock;
@@ -50,6 +50,19 @@ struct PageMeta {
 /// real system).
 pub type SharedIntervalLog = Mutex<IntervalLog>;
 
+/// What one round of pending-diff exchanges produced (see
+/// [`ProcCtx::exchange_pending`]).
+struct PendingExchangeOutcome {
+    /// Number of concurrent writers contacted.
+    writers: u32,
+    /// Requester-local ids of the exchanges issued.
+    exchange_ids: Vec<u32>,
+    /// Per-responder reply sizes and serve-side extras.
+    responder_costs: Vec<ResponderCost>,
+    /// Total diff payload applied.
+    total_payload: u64,
+}
+
 /// The application-facing handle for one simulated processor.
 pub struct ProcCtx {
     rank: ProcId,
@@ -66,6 +79,13 @@ pub struct ProcCtx {
     logs: Arc<Vec<SharedIntervalLog>>,
     sync: Arc<GlobalSync>,
     agg: Option<DynamicAggregator>,
+    diff_timing: DiffTiming,
+    gc_flush_pending_limit: usize,
+    /// Per writer, a multiset of the interval sequence numbers this
+    /// processor still has pending (seq -> number of pages whose notice is
+    /// unapplied).  Its per-writer minimum key is the pending floor reported
+    /// to the barrier's interval GC.
+    pending_seqs: Vec<BTreeMap<u32, u32>>,
     notices_since_barrier: u64,
     marked_end_ns: Option<u64>,
 }
@@ -100,6 +120,9 @@ impl ProcCtx {
             logs,
             sync,
             agg,
+            diff_timing: config.diff_timing,
+            gc_flush_pending_limit: config.gc_flush_pending_limit,
+            pending_seqs: vec![BTreeMap::new(); config.nprocs],
             notices_since_barrier: 0,
             marked_end_ns: None,
         }
@@ -238,49 +261,89 @@ impl ProcCtx {
             }
         };
 
+        let outcome = self.exchange_pending(&fetch_pages);
+        for &p in &validate_pages {
+            self.meta[p.index()].invalid = false;
+        }
+
+        if outcome.writers == 0 {
+            self.stats.prefetched_faults += 1;
+        }
+        self.stats.faults.push(FaultRecord {
+            concurrent_writers: outcome.writers,
+            exchange_ids: outcome.exchange_ids,
+            pages_validated: validate_pages.len() as u32,
+        });
+        self.stats.protection_ops += 1;
+
+        let stall = self
+            .cost
+            .fault_stall_served(&outcome.responder_costs, outcome.total_payload);
+        self.clock.advance(stall);
+        self.stats.fault_stall_ns += stall;
+    }
+
+    /// Fetch and apply the pending diffs of `fetch_pages`: one aggregated
+    /// exchange per concurrent writer, diffs applied in a linear extension
+    /// of happens-before, pending notices cleared.  Shared by the fault
+    /// handler and the GC validation flush; the caller decides what the
+    /// operation *is* (a fault or a flush) and charges its stall.
+    fn exchange_pending(&mut self, fetch_pages: &[PageId]) -> PendingExchangeOutcome {
         // Gather the pending write notices of every page we are fetching,
         // grouped by the writer that must serve the diff.
         let mut by_writer: BTreeMap<u32, Vec<(PageId, u32)>> = BTreeMap::new();
-        for &p in &fetch_pages {
+        for &p in fetch_pages {
             for &(writer, seq) in &self.meta[p.index()].pending {
                 by_writer.entry(writer).or_default().push((p, seq));
             }
         }
 
         let mut exchange_ids = Vec::with_capacity(by_writer.len());
-        let mut reply_sizes = Vec::with_capacity(by_writer.len());
+        let mut responder_costs = Vec::with_capacity(by_writer.len());
         let mut to_apply: Vec<(u64, u32, u32, Arc<Diff>, u32)> = Vec::new();
         let mut total_payload = 0u64;
+        let page_size = self.layout.page_size() as u64;
 
         for (writer, wants) in &by_writer {
             debug_assert_ne!(*writer, self.rank.0, "own writes are never pending");
             let exchange_id = self.stats.exchanges.len() as u32;
             let mut reply_bytes = MSG_HEADER_BYTES;
+            let mut serve_extra_ns = 0u64;
             let mut delivered = 0u64;
             let mut diffs_carried = 0u32;
             let mut pages_requested: Vec<PageId> = Vec::new();
             {
-                let log = self.logs[*writer as usize].lock();
+                let mut log = self.logs[*writer as usize].lock();
                 for &(p, seq) in wants {
                     if !pages_requested.contains(&p) {
                         pages_requested.push(p);
                     }
-                    let diff = log
-                        .diff(p, seq)
-                        .expect("eagerly created diff must exist for a published notice");
+                    let fetched = log
+                        .fetch_diff(p, seq)
+                        .expect("a stored diff must exist for a published notice");
+                    if fetched.created_now {
+                        // Lazy timing: this request materializes the diff on
+                        // the responder, serializing its creation into the
+                        // responder's serve path (which we stall on).
+                        serve_extra_ns =
+                            serve_extra_ns.saturating_add(self.cost.diff_create_cost(page_size));
+                    }
                     let record_vc_weight = log
                         .record(seq)
                         .expect("published interval record must exist")
                         .vc
                         .weight();
-                    reply_bytes += diff.wire_bytes();
-                    delivered += diff.payload_bytes();
+                    reply_bytes += fetched.diff.wire_bytes();
+                    delivered += fetched.diff.payload_bytes();
                     diffs_carried += 1;
-                    to_apply.push((record_vc_weight, *writer, seq, diff, exchange_id));
+                    to_apply.push((record_vc_weight, *writer, seq, fetched.diff, exchange_id));
                 }
             }
             total_payload += delivered;
-            reply_sizes.push(reply_bytes);
+            responder_costs.push(ResponderCost {
+                reply_bytes,
+                serve_extra_ns,
+            });
             exchange_ids.push(exchange_id);
             self.stats.exchanges.push(DiffExchange {
                 id: exchange_id,
@@ -305,37 +368,85 @@ impl ProcCtx {
                 .apply_diff(diff, *exchange_id);
         }
 
-        // Book-keeping: fetched pages have no pending notices left; pages of
-        // the validated set become accessible again.
-        for &p in &fetch_pages {
+        // Book-keeping: fetched pages have no pending notices left (their
+        // entries also leave the per-writer pending multiset the barrier GC
+        // reads its floors from).
+        for &p in fetch_pages {
+            for &(writer, seq) in &self.meta[p.index()].pending {
+                if let std::collections::btree_map::Entry::Occupied(mut e) =
+                    self.pending_seqs[writer as usize].entry(seq)
+                {
+                    *e.get_mut() -= 1;
+                    if *e.get() == 0 {
+                        e.remove();
+                    }
+                }
+            }
             self.meta[p.index()].pending.clear();
         }
-        for &p in &validate_pages {
+
+        PendingExchangeOutcome {
+            writers: by_writer.len() as u32,
+            exchange_ids,
+            responder_costs,
+            total_payload,
+        }
+    }
+
+    /// TreadMarks' garbage-collection validation, triggered by memory
+    /// pressure (`DsmConfig::gc_flush_pending_limit`): fetch *every* pending
+    /// diff — one aggregated exchange per writer — and validate the pages,
+    /// so that no pending floor pins the interval logs any more and the next
+    /// barrier episode can retire them wholesale.  This sends real,
+    /// accounted messages; below the trigger it never runs and the run is
+    /// bit-identical to one with the flush disabled.
+    fn flush_pending_for_gc(&mut self) {
+        let pages: Vec<PageId> = self
+            .meta
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.pending.is_empty())
+            .map(|(i, _)| PageId(i as u32))
+            .collect();
+        if pages.is_empty() {
+            return;
+        }
+        self.sync
+            .scheduler()
+            .yield_turn(self.rank.index(), self.clock.now_ns());
+        let outcome = self.exchange_pending(&pages);
+        // The flushed pages are now up to date: validate them (one batched
+        // protection operation, as in a multi-page fault).
+        for &p in &pages {
             self.meta[p.index()].invalid = false;
         }
-
-        let concurrent_writers = by_writer.len() as u32;
-        if concurrent_writers == 0 {
-            self.stats.prefetched_faults += 1;
-        }
-        self.stats.faults.push(FaultRecord {
-            concurrent_writers,
-            exchange_ids,
-            pages_validated: validate_pages.len() as u32,
-        });
         self.stats.protection_ops += 1;
-
-        let stall = self.cost.fault_stall(&reply_sizes, total_payload);
+        self.clock.advance(self.cost.protection_op_ns);
+        // Not a fault: no fault record, no signature contribution — but the
+        // fetch stall is real.
+        let stall = self
+            .cost
+            .fault_stall_served(&outcome.responder_costs, outcome.total_payload);
         self.clock.advance(stall);
         self.stats.fault_stall_ns += stall;
+        self.stats.gc_pending_flushes += 1;
     }
 
     // ------------------------------------------------------------------
     // Interval management and write-notice propagation
     // ------------------------------------------------------------------
 
-    /// Close the current interval: diff every dirty page, publish the
-    /// interval record and its diffs, and advance the local vector clock.
+    /// Close the current interval: encode every dirty page's modifications,
+    /// retire the twins, publish the interval record (and, under eager
+    /// timing, the already-materialized diffs), and advance the local vector
+    /// clock.
+    ///
+    /// Under [`DiffTiming::Lazy`] only the write notices are *protocol*
+    /// output: the encoded diffs ride along unmaterialized (the simulator
+    /// compares twin and current contents here in both timings, so the two
+    /// variants ship byte-identical diffs and notices), and
+    /// `diff_create_cost` is charged on the serve path at the first request
+    /// instead of here — see DESIGN.md, "Eager versus lazy diff creation".
     fn close_interval(&mut self) {
         if self.dirty_pages.is_empty() {
             return;
@@ -343,6 +454,7 @@ impl ProcCtx {
         let mut pages = Vec::with_capacity(self.dirty_pages.len());
         let mut diffs = Vec::with_capacity(self.dirty_pages.len());
         let page_size = self.layout.page_size() as u64;
+        let eager = self.diff_timing == DiffTiming::Eager;
         let dirty: Vec<PageId> = self.dirty_pages.drain(..).collect();
         for page in dirty {
             let lp = self.store.page_mut(page);
@@ -351,7 +463,9 @@ impl ProcCtx {
                 .expect("dirty page must have a twin at interval close");
             lp.drop_twin();
             self.meta[page.index()].dirty = false;
-            self.clock.advance(self.cost.diff_create_cost(page_size));
+            if eager {
+                self.clock.advance(self.cost.diff_create_cost(page_size));
+            }
             // Re-protect the page so the next write re-twins.
             self.stats.protection_ops += 1;
             self.clock.advance(self.cost.protection_op_ns);
@@ -360,8 +474,10 @@ impl ProcCtx {
                 // nothing to propagate.
                 continue;
             }
-            self.stats.diffs_created += 1;
-            self.stats.diff_bytes_created += diff.payload_bytes();
+            if eager {
+                self.stats.diffs_created += 1;
+                self.stats.diff_bytes_created += diff.payload_bytes();
+            }
             pages.push(page);
             diffs.push((page, Arc::new(diff)));
         }
@@ -379,7 +495,10 @@ impl ProcCtx {
             pages: pages.clone(),
         };
         self.notices_since_barrier += pages.len() as u64;
-        self.logs[self.rank.index()].lock().publish(record, diffs);
+        self.stats.intervals_closed += 1;
+        self.logs[self.rank.index()]
+            .lock()
+            .publish(record, diffs, self.diff_timing);
     }
 
     /// Incorporate the write notices of every interval of processor `writer`
@@ -404,6 +523,7 @@ impl ProcCtx {
         for (seq, pages) in records {
             for page in pages {
                 self.meta[page.index()].pending.push((writer as u32, seq));
+                *self.pending_seqs[writer].entry(seq).or_insert(0) += 1;
                 self.invalidate_unit_of(page);
                 incorporated += 1;
             }
@@ -520,7 +640,9 @@ impl ProcCtx {
     }
 
     /// Cross the global barrier, incorporating every other processor's write
-    /// notices.
+    /// notices and garbage-collecting this processor's interval log up to
+    /// the watermark the episode sealed (see DESIGN.md, "Interval garbage
+    /// collection").
     pub fn barrier(&mut self) {
         self.close_interval();
         self.resync_aggregator();
@@ -534,12 +656,35 @@ impl ProcCtx {
         }
         self.notices_since_barrier = 0;
 
+        // Memory pressure check: too many pending notices pin the interval
+        // logs (their floors block retirement forever if the pages are never
+        // accessed again), so past the configured limit we run TreadMarks'
+        // GC validation and fetch them all before arriving.
+        let pending_total: usize = self
+            .pending_seqs
+            .iter()
+            .flat_map(|m| m.values())
+            .map(|&c| c as usize)
+            .sum();
+        if pending_total > self.gc_flush_pending_limit {
+            self.flush_pending_for_gc();
+        }
+
+        // This processor's contribution to the episode's GC watermark: per
+        // writer, the oldest interval we have incorporated but not applied.
+        let pending_floor: Vec<u32> = self
+            .pending_seqs
+            .iter()
+            .map(|m| m.keys().next().copied().unwrap_or(u32::MAX))
+            .collect();
+
         let my_published = self.vc.get(self.rank.index());
         let epoch = self.sync.barrier_arrive(
             self.rank.index(),
             self.clock.now_ns(),
             self.cost.barrier_latency(self.nprocs as u32),
             my_published,
+            &pending_floor,
         );
         self.clock.wait_until(epoch.depart_clock_ns);
 
@@ -547,6 +692,17 @@ impl ProcCtx {
         for q in 0..self.nprocs {
             notices += self.incorporate_notices_from(q, epoch.published_intervals[q]);
         }
+
+        // Retire the covered-and-applied prefix of our own log.  This is
+        // local book-keeping piggybacked on the barrier's existing traffic
+        // (the pending floors travel in the arrival message the protocol
+        // already sends), so it costs no additional messages and no modeled
+        // time.
+        let watermark = epoch.retire_below[self.rank.index()];
+        if watermark > 0 {
+            self.logs[self.rank.index()].lock().retire_up_to(watermark);
+        }
+
         if self.rank.0 != 0 {
             self.stats
                 .record_control(MsgKind::BarrierDepart, notices * NOTICE_WIRE_BYTES);

@@ -109,6 +109,39 @@ pub struct BarrierEpoch {
     pub depart_clock_ns: u64,
     /// Per-processor count of published intervals at arrival.
     pub published_intervals: Vec<u32>,
+    /// Per-processor garbage-collection watermark: processor `p` may retire
+    /// every interval of its own log with sequence number `<=
+    /// retire_below[p]` once it departs.  Computed by [`gc_thresholds`] from
+    /// the previous episode's coverage and this episode's pending-notice
+    /// floors.
+    pub retire_below: Vec<u32>,
+}
+
+/// Compute the per-writer interval-GC watermarks sealed into a barrier
+/// episode.
+///
+/// An interval `(p, seq)` is retirable iff
+///
+/// 1. **covered**: every processor's vector clock covers it.  Everything
+///    published by the *previous* barrier episode qualifies — departing that
+///    episode merged its snapshot into every clock — so
+///    `prev_published[p]` is a sound coverage bound; and
+/// 2. **applied**: no processor still holds a pending (incorporated but not
+///    yet fetched) write notice for it.  `pending_floor[p]` is the smallest
+///    sequence number of `p`'s intervals still pending at *any* arriver
+///    (`u32::MAX` when none): everything strictly below it has been applied
+///    everywhere it was ever needed.
+///
+/// Coverage by all clocks also guarantees no *future* pending entry at or
+/// below the watermark can appear: write notices only travel to processors
+/// whose clock does not cover them yet.
+pub fn gc_thresholds(prev_published: &[u32], pending_floor: &[u32]) -> Vec<u32> {
+    debug_assert_eq!(prev_published.len(), pending_floor.len());
+    prev_published
+        .iter()
+        .zip(pending_floor)
+        .map(|(&covered, &floor)| covered.min(floor.saturating_sub(1)))
+        .collect()
 }
 
 #[derive(Debug)]
@@ -117,6 +150,12 @@ struct BarrierInner {
     arrived: usize,
     max_clock_ns: u64,
     lens: Vec<u32>,
+    /// Published-interval snapshot of the previously sealed episode — the
+    /// coverage bound of the GC watermark.
+    prev_published: Vec<u32>,
+    /// Elementwise minimum, over this episode's arrivers so far, of each
+    /// arriver's smallest pending notice sequence number per writer.
+    pending_floor: Vec<u32>,
     epoch: Arc<BarrierEpoch>,
 }
 
@@ -153,9 +192,12 @@ impl CentralBarrier {
                 arrived: 0,
                 max_clock_ns: 0,
                 lens: vec![0; nprocs],
+                prev_published: vec![0; nprocs],
+                pending_floor: vec![u32::MAX; nprocs],
                 epoch: Arc::new(BarrierEpoch {
                     depart_clock_ns: 0,
                     published_intervals: vec![0; nprocs],
+                    retire_below: vec![0; nprocs],
                 }),
             }),
             nprocs,
@@ -168,25 +210,36 @@ impl CentralBarrier {
     }
 
     /// Record the arrival of processor `rank` without blocking.
+    /// `my_pending_floor[p]` is the smallest sequence number of processor
+    /// `p`'s intervals whose write notice `rank` has incorporated but not
+    /// applied yet (`u32::MAX` when none) — the arriver's contribution to
+    /// the episode's GC watermark.
     fn arrive(
         &self,
         rank: usize,
         my_clock_ns: u64,
         barrier_latency_ns: u64,
         my_published_intervals: u32,
+        my_pending_floor: &[u32],
     ) -> Arrival {
         let mut inner = self.inner.lock();
         let generation = inner.generation;
         inner.max_clock_ns = inner.max_clock_ns.max(my_clock_ns);
         inner.lens[rank] = my_published_intervals;
+        for (acc, &floor) in inner.pending_floor.iter_mut().zip(my_pending_floor) {
+            *acc = (*acc).min(floor);
+        }
         inner.arrived += 1;
         if inner.arrived == self.nprocs {
             // Last arriver: seal the episode and open the next generation.
             let epoch = Arc::new(BarrierEpoch {
-                depart_clock_ns: inner.max_clock_ns + barrier_latency_ns,
+                depart_clock_ns: inner.max_clock_ns.saturating_add(barrier_latency_ns),
                 published_intervals: inner.lens.clone(),
+                retire_below: gc_thresholds(&inner.prev_published, &inner.pending_floor),
             });
             inner.epoch = Arc::clone(&epoch);
+            inner.prev_published = inner.lens.clone();
+            inner.pending_floor.fill(u32::MAX);
             inner.arrived = 0;
             inner.max_clock_ns = 0;
             inner.generation += 1;
@@ -268,22 +321,27 @@ impl GlobalSync {
     }
 
     /// Arrive at the barrier as processor `rank`, announcing the caller's
-    /// modeled clock and the number of intervals it has published so far.
-    /// Parks (on the scheduler) until everyone has arrived and returns the
-    /// barrier episode (common departure time + published-interval
-    /// snapshot).
+    /// modeled clock, the number of intervals it has published so far, and
+    /// its per-writer pending-notice floors (the GC contribution; see
+    /// [`gc_thresholds`]).  Parks (on the scheduler) until everyone
+    /// has arrived and returns the barrier episode (common departure time +
+    /// published-interval snapshot + retirement watermarks).
     pub fn barrier_arrive(
         &self,
         rank: usize,
         clock_ns: u64,
         barrier_latency_ns: u64,
         published_intervals: u32,
+        pending_floor: &[u32],
     ) -> Arc<BarrierEpoch> {
         self.sched.yield_turn(rank, clock_ns);
-        match self
-            .barrier
-            .arrive(rank, clock_ns, barrier_latency_ns, published_intervals)
-        {
+        match self.barrier.arrive(
+            rank,
+            clock_ns,
+            barrier_latency_ns,
+            published_intervals,
+            pending_floor,
+        ) {
             Arrival::Sealed { generation, epoch } => {
                 self.sched.wake_all(WaitKey::Barrier(generation));
                 epoch
@@ -405,7 +463,8 @@ mod tests {
         let sync = GlobalSync::new(3, 1, SchedConfig::fifo());
         let departs = drive(&sync, 3, |rank| {
             let clock = [100u64, 900, 400][rank];
-            sync.barrier_arrive(rank, clock, 50, 0).depart_clock_ns
+            sync.barrier_arrive(rank, clock, 50, 0, &[u32::MAX; 3])
+                .depart_clock_ns
         });
         assert_eq!(departs, vec![950, 950, 950]);
     }
@@ -415,9 +474,13 @@ mod tests {
         let sync = GlobalSync::new(2, 1, SchedConfig::fifo());
         let results = drive(&sync, 2, |rank| {
             let first = [20u64, 10][rank];
-            let a = sync.barrier_arrive(rank, first, 5, 0).depart_clock_ns;
+            let a = sync
+                .barrier_arrive(rank, first, 5, 0, &[u32::MAX; 2])
+                .depart_clock_ns;
             let second = if rank == 0 { a + 1 } else { a + 100 };
-            let b = sync.barrier_arrive(rank, second, 5, 0).depart_clock_ns;
+            let b = sync
+                .barrier_arrive(rank, second, 5, 0, &[u32::MAX; 2])
+                .depart_clock_ns;
             (a, b)
         });
         // First episode: max(20, 10) + 5; second: max(26, 125) + 5.
@@ -428,11 +491,57 @@ mod tests {
     fn barrier_snapshots_published_intervals() {
         let sync = GlobalSync::new(3, 1, SchedConfig::seeded(3));
         let epochs = drive(&sync, 3, |rank| {
-            sync.barrier_arrive(rank, 10 * rank as u64, 7, rank as u32 * 2)
+            sync.barrier_arrive(rank, 10 * rank as u64, 7, rank as u32 * 2, &[u32::MAX; 3])
         });
         for e in epochs {
             assert_eq!(e.published_intervals, vec![0, 2, 4]);
             assert_eq!(e.depart_clock_ns, 27);
+            // First episode: the previous snapshot is all-zero, so nothing
+            // is retirable yet whatever the pending floors say.
+            assert_eq!(e.retire_below, vec![0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn gc_thresholds_respect_coverage_and_pending_floors() {
+        // Writer 0: covered up to 5, nothing pending -> retire through 5.
+        // Writer 1: covered up to 7, but some processor still has interval 4
+        //           pending -> retire only through 3.
+        // Writer 2: pending floor below everything -> nothing retirable.
+        assert_eq!(gc_thresholds(&[5, 7, 6], &[u32::MAX, 4, 1]), vec![5, 3, 0]);
+        // The zero floor cannot underflow.
+        assert_eq!(gc_thresholds(&[3], &[0]), vec![0]);
+    }
+
+    #[test]
+    fn barrier_seals_gc_watermarks_from_previous_coverage() {
+        let sync = GlobalSync::new(2, 1, SchedConfig::fifo());
+        let results = drive(&sync, 2, |rank| {
+            // Episode 1: ranks have published 4 and 2 intervals, nothing
+            // pending.  Episode 2: rank 1 still has rank 0's interval 3
+            // pending.
+            let published = [4u32, 2][rank];
+            let first = sync
+                .barrier_arrive(rank, 10, 5, published, &[u32::MAX; 2])
+                .retire_below
+                .clone();
+            let floor = if rank == 1 {
+                [3u32, u32::MAX]
+            } else {
+                [u32::MAX; 2]
+            };
+            let second = sync
+                .barrier_arrive(rank, 100, 5, published + 1, &floor)
+                .retire_below
+                .clone();
+            (first, second)
+        });
+        for (first, second) in results {
+            // Episode 1 retires nothing: the previous snapshot was zero.
+            assert_eq!(first, vec![0, 0]);
+            // Episode 2: coverage is episode 1's snapshot (4, 2); rank 0's
+            // watermark is capped by the pending interval 3.
+            assert_eq!(second, vec![2, 2]);
         }
     }
 

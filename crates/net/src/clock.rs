@@ -26,10 +26,12 @@ impl LogicalClock {
         self.ns
     }
 
-    /// Advance the clock by `delta_ns`.
+    /// Advance the clock by `delta_ns` (saturating: a clock pinned at
+    /// `u64::MAX` stays there instead of panicking in debug builds, so an
+    /// absurd cost model degrades gracefully on the large workload tier).
     #[inline]
     pub fn advance(&mut self, delta_ns: u64) {
-        self.ns += delta_ns;
+        self.ns = self.ns.saturating_add(delta_ns);
     }
 
     /// Move the clock forward to `other_ns` if that is later (used when a
@@ -79,6 +81,14 @@ mod tests {
         assert_eq!(a.now_ns(), 25);
         b.merge_max(a);
         assert_eq!(b.now_ns(), 25);
+    }
+
+    #[test]
+    fn advance_saturates_at_the_end_of_time() {
+        let mut c = LogicalClock::zero();
+        c.advance(u64::MAX - 5);
+        c.advance(100);
+        assert_eq!(c.now_ns(), u64::MAX);
     }
 
     #[test]

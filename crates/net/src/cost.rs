@@ -115,9 +115,9 @@ impl CostModel {
     /// the responder's serve time, and the reply's wire time.
     pub fn diff_exchange_latency(&self, reply_bytes: u64) -> u64 {
         self.rtt_small_ns
-            + self.diff_serve_base_ns
-            + self.diff_serve_ns_per_byte * reply_bytes
-            + self.wire_ns_per_byte * reply_bytes
+            .saturating_add(self.diff_serve_base_ns)
+            .saturating_add(self.diff_serve_ns_per_byte.saturating_mul(reply_bytes))
+            .saturating_add(self.wire_ns_per_byte.saturating_mul(reply_bytes))
     }
 
     /// Stall time of a page fault that issues one exchange per concurrent
@@ -128,27 +128,59 @@ impl CostModel {
     /// processing and diff application serialize there.  This is what makes
     /// a 7-writer fault substantially more expensive than a 1-writer fault
     /// even though the requests go out in parallel.
+    ///
+    /// A fault that contacts no writer (a prefetched or cold fault) costs
+    /// exactly `fault_handler_ns + protection_op_ns`: no round trip, no
+    /// serve, and — since nothing is applied — no diff-application charge.
     pub fn fault_stall(&self, reply_bytes_per_responder: &[u64], applied_payload: u64) -> u64 {
-        let slowest_serve = reply_bytes_per_responder
+        let responders: Vec<ResponderCost> = reply_bytes_per_responder
             .iter()
-            .map(|&b| self.diff_serve_base_ns + self.diff_serve_ns_per_byte * b)
+            .map(|&reply_bytes| ResponderCost {
+                reply_bytes,
+                serve_extra_ns: 0,
+            })
+            .collect();
+        self.fault_stall_served(&responders, applied_payload)
+    }
+
+    /// [`fault_stall`](Self::fault_stall) with per-responder serve-side
+    /// extras: under lazy diff timing the responder creates any
+    /// not-yet-materialized diff while serving the request, so its serve
+    /// time grows by the diff-creation cost.  Responders work in parallel
+    /// (the slowest one bounds the stall), exactly like their base serve
+    /// time.
+    pub fn fault_stall_served(&self, responders: &[ResponderCost], applied_payload: u64) -> u64 {
+        let slowest_serve = responders
+            .iter()
+            .map(|r| {
+                self.diff_serve_base_ns
+                    .saturating_add(self.diff_serve_ns_per_byte.saturating_mul(r.reply_bytes))
+                    .saturating_add(r.serve_extra_ns)
+            })
             .max()
             .unwrap_or(0);
-        let total_reply_bytes: u64 = reply_bytes_per_responder.iter().sum();
-        let serialized_receive = self.wire_ns_per_byte * total_reply_bytes
-            + reply_bytes_per_responder.len() as u64 * self.message_cpu_ns;
-        let rtt = if reply_bytes_per_responder.is_empty() {
+        let total_reply_bytes = responders
+            .iter()
+            .fold(0u64, |acc, r| acc.saturating_add(r.reply_bytes));
+        let serialized_receive = self
+            .wire_ns_per_byte
+            .saturating_mul(total_reply_bytes)
+            .saturating_add(self.message_cpu_ns.saturating_mul(responders.len() as u64));
+        let rtt = if responders.is_empty() {
             0
         } else {
             self.rtt_small_ns
         };
         self.fault_handler_ns
-            + self.protection_op_ns
-            + rtt
-            + slowest_serve
-            + serialized_receive
-            + self.diff_apply_base_ns * reply_bytes_per_responder.len().max(1) as u64
-            + self.diff_apply_ns_per_byte * applied_payload
+            .saturating_add(self.protection_op_ns)
+            .saturating_add(rtt)
+            .saturating_add(slowest_serve)
+            .saturating_add(serialized_receive)
+            .saturating_add(
+                self.diff_apply_base_ns
+                    .saturating_mul(responders.len() as u64),
+            )
+            .saturating_add(self.diff_apply_ns_per_byte.saturating_mul(applied_payload))
     }
 
     /// Latency of an uncontended lock acquisition.
@@ -158,25 +190,49 @@ impl CostModel {
 
     /// Latency added by a barrier of `procs` processors once every processor
     /// has arrived.
+    ///
+    /// Below the calibrated processor count the per-processor discount is
+    /// clamped so the latency never collapses to zero: any barrier still
+    /// costs at least one small round trip to the manager (`rtt_small_ns`).
     pub fn barrier_latency(&self, procs: u32) -> u64 {
         let base = self.barrier_base_ns;
         let calibrated = self.barrier_calibrated_procs;
         if procs >= calibrated {
-            base + (procs - calibrated) as u64 * self.barrier_per_proc_ns
+            base.saturating_add(
+                self.barrier_per_proc_ns
+                    .saturating_mul((procs - calibrated) as u64),
+            )
         } else {
-            base.saturating_sub((calibrated - procs) as u64 * self.barrier_per_proc_ns)
+            base.saturating_sub(
+                self.barrier_per_proc_ns
+                    .saturating_mul((calibrated - procs) as u64),
+            )
+            .max(self.rtt_small_ns)
         }
     }
 
     /// Cost of creating a twin of `bytes` bytes.
     pub fn twin_cost(&self, bytes: u64) -> u64 {
-        self.twin_ns_per_byte * bytes
+        self.twin_ns_per_byte.saturating_mul(bytes)
     }
 
     /// Cost of creating a diff by comparing `bytes` bytes of twin/current.
     pub fn diff_create_cost(&self, bytes: u64) -> u64 {
-        self.diff_create_base_ns + self.diff_create_ns_per_byte * bytes
+        self.diff_create_base_ns
+            .saturating_add(self.diff_create_ns_per_byte.saturating_mul(bytes))
     }
+}
+
+/// The serve-side load one responder contributes to a fault stall: its reply
+/// size plus any extra serve-side work (lazy diff creation happens on the
+/// responder while the requester waits).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResponderCost {
+    /// Wire bytes of this responder's reply message.
+    pub reply_bytes: u64,
+    /// Extra nanoseconds spent on the responder's serve path beyond the
+    /// calibrated per-byte assembly cost (e.g. on-demand diff creation).
+    pub serve_extra_ns: u64,
 }
 
 impl Default for CostModel {
@@ -241,6 +297,73 @@ mod tests {
         let two_faults = 2 * m.fault_stall(&[2048], 2048);
         let aggregated = m.fault_stall(&[4096], 4096);
         assert!(aggregated < two_faults);
+    }
+
+    #[test]
+    fn zero_responder_fault_costs_handler_and_protection_only() {
+        // Regression: a fault with no concurrent writer (prefetched by the
+        // dynamic aggregation scheme, or a cold unit-mate) applies no diff,
+        // so it must not be billed a diff application.  The old code charged
+        // `diff_apply_base_ns * len().max(1)`.
+        let m = CostModel::pentium_ethernet_1997();
+        assert_eq!(
+            m.fault_stall(&[], 0),
+            m.fault_handler_ns + m.protection_op_ns
+        );
+    }
+
+    #[test]
+    fn serve_extra_joins_the_slowest_serve() {
+        // Lazy diff creation happens on the responder's serve path: it adds
+        // to that responder's serve time and responders still overlap, so
+        // only the slowest one moves the stall.
+        let m = CostModel::pentium_ethernet_1997();
+        let base = m.fault_stall(&[1024, 1024], 2048);
+        let with_extra = m.fault_stall_served(
+            &[
+                ResponderCost {
+                    reply_bytes: 1024,
+                    serve_extra_ns: 70_000,
+                },
+                ResponderCost {
+                    reply_bytes: 1024,
+                    serve_extra_ns: 0,
+                },
+            ],
+            2048,
+        );
+        assert_eq!(with_extra, base + 70_000);
+    }
+
+    #[test]
+    fn small_barrier_latency_never_collapses_to_zero() {
+        // Regression: with a per-processor discount large enough to swallow
+        // the base latency, `saturating_sub` used to floor a small barrier
+        // at 0 ns.  It is clamped to one small round trip instead.
+        let mut m = CostModel::pentium_ethernet_1997();
+        m.barrier_per_proc_ns = 200_000; // 6 * 200 µs > 861 µs base
+        assert_eq!(m.barrier_latency(2), m.rtt_small_ns);
+        // The calibrated point itself is unaffected by the clamp.
+        assert_eq!(m.barrier_latency(8), m.barrier_base_ns);
+    }
+
+    #[test]
+    fn cost_arithmetic_saturates_instead_of_overflowing() {
+        // The large workload tier multiplies per-byte rates by big byte
+        // counts; in debug builds an unchecked `*` would panic.  All cost
+        // products and sums must saturate.
+        let mut m = CostModel::pentium_ethernet_1997();
+        m.wire_ns_per_byte = u64::MAX;
+        m.diff_serve_ns_per_byte = u64::MAX;
+        m.diff_apply_ns_per_byte = u64::MAX;
+        m.twin_ns_per_byte = u64::MAX;
+        m.diff_create_ns_per_byte = u64::MAX;
+        m.barrier_per_proc_ns = u64::MAX;
+        assert_eq!(m.fault_stall(&[u64::MAX, 7], u64::MAX), u64::MAX);
+        assert_eq!(m.diff_exchange_latency(u64::MAX), u64::MAX);
+        assert_eq!(m.twin_cost(u64::MAX), u64::MAX);
+        assert_eq!(m.diff_create_cost(3), u64::MAX);
+        assert_eq!(m.barrier_latency(64), u64::MAX);
     }
 
     #[test]

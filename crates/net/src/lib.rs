@@ -58,10 +58,11 @@ pub mod msg;
 pub mod stats;
 
 pub use clock::LogicalClock;
-pub use cost::CostModel;
+pub use cost::{CostModel, ResponderCost};
 pub use msg::{ControlMsg, DiffExchange, FaultRecord, MsgKind, ProcId, MSG_HEADER_BYTES};
 pub use stats::{
-    ClusterStats, CommBreakdown, Normalized, ProcStats, SignatureBucket, SignatureHistogram,
+    ClusterStats, CommBreakdown, GcCounters, Normalized, ProcStats, SignatureBucket,
+    SignatureHistogram,
 };
 
 #[cfg(test)]

@@ -35,10 +35,27 @@ pub struct ProcStats {
     pub barriers: u64,
     /// Twins created (first write to a page in an interval).
     pub twins_created: u64,
-    /// Diffs created at interval closes.
+    /// Diffs created: at interval closes under eager diff timing, at the
+    /// first serving request under lazy timing (so a diff nobody ever asks
+    /// for is never counted as created).
     pub diffs_created: u64,
     /// Total payload bytes of the diffs created.
     pub diff_bytes_created: u64,
+    /// Of `diffs_created`, diffs materialized on demand while serving a
+    /// remote fault (always 0 under eager timing).  Kept separate so the
+    /// useful/useless/piggybacked message breakdown stays untouched by the
+    /// diff-timing knob.
+    pub diffs_created_on_demand: u64,
+    /// Intervals this processor closed (records published to its log).
+    pub intervals_closed: u64,
+    /// Intervals garbage-collected from this processor's log at barriers.
+    pub intervals_retired: u64,
+    /// Stored diffs garbage-collected together with their intervals.
+    pub diffs_retired: u64,
+    /// GC validation flushes: barriers at which this processor's pending
+    /// notices exceeded the configured limit and were fetched wholesale so
+    /// the logs behind them could retire.
+    pub gc_pending_flushes: u64,
     /// Memory-protection operations (invalidations and validations).
     pub protection_ops: u64,
     /// Consistency-unit faults that required no exchange because the dynamic
@@ -222,6 +239,37 @@ impl CommBreakdown {
     }
 }
 
+/// Aggregated interval-log garbage-collection counters of a run.
+///
+/// All three quantities are a pure function of the write-notice flow, so
+/// they are identical under eager and lazy diff timing; on-demand creation
+/// counts (which differ by timing) deliberately live elsewhere
+/// ([`ProcStats::diffs_created_on_demand`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcCounters {
+    /// Intervals closed (published) across all processors.
+    pub intervals_closed: u64,
+    /// Intervals retired from the logs at barriers.
+    pub intervals_retired: u64,
+    /// Stored diffs retired together with their intervals.
+    pub diffs_retired: u64,
+    /// GC validation flushes performed (memory-pressure fetches of pending
+    /// notices so their logs could retire).
+    pub pending_flushes: u64,
+}
+
+impl GcCounters {
+    /// Fraction of closed intervals that were retired by run end (0.0 when
+    /// nothing closed) — the memory-boundedness metric of the GC.
+    pub fn retired_fraction(&self) -> f64 {
+        if self.intervals_closed == 0 {
+            0.0
+        } else {
+            self.intervals_retired as f64 / self.intervals_closed as f64
+        }
+    }
+}
+
 /// Statistics of a whole cluster run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ClusterStats {
@@ -247,6 +295,18 @@ impl ClusterStats {
     /// Total wire bytes across all processors.
     pub fn total_wire_bytes(&self) -> u64 {
         self.per_proc.iter().map(|p| p.wire_bytes()).sum()
+    }
+
+    /// Aggregate the interval-log garbage-collection counters.
+    pub fn gc_counters(&self) -> GcCounters {
+        let mut gc = GcCounters::default();
+        for p in &self.per_proc {
+            gc.intervals_closed += p.intervals_closed;
+            gc.intervals_retired += p.intervals_retired;
+            gc.diffs_retired += p.diffs_retired;
+            gc.pending_flushes += p.gc_pending_flushes;
+        }
+        gc
     }
 
     /// Derive the paper's communication breakdown.
@@ -289,6 +349,31 @@ impl ClusterStats {
             }
         }
         b
+    }
+}
+
+impl ToJson for GcCounters {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("intervals_closed", Value::Num(self.intervals_closed as f64)),
+            (
+                "intervals_retired",
+                Value::Num(self.intervals_retired as f64),
+            ),
+            ("diffs_retired", Value::Num(self.diffs_retired as f64)),
+            ("pending_flushes", Value::Num(self.pending_flushes as f64)),
+        ])
+    }
+}
+
+impl FromJson for GcCounters {
+    fn from_json(v: &Value) -> Result<Self, JsonSchemaError> {
+        Ok(GcCounters {
+            intervals_closed: field_u64(v, "intervals_closed")?,
+            intervals_retired: field_u64(v, "intervals_retired")?,
+            diffs_retired: field_u64(v, "diffs_retired")?,
+            pending_flushes: field_u64(v, "pending_flushes")?,
+        })
     }
 }
 
@@ -543,6 +628,31 @@ mod tests {
         // A missing field reports its path.
         let err = CommBreakdown::from_json(&serde::json::parse("{}").unwrap()).unwrap_err();
         assert_eq!(err.path, "useful_messages");
+    }
+
+    #[test]
+    fn gc_counters_aggregate_and_roundtrip() {
+        let mut a = ProcStats::new(ProcId(0));
+        a.intervals_closed = 10;
+        a.intervals_retired = 9;
+        a.diffs_retired = 20;
+        let mut b = ProcStats::new(ProcId(1));
+        b.intervals_closed = 4;
+        b.intervals_retired = 3;
+        b.diffs_retired = 5;
+        let gc = ClusterStats {
+            per_proc: vec![a, b],
+        }
+        .gc_counters();
+        assert_eq!(gc.intervals_closed, 14);
+        assert_eq!(gc.intervals_retired, 12);
+        assert_eq!(gc.diffs_retired, 25);
+        assert!((gc.retired_fraction() - 12.0 / 14.0).abs() < 1e-12);
+        assert_eq!(GcCounters::default().retired_fraction(), 0.0);
+
+        let parsed =
+            GcCounters::from_json(&serde::json::parse(&gc.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(parsed, gc);
     }
 
     #[test]

@@ -67,7 +67,9 @@ impl LocalPage {
             .map(|twin| Diff::create(page, twin, &self.data))
     }
 
-    /// Discard the twin (the interval's modifications have been encoded).
+    /// Retire the twin (the interval's modifications have been encoded; the
+    /// twin is dead weight from here on — under lazy diff timing the stored
+    /// encoding, not the twin, is what later requests serve from).
     pub fn drop_twin(&mut self) {
         self.twin = None;
     }

@@ -165,7 +165,7 @@ fn full_cell_grids_match_the_paper_design() {
 fn tiny_cell_grids_keep_their_shape() {
     let args = BenchArgs {
         nprocs: 2,
-        tiny: true,
+        scale: tm_bench::Scale::Tiny,
         ..BenchArgs::defaults(2)
     };
     // Tiny grids mirror the full ones with one data set per application; pin

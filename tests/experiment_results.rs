@@ -10,7 +10,7 @@ use tm_bench::{
 fn tiny_args() -> BenchArgs {
     BenchArgs {
         nprocs: 2,
-        tiny: true,
+        scale: tm_bench::Scale::Tiny,
         ..BenchArgs::defaults(2)
     }
 }
