@@ -13,7 +13,8 @@
 //! [`suite`](crate::suite) registry.
 
 use tdsm_core::{
-    ClusterStats, CommBreakdown, CostModel, DiffTiming, DsmConfig, SchedConfig, UnitPolicy,
+    ClusterStats, CommBreakdown, CostModel, DiffTiming, DsmConfig, ProtocolMode, SchedConfig,
+    UnitPolicy,
 };
 
 /// Configuration of one application run: how many processors and which
@@ -24,6 +25,9 @@ pub struct AppConfig {
     pub nprocs: usize,
     /// Consistency-unit policy (the paper's 4 K / 8 K / 16 K / Dyn axis).
     pub unit: UnitPolicy,
+    /// Write protocol (multi-writer twin/diff, or home-based single-writer;
+    /// protocols may differ in messages, never in computed results).
+    pub protocol: ProtocolMode,
     /// Cost model for the simulated cluster.
     pub cost: CostModel,
     /// Shared-space size in pages (applications with large footprints raise
@@ -47,6 +51,7 @@ impl AppConfig {
         AppConfig {
             nprocs: 8,
             unit: UnitPolicy::Static { pages: 1 },
+            protocol: ProtocolMode::MultiWriter,
             cost: CostModel::pentium_ethernet_1997(),
             shared_pages: 16 * 1024, // 64 MB
             sched: SchedConfig::default(),
@@ -66,6 +71,12 @@ impl AppConfig {
     /// Builder-style setter for the consistency-unit policy.
     pub fn unit(mut self, unit: UnitPolicy) -> Self {
         self.unit = unit;
+        self
+    }
+
+    /// Builder-style setter for the write protocol.
+    pub fn protocol(mut self, protocol: ProtocolMode) -> Self {
+        self.protocol = protocol;
         self
     }
 
@@ -93,6 +104,7 @@ impl AppConfig {
             nprocs: self.nprocs,
             shared_pages: self.shared_pages,
             unit: self.unit,
+            protocol: self.protocol,
             cost: self.cost.clone(),
             sched: self.sched,
             diff_timing: self.diff_timing,
@@ -246,11 +258,17 @@ mod tests {
     fn app_config_conversion() {
         let cfg = AppConfig::with_procs(4)
             .unit(UnitPolicy::Static { pages: 2 })
+            .protocol(ProtocolMode::home_based())
             .sched(SchedConfig::seeded(0xfeed));
         let dsm = cfg.dsm_config();
         assert_eq!(dsm.nprocs, 4);
         assert_eq!(dsm.unit, UnitPolicy::Static { pages: 2 });
+        assert_eq!(dsm.protocol, ProtocolMode::home_based());
         assert_eq!(dsm.sched, SchedConfig::seeded(0xfeed));
         dsm.validate();
+        assert_eq!(
+            AppConfig::paper_default().protocol,
+            ProtocolMode::MultiWriter
+        );
     }
 }

@@ -30,8 +30,10 @@ use crate::{figure_panel_string, signature_string};
 /// `schedule` field and stopped emitting `host_wall_ns` (host timing is
 /// nondeterministic and the documents must be byte-stable); the lazy-diffing
 /// rework added the per-cell `diff_timing` field and the `gc`
-/// interval-garbage-collection counters. Readers must treat all of these as
-/// optional; this parser does, in both directions.
+/// interval-garbage-collection counters; the home-based protocol added the
+/// per-cell `protocol` field and the `home_updates`/`page_fetches` counters
+/// inside `breakdown`. Readers must treat all of these as optional; this
+/// parser does, in both directions.
 pub const RESULT_SCHEMA: &str = "tm-bench/experiment-result/v1";
 
 /// The output formats every figure/table binary supports via `--format`.
@@ -97,6 +99,7 @@ impl ToJson for Cell {
                 "diff_timing",
                 Value::Str(self.diff_timing.as_str().to_string()),
             ),
+            ("protocol", self.protocol.to_json()),
         ])
     }
 }
@@ -137,6 +140,12 @@ impl FromJson for Cell {
                     .as_str()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| JsonSchemaError::new("diff_timing", "\"eager\" or \"lazy\""))?,
+            },
+            // Additive v1 field: documents emitted before the home-based
+            // protocol landed ran the then-only multi-writer organization.
+            protocol: match v.get("protocol") {
+                None => tdsm_core::ProtocolMode::MultiWriter,
+                Some(p) => tdsm_core::ProtocolMode::from_json(p)?,
             },
         })
     }
@@ -226,8 +235,9 @@ impl FromJson for ExperimentResult {
 
 /// Header of the per-cell CSV projection.
 pub const CSV_HEADER: &str = "experiment,app,size,policy,nprocs,seed,schedule,diff_timing,\
-exec_time_ms,useful_msgs,useless_msgs,useful_data,piggybacked_useless,useless_in_useless,faults,\
-mean_writers,intervals_closed,intervals_retired,checksum";
+protocol,exec_time_ms,useful_msgs,useless_msgs,useful_data,piggybacked_useless,\
+useless_in_useless,faults,home_updates,page_fetches,mean_writers,intervals_closed,\
+intervals_retired,checksum";
 
 fn render_csv(result: &ExperimentResult) -> String {
     let mut out = String::from(CSV_HEADER);
@@ -237,7 +247,7 @@ fn render_csv(result: &ExperimentResult) -> String {
         let _ = writeln!(
             out,
             // Seeds are hex here as in JSON, so rows join across formats.
-            "{},{},{},{},{},{:016x},{},{},{:.3},{},{},{},{},{},{},{:.3},{},{},{}",
+            "{},{},{},{},{},{:016x},{},{},{},{:.3},{},{},{},{},{},{},{},{},{:.3},{},{},{}",
             result.name,
             r.cell.app.name(),
             r.cell.size_label,
@@ -246,6 +256,7 @@ fn render_csv(result: &ExperimentResult) -> String {
             r.cell.seed,
             r.cell.schedule.as_str(),
             r.cell.diff_timing.as_str(),
+            r.cell.protocol.as_str(),
             r.exec_time_ns as f64 / 1e6,
             b.useful_messages,
             b.useless_messages,
@@ -253,6 +264,8 @@ fn render_csv(result: &ExperimentResult) -> String {
             b.piggybacked_useless_data,
             b.useless_data_in_useless_msgs,
             b.faults,
+            b.home_updates,
+            b.page_fetches,
             b.signature.mean_writers(),
             r.gc.intervals_closed,
             r.gc.intervals_retired,

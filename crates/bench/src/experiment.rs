@@ -16,7 +16,7 @@
 //! interleaving the cell ran under. Same `(app, policy, nprocs, seed)`,
 //! same results, bit for bit.
 
-use tdsm_core::{DiffTiming, SchedConfig, SweepSpec, UnitPolicy};
+use tdsm_core::{DiffTiming, ProtocolMode, SchedConfig, SweepSpec, UnitPolicy};
 use tm_apps::{AppId, Workload};
 use tm_sched::ScheduleMode;
 
@@ -47,12 +47,19 @@ pub struct Cell {
     /// the cell key or seed: both timings exchange identical messages, so a
     /// cell's identity is timing-independent by design.
     pub diff_timing: DiffTiming,
+    /// Write protocol the cell runs under (`--protocol`).  Part of the cell
+    /// key (and therefore the seed) *only* for home-based cells — protocols
+    /// genuinely exchange different messages, so two protocol variants of a
+    /// grid point are distinct cells, while every pre-existing multi-writer
+    /// key (and every pinned golden) stays untouched.
+    pub protocol: ProtocolMode,
 }
 
 impl Cell {
     /// Build a cell for `w` under (`policy_label`, `unit`) on `nprocs`
     /// processors. `sched.seed` is the sweep's *base* seed, mixed into the
     /// cell's FNV identity seed; `sched.mode` is adopted as-is.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         w: &Workload,
         policy_label: &str,
@@ -60,6 +67,7 @@ impl Cell {
         nprocs: usize,
         sched: SchedConfig,
         diff_timing: DiffTiming,
+        protocol: ProtocolMode,
     ) -> Cell {
         let mut cell = Cell {
             app: w.app,
@@ -70,6 +78,7 @@ impl Cell {
             seed: 0,
             schedule: sched.mode,
             diff_timing,
+            protocol,
         };
         cell.seed = fnv1a(cell.key().as_bytes()) ^ sched.seed;
         cell
@@ -83,17 +92,24 @@ impl Cell {
         }
     }
 
-    /// Stable textual identity: `app/size/policy/pN`. Golden tests pin the
+    /// Stable textual identity: `app/size/policy/pN`, with a `/protocol`
+    /// suffix for non-default (home-based) protocols. Golden tests pin the
     /// key set of each named experiment so figure definitions cannot drift
-    /// silently.
+    /// silently; multi-writer keys are byte-for-byte what they were before
+    /// the protocol axis existed, so their seeds (and goldens) are stable.
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}/{}/{}/p{}",
             self.app.name(),
             self.size_label,
             self.policy_label,
             self.nprocs
-        )
+        );
+        if self.protocol != ProtocolMode::MultiWriter {
+            key.push('/');
+            key.push_str(self.protocol.as_str());
+        }
+        key
     }
 
     /// Resolve the workload this cell runs (`None` if the size label is not
@@ -171,7 +187,9 @@ impl Experiment {
     }
 
     fn policy_sweep(name: &str, title: String, apps: Vec<AppId>, args: &BenchArgs) -> Experiment {
-        let spec = SweepSpec::paper_units(args.nprocs).with_sched(args.sched());
+        let spec = SweepSpec::paper_units(args.nprocs)
+            .with_sched(args.sched())
+            .with_protocols(vec![args.protocol]);
         let mut cells = Vec::new();
         for app in apps {
             for w in args.workloads_for(app) {
@@ -183,6 +201,7 @@ impl Experiment {
                         p.nprocs,
                         spec.sched,
                         args.diff_timing,
+                        p.protocol,
                     ));
                 }
             }
@@ -201,7 +220,15 @@ impl Experiment {
         let unit = UnitPolicy::Static { pages: 1 };
         let mut cells = Vec::new();
         for w in args.suite() {
-            cells.push(Cell::new(&w, "4K", unit, 1, args.sched(), args.diff_timing));
+            cells.push(Cell::new(
+                &w,
+                "4K",
+                unit,
+                1,
+                args.sched(),
+                args.diff_timing,
+                args.protocol,
+            ));
             if args.nprocs != 1 {
                 cells.push(Cell::new(
                     &w,
@@ -210,6 +237,7 @@ impl Experiment {
                     args.nprocs,
                     args.sched(),
                     args.diff_timing,
+                    args.protocol,
                 ));
             }
         }
@@ -242,6 +270,7 @@ impl Experiment {
                     args.nprocs,
                     args.sched(),
                     args.diff_timing,
+                    args.protocol,
                 ));
             }
         }
@@ -271,8 +300,11 @@ impl Experiment {
                 args.nprocs,
                 args.sched(),
                 args.diff_timing,
+                args.protocol,
             ));
-            let spec = SweepSpec::dyn_group_ablation(args.nprocs).with_sched(args.sched());
+            let spec = SweepSpec::dyn_group_ablation(args.nprocs)
+                .with_sched(args.sched())
+                .with_protocols(vec![args.protocol]);
             for p in spec.points() {
                 cells.push(Cell::new(
                     &w,
@@ -281,6 +313,7 @@ impl Experiment {
                     p.nprocs,
                     spec.sched,
                     args.diff_timing,
+                    p.protocol,
                 ));
             }
         }
@@ -356,6 +389,26 @@ mod tests {
                 assert_eq!(ca.schedule, ScheduleMode::Seeded);
                 assert_eq!(cb.schedule, ScheduleMode::Fifo);
                 assert_eq!(cb.sched_config().seed, cb.seed);
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_flows_into_cells_and_distinguishes_keys() {
+        let mw = args(8, false);
+        let mut home = args(8, false);
+        home.protocol = ProtocolMode::home_based();
+        for name in Experiment::all_names() {
+            let a = Experiment::named(name, &mw).unwrap();
+            let b = Experiment::named(name, &home).unwrap();
+            assert_eq!(a.cells.len(), b.cells.len());
+            for (ca, cb) in a.cells.iter().zip(&b.cells) {
+                assert_eq!(ca.protocol, ProtocolMode::MultiWriter);
+                assert_eq!(cb.protocol, ProtocolMode::home_based());
+                // Home-based cells are distinct identities (suffixed key,
+                // own seed); multi-writer keys are what they always were.
+                assert_eq!(cb.key(), format!("{}/home-based", ca.key()));
+                assert_ne!(ca.seed, cb.seed);
             }
         }
     }

@@ -31,7 +31,7 @@ pub use emit::{parse_result, render, OutputFormat, RESULT_SCHEMA};
 pub use experiment::{Cell, Experiment};
 pub use runner::{run_cell, run_experiment, CellResult, ExperimentResult, RunnerOptions};
 
-use tdsm_core::{DiffTiming, SchedConfig, SignatureHistogram, UnitPolicy};
+use tdsm_core::{DiffTiming, ProtocolMode, SchedConfig, SignatureHistogram, UnitPolicy};
 use tm_apps::{paper_unit_policies, AppConfig, AppId, Workload};
 use tm_sched::ScheduleMode;
 
@@ -346,6 +346,11 @@ fn parse_seed(s: &str) -> Option<u64> {
 /// * `--diff-timing` picks when diffs are created and charged: `lazy`
 ///   (TreadMarks' on-demand creation, the default) or `eager` (at interval
 ///   close).  Message counts and volumes are identical either way.
+/// * `--protocol` picks the write protocol every cell runs under:
+///   `multi-writer` (TreadMarks' twin/diff organization, the default),
+///   `home-based` (single-writer with round-robin page homes) or
+///   `home-based-first-touch`.  Protocols may differ in messages — that is
+///   the point — but never in computed results or checksums.
 /// * `--app NAME` restricts the run to one application (paper display name,
 ///   e.g. `Jacobi`) — the lever the CI memory gate uses to time a single
 ///   `--scale large` cell.
@@ -368,6 +373,8 @@ pub struct BenchArgs {
     pub schedule: ScheduleMode,
     /// Diff-timing knob applied to every cell.
     pub diff_timing: DiffTiming,
+    /// Write protocol applied to every cell (`--protocol`).
+    pub protocol: ProtocolMode,
     /// Restrict the experiment to this application (paper display name).
     pub app: Option<AppId>,
     /// Format written to stdout.
@@ -388,6 +395,7 @@ impl BenchArgs {
             seed: 0,
             schedule: ScheduleMode::Seeded,
             diff_timing: DiffTiming::default(),
+            protocol: ProtocolMode::default(),
             app: None,
             format: OutputFormat::Human,
             out: None,
@@ -413,7 +421,8 @@ impl BenchArgs {
                 eprintln!(
                     "error: {msg}\nusage: [nprocs (1-64)] [--scale tiny|paper|large] [--tiny] \
                      [--threads N] [--seed N] [--schedule fifo|seeded] \
-                     [--diff-timing eager|lazy] [--app NAME] \
+                     [--diff-timing eager|lazy] \
+                     [--protocol multi-writer|home-based|home-based-first-touch] [--app NAME] \
                      [--format human|json|csv] [--out FILE]"
                 );
                 std::process::exit(2);
@@ -440,6 +449,9 @@ impl BenchArgs {
                 }
                 "--diff-timing" => {
                     out.diff_timing = flag_value("--diff-timing")?.parse()?;
+                }
+                "--protocol" => {
+                    out.protocol = flag_value("--protocol")?.parse()?;
                 }
                 "--app" => {
                     let v = flag_value("--app")?;
@@ -713,6 +725,20 @@ mod tests {
             DiffTiming::Eager
         );
 
+        // --protocol flows into the options.
+        use tdsm_core::ProtocolMode;
+        assert_eq!(parse(&[]).protocol, ProtocolMode::MultiWriter);
+        assert_eq!(
+            parse(&["--protocol", "home-based"]).protocol,
+            ProtocolMode::home_based()
+        );
+        assert_eq!(
+            parse(&["--protocol", "home-based-first-touch"]).protocol,
+            ProtocolMode::HomeBased {
+                assign: tdsm_core::HomeAssign::FirstTouch
+            }
+        );
+
         // --app narrows every selector to one application.
         let only = parse(&["--app", "Jacobi"]);
         assert_eq!(only.app, Some(AppId::Jacobi));
@@ -724,6 +750,7 @@ mod tests {
         };
         assert!(err(&["--scale", "huge"]).contains("unknown scale"));
         assert!(err(&["--diff-timing", "sometimes"]).contains("unknown diff timing"));
+        assert!(err(&["--protocol", "token-ring"]).contains("unknown protocol"));
         assert!(err(&["--app", "Pong"]).contains("unknown application"));
     }
 

@@ -120,6 +120,7 @@ pub fn run_cell(cell: &Cell) -> CellResult {
         .unwrap_or_else(|| panic!("cell {} does not resolve to a workload", cell.key()));
     let cfg = AppConfig::with_procs(cell.nprocs)
         .unit(cell.unit)
+        .protocol(cell.protocol)
         .sched(cell.sched_config())
         .diff_timing(cell.diff_timing);
     let started = Instant::now();

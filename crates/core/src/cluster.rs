@@ -26,6 +26,7 @@ use crate::config::DsmConfig;
 use crate::handle::{GArray, GMatrix, GScalar, SharedVal};
 use crate::interval::IntervalLog;
 use crate::proc::{ProcCtx, SharedIntervalLog};
+use crate::protocol::{HomeDirectory, ProtocolMode};
 use crate::sync::GlobalSync;
 
 /// The result of one parallel run: per-processor return values (indexed by
@@ -122,6 +123,15 @@ impl Dsm {
             self.config.max_locks,
             self.config.sched,
         ));
+        // The home directory (assignment + master copies) exists only for
+        // home-based runs; multi-writer runs have no authoritative copy.
+        let home: Option<Arc<Mutex<HomeDirectory>>> =
+            match self.config.protocol {
+                ProtocolMode::MultiWriter => None,
+                ProtocolMode::HomeBased { assign } => Some(Arc::new(Mutex::new(
+                    HomeDirectory::new(self.config.layout(), nprocs, assign),
+                ))),
+            };
         let body = &body;
 
         let mut per_proc = Vec::with_capacity(nprocs);
@@ -130,6 +140,7 @@ impl Dsm {
             for rank in 0..nprocs {
                 let logs = Arc::clone(&logs);
                 let sync = Arc::clone(&sync);
+                let home = home.clone();
                 let config = &self.config;
                 handles.push(scope.spawn(move || {
                     // The scheduler serializes the simulated processors:
@@ -143,7 +154,8 @@ impl Dsm {
                     // panic is re-raised and surfaces through join.
                     sync.scheduler().wait_first_turn(rank);
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        let mut ctx = ProcCtx::new(rank, config, Arc::clone(&logs), sync.clone());
+                        let mut ctx =
+                            ProcCtx::new(rank, config, Arc::clone(&logs), sync.clone(), home);
                         let result = body(&mut ctx);
                         (result, ctx.finish())
                     }));
@@ -200,6 +212,7 @@ mod tests {
             page_size: 4096,
             shared_pages: 64,
             unit: UnitPolicy::Static { pages: 1 },
+            protocol: crate::protocol::ProtocolMode::MultiWriter,
             cost: CostModel::pentium_ethernet_1997(),
             max_locks: 16,
             sched: tm_sched::SchedConfig::default(),
@@ -334,6 +347,88 @@ mod tests {
             );
             assert_eq!(a.exec_time_ns(), b.exec_time_ns());
         }
+    }
+
+    #[test]
+    fn home_based_runs_compute_the_same_results_with_different_traffic() {
+        use crate::protocol::ProtocolMode;
+        // The multiple-writers-to-one-page scenario under both protocols:
+        // the computed values must be identical, but the home-based run
+        // replaces diff exchanges with home updates and whole-page fetches.
+        let run = |protocol: ProtocolMode| {
+            let mut dsm = Dsm::new(DsmConfig {
+                protocol,
+                ..small_config(2)
+            });
+            let arr = dsm.alloc_array::<u32>(1024, Align::Page);
+            let out = dsm.run(|ctx| {
+                let me = ctx.rank();
+                let half = 512usize;
+                let values: Vec<u32> = (0..half as u32).map(|i| i + 1000 * me as u32).collect();
+                arr.write_slice(ctx, me * half, &values);
+                ctx.barrier();
+                let all = arr.read_vec(ctx, 0, 1024);
+                (all[0], all[511], all[512], all[1023])
+            });
+            out
+        };
+        let mw = run(ProtocolMode::MultiWriter);
+        let hb = run(ProtocolMode::home_based());
+        assert_eq!(mw.results, hb.results, "protocols must agree on results");
+
+        let mwb = mw.breakdown();
+        let hbb = hb.breakdown();
+        assert_eq!(mwb.home_updates, 0);
+        assert_eq!(mwb.page_fetches, 0);
+        // Rank 1 is not the home of the (page-0-resident) array page: its
+        // close flushed an update, and its post-barrier fault fetched the
+        // whole page; rank 0 (the home) refreshed locally without traffic.
+        assert!(hbb.home_updates >= 1, "{hbb:?}");
+        assert!(hbb.page_fetches >= 1, "{hbb:?}");
+        // A whole-page fetch delivers the full page; the words rank 1 wrote
+        // itself come back unread-before-overwritten or plain redundant, so
+        // home-based moves more (partly useless) data than multi-writer.
+        assert!(hbb.total_payload() > mwb.total_payload());
+        assert_ne!(
+            mwb.total_messages(),
+            hbb.total_messages(),
+            "the protocols must provably diverge in message counts"
+        );
+    }
+
+    #[test]
+    fn home_based_first_touch_assigns_homes_to_first_writers() {
+        use crate::protocol::{HomeAssign, ProtocolMode};
+        // Each processor writes its own private page band first, so under
+        // first touch every page is self-homed and the steady state sends
+        // no home updates at all; round-robin scatters the same pages over
+        // both processors and must flush the remote half.
+        let run = |assign: HomeAssign| {
+            let mut dsm = Dsm::new(DsmConfig {
+                protocol: ProtocolMode::HomeBased { assign },
+                ..small_config(2)
+            });
+            // 4 pages; each processor owns two *consecutive* pages, so the
+            // round-robin interleaving homes one of them remotely while
+            // first touch homes both locally.
+            let arr = dsm.alloc_array::<u64>(2048, Align::Page);
+            let out = dsm.run(|ctx| {
+                let me = ctx.rank();
+                for round in 0..3u64 {
+                    for i in 0..1024 {
+                        arr.set(ctx, me * 1024 + i, round + i as u64);
+                    }
+                    ctx.barrier();
+                }
+                arr.get(ctx, me * 1024)
+            });
+            (out.results.clone(), out.breakdown())
+        };
+        let (ft_results, ft) = run(HomeAssign::FirstTouch);
+        let (rr_results, rr) = run(HomeAssign::RoundRobin);
+        assert_eq!(ft_results, rr_results);
+        assert_eq!(ft.home_updates, 0, "first touch makes every write local");
+        assert!(rr.home_updates > 0, "round-robin must flush remote pages");
     }
 
     #[test]

@@ -6,6 +6,8 @@ use tm_net::CostModel;
 use tm_page::{PageId, PageLayout};
 use tm_sched::{SchedConfig, ScheduleMode};
 
+use crate::protocol::ProtocolMode;
+
 /// When a dirty page's diff is encoded — at interval close, or on demand at
 /// the first request that needs it.
 ///
@@ -158,6 +160,8 @@ pub struct SweepPoint {
     pub nprocs: usize,
     /// Consistency-unit policy at this point.
     pub unit: UnitPolicy,
+    /// Write protocol at this point.
+    pub protocol: ProtocolMode,
     /// Display label ("4K", "8K", "16K", "Dyn", "Dyn8", ...).
     pub label: String,
 }
@@ -175,6 +179,10 @@ pub struct SweepSpec {
     pub procs: Vec<usize>,
     /// Consistency-unit policies to sweep.
     pub units: Vec<UnitPolicy>,
+    /// Write protocols to sweep (usually a single one; crossing both lets a
+    /// grid compare the multi-writer and home-based organizations
+    /// cell-for-cell).
+    pub protocols: Vec<ProtocolMode>,
     /// Hardware page size labels are computed against (4096 in the paper).
     pub page_size: usize,
     /// Deterministic-scheduler configuration every point runs under: the
@@ -195,6 +203,7 @@ impl SweepSpec {
                 UnitPolicy::Static { pages: 4 },
                 UnitPolicy::Dynamic { max_group_pages: 4 },
             ],
+            protocols: vec![ProtocolMode::MultiWriter],
             page_size: 4096,
             sched: SchedConfig::default(),
         }
@@ -209,6 +218,7 @@ impl SweepSpec {
                 .into_iter()
                 .map(|max_group_pages| UnitPolicy::Dynamic { max_group_pages })
                 .collect(),
+            protocols: vec![ProtocolMode::MultiWriter],
             page_size: 4096,
             sched: SchedConfig::default(),
         }
@@ -219,6 +229,7 @@ impl SweepSpec {
         SweepSpec {
             procs: vec![nprocs],
             units: vec![unit],
+            protocols: vec![ProtocolMode::MultiWriter],
             page_size: 4096,
             sched: SchedConfig::default(),
         }
@@ -230,6 +241,12 @@ impl SweepSpec {
         self
     }
 
+    /// Builder-style setter for the protocol axis.
+    pub fn with_protocols(mut self, protocols: Vec<ProtocolMode>) -> Self {
+        self.protocols = protocols;
+        self
+    }
+
     /// Expand into concrete points: the cross product of processor counts and
     /// unit policies, in deterministic (procs-major) order.
     ///
@@ -237,20 +254,24 @@ impl SweepSpec {
     /// labelled with their size (`Dyn8`), so ablation points stay
     /// distinguishable.
     pub fn points(&self) -> Vec<SweepPoint> {
-        let mut out = Vec::with_capacity(self.procs.len() * self.units.len());
+        let mut out =
+            Vec::with_capacity(self.procs.len() * self.units.len() * self.protocols.len());
         for &nprocs in &self.procs {
             for &unit in &self.units {
-                let label = match unit {
-                    UnitPolicy::Dynamic { max_group_pages } if max_group_pages != 4 => {
-                        format!("Dyn{max_group_pages}")
-                    }
-                    u => u.label(self.page_size),
-                };
-                out.push(SweepPoint {
-                    nprocs,
-                    unit,
-                    label,
-                });
+                for &protocol in &self.protocols {
+                    let label = match unit {
+                        UnitPolicy::Dynamic { max_group_pages } if max_group_pages != 4 => {
+                            format!("Dyn{max_group_pages}")
+                        }
+                        u => u.label(self.page_size),
+                    };
+                    out.push(SweepPoint {
+                        nprocs,
+                        unit,
+                        protocol,
+                        label,
+                    });
+                }
             }
         }
         out
@@ -266,6 +287,10 @@ impl SweepSpec {
         assert!(
             !self.units.is_empty(),
             "sweep needs at least one unit policy"
+        );
+        assert!(
+            !self.protocols.is_empty(),
+            "sweep needs at least one write protocol"
         );
         for &n in &self.procs {
             assert!((1..=64).contains(&n), "processor count {n} outside 1-64");
@@ -312,6 +337,10 @@ impl ToJson for SweepSpec {
                 "units",
                 Value::Arr(self.units.iter().map(|u| u.to_json()).collect()),
             ),
+            (
+                "protocols",
+                Value::Arr(self.protocols.iter().map(|p| p.to_json()).collect()),
+            ),
             ("page_size", Value::Num(self.page_size as f64)),
             ("sched", sched_to_json(&self.sched)),
         ])
@@ -332,9 +361,28 @@ impl FromJson for SweepSpec {
         for (i, u) in serde::field_arr(v, "units")?.iter().enumerate() {
             units.push(UnitPolicy::from_json(u).map_err(|e| e.in_context(&format!("units[{i}]")))?);
         }
+        // Additive field: documents emitted before the home-based protocol
+        // landed swept only the multi-writer organization.
+        let protocols = match v.get("protocols") {
+            None => vec![ProtocolMode::MultiWriter],
+            Some(arr) => {
+                let items = arr
+                    .as_arr()
+                    .ok_or_else(|| JsonSchemaError::new("protocols", "array"))?;
+                let mut out = Vec::new();
+                for (i, p) in items.iter().enumerate() {
+                    out.push(
+                        ProtocolMode::from_json(p)
+                            .map_err(|e| e.in_context(&format!("protocols[{i}]")))?,
+                    );
+                }
+                out
+            }
+        };
         Ok(SweepSpec {
             procs,
             units,
+            protocols,
             page_size: field_u64(v, "page_size")? as usize,
             // Additive field: documents emitted before the deterministic
             // scheduler landed simply carry the default configuration.
@@ -361,6 +409,11 @@ pub struct DsmConfig {
     pub shared_pages: u32,
     /// Consistency-unit policy under study.
     pub unit: UnitPolicy,
+    /// Write protocol the cluster runs: TreadMarks' multiple-writer
+    /// twin/diff organization (the default) or the home-based single-writer
+    /// organization (see [`ProtocolMode`]).  Protocols may differ in
+    /// messages, never in computed results.
+    pub protocol: ProtocolMode,
     /// Cost model used to charge the logical clocks.
     pub cost: CostModel,
     /// Number of global locks available to the application.
@@ -395,6 +448,7 @@ impl DsmConfig {
             page_size: 4096,
             shared_pages: 8192, // 32 MB of shared space
             unit: UnitPolicy::Static { pages: 1 },
+            protocol: ProtocolMode::MultiWriter,
             cost: CostModel::pentium_ethernet_1997(),
             max_locks: 4096,
             sched: SchedConfig::default(),
@@ -415,6 +469,12 @@ impl DsmConfig {
     /// Builder-style setter for the consistency-unit policy.
     pub fn unit(mut self, unit: UnitPolicy) -> Self {
         self.unit = unit;
+        self
+    }
+
+    /// Builder-style setter for the write protocol.
+    pub fn protocol(mut self, protocol: ProtocolMode) -> Self {
+        self.protocol = protocol;
         self
     }
 
@@ -559,11 +619,23 @@ mod tests {
         let multi = SweepSpec {
             procs: vec![2, 4],
             units: vec![UnitPolicy::Static { pages: 1 }],
+            protocols: vec![ProtocolMode::MultiWriter],
             page_size: 4096,
             sched: SchedConfig::default(),
         };
         assert_eq!(multi.points().len(), 2);
         assert_eq!(multi.points()[1].nprocs, 4);
+
+        // Crossing both protocols doubles the grid, cell-for-cell.
+        let both = multi
+            .clone()
+            .with_protocols(vec![ProtocolMode::MultiWriter, ProtocolMode::home_based()]);
+        both.validate();
+        let points = both.points();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].protocol, ProtocolMode::MultiWriter);
+        assert_eq!(points[1].protocol, ProtocolMode::home_based());
+        assert_eq!(points[0].label, points[1].label);
     }
 
     #[test]
@@ -575,6 +647,7 @@ mod tests {
                 UnitPolicy::Static { pages: 2 },
                 UnitPolicy::Dynamic { max_group_pages: 8 },
             ],
+            protocols: vec![ProtocolMode::MultiWriter, ProtocolMode::home_based()],
             page_size: 4096,
             sched: SchedConfig {
                 mode: ScheduleMode::Fifo,
@@ -590,13 +663,23 @@ mod tests {
         let err = SweepSpec::from_json(&bad).unwrap_err();
         assert_eq!(err.path, "units[0].kind");
 
-        // Pre-scheduler documents (no "sched" field) parse to the default.
+        // Pre-scheduler documents (no "sched" field) parse to the default,
+        // and pre-protocol documents (no "protocols" field) to multi-writer.
         let legacy = serde::json::parse(
             r#"{"procs":[1],"units":[{"kind":"static","pages":1}],"page_size":4096}"#,
         )
         .unwrap();
         let parsed = SweepSpec::from_json(&legacy).unwrap();
         assert_eq!(parsed.sched, SchedConfig::default());
+        assert_eq!(parsed.protocols, vec![ProtocolMode::MultiWriter]);
+
+        let bad_protocol = serde::json::parse(
+            r#"{"procs":[1],"units":[{"kind":"static","pages":1}],"page_size":4096,
+                "protocols":["token-ring"]}"#,
+        )
+        .unwrap();
+        let err = SweepSpec::from_json(&bad_protocol).unwrap_err();
+        assert_eq!(err.path, "protocols[0].protocol");
 
         let bad_mode = serde::json::parse(
             r#"{"procs":[1],"units":[{"kind":"static","pages":1}],"page_size":4096,

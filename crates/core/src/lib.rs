@@ -10,8 +10,11 @@
 //! * **dynamic aggregation** — the page-group algorithm of §4
 //!   ([`UnitPolicy::Dynamic`]),
 //!
-//! on top of lazy release consistency with a multiple-writer (twin/diff)
-//! protocol.  Every run produces the instrumentation the paper's evaluation
+//! on top of lazy release consistency with a choice of write protocol
+//! ([`ProtocolMode`]): TreadMarks' multiple-writer (twin/diff) organization,
+//! or a home-based single-writer organization that eliminates twinning on
+//! the home at the price of re-exposing false sharing as whole-page
+//! traffic.  Every run produces the instrumentation the paper's evaluation
 //! is built from: useful/useless messages, useful/useless/piggybacked data,
 //! and the false-sharing signature.
 //!
@@ -50,6 +53,7 @@ pub mod config;
 pub mod handle;
 pub mod interval;
 pub mod proc;
+pub mod protocol;
 pub mod sync;
 pub mod vc;
 
@@ -64,6 +68,7 @@ pub use interval::{
     NOTICE_WIRE_BYTES,
 };
 pub use proc::ProcCtx;
+pub use protocol::{round_robin_home, HomeAssign, HomeDirectory, ProtocolMode};
 pub use sync::{gc_thresholds, BarrierEpoch, CentralBarrier, GlobalLock, GlobalSync, LockRelease};
 pub use vc::{VcOrder, VectorClock};
 
@@ -72,5 +77,5 @@ pub use vc::{VcOrder, VectorClock};
 pub use tm_net::{
     ClusterStats, CommBreakdown, CostModel, GcCounters, ProcStats, SignatureHistogram,
 };
-pub use tm_page::{Align, Diff, GlobalAddr, PageId, PageLayout};
+pub use tm_page::{Align, Diff, GlobalAddr, HomeStore, PageId, PageLayout};
 pub use tm_sched::{SchedConfig, ScheduleMode, Scheduler};

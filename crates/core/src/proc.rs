@@ -6,8 +6,10 @@
 //! * access detection (the stand-in for VM page faults): every read or write
 //!   checks the validity of the consistency units it touches and runs the
 //!   fault handler when needed,
-//! * the multiple-writer protocol: twin on first write, eager diff at
-//!   interval close,
+//! * the write-protocol seam ([`ProtocolMode`]): the multiple-writer
+//!   protocol (twin on first write, diffs served per concurrent writer) or
+//!   the home-based single-writer protocol (no twin on the home, eager diff
+//!   flushes to the homes at close, whole-page fetches on faults),
 //! * lazy release consistency: write notices gathered at acquires and
 //!   barriers, pages invalidated, diffs fetched on demand,
 //! * static aggregation (consistency units of several pages) and the paper's
@@ -29,6 +31,7 @@ use tm_page::{Diff, GlobalAddr, PageId, PageLayout, PageStore, WORD_SIZE};
 use crate::aggregation::DynamicAggregator;
 use crate::config::{DiffTiming, DsmConfig, UnitPolicy};
 use crate::interval::{IntervalId, IntervalLog, IntervalRecord, NOTICE_WIRE_BYTES};
+use crate::protocol::{HomeDirectory, ProtocolMode};
 use crate::sync::GlobalSync;
 use crate::vc::VectorClock;
 
@@ -37,9 +40,15 @@ use crate::vc::VectorClock;
 struct PageMeta {
     /// The page may not be accessed without running the fault handler.
     invalid: bool,
-    /// The page has a twin and belongs to the current open interval's write
-    /// set.
+    /// The page belongs to the current open interval's write set (and has a
+    /// twin, unless this processor is the page's home under the home-based
+    /// protocol).
     dirty: bool,
+    /// Home-based protocol: locally cached home of the page.  Assignment is
+    /// sticky for the whole run, so a cached value never goes stale; the
+    /// cache keeps the per-write write-through check off the shared
+    /// directory mutex.
+    home: Option<u32>,
     /// Write notices received but whose diffs have not been applied yet:
     /// `(writer, interval seq)`.
     pending: Vec<(u32, u32)>,
@@ -80,6 +89,10 @@ pub struct ProcCtx {
     sync: Arc<GlobalSync>,
     agg: Option<DynamicAggregator>,
     diff_timing: DiffTiming,
+    protocol: ProtocolMode,
+    /// Cluster-wide home assignment and master copies; present exactly when
+    /// `protocol` is home-based.
+    home: Option<Arc<Mutex<HomeDirectory>>>,
     gc_flush_pending_limit: usize,
     /// Per writer, a multiset of the interval sequence numbers this
     /// processor still has pending (seq -> number of pages whose notice is
@@ -97,7 +110,13 @@ impl ProcCtx {
         config: &DsmConfig,
         logs: Arc<Vec<SharedIntervalLog>>,
         sync: Arc<GlobalSync>,
+        home: Option<Arc<Mutex<HomeDirectory>>>,
     ) -> Self {
+        debug_assert_eq!(
+            home.is_some(),
+            config.protocol.is_home_based(),
+            "home directory must be present exactly for home-based runs"
+        );
         let layout = config.layout();
         let agg = match config.unit {
             UnitPolicy::Dynamic { max_group_pages } => {
@@ -121,6 +140,8 @@ impl ProcCtx {
             sync,
             agg,
             diff_timing: config.diff_timing,
+            protocol: config.protocol,
+            home,
             gc_flush_pending_limit: config.gc_flush_pending_limit,
             pending_seqs: vec![BTreeMap::new(); config.nprocs],
             notices_since_barrier: 0,
@@ -155,6 +176,11 @@ impl ProcCtx {
     /// The consistency-unit policy in effect.
     pub fn unit_policy(&self) -> UnitPolicy {
         self.unit
+    }
+
+    /// The write protocol in effect.
+    pub fn protocol(&self) -> ProtocolMode {
+        self.protocol
     }
 
     /// Statistics collected so far (exchanges, faults, control traffic, ...).
@@ -202,6 +228,41 @@ impl ProcCtx {
         self.charge_access(src.len());
         self.ensure_valid_range(addr, src.len() as u64, true);
         self.store.write(addr, src);
+        if self.protocol.is_home_based() {
+            self.write_through_home(addr, src);
+        }
+    }
+
+    /// Home-based protocol: the home's own writes go straight into the
+    /// master copy (that is why the home needs no twin).  Word-granular
+    /// write-through — copying whole pages at interval close instead would
+    /// revert concurrently flushed remote diffs on falsely shared pages.
+    /// Free of modeled cost: the master copy *is* the home's memory.
+    ///
+    /// This sits on the simulator's hottest path (every shared write), so
+    /// it runs off the per-page home cache that write detection just filled
+    /// and takes the directory lock only when a segment actually lands in
+    /// the master copy.
+    fn write_through_home(&mut self, addr: GlobalAddr, src: &[u8]) {
+        let home = Arc::clone(self.home.as_ref().expect("home-based run has a directory"));
+        let mut dir = None;
+        let mut remaining = src;
+        let mut cursor = addr;
+        while !remaining.is_empty() {
+            let page = self.layout.page_of(cursor);
+            let off = self.layout.offset_in_page(cursor);
+            let take = (self.layout.page_size() - off).min(remaining.len());
+            let page_home = self.meta[page.index()]
+                .home
+                .expect("write detection caches the home before any write lands");
+            if page_home == self.rank.0 {
+                dir.get_or_insert_with(|| home.lock())
+                    .store_mut()
+                    .write_through(page, off, &remaining[..take]);
+            }
+            remaining = &remaining[take..];
+            cursor = cursor.add(take as u64);
+        }
     }
 
     fn ensure_valid_range(&mut self, addr: GlobalAddr, len: u64, for_write: bool) {
@@ -214,18 +275,49 @@ impl ProcCtx {
                 self.fault_on(page);
             }
             if for_write && !self.meta[page.index()].dirty {
-                let created = self.store.page_mut(page).ensure_twin();
-                debug_assert!(created, "twin already present on a clean page");
+                // The write-protocol seam at write detection: a multi-writer
+                // processor twins the page so the interval's modifications
+                // can be diffed later; under the home-based protocol the
+                // page's *home* skips the twin entirely (its writes go
+                // straight into the master copy), while a non-home writer
+                // still twins — the eager flush at interval close is a diff.
+                let needs_twin = match self.protocol {
+                    ProtocolMode::MultiWriter => true,
+                    ProtocolMode::HomeBased { .. } => self.home_of(page) != self.rank.0,
+                };
+                if needs_twin {
+                    let created = self.store.page_mut(page).ensure_twin();
+                    debug_assert!(created, "twin already present on a clean page");
+                    self.stats.twins_created += 1;
+                    self.clock
+                        .advance(self.cost.twin_cost(self.layout.page_size() as u64));
+                } else {
+                    // Still materialize the local copy so the write lands.
+                    self.store.page_mut(page);
+                }
                 self.meta[page.index()].dirty = true;
                 self.dirty_pages.push(page);
-                self.stats.twins_created += 1;
                 self.stats.protection_ops += 1;
-                self.clock.advance(
-                    self.cost.twin_cost(self.layout.page_size() as u64)
-                        + self.cost.protection_op_ns,
-                );
+                self.clock.advance(self.cost.protection_op_ns);
             }
         }
+    }
+
+    /// The home of `page` (home-based runs only), assigning it to this
+    /// processor first under the first-touch policy.  Cached per page —
+    /// assignment is sticky, so the first answer is the only answer.
+    fn home_of(&mut self, page: PageId) -> u32 {
+        if let Some(h) = self.meta[page.index()].home {
+            return h;
+        }
+        let h = self
+            .home
+            .as_ref()
+            .expect("home-based run has a directory")
+            .lock()
+            .home_of(page, self.rank.0);
+        self.meta[page.index()].home = Some(h);
+        h
     }
 
     // ------------------------------------------------------------------
@@ -261,7 +353,7 @@ impl ProcCtx {
             }
         };
 
-        let outcome = self.exchange_pending(&fetch_pages);
+        let outcome = self.fetch_pending(&fetch_pages);
         for &p in &validate_pages {
             self.meta[p.index()].invalid = false;
         }
@@ -269,6 +361,11 @@ impl ProcCtx {
         if outcome.writers == 0 {
             self.stats.prefetched_faults += 1;
         }
+        let stall = self.fetch_stall(&outcome);
+        // Under the home-based protocol `concurrent_writers` counts the
+        // *homes* contacted — the signature then reads "responders per
+        // fault", which is exactly the quantity the two protocols trade
+        // against each other.
         self.stats.faults.push(FaultRecord {
             concurrent_writers: outcome.writers,
             exchange_ids: outcome.exchange_ids,
@@ -276,11 +373,31 @@ impl ProcCtx {
         });
         self.stats.protection_ops += 1;
 
-        let stall = self
-            .cost
-            .fault_stall_served(&outcome.responder_costs, outcome.total_payload);
         self.clock.advance(stall);
         self.stats.fault_stall_ns += stall;
+    }
+
+    /// Make the pending notices of `fetch_pages` good, whichever way the
+    /// protocol in effect does that: per-writer diff exchanges
+    /// ([`exchange_pending`](Self::exchange_pending)) or whole-page fetches
+    /// from the homes ([`fetch_from_homes`](Self::fetch_from_homes)).
+    fn fetch_pending(&mut self, fetch_pages: &[PageId]) -> PendingExchangeOutcome {
+        match self.protocol {
+            ProtocolMode::MultiWriter => self.exchange_pending(fetch_pages),
+            ProtocolMode::HomeBased { .. } => self.fetch_from_homes(fetch_pages),
+        }
+    }
+
+    /// The stall one round of pending fetches costs, per protocol.
+    fn fetch_stall(&self, outcome: &PendingExchangeOutcome) -> u64 {
+        match self.protocol {
+            ProtocolMode::MultiWriter => self
+                .cost
+                .fault_stall_served(&outcome.responder_costs, outcome.total_payload),
+            ProtocolMode::HomeBased { .. } => self
+                .cost
+                .home_fetch_stall(&outcome.responder_costs, outcome.total_payload),
+        }
     }
 
     /// Fetch and apply the pending diffs of `fetch_pages`: one aggregated
@@ -368,10 +485,21 @@ impl ProcCtx {
                 .apply_diff(diff, *exchange_id);
         }
 
-        // Book-keeping: fetched pages have no pending notices left (their
-        // entries also leave the per-writer pending multiset the barrier GC
-        // reads its floors from).
-        for &p in fetch_pages {
+        self.clear_pending(fetch_pages);
+
+        PendingExchangeOutcome {
+            writers: by_writer.len() as u32,
+            exchange_ids,
+            responder_costs,
+            total_payload,
+        }
+    }
+
+    /// Book-keeping shared by both protocols' fetch paths: fetched pages
+    /// have no pending notices left (their entries also leave the per-writer
+    /// pending multiset the barrier GC reads its floors from).
+    fn clear_pending(&mut self, pages: &[PageId]) {
+        for &p in pages {
             for &(writer, seq) in &self.meta[p.index()].pending {
                 if let std::collections::btree_map::Entry::Occupied(mut e) =
                     self.pending_seqs[writer as usize].entry(seq)
@@ -384,9 +512,87 @@ impl ProcCtx {
             }
             self.meta[p.index()].pending.clear();
         }
+    }
+
+    /// Home-based counterpart of [`exchange_pending`](Self::exchange_pending):
+    /// bring the pages of `fetch_pages` that carry pending write notices up
+    /// to date by fetching their *whole* master copies from their homes —
+    /// one aggregated request/reply exchange per remote home contacted.
+    /// Pages homed at this processor are refreshed from the co-resident
+    /// master copy at zero message cost.  (Every fetched page has a pending
+    /// notice, so its writer already assigned it a home — first-touch
+    /// assignment happens at write detection, never here.)
+    ///
+    /// Every word of a remotely fetched page is delivered and attributed to
+    /// the exchange, so the useful/useless classifier sees the whole page —
+    /// the false-sharing exposure the single-writer organization pays for.
+    fn fetch_from_homes(&mut self, fetch_pages: &[PageId]) -> PendingExchangeOutcome {
+        let home = Arc::clone(self.home.as_ref().expect("home-based run has a directory"));
+        let mut dir = home.lock();
+
+        // Only pages with pending notices are stale; the others are validated
+        // without traffic, exactly as in the multi-writer protocol.
+        let mut by_home: BTreeMap<u32, Vec<PageId>> = BTreeMap::new();
+        let mut local_pages: Vec<PageId> = Vec::new();
+        for &p in fetch_pages {
+            if self.meta[p.index()].pending.is_empty() {
+                continue;
+            }
+            let h = dir.home_of(p, self.rank.0);
+            if h == self.rank.0 {
+                local_pages.push(p);
+            } else {
+                by_home.entry(h).or_default().push(p);
+            }
+        }
+
+        let page_size = self.layout.page_size();
+        let mut exchange_ids = Vec::with_capacity(by_home.len());
+        let mut responder_costs = Vec::with_capacity(by_home.len());
+        let mut total_payload = 0u64;
+        let mut buf = vec![0u8; page_size];
+
+        for (home_rank, pages) in &by_home {
+            let exchange_id = self.stats.exchanges.len() as u32;
+            let delivered = (pages.len() * page_size) as u64;
+            let reply_bytes = MSG_HEADER_BYTES + delivered;
+            for &p in pages {
+                dir.store().copy_page_into(p, &mut buf);
+                self.store.page_mut(p).load_page(&buf, exchange_id);
+            }
+            total_payload += delivered;
+            self.stats.page_fetches += pages.len() as u64;
+            responder_costs.push(ResponderCost {
+                reply_bytes,
+                serve_extra_ns: 0,
+            });
+            exchange_ids.push(exchange_id);
+            self.stats.exchanges.push(DiffExchange {
+                id: exchange_id,
+                responder: ProcId(*home_rank),
+                pages_requested: pages.len() as u32,
+                diffs_carried: 0,
+                request_bytes: MSG_HEADER_BYTES + 8 * pages.len() as u64,
+                reply_bytes,
+                delivered_payload: delivered,
+                useful_payload: 0,
+            });
+        }
+
+        // Refresh self-homed pages from the co-resident master copy: no
+        // message, no attribution (nothing was delivered over the wire), but
+        // the memcpy is part of the fault's applied payload.
+        for &p in &local_pages {
+            dir.store().copy_page_into(p, &mut buf);
+            self.store.page_mut(p).load_page(&buf, tm_page::NO_EXCHANGE);
+            total_payload += page_size as u64;
+        }
+        drop(dir);
+
+        self.clear_pending(fetch_pages);
 
         PendingExchangeOutcome {
-            writers: by_writer.len() as u32,
+            writers: by_home.len() as u32,
             exchange_ids,
             responder_costs,
             total_payload,
@@ -414,7 +620,9 @@ impl ProcCtx {
         self.sync
             .scheduler()
             .yield_turn(self.rank.index(), self.clock.now_ns());
-        let outcome = self.exchange_pending(&pages);
+        // Fetch through the protocol's own service path: per-writer diff
+        // exchanges, or whole-page fetches from the homes.
+        let outcome = self.fetch_pending(&pages);
         // The flushed pages are now up to date: validate them (one batched
         // protection operation, as in a multi-page fault).
         for &p in &pages {
@@ -424,9 +632,7 @@ impl ProcCtx {
         self.clock.advance(self.cost.protection_op_ns);
         // Not a fault: no fault record, no signature contribution — but the
         // fetch stall is real.
-        let stall = self
-            .cost
-            .fault_stall_served(&outcome.responder_costs, outcome.total_payload);
+        let stall = self.fetch_stall(&outcome);
         self.clock.advance(stall);
         self.stats.fault_stall_ns += stall;
         self.stats.gc_pending_flushes += 1;
@@ -449,6 +655,10 @@ impl ProcCtx {
     /// instead of here — see DESIGN.md, "Eager versus lazy diff creation".
     fn close_interval(&mut self) {
         if self.dirty_pages.is_empty() {
+            return;
+        }
+        if self.protocol.is_home_based() {
+            self.close_interval_home();
             return;
         }
         let mut pages = Vec::with_capacity(self.dirty_pages.len());
@@ -481,6 +691,14 @@ impl ProcCtx {
             pages.push(page);
             diffs.push((page, Arc::new(diff)));
         }
+        self.publish_interval(pages, diffs);
+    }
+
+    /// Shared tail of both protocols' interval closes: bump the local
+    /// vector-clock entry, publish the interval record (with whatever diffs
+    /// the protocol stores in the log — none under home-based) and account
+    /// the notices.  No-op when the interval produced no notices.
+    fn publish_interval(&mut self, pages: Vec<PageId>, diffs: Vec<(PageId, Arc<Diff>)>) {
         if pages.is_empty() {
             return;
         }
@@ -492,13 +710,77 @@ impl ProcCtx {
                 seq,
             },
             vc: self.vc.clone(),
-            pages: pages.clone(),
+            pages,
         };
-        self.notices_since_barrier += pages.len() as u64;
+        self.notices_since_barrier += record.pages.len() as u64;
         self.stats.intervals_closed += 1;
         self.logs[self.rank.index()]
             .lock()
             .publish(record, diffs, self.diff_timing);
+    }
+
+    /// Home-based interval close: diff every dirty *non-home* page against
+    /// its twin and eagerly flush the diffs to the pages' homes (one
+    /// [`MsgKind::HomeUpdate`] message per home contacted), apply them to
+    /// the master copies, and publish write notices — but store **no** diffs
+    /// in the interval log: faults fetch whole pages from the homes, so the
+    /// log is pure notice book-keeping (and its GC never waits for diff
+    /// requests).  Dirty pages homed at this processor need neither twin nor
+    /// flush — their words already went through to the master copy — but
+    /// they do publish notices so the other processors invalidate.
+    ///
+    /// Diff timing is irrelevant here: the home-based organization is
+    /// inherently eager (the flush happens at close, on the writer).
+    fn close_interval_home(&mut self) {
+        let page_size = self.layout.page_size() as u64;
+        let dirty: Vec<PageId> = self.dirty_pages.drain(..).collect();
+        let mut pages = Vec::with_capacity(dirty.len());
+        // Per home contacted: total diff wire bytes of this flush.
+        let mut flushes: BTreeMap<u32, u64> = BTreeMap::new();
+        let home = Arc::clone(self.home.as_ref().expect("home-based run has a directory"));
+        let mut dir = home.lock();
+        for page in dirty {
+            self.meta[page.index()].dirty = false;
+            // Re-protect the page so the next write re-arms detection.
+            self.stats.protection_ops += 1;
+            self.clock.advance(self.cost.protection_op_ns);
+            let home_rank = self.meta[page.index()]
+                .home
+                .expect("write detection caches the home of every dirty page");
+            if home_rank == self.rank.0 {
+                // The master copy is already current (write-through); the
+                // notice is published unconditionally — without a twin the
+                // home cannot tell a silent rewrite from a real change.
+                pages.push(page);
+                continue;
+            }
+            let lp = self.store.page_mut(page);
+            let diff = lp
+                .make_diff(page)
+                .expect("dirty non-home page must have a twin at interval close");
+            lp.drop_twin();
+            self.clock.advance(self.cost.diff_create_cost(page_size));
+            if diff.is_empty() {
+                // Rewrote the twin's values: nothing to flush or announce.
+                continue;
+            }
+            self.stats.diffs_created += 1;
+            self.stats.diff_bytes_created += diff.payload_bytes();
+            *flushes.entry(home_rank).or_insert(0) += diff.wire_bytes();
+            dir.store_mut().apply_diff(&diff);
+            pages.push(page);
+        }
+        drop(dir);
+
+        // One update message per home contacted, carrying that home's diffs.
+        for (&_home_rank, &wire_bytes) in &flushes {
+            self.stats.record_control(MsgKind::HomeUpdate, wire_bytes);
+            self.stats.home_updates += 1;
+            self.clock
+                .advance(self.cost.home_update_cost(MSG_HEADER_BYTES + wire_bytes));
+        }
+
+        self.publish_interval(pages, Vec::new());
     }
 
     /// Incorporate the write notices of every interval of processor `writer`

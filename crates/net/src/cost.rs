@@ -43,6 +43,12 @@ pub struct CostModel {
     pub diff_apply_base_ns: u64,
     /// Per-byte cost of applying diff contents.
     pub diff_apply_ns_per_byte: u64,
+    /// Fixed cost, on a home processor, of serving one whole-page fetch
+    /// (home-based protocol).  Cheaper than a diff serve: no interval-log
+    /// walk and no run reassembly, just a send of the resident master copy.
+    pub page_serve_base_ns: u64,
+    /// Per-byte cost of assembling a whole-page reply on the home.
+    pub page_serve_ns_per_byte: u64,
     /// Base latency of an uncontended lock acquisition (3-hop transfer).
     pub lock_base_ns: u64,
     /// Base latency of a barrier with `barrier_calibrated_procs` processors.
@@ -77,6 +83,8 @@ impl CostModel {
             diff_serve_ns_per_byte: 30,
             diff_apply_base_ns: 15_000,
             diff_apply_ns_per_byte: 15,
+            page_serve_base_ns: 70_000,
+            page_serve_ns_per_byte: 10,
             lock_base_ns: 450_000,
             barrier_base_ns: 861_000,
             barrier_calibrated_procs: 8,
@@ -102,6 +110,8 @@ impl CostModel {
             diff_serve_ns_per_byte: 0,
             diff_apply_base_ns: 0,
             diff_apply_ns_per_byte: 0,
+            page_serve_base_ns: 0,
+            page_serve_ns_per_byte: 0,
             lock_base_ns: 0,
             barrier_base_ns: 0,
             barrier_calibrated_procs: 8,
@@ -181,6 +191,58 @@ impl CostModel {
                     .saturating_mul(responders.len() as u64),
             )
             .saturating_add(self.diff_apply_ns_per_byte.saturating_mul(applied_payload))
+    }
+
+    /// Stall time of a whole-page fault in the home-based protocol: one
+    /// round trip overlapped across the homes contacted, the slowest home's
+    /// page serve, and the replies' serialized receive and memcpy at the
+    /// faulting node.  Structurally the twin of
+    /// [`fault_stall_served`](Self::fault_stall_served), with the page-serve
+    /// constants in place of the diff-serve ones and a plain per-byte copy
+    /// (`twin_ns_per_byte`, i.e. memcpy speed) in place of the run-by-run
+    /// diff application.
+    ///
+    /// A fault served entirely from a co-resident home copy (`responders`
+    /// empty) costs exactly `fault_handler_ns + protection_op_ns` plus the
+    /// local copy of `applied_payload` bytes — no messages.
+    pub fn home_fetch_stall(&self, responders: &[ResponderCost], applied_payload: u64) -> u64 {
+        let slowest_serve = responders
+            .iter()
+            .map(|r| {
+                self.page_serve_base_ns
+                    .saturating_add(self.page_serve_ns_per_byte.saturating_mul(r.reply_bytes))
+                    .saturating_add(r.serve_extra_ns)
+            })
+            .max()
+            .unwrap_or(0);
+        let total_reply_bytes = responders
+            .iter()
+            .fold(0u64, |acc, r| acc.saturating_add(r.reply_bytes));
+        let serialized_receive = self
+            .wire_ns_per_byte
+            .saturating_mul(total_reply_bytes)
+            .saturating_add(self.message_cpu_ns.saturating_mul(responders.len() as u64));
+        let rtt = if responders.is_empty() {
+            0
+        } else {
+            self.rtt_small_ns
+        };
+        self.fault_handler_ns
+            .saturating_add(self.protection_op_ns)
+            .saturating_add(rtt)
+            .saturating_add(slowest_serve)
+            .saturating_add(serialized_receive)
+            .saturating_add(self.twin_ns_per_byte.saturating_mul(applied_payload))
+    }
+
+    /// Writer-side cost of flushing one home-update message of `wire_bytes`
+    /// bytes at interval close (home-based protocol).  The flush is
+    /// asynchronous — the writer does not stall for a round trip — so it
+    /// pays only the per-message CPU overhead and the outgoing wire time;
+    /// the home applies the diffs off the writer's critical path.
+    pub fn home_update_cost(&self, wire_bytes: u64) -> u64 {
+        self.message_cpu_ns
+            .saturating_add(self.wire_ns_per_byte.saturating_mul(wire_bytes))
     }
 
     /// Latency of an uncontended lock acquisition.
@@ -348,6 +410,38 @@ mod tests {
     }
 
     #[test]
+    fn home_fetch_and_update_costs_are_calibrated_sanely() {
+        let m = CostModel::pentium_ethernet_1997();
+        let page = ResponderCost {
+            reply_bytes: 4096,
+            serve_extra_ns: 0,
+        };
+        // A whole-page fetch from one home is cheaper than a whole-page
+        // *diff* exchange of the same size: the home serves a resident copy
+        // instead of walking its interval log.
+        let fetch = m.home_fetch_stall(&[page], 4096);
+        let diff = m.fault_stall(&[4096], 4096);
+        assert!(fetch < diff, "page fetch {fetch} vs diff fetch {diff}");
+        // But it is still a real network stall, bounded below by the RTT.
+        assert!(fetch > m.rtt_small_ns);
+        // A fault served from a co-resident home copy sends no messages.
+        assert_eq!(
+            m.home_fetch_stall(&[], 4096),
+            m.fault_handler_ns + m.protection_op_ns + m.twin_ns_per_byte * 4096
+        );
+        // The asynchronous flush costs far less than stalling a round trip.
+        assert!(m.home_update_cost(512) < m.rtt_small_ns);
+        assert_eq!(
+            m.home_update_cost(512),
+            m.message_cpu_ns + 512 * m.wire_ns_per_byte
+        );
+        // Free network: everything collapses to the local handler costs.
+        let free = CostModel::free_network();
+        assert_eq!(free.home_fetch_stall(&[page], 4096), 0);
+        assert_eq!(free.home_update_cost(4096), 0);
+    }
+
+    #[test]
     fn cost_arithmetic_saturates_instead_of_overflowing() {
         // The large workload tier multiplies per-byte rates by big byte
         // counts; in debug builds an unchecked `*` would panic.  All cost
@@ -359,7 +453,19 @@ mod tests {
         m.twin_ns_per_byte = u64::MAX;
         m.diff_create_ns_per_byte = u64::MAX;
         m.barrier_per_proc_ns = u64::MAX;
+        m.page_serve_ns_per_byte = u64::MAX;
         assert_eq!(m.fault_stall(&[u64::MAX, 7], u64::MAX), u64::MAX);
+        assert_eq!(
+            m.home_fetch_stall(
+                &[ResponderCost {
+                    reply_bytes: u64::MAX,
+                    serve_extra_ns: 0
+                }],
+                u64::MAX
+            ),
+            u64::MAX
+        );
+        assert_eq!(m.home_update_cost(u64::MAX), u64::MAX);
         assert_eq!(m.diff_exchange_latency(u64::MAX), u64::MAX);
         assert_eq!(m.twin_cost(u64::MAX), u64::MAX);
         assert_eq!(m.diff_create_cost(3), u64::MAX);

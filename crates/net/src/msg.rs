@@ -46,12 +46,17 @@ pub enum MsgKind {
     BarrierArrive,
     /// Barrier departure, carrying the union of write notices back.
     BarrierDepart,
+    /// Home-based protocol only: a writer eagerly flushing the diffs of its
+    /// closed interval to the pages' home processors (one message per home
+    /// contacted per interval close).  Page-fault traffic in that protocol
+    /// reuses the request/reply exchange shape with whole-page payloads.
+    HomeUpdate,
 }
 
 impl MsgKind {
     /// True for the message kinds that carry page data (diff payload).
     pub fn carries_data(self) -> bool {
-        matches!(self, MsgKind::DiffReply)
+        matches!(self, MsgKind::DiffReply | MsgKind::HomeUpdate)
     }
 }
 
@@ -152,8 +157,9 @@ mod tests {
     }
 
     #[test]
-    fn only_diff_replies_carry_data() {
+    fn only_diff_replies_and_home_updates_carry_data() {
         assert!(MsgKind::DiffReply.carries_data());
+        assert!(MsgKind::HomeUpdate.carries_data());
         assert!(!MsgKind::DiffRequest.carries_data());
         assert!(!MsgKind::LockGrant.carries_data());
         assert!(!MsgKind::BarrierDepart.carries_data());

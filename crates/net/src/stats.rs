@@ -46,6 +46,14 @@ pub struct ProcStats {
     /// useful/useless/piggybacked message breakdown stays untouched by the
     /// diff-timing knob.
     pub diffs_created_on_demand: u64,
+    /// Home-based protocol only: home-update messages this processor sent
+    /// (one per home contacted per interval close; always 0 under the
+    /// multi-writer protocol).
+    pub home_updates: u64,
+    /// Home-based protocol only: whole pages this processor fetched from a
+    /// *remote* home while servicing faults (self-homed refreshes are local
+    /// and not counted; always 0 under the multi-writer protocol).
+    pub page_fetches: u64,
     /// Intervals this processor closed (records published to its log).
     pub intervals_closed: u64,
     /// Intervals garbage-collected from this processor's log at barriers.
@@ -214,6 +222,12 @@ pub struct CommBreakdown {
     pub piggybacked_useless_data: u64,
     /// Total wire bytes (payload + headers + control traffic).
     pub total_wire_bytes: u64,
+    /// Home-update messages sent (home-based protocol only; 0 under the
+    /// multi-writer protocol).
+    pub home_updates: u64,
+    /// Whole pages fetched from remote homes (home-based protocol only; 0
+    /// under the multi-writer protocol).
+    pub page_fetches: u64,
     /// Modeled parallel execution time (max over processors).
     pub exec_time_ns: u64,
     /// Consistency-unit faults taken across all processors.
@@ -320,7 +334,13 @@ impl ClusterStats {
         b.signature = SignatureHistogram::new(nprocs.saturating_sub(1));
         for p in &self.per_proc {
             b.faults += p.faults.len() as u64;
-            // Control messages are always necessary -> useful.
+            b.home_updates += p.home_updates;
+            b.page_fetches += p.page_fetches;
+            // Control messages are always necessary -> useful.  Home updates
+            // are recorded as control messages: every flush is mandatory in
+            // the single-writer protocol (the home must stay current), so
+            // none of them can be useless — the protocol pays for them in
+            // *count*, which is exactly the paper's trade-off.
             b.useful_messages += p.control.len() as u64;
             for e in &p.exchanges {
                 if e.is_useful() {
@@ -439,6 +459,8 @@ impl ToJson for CommBreakdown {
                 Value::Num(self.piggybacked_useless_data as f64),
             ),
             ("total_wire_bytes", Value::Num(self.total_wire_bytes as f64)),
+            ("home_updates", Value::Num(self.home_updates as f64)),
+            ("page_fetches", Value::Num(self.page_fetches as f64)),
             ("exec_time_ns", Value::Num(self.exec_time_ns as f64)),
             ("faults", Value::Num(self.faults as f64)),
             ("signature", self.signature.to_json()),
@@ -455,6 +477,17 @@ impl FromJson for CommBreakdown {
             useless_data_in_useless_msgs: field_u64(v, "useless_data_in_useless_msgs")?,
             piggybacked_useless_data: field_u64(v, "piggybacked_useless_data")?,
             total_wire_bytes: field_u64(v, "total_wire_bytes")?,
+            // Additive v1 fields: documents emitted before the home-based
+            // protocol landed carry no per-protocol counters (their runs
+            // were all multi-writer, where both are 0 by definition).
+            home_updates: match v.get("home_updates") {
+                None => 0,
+                Some(_) => field_u64(v, "home_updates")?,
+            },
+            page_fetches: match v.get("page_fetches") {
+                None => 0,
+                Some(_) => field_u64(v, "page_fetches")?,
+            },
             exec_time_ns: field_u64(v, "exec_time_ns")?,
             faults: field_u64(v, "faults")?,
             signature: {
@@ -653,6 +686,39 @@ mod tests {
         let parsed =
             GcCounters::from_json(&serde::json::parse(&gc.to_json().pretty()).unwrap()).unwrap();
         assert_eq!(parsed, gc);
+    }
+
+    #[test]
+    fn per_protocol_counters_aggregate_and_parse_additively() {
+        let mut a = ProcStats::new(ProcId(0));
+        a.home_updates = 3;
+        a.page_fetches = 7;
+        a.record_control(MsgKind::HomeUpdate, 128);
+        let mut b = ProcStats::new(ProcId(1));
+        b.home_updates = 1;
+        b.page_fetches = 2;
+        let stats = ClusterStats {
+            per_proc: vec![a, b],
+        };
+        let bd = stats.breakdown();
+        assert_eq!(bd.home_updates, 4);
+        assert_eq!(bd.page_fetches, 9);
+        // Home updates recorded as control traffic count as useful messages.
+        assert_eq!(bd.useful_messages, 1);
+
+        let text = bd.to_json().pretty();
+        let parsed = CommBreakdown::from_json(&serde::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, bd);
+
+        // Pre-home-based documents carry neither field: both default to 0.
+        let legacy = text
+            .lines()
+            .filter(|l| !l.contains("home_updates") && !l.contains("page_fetches"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = CommBreakdown::from_json(&serde::json::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(parsed.home_updates, 0);
+        assert_eq!(parsed.page_fetches, 0);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   [`LocalPage`]),
 //! * **twinning and diffing** — the multiple-writer protocol's write
 //!   detection ([`Diff`], [`DiffRun`]),
+//! * **home copies** — the authoritative per-page master copies of the
+//!   home-based single-writer protocol, kept current by applying flushed
+//!   diffs in place without twinning ([`HomeStore`]),
 //! * a shared-region **bump allocator** ([`RegionAllocator`]), and
 //! * the per-word **delivery attribution** used by the paper's
 //!   instrumentation to classify delivered data as *useful* (read before
@@ -51,11 +54,13 @@
 
 pub mod alloc;
 pub mod diff;
+pub mod home;
 pub mod layout;
 pub mod page;
 
 pub use alloc::{Align, OutOfSharedMemory, RegionAllocator};
 pub use diff::{Diff, DiffRun, DIFF_HEADER_BYTES, RUN_HEADER_BYTES};
+pub use home::HomeStore;
 pub use layout::{GlobalAddr, PageId, PageLayout, WORD_SIZE};
 pub use page::{LocalPage, PageStore, NO_EXCHANGE};
 

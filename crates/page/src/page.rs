@@ -111,6 +111,21 @@ impl LocalPage {
         }
     }
 
+    /// Replace the whole page with `src` — the home-based protocol's
+    /// whole-page fetch.  Every word of the page is attributed to `exchange`
+    /// (the fetch delivered all of them; the ones never read before being
+    /// overwritten become the protocol's useless data), or, when `exchange`
+    /// is [`NO_EXCHANGE`], all attributions are cleared instead: a local
+    /// refresh from a co-resident home copy delivers nothing over the wire.
+    ///
+    /// # Panics
+    /// Panics if `src` is not exactly one page long.
+    pub fn load_page(&mut self, src: &[u8], exchange: u32) {
+        assert_eq!(src.len(), self.data.len(), "src must be one page");
+        self.data.copy_from_slice(src);
+        self.attribution.fill(exchange);
+    }
+
     /// Apply a diff received from another processor.  Every word the diff
     /// overwrites is attributed to `exchange` (pass [`NO_EXCHANGE`] to skip
     /// attribution, e.g. for locally generated corrections in tests).

@@ -66,6 +66,42 @@ fn csv_projection_matches_the_cells() {
     }
 }
 
+/// The additive v1 fields of the home-based protocol round-trip exactly
+/// like the rest: a home-based sweep's JSON re-parses to the host-time-free
+/// fixed point (so PR 3's round-trip property extends to the new fields
+/// unmodified), and both machine formats carry the protocol column and the
+/// per-protocol counters.
+#[test]
+fn home_based_documents_roundtrip_and_carry_protocol_fields() {
+    use tdsm_core::ProtocolMode;
+    let args = BenchArgs {
+        protocol: ProtocolMode::home_based(),
+        ..tiny_args()
+    };
+    let exp = Experiment::named("fig1", &args).unwrap();
+    let result = run_experiment(&exp, &RunnerOptions { threads: 2 });
+
+    let json = render(&result, OutputFormat::Json);
+    assert!(json.contains("\"protocol\": \"home-based\""));
+    assert!(json.contains("\"home_updates\""));
+    assert!(json.contains("\"page_fetches\""));
+    let parsed = parse_result(&json).unwrap();
+    assert_eq!(parsed, result.without_host_times());
+    assert_eq!(render(&parsed, OutputFormat::Json), json);
+    for cell in &parsed.cells {
+        assert_eq!(cell.cell.protocol, ProtocolMode::home_based());
+    }
+
+    let csv = render(&result, OutputFormat::Csv);
+    assert!(csv.lines().next().unwrap().contains(",protocol,"));
+    assert!(csv
+        .lines()
+        .next()
+        .unwrap()
+        .contains(",home_updates,page_fetches,"));
+    assert!(csv.lines().nth(1).unwrap().contains(",home-based,"));
+}
+
 /// Acceptance end-to-end: each of the five binaries, run with
 /// `--tiny --format json`, must write a parseable document to stdout that
 /// round-trips through the emitters, and `--out` must write the same schema

@@ -114,6 +114,57 @@ fn all_five_bench_binaries_run_tiny_mode() {
     }
 }
 
+/// The `--protocol` flag must reach the simulator through the real binary
+/// surface: a home-based tiny run emits rows tagged with the protocol and
+/// non-zero per-protocol counters.
+#[test]
+fn bench_binary_accepts_protocol_flag_end_to_end() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let mut cmd = std::process::Command::new(cargo);
+    cmd.args(["run", "-q", "-p", "tm-bench", "--bin", "fig1"]);
+    if running_release_profile() {
+        cmd.arg("--release");
+    }
+    let output = cmd
+        .args([
+            "--",
+            "--tiny",
+            "--protocol",
+            "home-based",
+            "--format",
+            "csv",
+        ])
+        .output()
+        .expect("failed to launch cargo run --bin fig1");
+    assert!(
+        output.status.success(),
+        "fig1 --protocol home-based exited with {:?}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let mut lines = stdout.lines();
+    let header = lines.next().expect("csv header");
+    let protocol_col = header
+        .split(',')
+        .position(|c| c == "protocol")
+        .expect("csv must carry a protocol column");
+    let hu_col = header
+        .split(',')
+        .position(|c| c == "home_updates")
+        .expect("csv must carry a home_updates column");
+    let mut any_updates = false;
+    for line in lines {
+        let cols: Vec<&str> = line.split(',').collect();
+        assert_eq!(cols[protocol_col], "home-based", "row: {line}");
+        any_updates |= cols[hu_col].parse::<u64>().unwrap_or(0) > 0;
+    }
+    assert!(
+        any_updates,
+        "home-based sweep flushed no updates:\n{stdout}"
+    );
+}
+
 /// Whether this test binary was built under the `release` profile (best
 /// effort, by directory name: `<target>/release/deps/<test>-<hash>`), so the
 /// nested `cargo run` can reuse the same artifacts instead of cold-building
