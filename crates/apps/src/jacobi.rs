@@ -135,6 +135,13 @@ pub fn run_parallel(cfg: &AppConfig, size: &JacobiSize) -> AppRun {
         }
         ctx.barrier();
 
+        // Row buffers reused across the whole run: the relaxation loop
+        // touches hundreds of thousands of rows, so per-row allocation is
+        // pure overhead.
+        let mut up = Vec::new();
+        let mut mid = Vec::new();
+        let mut down = Vec::new();
+        let mut new_row = Vec::new();
         for _ in 0..iters {
             // Relaxation: rows of my band; the first and last need the
             // neighbour's boundary row.
@@ -142,10 +149,11 @@ pub fn run_parallel(cfg: &AppConfig, size: &JacobiSize) -> AppRun {
                 if r == 0 || r == rows - 1 {
                     continue;
                 }
-                let up = grid.read_row(ctx, r - 1);
-                let mid = grid.read_row(ctx, r);
-                let down = grid.read_row(ctx, r + 1);
-                let mut new_row = mid.clone();
+                grid.read_row_into(ctx, r - 1, &mut up);
+                grid.read_row_into(ctx, r, &mut mid);
+                grid.read_row_into(ctx, r + 1, &mut down);
+                new_row.clear();
+                new_row.extend_from_slice(&mid);
                 for c in 1..cols - 1 {
                     new_row[c] = relax(up[c], down[c], mid[c - 1], mid[c + 1]);
                 }
@@ -162,8 +170,8 @@ pub fn run_parallel(cfg: &AppConfig, size: &JacobiSize) -> AppRun {
                 if r == 0 || r == rows - 1 {
                     continue;
                 }
-                let row = scratch.read_row(ctx, r);
-                grid.write_row(ctx, r, &row);
+                scratch.read_row_into(ctx, r, &mut mid);
+                grid.write_row(ctx, r, &mid);
                 ctx.compute(cols as u64 * 100);
             }
             ctx.barrier();

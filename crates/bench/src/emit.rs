@@ -239,6 +239,26 @@ protocol,exec_time_ms,useful_msgs,useless_msgs,useful_data,piggybacked_useless,\
 useless_in_useless,faults,home_updates,page_fetches,mean_writers,intervals_closed,\
 intervals_retired,checksum";
 
+/// Quote a CSV field per RFC 4180 when it contains a comma, a double
+/// quote, or a line break; other fields pass through unchanged (so the
+/// common all-plain output is byte-identical to the unescaped format).
+fn csv_field(s: &str) -> std::borrow::Cow<'_, str> {
+    if s.contains(['"', ',', '\n', '\r']) {
+        let mut quoted = String::with_capacity(s.len() + 2);
+        quoted.push('"');
+        for ch in s.chars() {
+            if ch == '"' {
+                quoted.push('"');
+            }
+            quoted.push(ch);
+        }
+        quoted.push('"');
+        std::borrow::Cow::Owned(quoted)
+    } else {
+        std::borrow::Cow::Borrowed(s)
+    }
+}
+
 fn render_csv(result: &ExperimentResult) -> String {
     let mut out = String::from(CSV_HEADER);
     out.push('\n');
@@ -247,11 +267,14 @@ fn render_csv(result: &ExperimentResult) -> String {
         let _ = writeln!(
             out,
             // Seeds are hex here as in JSON, so rows join across formats.
+            // Free-form string fields (experiment name and the labels) are
+            // CSV-escaped; the fixed-token and numeric fields cannot
+            // contain separators.
             "{},{},{},{},{},{:016x},{},{},{},{:.3},{},{},{},{},{},{},{},{},{:.3},{},{},{}",
-            result.name,
-            r.cell.app.name(),
-            r.cell.size_label,
-            r.cell.policy_label,
+            csv_field(&result.name),
+            csv_field(r.cell.app.name()),
+            csv_field(&r.cell.size_label),
+            csv_field(&r.cell.policy_label),
             r.cell.nprocs,
             r.cell.seed,
             r.cell.schedule.as_str(),
@@ -458,6 +481,74 @@ mod tests {
 
         let wrong = text.replace(RESULT_SCHEMA, "tm-bench/experiment-result/v0");
         assert!(parse_result(&wrong).unwrap_err().contains("schema"));
+    }
+
+    /// Minimal RFC 4180 record reader for the round-trip test: splits one
+    /// CSV body into records of unescaped fields, honouring quoted fields
+    /// that contain commas, doubled quotes, and line breaks.
+    fn parse_csv(body: &str) -> Vec<Vec<String>> {
+        let mut records = Vec::new();
+        let mut fields = Vec::new();
+        let mut field = String::new();
+        let mut chars = body.chars().peekable();
+        let mut in_quotes = false;
+        while let Some(ch) = chars.next() {
+            if in_quotes {
+                if ch == '"' {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                } else {
+                    field.push(ch);
+                }
+            } else {
+                match ch {
+                    '"' => in_quotes = true,
+                    ',' => fields.push(std::mem::take(&mut field)),
+                    '\n' => {
+                        fields.push(std::mem::take(&mut field));
+                        records.push(std::mem::take(&mut fields));
+                    }
+                    _ => field.push(ch),
+                }
+            }
+        }
+        if !field.is_empty() || !fields.is_empty() {
+            fields.push(field);
+            records.push(fields);
+        }
+        records
+    }
+
+    #[test]
+    fn csv_escapes_separators_quotes_and_newlines() {
+        let mut result = tiny_result("fig3");
+        result.name = "fig3,extra".to_string();
+        result.cells[0].cell.size_label = "16x16, \"quoted\"".to_string();
+        result.cells[0].cell.policy_label = "4K\nwrapped".to_string();
+
+        let csv = render(&result, OutputFormat::Csv);
+        let records = parse_csv(&csv);
+        let header_cols = records[0].len();
+        assert!(records.len() > 1, "need at least one data record");
+        for (i, rec) in records.iter().enumerate() {
+            assert_eq!(rec.len(), header_cols, "record {i} column count");
+        }
+        // The embedded separators survive the round trip verbatim.
+        assert_eq!(records[1][0], "fig3,extra");
+        assert_eq!(records[1][2], "16x16, \"quoted\"");
+        assert_eq!(records[1][3], "4K\nwrapped");
+        // And the raw text actually used quoting (not stripping).
+        assert!(csv.contains("\"fig3,extra\""));
+        assert!(csv.contains("\"16x16, \"\"quoted\"\"\""));
+
+        // Plain labels stay byte-identical to the unescaped rendering.
+        let plain = tiny_result("fig3");
+        let plain_csv = render(&plain, OutputFormat::Csv);
+        assert!(!plain_csv.contains('"'), "plain output must stay unquoted");
     }
 
     #[test]

@@ -25,10 +25,15 @@
 
 pub mod emit;
 pub mod experiment;
+pub mod perf;
 pub mod runner;
 
 pub use emit::{parse_result, render, OutputFormat, RESULT_SCHEMA};
 pub use experiment::{Cell, Experiment};
+pub use perf::{
+    collect_report, compare_reports, parse_perf_report, PerfOptions, PerfReport, DEFAULT_TOLERANCE,
+    PERF_ARTIFACT, PERF_SCHEMA,
+};
 pub use runner::{run_cell, run_experiment, CellResult, ExperimentResult, RunnerOptions};
 
 use tdsm_core::{DiffTiming, ProtocolMode, SchedConfig, SignatureHistogram, UnitPolicy};

@@ -6,11 +6,20 @@
 //! element indices into byte-level shared-memory accesses on a
 //! [`ProcCtx`].
 
+use std::cell::RefCell;
 use std::marker::PhantomData;
 
 use tm_page::GlobalAddr;
 
 use crate::proc::ProcCtx;
+
+thread_local! {
+    // Per-processor-thread staging buffer for the byte encoding of bulk
+    // accesses.  Rows are read and written hundreds of thousands of times in
+    // the grid applications; staging through one reused buffer keeps the
+    // encode/decode step allocation-free after warm-up.
+    static BYTE_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A plain value that can live in DSM shared memory.
 ///
@@ -104,21 +113,44 @@ impl<T: SharedVal> GArray<T> {
     /// Read `count` elements starting at `start` into a vector (one bulk
     /// shared access — the natural granularity for row/column operations).
     pub fn read_vec(&self, ctx: &mut ProcCtx, start: usize, count: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        self.read_into(ctx, start, count, &mut out);
+        out
+    }
+
+    /// Read `count` elements starting at `start` into `out` (cleared first).
+    /// Equivalent to [`read_vec`](Self::read_vec) but reuses the caller's
+    /// buffer, so a hot loop performs no per-call allocation.
+    pub fn read_into(&self, ctx: &mut ProcCtx, start: usize, count: usize, out: &mut Vec<T>) {
         assert!(start + count <= self.len, "range out of bounds");
-        let mut bytes = vec![0u8; count * T::BYTES];
-        ctx.read_bytes(self.addr(start), &mut bytes);
-        bytes.chunks_exact(T::BYTES).map(|c| T::load(c)).collect()
+        BYTE_SCRATCH.with(|scratch| {
+            let mut bytes = scratch.borrow_mut();
+            // `read_bytes` overwrites the whole range, so growth (not
+            // re-zeroing) is the only cost of the resize.
+            bytes.resize(count * T::BYTES, 0);
+            let len = count * T::BYTES;
+            ctx.read_bytes(self.addr(start), &mut bytes[..len]);
+            out.clear();
+            out.reserve(count);
+            out.extend(bytes.chunks_exact(T::BYTES).map(|c| T::load(c)));
+        });
     }
 
     /// Write the elements of `values` starting at index `start` (one bulk
     /// shared access).
     pub fn write_slice(&self, ctx: &mut ProcCtx, start: usize, values: &[T]) {
         assert!(start + values.len() <= self.len, "range out of bounds");
-        let mut bytes = vec![0u8; values.len() * T::BYTES];
-        for (chunk, v) in bytes.chunks_exact_mut(T::BYTES).zip(values.iter()) {
-            v.store(chunk);
-        }
-        ctx.write_bytes(self.addr(start), &bytes);
+        BYTE_SCRATCH.with(|scratch| {
+            let mut bytes = scratch.borrow_mut();
+            // Every chunk is overwritten by `store` below, so growth (not
+            // re-zeroing) is the only cost of the resize.
+            bytes.resize(values.len() * T::BYTES, 0);
+            let len = values.len() * T::BYTES;
+            for (chunk, v) in bytes[..len].chunks_exact_mut(T::BYTES).zip(values.iter()) {
+                v.store(chunk);
+            }
+            ctx.write_bytes(self.addr(start), &bytes[..len]);
+        });
     }
 
     /// Narrow the handle to a sub-range `[start, start + len)`.
@@ -197,6 +229,13 @@ impl<T: SharedVal> GMatrix<T> {
     pub fn read_row(&self, ctx: &mut ProcCtx, r: usize) -> Vec<T> {
         assert!(r < self.rows, "row {r} out of bounds");
         self.data.read_vec(ctx, r * self.cols, self.cols)
+    }
+
+    /// Read a full row into `out` (cleared first), reusing the caller's
+    /// buffer so per-row iteration performs no allocation.
+    pub fn read_row_into(&self, ctx: &mut ProcCtx, r: usize, out: &mut Vec<T>) {
+        assert!(r < self.rows, "row {r} out of bounds");
+        self.data.read_into(ctx, r * self.cols, self.cols, out);
     }
 
     /// Write a full row.

@@ -11,8 +11,8 @@
 //! diffs have been applied everywhere they were pending, the record and its
 //! diffs are retired (see DESIGN.md, "Interval garbage collection").
 
+use crate::fasthash::FastHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use tm_page::{Diff, PageId};
@@ -79,6 +79,23 @@ struct StoredDiff {
     /// identical diffs — but an unmaterialized diff has not yet been charged
     /// or counted.)
     materialized: bool,
+    /// `diff.wire_bytes()`, computed once at publication: serving paths
+    /// charge it on every request, and walking the runs each time was a
+    /// measurable cost of large GC flushes.
+    wire_bytes: u64,
+    /// `diff.payload_bytes()`, computed once at publication.
+    payload_bytes: u64,
+}
+
+/// One cached per-page chain merge (see [`IntervalLog::fetch_chain`]): the
+/// exact sequence numbers it covers, their merged diff, and the aggregate
+/// accounting of the underlying stored diffs.
+#[derive(Debug)]
+struct MergedChain {
+    seqs: Vec<u32>,
+    diff: Arc<Diff>,
+    wire_bytes: u64,
+    payload_bytes: u64,
 }
 
 /// Counters of a log's garbage-collection and on-demand-creation activity,
@@ -104,6 +121,26 @@ pub struct FetchedDiff {
     /// requester must charge the creation cost to the responder's serve
     /// path.
     pub created_now: bool,
+    /// The diff's wire bytes, cached at publication.
+    pub wire_bytes: u64,
+    /// The diff's payload bytes, cached at publication.
+    pub payload_bytes: u64,
+}
+
+/// The outcome of one [`IntervalLog::fetch_chain`] call.
+#[derive(Debug, Clone)]
+pub struct ChainFetch {
+    /// The union of the chain's diffs: every word carries the bytes of the
+    /// last chain diff that touches it.
+    pub diff: Arc<Diff>,
+    /// Sum of the individual diffs' wire bytes.
+    pub wire_bytes: u64,
+    /// Sum of the individual diffs' payload bytes.
+    pub payload_bytes: u64,
+    /// How many of the chain's diffs this call materialized (lazy timing
+    /// only; the requester charges one creation per materialization to the
+    /// responder's serve path).
+    pub created_now: u32,
 }
 
 /// The part of a processor's protocol state that other processors consult:
@@ -122,7 +159,12 @@ pub struct IntervalLog {
     retired: u32,
     /// Live records, oldest first; `records[i]` has seq `retired + i + 1`.
     records: Vec<IntervalRecord>,
-    diffs: HashMap<(PageId, u32), StoredDiff>,
+    diffs: FastHashMap<(PageId, u32), StoredDiff>,
+    /// Per page, the most recent chain merge served by
+    /// [`fetch_chain`](Self::fetch_chain).  GC flushes make every other
+    /// processor request the same per-page chains back to back, so one
+    /// cached merge serves all of them.
+    merged: FastHashMap<PageId, MergedChain>,
     counters: LogCounters,
 }
 
@@ -174,11 +216,14 @@ impl IntervalLog {
             "interval sequence numbers must be contiguous"
         );
         for (page, diff) in diffs {
+            let (wire_bytes, payload_bytes) = (diff.wire_bytes(), diff.payload_bytes());
             self.diffs.insert(
                 (page, record.id.seq),
                 StoredDiff {
                     diff,
                     materialized: timing == DiffTiming::Eager,
+                    wire_bytes,
+                    payload_bytes,
                 },
             );
         }
@@ -235,10 +280,116 @@ impl IntervalLog {
         if created_now {
             stored.materialized = true;
             self.counters.diffs_created_on_demand += 1;
-            self.counters.diff_bytes_created_on_demand += stored.diff.payload_bytes();
+            self.counters.diff_bytes_created_on_demand += stored.payload_bytes;
         }
         Some(FetchedDiff {
             diff: stored.diff.clone(),
+            created_now,
+            wire_bytes: stored.wire_bytes,
+            payload_bytes: stored.payload_bytes,
+        })
+    }
+
+    /// Serve one page's whole fetch chain — the diffs of intervals
+    /// `seqs` (ascending), all written by this log's owner — as a single
+    /// merged diff plus the aggregate accounting of the individual diffs.
+    ///
+    /// Materialization counters advance exactly as if each diff had been
+    /// served by [`fetch_diff`](Self::fetch_diff); the merge itself is a
+    /// pure serving optimization.  The merge is cached per page: during a
+    /// cluster-wide GC flush every other processor requests the same chain,
+    /// and only the first request pays for the merge.
+    ///
+    /// Returns `None` if any requested diff does not exist.
+    pub fn fetch_chain(&mut self, page: PageId, seqs: &[(PageId, u32)]) -> Option<ChainFetch> {
+        debug_assert!(!seqs.is_empty());
+        debug_assert!(seqs.windows(2).all(|w| w[0].1 < w[1].1 && w[0].0 == w[1].0));
+        debug_assert!(seqs.iter().all(|&(p, _)| p == page));
+        if let Some(m) = self.merged.get(&page) {
+            if m.seqs.len() == seqs.len() && m.seqs.iter().zip(seqs).all(|(a, (_, b))| a == b) {
+                // The cached merge was built by a fetch that materialized
+                // every chain member (diffs never un-materialize), so this
+                // request creates nothing and the per-diff walk can be
+                // skipped entirely.
+                debug_assert!(seqs.iter().all(|&(_, s)| {
+                    self.diffs
+                        .get(&(page, s))
+                        .is_some_and(|stored| stored.materialized)
+                }));
+                return Some(ChainFetch {
+                    diff: Arc::clone(&m.diff),
+                    wire_bytes: m.wire_bytes,
+                    payload_bytes: m.payload_bytes,
+                    created_now: 0,
+                });
+            }
+        }
+        let mut created_now = 0u32;
+        for &(_, seq) in seqs {
+            let stored = self.diffs.get_mut(&(page, seq))?;
+            if !stored.materialized {
+                stored.materialized = true;
+                created_now += 1;
+                self.counters.diffs_created_on_demand += 1;
+                self.counters.diff_bytes_created_on_demand += stored.payload_bytes;
+            }
+        }
+        if let [(_, seq)] = *seqs {
+            // A one-diff chain needs no merge (and no cache entry): serve
+            // the stored diff as-is.
+            let stored = &self.diffs[&(page, seq)];
+            return Some(ChainFetch {
+                diff: Arc::clone(&stored.diff),
+                wire_bytes: stored.wire_bytes,
+                payload_bytes: stored.payload_bytes,
+                created_now,
+            });
+        }
+        let mut wire_bytes = 0u64;
+        let mut payload_bytes = 0u64;
+        let chain: Vec<&Arc<Diff>> = seqs
+            .iter()
+            .map(|&(_, seq)| {
+                let stored = &self.diffs[&(page, seq)];
+                wire_bytes += stored.wire_bytes;
+                payload_bytes += stored.payload_bytes;
+                &stored.diff
+            })
+            .collect();
+        // When the newest diff single-handedly covers every older one (the
+        // dominant shape on grid applications, where each interval rewrites
+        // the whole page), the merge *is* the newest diff: every older word
+        // is occluded.  Serving it by reference skips the cover-bitset walk
+        // over the whole chain's payloads.
+        let newest_covers_chain = match chain.last().expect("chain is non-empty").spans() {
+            [span] if span.offset == 0 => {
+                let end = span.end();
+                chain[..chain.len() - 1]
+                    .iter()
+                    .all(|d| d.spans().iter().all(|s| s.end() <= end))
+            }
+            _ => false,
+        };
+        let diff = if newest_covers_chain {
+            Arc::clone(chain.last().expect("chain is non-empty"))
+        } else {
+            let refs: Vec<&Diff> = chain.iter().map(|d| &***d).collect();
+            Arc::new(Diff::merge(page, &refs))
+        };
+        drop(chain);
+        self.merged.insert(
+            page,
+            MergedChain {
+                seqs: seqs.iter().map(|&(_, s)| s).collect(),
+                diff: Arc::clone(&diff),
+                wire_bytes,
+                payload_bytes,
+            },
+        );
+        Some(ChainFetch {
+            diff,
+            wire_bytes,
+            payload_bytes,
             created_now,
         })
     }

@@ -50,6 +50,7 @@
 pub mod aggregation;
 pub mod cluster;
 pub mod config;
+pub mod fasthash;
 pub mod handle;
 pub mod interval;
 pub mod proc;

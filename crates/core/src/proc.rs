@@ -18,6 +18,9 @@
 //!   the false-sharing signature.
 
 use std::collections::BTreeMap;
+
+use crate::fasthash::{FastHashMap, FastHashSet};
+
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -26,7 +29,7 @@ use tm_net::{
     CostModel, DiffExchange, FaultRecord, LogicalClock, MsgKind, ProcId, ProcStats, ResponderCost,
     MSG_HEADER_BYTES,
 };
-use tm_page::{Diff, GlobalAddr, PageId, PageLayout, PageStore, WORD_SIZE};
+use tm_page::{subtract_cover, Diff, GlobalAddr, PageId, PageLayout, PageStore, WORD_SIZE};
 
 use crate::aggregation::DynamicAggregator;
 use crate::config::{DiffTiming, DsmConfig, UnitPolicy};
@@ -100,6 +103,10 @@ pub struct ProcCtx {
     /// to the barrier's interval GC.
     pending_seqs: Vec<BTreeMap<u32, u32>>,
     notices_since_barrier: u64,
+    /// Reusable staging buffer for `(seq, page)` write notices copied out of
+    /// a writer's log under its lock; avoids cloning each record's page list
+    /// on every incorporation.
+    notice_scratch: Vec<(u32, PageId)>,
     marked_end_ns: Option<u64>,
 }
 
@@ -145,6 +152,7 @@ impl ProcCtx {
             gc_flush_pending_limit: config.gc_flush_pending_limit,
             pending_seqs: vec![BTreeMap::new(); config.nprocs],
             notices_since_barrier: 0,
+            notice_scratch: Vec::new(),
             marked_end_ns: None,
         }
     }
@@ -269,8 +277,8 @@ impl ProcCtx {
         if len == 0 {
             return;
         }
-        let pages: Vec<PageId> = self.layout.pages_of_range(addr, len).collect();
-        for page in pages {
+        let layout = self.layout;
+        for page in layout.pages_of_range(addr, len) {
             if self.meta[page.index()].invalid {
                 self.fault_on(page);
             }
@@ -407,17 +415,27 @@ impl ProcCtx {
     /// operation *is* (a fault or a flush) and charges its stall.
     fn exchange_pending(&mut self, fetch_pages: &[PageId]) -> PendingExchangeOutcome {
         // Gather the pending write notices of every page we are fetching,
-        // grouped by the writer that must serve the diff.
+        // grouped by the writer that must serve the diff.  Pages with
+        // pending notices from more than one writer need their diffs ordered
+        // by happens-before across writers, so they take the per-diff path
+        // below instead of the merged chain fetch.
         let mut by_writer: BTreeMap<u32, Vec<(PageId, u32)>> = BTreeMap::new();
+        let mut multi_writer: FastHashSet<PageId> = FastHashSet::default();
         for &p in fetch_pages {
-            for &(writer, seq) in &self.meta[p.index()].pending {
+            let pending = &self.meta[p.index()].pending;
+            if let Some(&(first_writer, _)) = pending.first() {
+                if pending.iter().any(|&(w, _)| w != first_writer) {
+                    multi_writer.insert(p);
+                }
+            }
+            for &(writer, seq) in pending {
                 by_writer.entry(writer).or_default().push((p, seq));
             }
         }
 
         let mut exchange_ids = Vec::with_capacity(by_writer.len());
         let mut responder_costs = Vec::with_capacity(by_writer.len());
-        let mut to_apply: Vec<(u64, u32, u32, Arc<Diff>, u32)> = Vec::new();
+        let mut to_apply: Vec<(u64, u32, u32, Arc<Diff>, u32, bool)> = Vec::new();
         let mut total_payload = 0u64;
         let page_size = self.layout.page_size() as u64;
 
@@ -431,29 +449,77 @@ impl ProcCtx {
             let mut pages_requested: Vec<PageId> = Vec::new();
             {
                 let mut log = self.logs[*writer as usize].lock();
-                for &(p, seq) in wants {
-                    if !pages_requested.contains(&p) {
-                        pages_requested.push(p);
+                // `wants` lists each page's pending seqs as one consecutive
+                // ascending block (it is built page by page, notices arrive
+                // in interval order), so each block is one fetch chain.
+                let mut i = 0;
+                while i < wants.len() {
+                    let p = wants[i].0;
+                    let mut j = i + 1;
+                    while j < wants.len() && wants[j].0 == p {
+                        j += 1;
                     }
-                    let fetched = log
-                        .fetch_diff(p, seq)
-                        .expect("a stored diff must exist for a published notice");
-                    if fetched.created_now {
-                        // Lazy timing: this request materializes the diff on
-                        // the responder, serializing its creation into the
-                        // responder's serve path (which we stall on).
-                        serve_extra_ns =
-                            serve_extra_ns.saturating_add(self.cost.diff_create_cost(page_size));
+                    pages_requested.push(p);
+                    if !multi_writer.contains(&p) {
+                        // Sole pending writer: the responder serves the whole
+                        // chain as one pre-merged diff with aggregate
+                        // accounting identical to fetching each diff.
+                        let fetched = log
+                            .fetch_chain(p, &wants[i..j])
+                            .expect("a stored diff must exist for a published notice");
+                        if fetched.created_now > 0 {
+                            // Lazy timing: this request materializes diffs on
+                            // the responder, serializing their creation into
+                            // the responder's serve path (which we stall on).
+                            serve_extra_ns = serve_extra_ns.saturating_add(
+                                fetched.created_now as u64 * self.cost.diff_create_cost(page_size),
+                            );
+                        }
+                        let last_seq = wants[j - 1].1;
+                        let record_vc_weight = log
+                            .record(last_seq)
+                            .expect("published interval record must exist")
+                            .vc
+                            .weight();
+                        reply_bytes += fetched.wire_bytes;
+                        delivered += fetched.payload_bytes;
+                        diffs_carried += (j - i) as u32;
+                        to_apply.push((
+                            record_vc_weight,
+                            *writer,
+                            last_seq,
+                            fetched.diff,
+                            exchange_id,
+                            true,
+                        ));
+                    } else {
+                        for &(_, seq) in &wants[i..j] {
+                            let fetched = log
+                                .fetch_diff(p, seq)
+                                .expect("a stored diff must exist for a published notice");
+                            if fetched.created_now {
+                                serve_extra_ns = serve_extra_ns
+                                    .saturating_add(self.cost.diff_create_cost(page_size));
+                            }
+                            let record_vc_weight = log
+                                .record(seq)
+                                .expect("published interval record must exist")
+                                .vc
+                                .weight();
+                            reply_bytes += fetched.wire_bytes;
+                            delivered += fetched.payload_bytes;
+                            diffs_carried += 1;
+                            to_apply.push((
+                                record_vc_weight,
+                                *writer,
+                                seq,
+                                fetched.diff,
+                                exchange_id,
+                                false,
+                            ));
+                        }
                     }
-                    let record_vc_weight = log
-                        .record(seq)
-                        .expect("published interval record must exist")
-                        .vc
-                        .weight();
-                    reply_bytes += fetched.diff.wire_bytes();
-                    delivered += fetched.diff.payload_bytes();
-                    diffs_carried += 1;
-                    to_apply.push((record_vc_weight, *writer, seq, fetched.diff, exchange_id));
+                    i = j;
                 }
             }
             total_payload += delivered;
@@ -478,13 +544,50 @@ impl ProcCtx {
         // clock weight, then writer id, then sequence number).  Diffs of
         // concurrent intervals touch disjoint words in a data-race-free
         // program, so their relative order does not matter.
-        to_apply.sort_by_key(|(w, writer, seq, _, _)| (*w, *writer, *seq));
-        for (_, _, _, diff, exchange_id) in &to_apply {
-            self.store
-                .page_mut(diff.page)
-                .apply_diff(diff, *exchange_id);
+        to_apply.sort_by_key(|(w, writer, seq, ..)| (*w, *writer, *seq));
+        // Reverse painter's algorithm: walking the batch backwards, each
+        // diff only writes the words no later-applied diff of the same page
+        // touches.  Every word still ends with the bytes, attribution, and
+        // dirty bit of the last diff that touches it — identical to applying
+        // the whole chain forward — and no counter fires during application
+        // (wire and fetch accounting already happened above), so the result
+        // is bit-identical while the memory traffic shrinks from the sum of
+        // all fetched payloads to their union.  GC flushes fetch long
+        // same-page diff chains, which is where this pays off.
+        let page_words = self.layout.page_size() / WORD_SIZE;
+        let page_blocks = page_words.div_ceil(64);
+        let mut cover: FastHashMap<PageId, (Vec<u64>, usize)> = FastHashMap::default();
+        let mut visible: Vec<(u32, u32)> = Vec::new();
+        for (_, _, _, diff, exchange_id, solo) in to_apply.iter().rev() {
+            if *solo {
+                // A merged chain is its page's only entry in the batch (its
+                // page had a single pending writer), so no cover tracking is
+                // needed: apply it whole.  The deferred path parks whole-page
+                // payloads instead of copying them — GC validation flushes
+                // repeatedly redeliver pages the next flush overwrites.
+                self.store
+                    .page_mut(diff.page)
+                    .apply_diff_deferred(diff, *exchange_id);
+                continue;
+            }
+            let (cov, set) = cover
+                .entry(diff.page)
+                .or_insert_with(|| (vec![0u64; page_blocks], 0));
+            if *set == page_words {
+                // Every word of the page is already claimed by later diffs:
+                // this one is fully shadowed.
+                continue;
+            }
+            visible.clear();
+            for span in diff.spans() {
+                *set += subtract_cover(span.offset, span.len as usize, cov, &mut visible);
+            }
+            if !visible.is_empty() {
+                self.store
+                    .page_mut(diff.page)
+                    .apply_diff_visible(diff, *exchange_id, &visible);
+            }
         }
-
         self.clear_pending(fetch_pages);
 
         PendingExchangeOutcome {
@@ -665,9 +768,13 @@ impl ProcCtx {
         let mut diffs = Vec::with_capacity(self.dirty_pages.len());
         let page_size = self.layout.page_size() as u64;
         let eager = self.diff_timing == DiffTiming::Eager;
-        let dirty: Vec<PageId> = self.dirty_pages.drain(..).collect();
-        for page in dirty {
+        // Detach the dirty list instead of copying it; nothing in the loop
+        // re-dirties a page, and the buffer (and its capacity) goes back
+        // afterwards.
+        let mut dirty = std::mem::take(&mut self.dirty_pages);
+        for &page in &dirty {
             let lp = self.store.page_mut(page);
+
             let diff = lp
                 .make_diff(page)
                 .expect("dirty page must have a twin at interval close");
@@ -691,6 +798,8 @@ impl ProcCtx {
             pages.push(page);
             diffs.push((page, Arc::new(diff)));
         }
+        dirty.clear();
+        self.dirty_pages = dirty;
         self.publish_interval(pages, diffs);
     }
 
@@ -795,21 +904,24 @@ impl ProcCtx {
             return 0;
         }
         let mut incorporated = 0u64;
-        let records: Vec<(u32, Vec<PageId>)> = {
+        // Stage the notices through a reusable flat buffer: the page lists
+        // must be copied out (the writer's log lock cannot be held while we
+        // mutate our own state below), but not one Vec clone per record.
+        let mut scratch = std::mem::take(&mut self.notice_scratch);
+        scratch.clear();
+        {
             let log = self.logs[writer].lock();
-            log.records_between(already, up_to)
-                .iter()
-                .map(|r| (r.id.seq, r.pages.clone()))
-                .collect()
-        };
-        for (seq, pages) in records {
-            for page in pages {
-                self.meta[page.index()].pending.push((writer as u32, seq));
-                *self.pending_seqs[writer].entry(seq).or_insert(0) += 1;
-                self.invalidate_unit_of(page);
-                incorporated += 1;
+            for r in log.records_between(already, up_to) {
+                scratch.extend(r.pages.iter().map(|&p| (r.id.seq, p)));
             }
         }
+        for &(seq, page) in &scratch {
+            self.meta[page.index()].pending.push((writer as u32, seq));
+            *self.pending_seqs[writer].entry(seq).or_insert(0) += 1;
+            self.invalidate_unit_of(page);
+            incorporated += 1;
+        }
+        self.notice_scratch = scratch;
         self.vc.set(writer, up_to);
         incorporated
     }
@@ -872,11 +984,10 @@ impl ProcCtx {
 
         // Incorporate every interval covered by the releaser but not by us.
         let mut notices = 0u64;
-        let grant_vc = grant.vc.clone();
         for q in 0..self.nprocs {
-            notices += self.incorporate_notices_from(q, grant_vc.get(q));
+            notices += self.incorporate_notices_from(q, grant.vc.get(q));
         }
-        self.vc.merge(&grant_vc);
+        self.vc.merge(&grant.vc);
 
         // Message accounting: request → statically assigned manager, forward
         // → last holder, grant → us.  A re-acquisition of a lock we released

@@ -96,6 +96,11 @@ impl VectorClock {
             if a < b {
                 ge = false;
             }
+            if !le && !ge {
+                // Concurrency is already established; no later entry can
+                // change the verdict.
+                return VcOrder::Concurrent;
+            }
         }
         match (le, ge) {
             (true, true) => VcOrder::Equal,
@@ -107,7 +112,14 @@ impl VectorClock {
 
     /// True if `self` happened before or equals `other`.
     pub fn dominated_by(&self, other: &VectorClock) -> bool {
-        matches!(self.compare(other), VcOrder::Before | VcOrder::Equal)
+        debug_assert_eq!(self.entries.len(), other.entries.len());
+        // Pointwise ≤ with short-circuit — cheaper than a full `compare`
+        // when only domination matters (the hot covers-check on the
+        // incorporate and fetch paths).
+        self.entries
+            .iter()
+            .zip(other.entries.iter())
+            .all(|(a, b)| a <= b)
     }
 
     /// Sum of all entries.  Sorting intervals by this sum yields a linear

@@ -6,31 +6,33 @@
 //! run-length encoding of the 32-bit words that changed.  Diffs are what the
 //! wire actually carries in response to page-fault requests, so their encoded
 //! size is what the paper's "data" metric measures.
+//!
+//! The in-memory layout is flat: one packed payload buffer per diff plus a
+//! small span table, rather than one allocation per run.  A diff with a
+//! dozen runs costs two allocations, not thirteen — diff creation, merging
+//! and retirement are all on the simulator's hot path.
 
 use serde::{Deserialize, Serialize};
 
 use crate::layout::{PageId, WORD_SIZE};
 
-/// One maximal run of consecutive modified words.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct DiffRun {
+/// One maximal run of consecutive modified words: the byte offset of the
+/// first modified word within the page, and the run's payload length in
+/// bytes.  The payload bytes of a diff's runs are packed back to back in
+/// its payload buffer, in span order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunSpan {
     /// Byte offset of the first modified word within the page.
     pub offset: u32,
-    /// The new contents of the modified words.
-    pub bytes: Vec<u8>,
+    /// Number of payload bytes (always a multiple of the word size).
+    pub len: u32,
 }
 
-impl DiffRun {
-    /// Number of bytes carried by this run.
+impl RunSpan {
+    /// Exclusive end offset of the run within the page.
     #[inline]
-    pub fn len(&self) -> usize {
-        self.bytes.len()
-    }
-
-    /// True if the run carries no bytes (never produced by [`Diff::create`]).
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
+    pub fn end(&self) -> u32 {
+        self.offset + self.len
     }
 }
 
@@ -41,7 +43,9 @@ pub struct Diff {
     /// Page this diff applies to.
     pub page: PageId,
     /// Maximal runs of modified words, in increasing offset order.
-    pub runs: Vec<DiffRun>,
+    spans: Vec<RunSpan>,
+    /// The runs' new contents, packed back to back in span order.
+    payload: Vec<u8>,
 }
 
 /// Per-run wire header: offset + length, as in the TreadMarks encoding.
@@ -60,8 +64,102 @@ impl Diff {
     pub fn create(page: PageId, twin: &[u8], current: &[u8]) -> Diff {
         assert_eq!(twin.len(), current.len(), "twin/current size mismatch");
         assert_eq!(twin.len() % WORD_SIZE, 0, "page size must be word aligned");
+        let mut diff = Diff {
+            page,
+            spans: Vec::new(),
+            payload: Vec::new(),
+        };
+        scan_words(twin, current, 0, twin.len() / WORD_SIZE, &mut diff);
+        diff
+    }
+
+    /// Like [`create`](Self::create), but seeded with a dirty-word bitset
+    /// (bit `w % 64` of `dirty[w / 64]` set ⇒ word `w` *may* have changed
+    /// since the twin was made).  The bitset is a **superset** filter: words
+    /// whose bit is clear are known untouched and are skipped without being
+    /// read, while flagged words are still compared against the twin, so a
+    /// word rewritten with its old value never enters the diff.  The encoded
+    /// output is therefore bit-identical to a full [`create`](Self::create)
+    /// scan.
+    ///
+    /// # Panics
+    /// Panics on length mismatch, unaligned size, or a bitset shorter than
+    /// the page's word count.
+    pub fn create_from_dirty(page: PageId, twin: &[u8], current: &[u8], dirty: &[u64]) -> Diff {
+        assert_eq!(twin.len(), current.len(), "twin/current size mismatch");
+        assert_eq!(twin.len() % WORD_SIZE, 0, "page size must be word aligned");
         let words = twin.len() / WORD_SIZE;
-        let mut runs = Vec::new();
+        assert!(dirty.len() * 64 >= words, "dirty bitset shorter than page");
+        let mut diff = Diff {
+            page,
+            spans: Vec::new(),
+            payload: Vec::new(),
+        };
+        // A run can only span words that actually differ, and differing
+        // words are always flagged dirty, so runs never cross an all-clear
+        // block. Scanning each maximal span of non-empty blocks as one unit
+        // keeps runs maximal exactly as the full scan would.
+        let blocks = words.div_ceil(64);
+        let mut b = 0;
+        while b < blocks {
+            if dirty[b] == 0 {
+                b += 1;
+                continue;
+            }
+            let span = b;
+            while b < blocks && dirty[b] != 0 {
+                b += 1;
+            }
+            scan_words(twin, current, span * 64, (b * 64).min(words), &mut diff);
+        }
+        diff
+    }
+
+    /// Build a diff directly from an **exact** changed-word bitset (bit
+    /// `w % 64` of `changed[w / 64]` set ⇔ word `w` of `current` differs
+    /// from its value when the interval started).  No compare scan happens:
+    /// runs are extracted straight from the bits and the payload is copied
+    /// from `current` in one packed pass.  With an exact bitset — as
+    /// maintained by the write path's per-word pre-image tracking — the
+    /// output is bit-identical to [`create`](Self::create) against the
+    /// interval-start twin.
+    ///
+    /// # Panics
+    /// Panics on an unaligned page size or a bitset shorter than the page's
+    /// word count.
+    pub fn from_changed(page: PageId, current: &[u8], changed: &[u64]) -> Diff {
+        assert_eq!(
+            current.len() % WORD_SIZE,
+            0,
+            "page size must be word aligned"
+        );
+        let words = current.len() / WORD_SIZE;
+        assert!(
+            changed.len() * 64 >= words,
+            "changed bitset shorter than page"
+        );
+        let spans = spans_from_bits(changed);
+        let payload = pack_payload(&spans, current);
+        Diff {
+            page,
+            spans,
+            payload,
+        }
+    }
+
+    /// Reference implementation of [`create`](Self::create): the original
+    /// per-word bounds-checked slice-compare scan. Kept (test-only) as the
+    /// oracle the optimized scans are property-tested against.
+    #[cfg(test)]
+    pub(crate) fn create_naive(page: PageId, twin: &[u8], current: &[u8]) -> Diff {
+        assert_eq!(twin.len(), current.len(), "twin/current size mismatch");
+        assert_eq!(twin.len() % WORD_SIZE, 0, "page size must be word aligned");
+        let words = twin.len() / WORD_SIZE;
+        let mut diff = Diff {
+            page,
+            spans: Vec::new(),
+            payload: Vec::new(),
+        };
         let mut w = 0;
         while w < words {
             let lo = w * WORD_SIZE;
@@ -75,15 +173,48 @@ impl Diff {
                 {
                     w += 1;
                 }
-                runs.push(DiffRun {
-                    offset: (start * WORD_SIZE) as u32,
-                    bytes: current[start * WORD_SIZE..w * WORD_SIZE].to_vec(),
-                });
+                diff.push_run(
+                    (start * WORD_SIZE) as u32,
+                    &current[start * WORD_SIZE..w * WORD_SIZE],
+                );
             } else {
                 w += 1;
             }
         }
-        Diff { page, runs }
+        diff
+    }
+
+    /// Append a run to the diff (spans must arrive in increasing offset
+    /// order and never touch — callers produce maximal runs).
+    fn push_run(&mut self, offset: u32, bytes: &[u8]) {
+        debug_assert!(!bytes.is_empty());
+        debug_assert!(self.spans.last().map_or(true, |s| s.end() < offset));
+        self.spans.push(RunSpan {
+            offset,
+            len: bytes.len() as u32,
+        });
+        self.payload.extend_from_slice(bytes);
+    }
+
+    /// Iterate over the runs as `(page byte offset, payload bytes)` pairs.
+    pub fn runs(&self) -> impl Iterator<Item = (u32, &[u8])> + '_ {
+        self.spans.iter().scan(0usize, move |cursor, s| {
+            let lo = *cursor;
+            *cursor += s.len as usize;
+            Some((s.offset, &self.payload[lo..lo + s.len as usize]))
+        })
+    }
+
+    /// The run span table (offsets and lengths, no payload).
+    #[inline]
+    pub fn spans(&self) -> &[RunSpan] {
+        &self.spans
+    }
+
+    /// Number of runs.
+    #[inline]
+    pub fn num_runs(&self) -> usize {
+        self.spans.len()
     }
 
     /// Apply the diff to `target`, overwriting the words it records.
@@ -91,39 +222,229 @@ impl Diff {
     /// # Panics
     /// Panics if any run falls outside `target`.
     pub fn apply(&self, target: &mut [u8]) {
-        for run in &self.runs {
-            let lo = run.offset as usize;
-            let hi = lo + run.bytes.len();
+        for (offset, bytes) in self.runs() {
+            let lo = offset as usize;
+            let hi = lo + bytes.len();
             assert!(hi <= target.len(), "diff run outside page bounds");
-            target[lo..hi].copy_from_slice(&run.bytes);
+            target[lo..hi].copy_from_slice(bytes);
         }
     }
 
     /// True if the diff records no modifications.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.runs.is_empty()
+        self.spans.is_empty()
     }
 
     /// Number of payload bytes (modified word contents only).
+    #[inline]
     pub fn payload_bytes(&self) -> u64 {
-        self.runs.iter().map(|r| r.bytes.len() as u64).sum()
+        self.payload.len() as u64
     }
 
     /// Size of the diff as it would travel on the wire: payload plus the
     /// per-run and per-diff headers of the TreadMarks encoding.
     pub fn wire_bytes(&self) -> u64 {
-        DIFF_HEADER_BYTES + self.runs.len() as u64 * RUN_HEADER_BYTES + self.payload_bytes()
+        DIFF_HEADER_BYTES + self.spans.len() as u64 * RUN_HEADER_BYTES + self.payload.len() as u64
     }
 
     /// Iterate over the page-relative word indices this diff overwrites.
     pub fn touched_words(&self) -> impl Iterator<Item = usize> + '_ {
-        self.runs.iter().flat_map(|r| {
-            let first = r.offset as usize / WORD_SIZE;
-            let count = r.bytes.len() / WORD_SIZE;
+        self.spans.iter().flat_map(|s| {
+            let first = s.offset as usize / WORD_SIZE;
+            let count = s.len as usize / WORD_SIZE;
             first..first + count
         })
     }
+
+    /// Merge a chain of diffs of the same page into their union: every word
+    /// touched by any chain member carries the bytes of the *last* member
+    /// that touches it.  Applying the merged diff is equivalent to applying
+    /// the chain in order.
+    ///
+    /// `chain` must be in application order (oldest first).
+    pub fn merge(page: PageId, chain: &[&Diff]) -> Diff {
+        if let [only] = chain {
+            return (*only).clone();
+        }
+        let end = chain
+            .iter()
+            .flat_map(|d| d.spans.iter())
+            .map(|s| s.end() as usize)
+            .max()
+            .unwrap_or(0);
+        let mut cover = vec![0u64; (end / WORD_SIZE).div_ceil(64)];
+        let mut buf = vec![0u8; end];
+        let mut fresh: Vec<(u32, u32)> = Vec::new();
+        // Reverse painter: walking newest to oldest, each diff contributes
+        // only the words no newer diff already claimed, so the work is
+        // proportional to the union, not the sum, of the payloads.
+        for diff in chain.iter().rev() {
+            debug_assert_eq!(diff.page, page);
+            for (offset, bytes) in diff.runs() {
+                fresh.clear();
+                subtract_cover(offset, bytes.len(), &mut cover, &mut fresh);
+                for &(lo, hi) in &fresh {
+                    let (lo, hi) = (lo as usize, hi as usize);
+                    let base = offset as usize;
+                    buf[lo..hi].copy_from_slice(&bytes[lo - base..hi - base]);
+                }
+            }
+        }
+        let spans = spans_from_bits(&cover);
+        let payload = pack_payload(&spans, &buf);
+        Diff {
+            page,
+            spans,
+            payload,
+        }
+    }
+}
+
+/// Append to `out` the byte intervals of the words of run
+/// `[offset, offset + len)` whose bits are not yet set in the word-cover
+/// bitset `cov`, setting them as it goes.  Output intervals are sorted,
+/// non-overlapping, and word-aligned; adjacent ones are merged.  Returns the
+/// number of newly covered words.
+///
+/// This is the kernel of the "reverse painter" used both by [`Diff::merge`]
+/// and by the protocol engine's batched diff application: processing diffs
+/// newest-first, each one only touches the words no newer diff claimed.
+pub fn subtract_cover(
+    offset: u32,
+    len: usize,
+    cov: &mut [u64],
+    out: &mut Vec<(u32, u32)>,
+) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let mut new_words = 0usize;
+    let w0 = offset as usize / WORD_SIZE;
+    let w1 = w0 + len / WORD_SIZE; // exclusive
+    let (first_b, last_b) = (w0 / 64, (w1 - 1) / 64);
+    for b in first_b..=last_b {
+        let lo = if b == first_b { w0 % 64 } else { 0 };
+        let hi = if b == last_b { (w1 - 1) % 64 } else { 63 };
+        let mask = (!0u64 >> (63 - (hi - lo))) << lo;
+        let mut fresh = mask & !cov[b];
+        cov[b] |= mask;
+        new_words += fresh.count_ones() as usize;
+        while fresh != 0 {
+            let start = fresh.trailing_zeros();
+            let len = (fresh >> start).trailing_ones();
+            let from = ((b * 64 + start as usize) * WORD_SIZE) as u32;
+            let to = from + len * WORD_SIZE as u32;
+            match out.last_mut() {
+                Some(last) if last.1 == from => last.1 = to,
+                _ => out.push((from, to)),
+            }
+            if start + len >= 64 {
+                break;
+            }
+            fresh &= !(((1u64 << len) - 1) << start);
+        }
+    }
+    new_words
+}
+
+/// Extract the maximal runs of set-bit words from `bits` as a span table.
+/// Runs that touch across 64-word block boundaries are merged, so the output
+/// is exactly what a word-by-word scan of the same set would produce.
+fn spans_from_bits(bits: &[u64]) -> Vec<RunSpan> {
+    let mut spans: Vec<RunSpan> = Vec::new();
+    for (b, &block) in bits.iter().enumerate() {
+        let mut m = block;
+        while m != 0 {
+            let start = m.trailing_zeros() as usize;
+            let len = (m >> start).trailing_ones() as usize;
+            let from = ((b * 64 + start) * WORD_SIZE) as u32;
+            let len = (len * WORD_SIZE) as u32;
+            match spans.last_mut() {
+                Some(last) if last.end() == from => last.len += len,
+                _ => spans.push(RunSpan { offset: from, len }),
+            }
+            if (start as u32 + len / WORD_SIZE as u32) >= 64 {
+                break;
+            }
+            m &= !(((1u64 << (len / WORD_SIZE as u32)) - 1) << start);
+        }
+    }
+    spans
+}
+
+/// Copy the spans' bytes out of `source` (indexed by page offset) into one
+/// packed payload buffer, allocated exactly once at its final size.
+fn pack_payload(spans: &[RunSpan], source: &[u8]) -> Vec<u8> {
+    let total: usize = spans.iter().map(|s| s.len as usize).sum();
+    let mut payload = Vec::with_capacity(total);
+    for s in spans {
+        payload.extend_from_slice(&source[s.offset as usize..s.end() as usize]);
+    }
+    payload
+}
+
+/// Scan words `[from, to)` of `twin`/`current` and append every maximal run
+/// of differing words to `diff`. Words are compared as native-endian `u32`s
+/// over `chunks_exact` windows — no per-word slice bounds checks — which is
+/// what makes diff creation cheap enough to run once per dirty page per
+/// interval.
+fn scan_words(twin: &[u8], current: &[u8], from: usize, to: usize, diff: &mut Diff) {
+    /// Bits of the first word of a native-endian `u64` read from two
+    /// consecutive words (the lower-addressed word sits in the low bytes on
+    /// little-endian machines and the high bytes on big-endian ones).
+    const FIRST: u64 = if cfg!(target_endian = "little") {
+        0x0000_0000_FFFF_FFFF
+    } else {
+        0xFFFF_FFFF_0000_0000
+    };
+    let t = &twin[from * WORD_SIZE..to * WORD_SIZE];
+    let c = &current[from * WORD_SIZE..to * WORD_SIZE];
+    let mut open: Option<usize> = None;
+    let close = |open: &mut Option<usize>, end: usize, diff: &mut Diff| {
+        if let Some(start) = open.take() {
+            diff.push_run(
+                (start * WORD_SIZE) as u32,
+                &current[start * WORD_SIZE..end * WORD_SIZE],
+            );
+        }
+    };
+    // Two words per iteration: one u64 XOR answers "any change?" and the
+    // endian mask splits it per word only when the halves disagree.  The
+    // common all-changed and all-clean stretches take a single branch per
+    // pair, which roughly halves the scan cost of diffing a big page.
+    for (k, (t8, c8)) in t.chunks_exact(8).zip(c.chunks_exact(8)).enumerate() {
+        let x =
+            u64::from_ne_bytes(t8.try_into().unwrap()) ^ u64::from_ne_bytes(c8.try_into().unwrap());
+        let base = from + 2 * k;
+        if x == 0 {
+            close(&mut open, base, diff);
+        } else {
+            let first_ne = x & FIRST != 0;
+            let second_ne = x & !FIRST != 0;
+            if first_ne && second_ne {
+                open.get_or_insert(base);
+            } else if first_ne {
+                open.get_or_insert(base);
+                close(&mut open, base + 1, diff);
+            } else {
+                close(&mut open, base, diff);
+                open = Some(base + 1);
+            }
+        }
+    }
+    if (to - from) % 2 == 1 {
+        // Odd trailing word.
+        let i = to - from - 1;
+        let tw = u32::from_ne_bytes(t[i * WORD_SIZE..][..WORD_SIZE].try_into().unwrap());
+        let cw = u32::from_ne_bytes(c[i * WORD_SIZE..][..WORD_SIZE].try_into().unwrap());
+        if tw != cw {
+            open.get_or_insert(from + i);
+        } else {
+            close(&mut open, from + i, diff);
+        }
+    }
+    close(&mut open, to, diff);
 }
 
 #[cfg(test)]
@@ -132,6 +453,10 @@ mod tests {
 
     fn page_of(pattern: impl Fn(usize) -> u8, len: usize) -> Vec<u8> {
         (0..len).map(pattern).collect()
+    }
+
+    fn run_vec(d: &Diff) -> Vec<(u32, Vec<u8>)> {
+        d.runs().map(|(o, b)| (o, b.to_vec())).collect()
     }
 
     #[test]
@@ -148,9 +473,9 @@ mod tests {
         let mut cur = twin.clone();
         cur[8] = 0xAB;
         let d = Diff::create(PageId(1), &twin, &cur);
-        assert_eq!(d.runs.len(), 1);
-        assert_eq!(d.runs[0].offset, 8);
-        assert_eq!(d.runs[0].bytes.len(), WORD_SIZE);
+        assert_eq!(d.num_runs(), 1);
+        assert_eq!(d.spans()[0].offset, 8);
+        assert_eq!(d.spans()[0].len as usize, WORD_SIZE);
         assert_eq!(d.payload_bytes(), 4);
 
         let mut target = twin.clone();
@@ -166,9 +491,9 @@ mod tests {
             cur[b] = 1;
         }
         let d = Diff::create(PageId(0), &twin, &cur);
-        assert_eq!(d.runs.len(), 1);
-        assert_eq!(d.runs[0].offset, 16);
-        assert_eq!(d.runs[0].bytes.len(), 16);
+        assert_eq!(d.num_runs(), 1);
+        assert_eq!(d.spans()[0].offset, 16);
+        assert_eq!(d.spans()[0].len, 16);
     }
 
     #[test]
@@ -178,9 +503,9 @@ mod tests {
         cur[0] = 1;
         cur[64] = 2;
         let d = Diff::create(PageId(0), &twin, &cur);
-        assert_eq!(d.runs.len(), 2);
-        assert_eq!(d.runs[0].offset, 0);
-        assert_eq!(d.runs[1].offset, 64);
+        assert_eq!(d.num_runs(), 2);
+        assert_eq!(d.spans()[0].offset, 0);
+        assert_eq!(d.spans()[1].offset, 64);
     }
 
     #[test]
@@ -188,7 +513,7 @@ mod tests {
         let twin = vec![0u8; 256];
         let cur = vec![0xFFu8; 256];
         let d = Diff::create(PageId(0), &twin, &cur);
-        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.num_runs(), 1);
         assert_eq!(d.payload_bytes(), 256);
         assert_eq!(d.wire_bytes(), DIFF_HEADER_BYTES + RUN_HEADER_BYTES + 256);
     }
@@ -213,14 +538,64 @@ mod tests {
         let mut cur = twin.clone();
         cur[5] = 8;
         let d = Diff::create(PageId(0), &twin, &cur);
-        assert_eq!(d.runs.len(), 1);
-        assert_eq!(d.runs[0].offset, 4);
-        assert_eq!(d.runs[0].bytes, vec![7, 8, 7, 7]);
+        assert_eq!(run_vec(&d), vec![(4, vec![7, 8, 7, 7])]);
     }
 
     #[test]
     #[should_panic(expected = "size mismatch")]
     fn mismatched_lengths_panic() {
         Diff::create(PageId(0), &[0u8; 8], &[0u8; 12]);
+    }
+
+    #[test]
+    fn dirty_seeded_scan_matches_full_scan_and_filters_clean_blocks() {
+        // 512 words; touch words in three places, including a pair straddling
+        // a 64-word block boundary so span merging is exercised.
+        let twin = page_of(|i| (i % 249) as u8, 2048);
+        let mut cur = twin.clone();
+        for w in [3usize, 63, 64, 65, 200, 201, 202, 511] {
+            cur[w * WORD_SIZE] ^= 0x5A;
+        }
+        let mut dirty = vec![0u64; 8];
+        for w in [3usize, 63, 64, 65, 200, 201, 202, 511] {
+            dirty[w / 64] |= 1 << (w % 64);
+        }
+        // Flag some untouched words too: the bitset is a superset filter.
+        dirty[0] |= 1 << 10;
+        dirty[3] |= 0xFF;
+        let full = Diff::create(PageId(4), &twin, &cur);
+        let seeded = Diff::create_from_dirty(PageId(4), &twin, &cur, &dirty);
+        assert_eq!(full, seeded);
+        assert_eq!(full, Diff::create_naive(PageId(4), &twin, &cur));
+    }
+
+    #[test]
+    fn dirty_bit_set_but_word_unchanged_stays_out_of_the_diff() {
+        let twin = vec![9u8; 256];
+        let cur = twin.clone();
+        let dirty = vec![!0u64; 1];
+        let d = Diff::create_from_dirty(PageId(0), &twin, &cur, &dirty);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn from_changed_exact_bits_match_compare_scan() {
+        let twin = page_of(|i| (i % 241) as u8, 1024);
+        let mut cur = twin.clone();
+        for w in [0usize, 1, 62, 63, 64, 120, 255] {
+            cur[w * WORD_SIZE + 1] ^= 0x11;
+        }
+        let mut changed = vec![0u64; 4];
+        for w in [0usize, 1, 62, 63, 64, 120, 255] {
+            changed[w / 64] |= 1 << (w % 64);
+        }
+        let d = Diff::from_changed(PageId(2), &cur, &changed);
+        assert_eq!(d, Diff::create(PageId(2), &twin, &cur));
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than page")]
+    fn short_dirty_bitset_panics() {
+        Diff::create_from_dirty(PageId(0), &[0u8; 512], &[0u8; 512], &[0u64; 1]);
     }
 }

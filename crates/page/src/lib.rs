@@ -9,7 +9,7 @@
 //! * per-processor **local copies** of the shared pages ([`PageStore`],
 //!   [`LocalPage`]),
 //! * **twinning and diffing** — the multiple-writer protocol's write
-//!   detection ([`Diff`], [`DiffRun`]),
+//!   detection ([`Diff`], [`RunSpan`]),
 //! * **home copies** — the authoritative per-page master copies of the
 //!   home-based single-writer protocol, kept current by applying flushed
 //!   diffs in place without twinning ([`HomeStore`]),
@@ -59,7 +59,7 @@ pub mod layout;
 pub mod page;
 
 pub use alloc::{Align, OutOfSharedMemory, RegionAllocator};
-pub use diff::{Diff, DiffRun, DIFF_HEADER_BYTES, RUN_HEADER_BYTES};
+pub use diff::{subtract_cover, Diff, RunSpan, DIFF_HEADER_BYTES, RUN_HEADER_BYTES};
 pub use home::HomeStore;
 pub use layout::{GlobalAddr, PageId, PageLayout, WORD_SIZE};
 pub use page::{LocalPage, PageStore, NO_EXCHANGE};
@@ -117,15 +117,15 @@ mod proptests {
             let diff = Diff::create(PageId(0), &twin, &current);
             prop_assert!(diff.payload_bytes() as usize <= twin.len());
             let mut prev_end: Option<usize> = None;
-            for run in &diff.runs {
-                prop_assert_eq!(run.offset as usize % WORD_SIZE, 0);
-                prop_assert_eq!(run.bytes.len() % WORD_SIZE, 0);
-                prop_assert!(!run.bytes.is_empty());
+            for (offset, bytes) in diff.runs() {
+                prop_assert_eq!(offset as usize % WORD_SIZE, 0);
+                prop_assert_eq!(bytes.len() % WORD_SIZE, 0);
+                prop_assert!(!bytes.is_empty());
                 if let Some(end) = prev_end {
                     // Maximality: adjacent runs would have been merged.
-                    prop_assert!(run.offset as usize > end);
+                    prop_assert!(offset as usize > end);
                 }
-                prev_end = Some(run.offset as usize + run.bytes.len());
+                prev_end = Some(offset as usize + bytes.len());
             }
         }
 
@@ -148,6 +148,97 @@ mod proptests {
                 }
                 regions.push((addr.0, addr.0 + sz));
             }
+        }
+
+        /// The optimized word-integer scan and the dirty-bitset-seeded scan
+        /// are both equivalent to the original naive per-word slice-compare
+        /// implementation, for any page pair and any *superset* bitset of
+        /// the changed words.
+        #[test]
+        fn diff_create_equivalent_to_naive(twin in word_aligned_page(), seed in any::<u64>()) {
+            let mut current = twin.clone();
+            let mut state = seed | 1;
+            for (i, b) in current.iter_mut().enumerate() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if state % 4 == 0 {
+                    *b = (state >> 40) as u8 ^ (i as u8);
+                }
+            }
+            let words = twin.len() / WORD_SIZE;
+            // Exact dirty set of the changed words...
+            let mut dirty = vec![0u64; words.div_ceil(64)];
+            for w in 0..words {
+                if twin[w * WORD_SIZE..(w + 1) * WORD_SIZE]
+                    != current[w * WORD_SIZE..(w + 1) * WORD_SIZE]
+                {
+                    dirty[w / 64] |= 1 << (w % 64);
+                }
+            }
+            // ...plus pseudo-random over-approximation (superset is legal).
+            let mut superset = dirty.clone();
+            for (i, block) in superset.iter_mut().enumerate() {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                if state % 2 == 0 {
+                    *block |= state.rotate_left(i as u32);
+                }
+            }
+            // Mask stray bits past the last word so the bitset stays valid.
+            if words % 64 != 0 {
+                let last = superset.len() - 1;
+                superset[last] &= (1u64 << (words % 64)) - 1;
+            }
+
+            let naive = Diff::create_naive(PageId(3), &twin, &current);
+            prop_assert_eq!(&Diff::create(PageId(3), &twin, &current), &naive);
+            prop_assert_eq!(&Diff::create_from_dirty(PageId(3), &twin, &current, &dirty), &naive);
+            prop_assert_eq!(&Diff::create_from_dirty(PageId(3), &twin, &current, &superset), &naive);
+        }
+
+        /// The virtual-twin write path (per-word pre-image tracking) must
+        /// yield diffs bit-identical to an eager twin copy plus compare
+        /// scan, under any sequence of overlapping, unaligned and
+        /// value-restoring writes — including words whose original value is
+        /// restored across several partial writes.
+        #[test]
+        fn tracked_writes_match_eager_twin_compare(
+            seed in any::<u64>(),
+            writes in prop::collection::vec(
+                (0usize..256, prop::collection::vec(any::<u8>(), 1..40)),
+                0..30,
+            ),
+        ) {
+            let page_size = 256usize;
+            let mut store = PageStore::new(PageLayout::new(page_size, 1));
+            let p = store.page_mut(PageId(0));
+            let mut state = seed | 1;
+            let init: Vec<u8> = (0..page_size)
+                .map(|i| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (state >> 33) as u8 ^ i as u8
+                })
+                .collect();
+            p.write_bytes(0, &init);
+            p.ensure_twin();
+            let twin = p.bytes().to_vec();
+            let mut reference = twin.clone();
+            for (off0, data) in &writes {
+                let len = data.len().min(page_size);
+                let off = (*off0).min(page_size - len);
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                // A third of the writes restore the pre-interval bytes, so
+                // the exact-tracking bit-clearing path is exercised.
+                let src: Vec<u8> = if state % 3 == 0 {
+                    twin[off..off + len].to_vec()
+                } else {
+                    data[..len].to_vec()
+                };
+                p.write_bytes(off, &src);
+                reference[off..off + len].copy_from_slice(&src);
+            }
+            prop_assert_eq!(p.bytes(), &reference[..]);
+            let tracked = p.make_diff(PageId(0)).unwrap();
+            let eager = Diff::create(PageId(0), &twin, &reference);
+            prop_assert_eq!(tracked, eager);
         }
 
         /// PageStore write/read roundtrip at arbitrary (addr, len).

@@ -7,71 +7,310 @@
 //! (useful data) or never read before being overwritten or the end of the run
 //! (useless data).
 
-use crate::diff::Diff;
+use crate::diff::{subtract_cover, Diff};
 use crate::layout::{GlobalAddr, PageId, PageLayout, WORD_SIZE};
+use std::sync::Arc;
 
 /// Sentinel attribution meaning "this word was not delivered by any exchange
 /// (or its delivery has already been classified)".
 pub const NO_EXCHANGE: u32 = u32::MAX;
 
-/// One hardware page as held by one processor: current contents, the twin
-/// made at the first write of the current interval (if any), and per-word
+/// One hardware page as held by one processor: current contents, the
+/// interval's write-detection state (a *virtual twin*), and per-word
 /// delivery attribution.
+///
+/// The twin of the multiple-writer protocol is maintained lazily: instead of
+/// copying the whole page at the first write, the write path compares each
+/// stored word against its previous contents and saves the pre-interval
+/// value of exactly the words that change.  The changed-word bitset is
+/// therefore *exact* (a word whose original value is later restored leaves
+/// the set again), so diff creation never has to re-scan the page — it
+/// extracts runs straight from the bitset.  The resulting diffs are
+/// bit-identical to a twin-compare: a word is in the diff iff its content
+/// differs from the page content at `ensure_twin` time.
 #[derive(Debug)]
 pub struct LocalPage {
     data: Box<[u8]>,
-    twin: Option<Box<[u8]>>,
+    /// Whether a virtual twin is live (the page is in the current interval's
+    /// write set).
+    twinned: bool,
+    /// Pre-interval value of every word whose `changed_words` bit is set;
+    /// garbage elsewhere.  Allocated on the page's first twin and reused for
+    /// every later interval.
+    preimage: Option<Box<[u8]>>,
+    /// One bit per word, set iff the word's current value differs from its
+    /// value when the twin was made.  Meaningless while not twinned.
+    changed_words: Box<[u64]>,
     /// For each 32-bit word: the exchange id that last delivered it and has
     /// not yet been read or overwritten locally, or [`NO_EXCHANGE`].
+    /// Authoritative only in the *mixed* representation (`uniform ==
+    /// NO_EXCHANGE && !attr_dirty`); see `uniform`.
     attribution: Box<[u32]>,
+    /// Number of words whose attribution is not [`NO_EXCHANGE`]. Read and
+    /// write paths skip their per-word attribution loops entirely while this
+    /// is zero — the overwhelmingly common case.
+    pending: u32,
+    /// Compact attribution representation for the dominant delivery pattern
+    /// (a diff covering the whole page, later read or overwritten whole).
+    /// When not [`NO_EXCHANGE`], *every* word of the page is attributed to
+    /// this exchange and the `attribution` array contents are stale; the
+    /// array is only materialised when a partial access needs per-word
+    /// state.
+    uniform: u32,
+    /// True when the `attribution` array holds stale values from a consumed
+    /// uniform attribution (pending is 0 but the array is not all
+    /// [`NO_EXCHANGE`]).  It must be wiped before per-word use.
+    attr_dirty: bool,
+    /// A delivered diff (and its exchange id) whose application — content
+    /// *and* attribution — has not been performed yet.  Flush deliveries are
+    /// frequently shadowed by the next flush before any local access, so
+    /// [`apply_diff_deferred`](Self::apply_diff_deferred) parks the shared
+    /// payload here instead of paying the page-sized content and
+    /// attribution traffic; the work happens lazily on the first access
+    /// that needs it, and a later delivery folds the parked one in only
+    /// where it stays visible.  Invariant: `deferred.is_some()` implies
+    /// `!twinned` — a twin is only created by the write path, which
+    /// materialises first.
+    deferred: Option<(Arc<Diff>, u32)>,
 }
 
 impl LocalPage {
     /// Create a zero-filled page of `page_size` bytes.
     pub fn new_zeroed(page_size: usize) -> Self {
+        let words = page_size / WORD_SIZE;
         LocalPage {
             data: vec![0u8; page_size].into_boxed_slice(),
-            twin: None,
-            attribution: vec![NO_EXCHANGE; page_size / WORD_SIZE].into_boxed_slice(),
+            twinned: false,
+            preimage: None,
+            changed_words: vec![0u64; words.div_ceil(64)].into_boxed_slice(),
+            attribution: vec![NO_EXCHANGE; words].into_boxed_slice(),
+            pending: 0,
+            uniform: NO_EXCHANGE,
+            attr_dirty: false,
+            deferred: None,
         }
     }
 
-    /// Current contents of the page.
+    /// Perform a parked diff application — content and attribution.  Called
+    /// before any access that needs the page's contents or attribution
+    /// state; a no-op in the common case.
+    fn materialize_content(&mut self) {
+        if let Some((d, e)) = self.deferred.take() {
+            d.apply(&mut self.data);
+            self.attribute_diff(&d, e);
+        }
+    }
+
+    /// Retire a parked diff that is about to be shadowed by `new`: copy into
+    /// `data` only the parts of the parked payload that `new` does not
+    /// rewrite.  With the flush-delivery pattern (each generation rewrites
+    /// almost the whole page) this copies a handful of words instead of a
+    /// page, and a fully-shadowing `new` copies nothing at all.
+    fn fold_deferred_under(&mut self, new: &Diff) {
+        let Some((old, old_exchange)) = self.deferred.take() else {
+            return;
+        };
+        let words = self.data.len() / WORD_SIZE;
+        let mut cov = vec![0u64; words.div_ceil(64)];
+        let mut visible: Vec<(u32, u32)> = Vec::new();
+        let mut set = 0usize;
+        for span in new.spans() {
+            set += subtract_cover(span.offset, span.len as usize, &mut cov, &mut visible);
+        }
+        if set == words {
+            return;
+        }
+        visible.clear();
+        for span in old.spans() {
+            subtract_cover(span.offset, span.len as usize, &mut cov, &mut visible);
+        }
+        if !visible.is_empty() {
+            self.apply_diff_visible(&old, old_exchange, &visible);
+        }
+    }
+
+    /// Drop out of the compact uniform/stale attribution representations
+    /// into the mixed one, making the per-word `attribution` array
+    /// authoritative.  Called before any partial-range attribution access.
+    fn materialize_attr(&mut self) {
+        if self.uniform != NO_EXCHANGE {
+            self.attribution.fill(self.uniform);
+            self.uniform = NO_EXCHANGE;
+            self.attr_dirty = false;
+        } else if self.attr_dirty {
+            self.attribution.fill(NO_EXCHANGE);
+            self.attr_dirty = false;
+        }
+    }
+
+    /// Current contents of the page.  Callers must not hold a deferred
+    /// whole-page delivery (every protocol access path materialises first;
+    /// this accessor is used by tests that drive `LocalPage` directly).
     #[inline]
     pub fn bytes(&self) -> &[u8] {
+        debug_assert!(self.deferred.is_none(), "bytes() with deferred content");
         &self.data
     }
 
     /// Whether a twin exists (i.e. the page is dirty in the current interval).
     #[inline]
     pub fn has_twin(&self) -> bool {
-        self.twin.is_some()
+        self.twinned
     }
 
     /// Create the twin if it does not exist yet.  Returns `true` if a twin
     /// was created by this call (the "first write to a shared page" event).
+    /// No page copy happens here: the twin is virtual, filled in per word by
+    /// the write path as words actually change.
     pub fn ensure_twin(&mut self) -> bool {
-        if self.twin.is_none() {
-            self.twin = Some(self.data.clone());
-            true
-        } else {
-            false
+        if self.twinned {
+            return false;
         }
+        self.materialize_content();
+        if self.preimage.is_none() {
+            self.preimage = Some(vec![0u8; self.data.len()].into_boxed_slice());
+        }
+        self.changed_words.fill(0);
+        self.twinned = true;
+        true
     }
 
-    /// Compare the twin against the current contents and produce the diff of
-    /// the current writing interval.  Returns `None` if the page has no twin.
+    /// Produce the diff of the current writing interval.  Returns `None` if
+    /// the page has no twin.  The changed-word bitset is exact, so this is a
+    /// straight run extraction — no page scan.
     pub fn make_diff(&self, page: PageId) -> Option<Diff> {
-        self.twin
-            .as_ref()
-            .map(|twin| Diff::create(page, twin, &self.data))
+        if !self.twinned {
+            return None;
+        }
+        debug_assert!(
+            self.deferred.is_none(),
+            "twinned page with deferred content"
+        );
+        Some(Diff::from_changed(page, &self.data, &self.changed_words))
     }
 
     /// Retire the twin (the interval's modifications have been encoded; the
     /// twin is dead weight from here on — under lazy diff timing the stored
-    /// encoding, not the twin, is what later requests serve from).
+    /// encoding, not the twin, is what later requests serve from). The
+    /// pre-image buffer is kept for reuse by the next
+    /// [`ensure_twin`](Self::ensure_twin).
     pub fn drop_twin(&mut self) {
-        self.twin = None;
+        self.twinned = false;
+    }
+
+    /// Store `src` at byte `offset` while a twin is live, keeping the
+    /// changed-word bitset exact: the pre-interval value of a word is saved
+    /// on its first change, and a word whose original value is restored by a
+    /// later store leaves the set again.
+    fn store_tracked(&mut self, offset: usize, src: &[u8]) {
+        /// Bits of the lower-addressed word within a native-endian `u64`
+        /// read across two consecutive words.
+        const FIRST: u64 = if cfg!(target_endian = "little") {
+            0x0000_0000_FFFF_FFFF
+        } else {
+            0xFFFF_FFFF_0000_0000
+        };
+        /// General per-word store: handles partial-word ranges and words
+        /// whose changed bit may already be set (compare against the saved
+        /// pre-image, clearing the bit when the original value returns).
+        fn word(
+            data: &mut [u8],
+            pre: &mut [u8],
+            bits: &mut [u64],
+            w: usize,
+            lo: usize,
+            hi: usize,
+            src: &[u8],
+            src_off: usize,
+        ) {
+            let wlo = w * WORD_SIZE;
+            let whi = wlo + WORD_SIZE;
+            let (blk, bit) = (w / 64, 1u64 << (w % 64));
+            if bits[blk] & bit == 0 {
+                // Word still holds its pre-interval value: snapshot it, then
+                // apply the store and flag the word only if it truly changed
+                // (a store of the unchanged value stays invisible).
+                pre[wlo..whi].copy_from_slice(&data[wlo..whi]);
+                data[lo..hi].copy_from_slice(&src[lo - src_off..hi - src_off]);
+                if data[wlo..whi] != pre[wlo..whi] {
+                    bits[blk] |= bit;
+                }
+            } else {
+                data[lo..hi].copy_from_slice(&src[lo - src_off..hi - src_off]);
+                if data[wlo..whi] == pre[wlo..whi] {
+                    bits[blk] &= !bit;
+                }
+            }
+        }
+
+        if src.is_empty() {
+            return;
+        }
+        let end = offset + src.len();
+        let data = &mut self.data;
+        let pre: &mut [u8] = self.preimage.as_mut().expect("twinned page has a preimage");
+        let bits = &mut self.changed_words;
+
+        // Partial head/tail words take the general path; full words in the
+        // middle take the bulk path below.
+        let mut lo = offset;
+        if lo % WORD_SIZE != 0 {
+            let w = lo / WORD_SIZE;
+            let hi = end.min((w + 1) * WORD_SIZE);
+            word(data, pre, bits, w, lo, hi, src, offset);
+            lo = hi;
+        }
+        let mid_end = lo + (end - lo) / WORD_SIZE * WORD_SIZE;
+        if mid_end < end {
+            word(data, pre, bits, end / WORD_SIZE, mid_end, end, src, offset);
+        }
+
+        let mut w = lo / WORD_SIZE;
+        let w1 = mid_end / WORD_SIZE;
+        while w < w1 {
+            let blk = w / 64;
+            let seg_end = ((blk + 1) * 64).min(w1);
+            if bits[blk] == 0 {
+                // No word of this 64-word block has changed yet — the
+                // common case for a fresh interval.  A clear bit means the
+                // word still holds its pre-interval value, so the whole
+                // segment can be snapshotted and stored with two bulk
+                // copies; the changed bits then come from a cache-hot XOR
+                // scan of what was just written.
+                let base = w * WORD_SIZE;
+                let seg_bytes = (seg_end - w) * WORD_SIZE;
+                let sb = base - offset;
+                // Two straight-line copies (which the compiler vectorises)
+                // followed by a cache-hot XOR scan of new-vs-old.
+                pre[base..base + seg_bytes].copy_from_slice(&data[base..base + seg_bytes]);
+                data[base..base + seg_bytes].copy_from_slice(&src[sb..sb + seg_bytes]);
+                let mut new_bits = 0u64;
+                let mut wi = w % 64;
+                let pairs = (seg_end - w) / 2;
+                for k in 0..pairs {
+                    let db = base + k * 8;
+                    let d8 = u64::from_ne_bytes(data[db..db + 8].try_into().unwrap());
+                    let p8 = u64::from_ne_bytes(pre[db..db + 8].try_into().unwrap());
+                    let x = d8 ^ p8;
+                    new_bits |= ((((x & FIRST) != 0) as u64) << wi)
+                        | ((((x & !FIRST) != 0) as u64) << (wi + 1));
+                    wi += 2;
+                }
+                if (seg_end - w) % 2 == 1 {
+                    let db = base + pairs * 8;
+                    let d4: [u8; 4] = data[db..db + 4].try_into().unwrap();
+                    let p4: [u8; 4] = pre[db..db + 4].try_into().unwrap();
+                    new_bits |= ((d4 != p4) as u64) << wi;
+                }
+                bits[blk] |= new_bits;
+            } else {
+                for wi in w..seg_end {
+                    let db = wi * WORD_SIZE;
+                    word(data, pre, bits, wi, db, db + WORD_SIZE, src, offset);
+                }
+            }
+            w = seg_end;
+        }
     }
 
     /// Write `src` at byte `offset`.  Any delivered-but-unread words covered
@@ -80,32 +319,104 @@ impl LocalPage {
     pub fn write_bytes(&mut self, offset: usize, src: &[u8]) {
         let end = offset + src.len();
         assert!(end <= self.data.len(), "write outside page bounds");
-        self.data[offset..end].copy_from_slice(src);
-        if !src.is_empty() {
-            let first = offset / WORD_SIZE;
-            let last = (end - 1) / WORD_SIZE;
-            for w in first..=last {
-                self.attribution[w] = NO_EXCHANGE;
+        if src.is_empty() {
+            return;
+        }
+        if self.deferred.is_some() {
+            if offset == 0 && end == self.data.len() {
+                // Whole-page overwrite: the parked payload would be copied in
+                // only to be clobbered by `src` — drop it instead.
+                self.deferred = None;
+            } else {
+                self.materialize_content();
+            }
+        }
+        if self.twinned {
+            self.store_tracked(offset, src);
+        } else {
+            self.data[offset..end].copy_from_slice(src);
+        }
+        let first = offset / WORD_SIZE;
+        let last = (end - 1) / WORD_SIZE;
+        if self.pending != 0 {
+            if first == 0 && last + 1 == self.attribution.len() {
+                // Whole-page overwrite discards every attribution; the array
+                // (which may hold live or stale values) is left as-is and
+                // flagged for a wipe before its next per-word use.
+                self.pending = 0;
+                self.attr_dirty = true;
+                self.uniform = NO_EXCHANGE;
+            } else {
+                self.materialize_attr();
+                for w in first..=last {
+                    if self.attribution[w] != NO_EXCHANGE {
+                        self.attribution[w] = NO_EXCHANGE;
+                        self.pending -= 1;
+                    }
+                }
             }
         }
     }
 
     /// Read `dst.len()` bytes at byte `offset` into `dst`.  For every covered
-    /// word that still carries a delivery attribution, `on_useful(exchange)`
-    /// is invoked once per word ("read before overwritten" ⇒ useful data) and
-    /// the attribution is cleared so the word is only credited once.
-    pub fn read_bytes(&mut self, offset: usize, dst: &mut [u8], mut on_useful: impl FnMut(u32)) {
+    /// word that still carries a delivery attribution, the word counts as
+    /// read-before-overwritten (⇒ useful data) and the attribution is
+    /// cleared so the word is only credited once.  `on_useful(exchange,
+    /// words)` is invoked once per run of consecutive words credited to the
+    /// same exchange — per-exchange word totals are identical to a per-word
+    /// callback, without the call per word.
+    pub fn read_bytes(
+        &mut self,
+        offset: usize,
+        dst: &mut [u8],
+        mut on_useful: impl FnMut(u32, u32),
+    ) {
         let end = offset + dst.len();
         assert!(end <= self.data.len(), "read outside page bounds");
+        self.materialize_content();
         dst.copy_from_slice(&self.data[offset..end]);
-        if !dst.is_empty() {
+        if !dst.is_empty() && self.pending != 0 {
             let first = offset / WORD_SIZE;
             let last = (end - 1) / WORD_SIZE;
-            for w in first..=last {
-                let e = self.attribution[w];
-                if e != NO_EXCHANGE {
-                    on_useful(e);
-                    self.attribution[w] = NO_EXCHANGE;
+            if self.uniform != NO_EXCHANGE {
+                let e = self.uniform;
+                let count = (last - first + 1) as u32;
+                on_useful(e, count);
+                if count as usize == self.attribution.len() {
+                    // Whole-page read consumes the uniform attribution
+                    // without ever materialising the array.
+                    self.pending = 0;
+                    self.uniform = NO_EXCHANGE;
+                    self.attr_dirty = true;
+                } else {
+                    self.materialize_attr();
+                    for w in first..=last {
+                        self.attribution[w] = NO_EXCHANGE;
+                    }
+                    self.pending -= count;
+                }
+            } else {
+                self.materialize_attr();
+                let mut run_e = NO_EXCHANGE;
+                let mut run_len = 0u32;
+                for w in first..=last {
+                    let e = self.attribution[w];
+                    if e != NO_EXCHANGE {
+                        self.attribution[w] = NO_EXCHANGE;
+                        self.pending -= 1;
+                    }
+                    if e == run_e {
+                        run_len += 1;
+                    } else {
+                        if run_e != NO_EXCHANGE && run_len > 0 {
+                            on_useful(run_e, run_len);
+                        }
+                        run_e = e;
+                        run_len = 1;
+                    }
+                }
+                if run_e != NO_EXCHANGE && run_len > 0 {
+                    on_useful(run_e, run_len);
                 }
             }
         }
@@ -122,18 +433,194 @@ impl LocalPage {
     /// Panics if `src` is not exactly one page long.
     pub fn load_page(&mut self, src: &[u8], exchange: u32) {
         assert_eq!(src.len(), self.data.len(), "src must be one page");
-        self.data.copy_from_slice(src);
-        self.attribution.fill(exchange);
+        // Whole-page replacement: any parked payload is dead.
+        self.deferred = None;
+        if self.twinned {
+            // Defensive: keep the changed-word bitset exact even if a
+            // whole-page load ever lands while a twin is live.
+            self.store_tracked(0, src);
+        } else {
+            self.data.copy_from_slice(src);
+        }
+        if exchange == NO_EXCHANGE {
+            self.pending = 0;
+            self.uniform = NO_EXCHANGE;
+            self.attr_dirty = true;
+        } else {
+            // Whole-page delivery: the compact uniform representation
+            // replaces a page-sized attribution fill.
+            self.pending = self.attribution.len() as u32;
+            self.uniform = exchange;
+        }
     }
 
     /// Apply a diff received from another processor.  Every word the diff
     /// overwrites is attributed to `exchange` (pass [`NO_EXCHANGE`] to skip
     /// attribution, e.g. for locally generated corrections in tests).
     pub fn apply_diff(&mut self, diff: &Diff, exchange: u32) {
-        diff.apply(&mut self.data);
+        if self.deferred.is_some() {
+            if exchange != NO_EXCHANGE
+                && matches!(diff.spans(), [span] if span.offset == 0
+                    && span.len as usize == self.data.len())
+            {
+                // The incoming diff rewrites the whole page's content and
+                // attribution anyway: the parked delivery is fully shadowed.
+                self.deferred = None;
+            } else {
+                self.materialize_content();
+            }
+        }
+        if self.twinned {
+            // Defensive: a remotely produced diff landing while a twin is
+            // live must keep the changed-word bitset exact.
+            for (offset, bytes) in diff.runs() {
+                self.store_tracked(offset as usize, bytes);
+            }
+        } else {
+            diff.apply(&mut self.data);
+        }
+        self.attribute_diff(diff, exchange);
+    }
+
+    /// Attribution-only half of [`apply_diff`](Self::apply_diff): credit
+    /// every word `diff` covers to `exchange`.  Shared with the deferred
+    /// apply path, which parks the content but must keep the paper's
+    /// useful/useless accounting eager.
+    fn attribute_diff(&mut self, diff: &Diff, exchange: u32) {
+        if exchange == NO_EXCHANGE {
+            return;
+        }
+        // A diff covering the whole page (the dominant delivery shape for
+        // the grid applications) takes the compact uniform representation —
+        // no attribution-array traffic at all.
+        let words = self.attribution.len();
+        if let [span] = diff.spans() {
+            if span.offset == 0 && span.len as usize / WORD_SIZE == words {
+                self.pending = words as u32;
+                self.uniform = exchange;
+                return;
+            }
+        }
+        self.materialize_attr();
+        // Runs are disjoint, so when nothing is attributed yet every touched
+        // word is a fresh attribution and the per-word scan can be skipped.
+        let all_fresh = self.pending == 0;
+        for span in diff.spans() {
+            let first = span.offset as usize / WORD_SIZE;
+            let count = span.len as usize / WORD_SIZE;
+            if count == 0 {
+                continue;
+            }
+            let slice = &mut self.attribution[first..first + count];
+            if all_fresh {
+                self.pending += count as u32;
+            } else {
+                let fresh = slice.iter().filter(|&&a| a == NO_EXCHANGE).count();
+                self.pending += fresh as u32;
+            }
+            slice.fill(exchange);
+        }
+    }
+
+    /// [`apply_diff`](Self::apply_diff), except that on an untwinned page
+    /// the application is *parked*: the shared payload and its exchange id
+    /// are stored in `deferred`, and both the content copy and the
+    /// attribution update happen lazily on the first access that needs
+    /// them.  Any previously parked diff is folded into the page only where
+    /// the new one leaves it visible, so a delivery that the next flush
+    /// shadows is never paid for.  Every observable outcome — page bytes,
+    /// per-word useful/useless credit, pending counts — is bit-identical to
+    /// the eager path; only the time of the work moves.
+    pub fn apply_diff_deferred(&mut self, diff: &Arc<Diff>, exchange: u32) {
+        if self.twinned {
+            debug_assert!(
+                self.deferred.is_none(),
+                "twinned page with deferred content"
+            );
+            self.apply_diff(diff, exchange);
+            return;
+        }
+        self.fold_deferred_under(diff);
+        self.deferred = Some((Arc::clone(diff), exchange));
+    }
+
+    /// Apply only the `visible` byte intervals of `diff` — the parts no
+    /// later-applied diff of this page overwrites.  `visible` must be
+    /// sorted, non-overlapping, word-aligned, and a subset of the diff's
+    /// runs (each interval inside one run).  Used by the reverse-order
+    /// batch apply in the protocol engine: applying each diff's visible
+    /// part back to front leaves the page bit-identical to applying every
+    /// diff front to back.
+    pub fn apply_diff_visible(&mut self, diff: &Diff, exchange: u32, visible: &[(u32, u32)]) {
+        let twinned = self.twinned;
+        // A whole-page diff that is fully visible (the dominant shape on the
+        // grid applications' fetch path) is a straight page copy, and its
+        // attribution takes the compact uniform representation — no
+        // per-word array traffic at all.
+        let page_len = self.data.len();
+        if let ([span], [(0, hi)]) = (diff.spans(), visible) {
+            if span.offset == 0 && span.len as usize == page_len && *hi as usize == page_len {
+                if exchange != NO_EXCHANGE {
+                    // Whole page re-attributed below: a parked delivery is
+                    // fully shadowed.
+                    self.deferred = None;
+                } else {
+                    self.materialize_content();
+                }
+                let (_, bytes) = diff.runs().next().expect("one span, one run");
+                if twinned {
+                    self.store_tracked(0, bytes);
+                } else {
+                    self.data.copy_from_slice(bytes);
+                }
+                if exchange != NO_EXCHANGE {
+                    self.pending = (page_len / WORD_SIZE) as u32;
+                    self.uniform = exchange;
+                }
+                return;
+            }
+        }
+        self.materialize_content();
         if exchange != NO_EXCHANGE {
-            for w in diff.touched_words() {
-                self.attribution[w] = exchange;
+            // Visible-interval application is inherently partial, so the
+            // per-word array must be authoritative.
+            self.materialize_attr();
+        }
+        let all_fresh = self.pending == 0;
+        let mut runs = diff.runs();
+        let mut run = runs.next();
+        for &(lo32, hi32) in visible {
+            let (lo, hi) = (lo32 as usize, hi32 as usize);
+            while let Some((roff, rbytes)) = run {
+                let rlo = roff as usize;
+                let rhi = rlo + rbytes.len();
+                if rhi <= lo {
+                    run = runs.next();
+                    continue;
+                }
+                debug_assert!(
+                    rlo <= lo && hi <= rhi,
+                    "visible interval must sit inside one run"
+                );
+                if twinned {
+                    // Defensive: a remotely produced diff landing while a
+                    // twin is live must keep the changed-word bitset exact.
+                    self.store_tracked(lo, &rbytes[lo - rlo..hi - rlo]);
+                } else {
+                    self.data[lo..hi].copy_from_slice(&rbytes[lo - rlo..hi - rlo]);
+                }
+                let (first, last) = (lo / WORD_SIZE, hi / WORD_SIZE - 1);
+                if exchange != NO_EXCHANGE {
+                    let slice = &mut self.attribution[first..=last];
+                    if all_fresh {
+                        self.pending += slice.len() as u32;
+                    } else {
+                        let fresh = slice.iter().filter(|&&a| a == NO_EXCHANGE).count();
+                        self.pending += fresh as u32;
+                    }
+                    slice.fill(exchange);
+                }
+                break;
             }
         }
     }
@@ -141,10 +628,18 @@ impl LocalPage {
     /// Number of words currently carrying a delivery attribution (delivered
     /// but neither read nor overwritten yet).
     pub fn pending_attributions(&self) -> usize {
-        self.attribution
-            .iter()
-            .filter(|&&a| a != NO_EXCHANGE)
-            .count()
+        if self.uniform == NO_EXCHANGE && !self.attr_dirty {
+            // Only the mixed representation keeps the array authoritative.
+            debug_assert_eq!(
+                self.pending as usize,
+                self.attribution
+                    .iter()
+                    .filter(|&&a| a != NO_EXCHANGE)
+                    .count(),
+                "pending-attribution counter out of sync"
+            );
+        }
+        self.pending as usize
     }
 }
 
@@ -220,8 +715,8 @@ impl PageStore {
             let avail = self.layout.page_size() - off;
             let take = avail.min(dst.len() - filled);
             self.page_mut(page)
-                .read_bytes(off, &mut dst[filled..filled + take], |e| {
-                    on_useful(e, WORD_SIZE as u64)
+                .read_bytes(off, &mut dst[filled..filled + take], |e, words| {
+                    on_useful(e, words as u64 * WORD_SIZE as u64)
                 });
             filled += take;
             cursor = cursor.add(take as u64);
@@ -276,7 +771,7 @@ mod tests {
         assert!(!p.ensure_twin());
         p.write_bytes(8, &[1, 2, 3, 4]);
         let diff = p.make_diff(page).unwrap();
-        assert_eq!(diff.runs.len(), 1);
+        assert_eq!(diff.num_runs(), 1);
         assert_eq!(diff.payload_bytes(), 4);
         p.drop_twin();
         assert!(!p.has_twin());
@@ -332,5 +827,69 @@ mod tests {
     fn out_of_range_page_panics() {
         let mut store = PageStore::new(layout());
         store.page_mut(PageId(100));
+    }
+
+    #[test]
+    fn rewriting_a_word_with_its_old_value_stays_out_of_the_diff() {
+        // The dirty-word bits are a superset filter: flagged words must
+        // still be compared, so a no-op rewrite never reaches the wire.
+        let mut store = PageStore::new(layout());
+        let page = PageId(1);
+        let p = store.page_mut(page);
+        p.write_bytes(0, &[3, 3, 3, 3]);
+        p.ensure_twin();
+        p.write_bytes(0, &[3, 3, 3, 3]); // dirty bit set, contents unchanged
+        p.write_bytes(12, &[1, 2, 3, 4]);
+        let diff = p.make_diff(page).unwrap();
+        assert_eq!(diff.num_runs(), 1);
+        assert_eq!(diff.spans()[0].offset, 12);
+    }
+
+    #[test]
+    fn twin_buffer_is_recycled_across_intervals() {
+        let mut store = PageStore::new(layout());
+        let p = store.page_mut(PageId(0));
+        p.ensure_twin();
+        p.write_bytes(0, &[1, 1, 1, 1]);
+        let d1 = p.make_diff(PageId(0)).unwrap();
+        assert_eq!(d1.spans()[0].offset, 0);
+        p.drop_twin();
+        // The recycled buffer must be re-seeded from the *current* contents,
+        // not carry stale bytes from the previous interval.
+        assert!(p.ensure_twin());
+        p.write_bytes(8, &[2, 2, 2, 2]);
+        let d2 = p.make_diff(PageId(0)).unwrap();
+        assert_eq!(d2.num_runs(), 1);
+        assert_eq!(d2.runs().next().unwrap(), (8, &[2u8, 2, 2, 2][..]));
+    }
+
+    #[test]
+    fn pending_attribution_counter_tracks_reads_writes_and_loads() {
+        let mut store = PageStore::new(layout());
+        let page = PageId(0);
+        let twin = vec![0u8; 256];
+        let mut cur = twin.clone();
+        cur[0..12].copy_from_slice(&[4; 12]);
+        let diff = Diff::create(page, &twin, &cur);
+
+        let p = store.page_mut(page);
+        p.apply_diff(&diff, 5);
+        assert_eq!(p.pending_attributions(), 3);
+        // Re-applying attributes the same words again: count must not inflate.
+        p.apply_diff(&diff, 6);
+        assert_eq!(p.pending_attributions(), 3);
+
+        // A read consumes one word's attribution...
+        let mut buf = [0u8; 4];
+        p.read_bytes(0, &mut buf, |_, _| {});
+        assert_eq!(p.pending_attributions(), 2);
+        // ...a write consumes another...
+        p.write_bytes(4, &[9; 4]);
+        assert_eq!(p.pending_attributions(), 1);
+        // ...and a whole-page load resets the slate.
+        p.load_page(&vec![7u8; 256], 9);
+        assert_eq!(p.pending_attributions(), 64);
+        p.load_page(&vec![7u8; 256], NO_EXCHANGE);
+        assert_eq!(p.pending_attributions(), 0);
     }
 }

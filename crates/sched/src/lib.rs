@@ -142,9 +142,25 @@ enum ProcState {
     Finished,
 }
 
+/// Sentinel for "rank is not in the runnable set" in `SchedState::slot`.
+const NO_SLOT: usize = usize::MAX;
+
 #[derive(Debug)]
 struct SchedState {
     procs: Vec<ProcState>,
+    /// Ranks currently in [`ProcState::Runnable`], in arbitrary order.
+    /// Maintained incrementally at every state transition so a scheduling
+    /// decision only scans actually-runnable processors instead of all of
+    /// them.  The pick itself minimizes over the full `(clock, tie-break,
+    /// rank)` triple — all triples are distinct — so the set's internal
+    /// order can never influence the decision.
+    runnable: Vec<usize>,
+    /// `slot[rank]` = index of `rank` inside `runnable`, or [`NO_SLOT`].
+    slot: Vec<usize>,
+    /// Number of processors in [`ProcState::Finished`]; replaces the
+    /// all-procs rescan that used to decide "everyone is done" on every
+    /// empty pick.
+    finished: usize,
     /// The rank currently holding the turn (`None` once all have finished).
     current: Option<usize>,
     /// Number of scheduling decisions taken (feeds seeded tie-breaking).
@@ -154,6 +170,28 @@ struct SchedState {
     /// scheduler call (parked or arriving) panics instead of waiting, so
     /// the whole cluster aborts rather than hanging on parked threads.
     aborted: bool,
+}
+
+impl SchedState {
+    /// Insert `rank` into the runnable set (must not already be a member).
+    fn add_runnable(&mut self, rank: usize) {
+        debug_assert_eq!(self.slot[rank], NO_SLOT, "rank already runnable");
+        self.slot[rank] = self.runnable.len();
+        self.runnable.push(rank);
+    }
+
+    /// Remove `rank` from the runnable set (must be a member) by swapping
+    /// the last element into its slot.
+    fn remove_runnable(&mut self, rank: usize) {
+        let i = self.slot[rank];
+        debug_assert_ne!(i, NO_SLOT, "rank not runnable");
+        let last = self.runnable.pop().expect("runnable set empty");
+        if last != rank {
+            self.runnable[i] = last;
+            self.slot[last] = i;
+        }
+        self.slot[rank] = NO_SLOT;
+    }
 }
 
 /// The deterministic cooperative scheduler (see the crate docs for the
@@ -188,6 +226,9 @@ impl Scheduler {
         assert!(nprocs >= 1, "scheduler needs at least one processor");
         let mut state = SchedState {
             procs: vec![ProcState::Runnable { clock_ns: 0 }; nprocs],
+            runnable: (0..nprocs).collect(),
+            slot: (0..nprocs).collect(),
+            finished: 0,
             current: None,
             decisions: 0,
             aborted: false,
@@ -236,18 +277,19 @@ impl Scheduler {
         state.decisions += 1;
         let decisions = state.decisions;
         let mut best: Option<(u64, u64, usize)> = None;
-        for (rank, proc) in state.procs.iter().enumerate() {
-            if let ProcState::Runnable { clock_ns } = *proc {
-                let key = (clock_ns, Self::tie(config, decisions, rank), rank);
-                if best.is_none_or(|b| key < b) {
-                    best = Some(key);
-                }
+        for &rank in &state.runnable {
+            let ProcState::Runnable { clock_ns } = state.procs[rank] else {
+                unreachable!("runnable set out of sync with proc states");
+            };
+            let key = (clock_ns, Self::tie(config, decisions, rank), rank);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
             }
         }
         match best {
             Some((_, _, rank)) => state.current = Some(rank),
             None => {
-                if state.procs.iter().all(|p| *p == ProcState::Finished) {
+                if state.finished == state.procs.len() {
                     state.current = None;
                 } else {
                     state.aborted = true;
@@ -312,6 +354,7 @@ impl Scheduler {
         let mut state = self.state.lock();
         debug_assert_eq!(state.current, Some(rank), "block without holding the turn");
         state.procs[rank] = ProcState::Blocked { key, clock_ns };
+        state.remove_runnable(rank);
         Self::pick(&mut state, &self.config);
         self.cv.notify_all();
         while state.current != Some(rank) && !state.aborted {
@@ -327,10 +370,11 @@ impl Scheduler {
     pub fn wake_all(&self, key: WaitKey) -> usize {
         let mut state = self.state.lock();
         let mut woken = 0;
-        for proc in state.procs.iter_mut() {
-            if let ProcState::Blocked { key: k, clock_ns } = *proc {
+        for rank in 0..state.procs.len() {
+            if let ProcState::Blocked { key: k, clock_ns } = state.procs[rank] {
                 if k == key {
-                    *proc = ProcState::Runnable { clock_ns };
+                    state.procs[rank] = ProcState::Runnable { clock_ns };
+                    state.add_runnable(rank);
                     woken += 1;
                 }
             }
@@ -349,6 +393,8 @@ impl Scheduler {
         let mut state = self.state.lock();
         debug_assert_eq!(state.current, Some(rank), "finish without holding the turn");
         state.procs[rank] = ProcState::Finished;
+        state.remove_runnable(rank);
+        state.finished += 1;
         Self::pick(&mut state, &self.config);
         self.cv.notify_all();
         Self::check_aborted(&state);
@@ -542,6 +588,111 @@ mod tests {
                 sched.block_on(rank, WaitKey::Lock(9), 10 + rank as u64);
             }
         });
+    }
+
+    /// Pin the exact serialization produced by the incrementally maintained
+    /// runnable set against golden traces captured from the original
+    /// scan-all-processors implementation.  Six processors, four yields
+    /// each, with odd ranks offset by +7 ns so clock plateaus mix ties and
+    /// strict orderings.  Any change to pick's tie-break order — including
+    /// an accidental dependence on the runnable set's internal order —
+    /// breaks these traces.
+    #[test]
+    fn pick_order_matches_full_scan_goldens() {
+        let run = |config: SchedConfig| {
+            trace(6, config, |rank, _, step| {
+                for i in 0..4u64 {
+                    step(100 * (i + 1) + (rank as u64 % 2) * 7);
+                }
+            })
+        };
+        assert_eq!(
+            run(SchedConfig::fifo()),
+            vec![
+                (0, 100),
+                (1, 107),
+                (2, 100),
+                (3, 107),
+                (4, 100),
+                (5, 107),
+                (0, 200),
+                (2, 200),
+                (4, 200),
+                (1, 207),
+                (3, 207),
+                (5, 207),
+                (0, 300),
+                (2, 300),
+                (4, 300),
+                (1, 307),
+                (3, 307),
+                (5, 307),
+                (0, 400),
+                (2, 400),
+                (4, 400),
+                (1, 407),
+                (3, 407),
+                (5, 407)
+            ]
+        );
+        assert_eq!(
+            run(SchedConfig::seeded(42)),
+            vec![
+                (4, 100),
+                (1, 107),
+                (0, 100),
+                (5, 107),
+                (2, 100),
+                (3, 107),
+                (0, 200),
+                (4, 200),
+                (2, 200),
+                (3, 207),
+                (5, 207),
+                (1, 207),
+                (0, 300),
+                (2, 300),
+                (4, 300),
+                (1, 307),
+                (5, 307),
+                (3, 307),
+                (0, 400),
+                (4, 400),
+                (2, 400),
+                (1, 407),
+                (3, 407),
+                (5, 407)
+            ]
+        );
+        assert_eq!(
+            run(SchedConfig::seeded(7)),
+            vec![
+                (2, 100),
+                (5, 107),
+                (4, 100),
+                (3, 107),
+                (1, 107),
+                (0, 100),
+                (2, 200),
+                (4, 200),
+                (0, 200),
+                (1, 207),
+                (3, 207),
+                (5, 207),
+                (0, 300),
+                (2, 300),
+                (4, 300),
+                (1, 307),
+                (5, 307),
+                (3, 307),
+                (4, 400),
+                (0, 400),
+                (2, 400),
+                (5, 407),
+                (3, 407),
+                (1, 407)
+            ]
+        );
     }
 
     #[test]
