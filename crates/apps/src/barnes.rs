@@ -320,7 +320,7 @@ pub fn run_parallel(cfg: &AppConfig, size: &BarnesSize) -> AppRun {
     let tree = dsm.alloc_array::<f64>(max_nodes * NODE_FIELDS, Align::Page);
     let tree_len = dsm.alloc_scalar::<u64>(Align::Page);
 
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         let me = ctx.rank();
         let nprocs = ctx.nprocs();
         let mine = block_range(n, nprocs, me);
@@ -332,10 +332,10 @@ pub fn run_parallel(cfg: &AppConfig, size: &BarnesSize) -> AppRun {
             rec[..3].copy_from_slice(&p);
             rec[3..6].copy_from_slice(&v);
             rec[9] = m;
-            bodies.write_slice(ctx, i * BODY_FIELDS, &rec);
+            bodies.write_slice(ctx, i * BODY_FIELDS, &rec).await;
             ctx.compute(120);
         }
-        ctx.barrier();
+        ctx.barrier().await;
 
         for _ in 0..size.steps {
             // The master reads every body (fine-grained reads over the whole
@@ -344,7 +344,7 @@ pub fn run_parallel(cfg: &AppConfig, size: &BarnesSize) -> AppRun {
                 let mut pos = Vec::with_capacity(n);
                 let mut mass = Vec::with_capacity(n);
                 for i in 0..n {
-                    let rec = bodies.read_vec(ctx, i * BODY_FIELDS, 10);
+                    let rec = bodies.read_vec(ctx, i * BODY_FIELDS, 10).await;
                     pos.push([rec[0], rec[1], rec[2]]);
                     mass.push(rec[9]);
                     ctx.compute(800);
@@ -352,19 +352,19 @@ pub fn run_parallel(cfg: &AppConfig, size: &BarnesSize) -> AppRun {
                 let nodes = build_tree(&pos, &mass);
                 ctx.compute(nodes.len() as u64 * 6_000);
                 let floats = tree_to_floats(&nodes);
-                tree.write_slice(ctx, 0, &floats);
-                tree_len.set(ctx, nodes.len() as u64);
+                tree.write_slice(ctx, 0, &floats).await;
+                tree_len.set(ctx, nodes.len() as u64).await;
             }
-            ctx.barrier();
+            ctx.barrier().await;
 
             // Every processor reads the tree (a large truly shared region)
             // and computes the forces of its own bodies, writing them back
             // fine-grained.
-            let count = tree_len.get(ctx) as usize;
-            let floats = tree.read_vec(ctx, 0, count * NODE_FIELDS);
+            let count = tree_len.get(ctx).await as usize;
+            let floats = tree.read_vec(ctx, 0, count * NODE_FIELDS).await;
             let nodes = floats_to_tree(&floats, count);
             for i in mine.clone() {
-                let rec = bodies.read_vec(ctx, i * BODY_FIELDS, 3);
+                let rec = bodies.read_vec(ctx, i * BODY_FIELDS, 3).await;
                 let p = [rec[0], rec[1], rec[2]];
                 let mut f = [0.0f64; 3];
                 let visited = tree_force(&nodes, 0, &p, i as u32, &mut f);
@@ -372,28 +372,28 @@ pub fn run_parallel(cfg: &AppConfig, size: &BarnesSize) -> AppRun {
                 // on a 166 MHz Pentium, scaled up by the body-count reduction
                 // documented in EXPERIMENTS.md.
                 ctx.compute(visited * 6_000);
-                bodies.write_slice(ctx, i * BODY_FIELDS + 6, &f);
+                bodies.write_slice(ctx, i * BODY_FIELDS + 6, &f).await;
             }
-            ctx.barrier();
+            ctx.barrier().await;
 
             // Position/velocity update of own bodies (fine-grained writes).
             for i in mine.clone() {
-                let mut rec = bodies.read_vec(ctx, i * BODY_FIELDS, BODY_FIELDS);
+                let mut rec = bodies.read_vec(ctx, i * BODY_FIELDS, BODY_FIELDS).await;
                 for d in 0..3 {
                     rec[3 + d] += 0.01 * rec[6 + d];
                     rec[d] += 0.01 * rec[3 + d];
                 }
-                bodies.write_slice(ctx, i * BODY_FIELDS, &rec[..6]);
+                bodies.write_slice(ctx, i * BODY_FIELDS, &rec[..6]).await;
                 ctx.compute(800);
             }
-            ctx.barrier();
+            ctx.barrier().await;
         }
 
         ctx.mark_execution_end();
         if me == 0 {
             let mut sum = 0.0f64;
             for i in 0..n {
-                let rec = bodies.read_vec(ctx, i * BODY_FIELDS, 6);
+                let rec = bodies.read_vec(ctx, i * BODY_FIELDS, 6).await;
                 sum += rec.iter().map(|x| x.abs()).sum::<f64>();
             }
             sum

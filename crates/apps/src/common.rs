@@ -13,8 +13,8 @@
 //! [`suite`](crate::suite) registry.
 
 use tdsm_core::{
-    ClusterStats, CommBreakdown, CostModel, DiffTiming, DsmConfig, ProtocolMode, SchedConfig,
-    UnitPolicy,
+    ClusterStats, CommBreakdown, CostModel, DiffTiming, DsmConfig, EngineKind, ProtocolMode,
+    SchedConfig, UnitPolicy,
 };
 
 /// Configuration of one application run: how many processors and which
@@ -43,6 +43,9 @@ pub struct AppConfig {
     /// Pending-notice count above which a barrier triggers the interval
     /// GC's validation flush (see `DsmConfig::gc_flush_pending_limit`).
     pub gc_flush_pending_limit: usize,
+    /// Execution substrate (threaded or event-driven).  A host-performance
+    /// knob only: results and statistics are bit-identical across engines.
+    pub engine: EngineKind,
 }
 
 impl AppConfig {
@@ -57,6 +60,7 @@ impl AppConfig {
             sched: SchedConfig::default(),
             diff_timing: DiffTiming::default(),
             gc_flush_pending_limit: tdsm_core::config::DEFAULT_GC_FLUSH_PENDING_LIMIT,
+            engine: EngineKind::default(),
         }
     }
 
@@ -98,6 +102,12 @@ impl AppConfig {
         self
     }
 
+    /// Builder-style setter for the execution substrate.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Convert into the DSM configuration used to build the cluster.
     pub fn dsm_config(&self) -> DsmConfig {
         DsmConfig {
@@ -109,6 +119,7 @@ impl AppConfig {
             sched: self.sched,
             diff_timing: self.diff_timing,
             gc_flush_pending_limit: self.gc_flush_pending_limit,
+            engine: self.engine,
             ..DsmConfig::paper_default()
         }
     }
@@ -259,12 +270,19 @@ mod tests {
         let cfg = AppConfig::with_procs(4)
             .unit(UnitPolicy::Static { pages: 2 })
             .protocol(ProtocolMode::home_based())
-            .sched(SchedConfig::seeded(0xfeed));
+            .sched(SchedConfig::seeded(0xfeed))
+            .engine(EngineKind::Threaded);
         let dsm = cfg.dsm_config();
         assert_eq!(dsm.nprocs, 4);
         assert_eq!(dsm.unit, UnitPolicy::Static { pages: 2 });
         assert_eq!(dsm.protocol, ProtocolMode::home_based());
         assert_eq!(dsm.sched, SchedConfig::seeded(0xfeed));
+        assert_eq!(dsm.engine, EngineKind::Threaded);
+        assert_eq!(
+            AppConfig::paper_default().engine,
+            EngineKind::EventDriven,
+            "the event engine is the default substrate"
+        );
         dsm.validate();
         assert_eq!(
             AppConfig::paper_default().protocol,

@@ -223,7 +223,7 @@ pub fn run_parallel(cfg: &AppConfig, size: &FftSize) -> AppRun {
     // concurrently written structure).
     let partial = dsm.alloc_array::<f64>(cfg.nprocs, tdsm_core::Align::Page);
 
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         let me = ctx.rank();
         let nprocs = ctx.nprocs();
         let my_planes = block_range(nx, nprocs, me);
@@ -241,14 +241,14 @@ pub fn run_parallel(cfg: &AppConfig, size: &FftSize) -> AppRun {
                     row[(y * nz + z) * 2 + 1] = i;
                 }
             }
-            data.write_row(ctx, x, &row);
+            data.write_row(ctx, x, &row).await;
             ctx.compute(plane as u64 * 8);
         }
-        ctx.barrier();
+        ctx.barrier().await;
 
         // Phase 1: FFTs along z and y within each owned plane.
         for x in my_planes.clone() {
-            let row = data.read_row(ctx, x);
+            let row = data.read_row(ctx, x).await;
             let mut row_re: Vec<f64> = (0..plane).map(|e| row[2 * e]).collect();
             let mut row_im: Vec<f64> = (0..plane).map(|e| row[2 * e + 1]).collect();
             for y in 0..ny {
@@ -280,9 +280,9 @@ pub fn run_parallel(cfg: &AppConfig, size: &FftSize) -> AppRun {
                 out_row[2 * e] = row_re[e];
                 out_row[2 * e + 1] = row_im[e];
             }
-            data.write_row(ctx, x, &out_row);
+            data.write_row(ctx, x, &out_row).await;
         }
-        ctx.barrier();
+        ctx.barrier().await;
 
         // Phase 2 (transpose + FFT along x): for each plane x, read the
         // contiguous block of pencils this processor owns — this is the
@@ -291,9 +291,10 @@ pub fn run_parallel(cfg: &AppConfig, size: &FftSize) -> AppRun {
         let mut block_re: Vec<Vec<f64>> = Vec::with_capacity(nx);
         let mut block_im: Vec<Vec<f64>> = Vec::with_capacity(nx);
         for x in 0..nx {
-            let chunk =
-                data.as_array()
-                    .read_vec(ctx, x * 2 * plane + 2 * my_pencils.start, 2 * npencils);
+            let chunk = data
+                .as_array()
+                .read_vec(ctx, x * 2 * plane + 2 * my_pencils.start, 2 * npencils)
+                .await;
             block_re.push((0..npencils).map(|e| chunk[2 * e]).collect());
             block_im.push((0..npencils).map(|e| chunk[2 * e + 1]).collect());
         }
@@ -313,14 +314,14 @@ pub fn run_parallel(cfg: &AppConfig, size: &FftSize) -> AppRun {
         ctx.compute((npencils * nx) as u64 * 1200);
 
         // Publish the partial checksum (concurrently written small page).
-        partial.set(ctx, me, my_sum);
-        ctx.barrier();
+        partial.set(ctx, me, my_sum).await;
+        ctx.barrier().await;
 
         ctx.mark_execution_end();
         if me == 0 {
             let mut total = 0.0f64;
             for p in 0..nprocs {
-                total += partial.get(ctx, p);
+                total += partial.get(ctx, p).await;
             }
             total / (nx * ny * nz) as f64
         } else {

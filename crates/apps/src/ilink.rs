@@ -127,16 +127,16 @@ pub fn run_parallel(cfg: &AppConfig, size: &IlinkSize) -> AppRun {
     let pool = dsm.alloc_array::<f64>(total, Align::Page);
     let sum_cell = dsm.alloc_scalar::<f64>(Align::Page);
 
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         let me = ctx.rank();
         let nprocs = ctx.nprocs();
 
         // The master initialises the whole pool (it owns the input data).
         if me == 0 {
-            pool.write_slice(ctx, 0, &initial);
+            pool.write_slice(ctx, 0, &initial).await;
             ctx.compute(total as u64 * 4);
         }
-        ctx.barrier();
+        ctx.barrier().await;
 
         for it in 0..size.iterations {
             // Round-robin assignment of non-zero elements: slave `p` updates
@@ -146,32 +146,32 @@ pub fn run_parallel(cfg: &AppConfig, size: &IlinkSize) -> AppRun {
                 if k % nprocs != me {
                     continue;
                 }
-                let v = pool.get(ctx, idx);
-                pool.set(ctx, idx, update_element(v, it));
+                let v = pool.get(ctx, idx).await;
+                pool.set(ctx, idx, update_element(v, it)).await;
                 // The real per-genotype likelihood update is thousands of
                 // flops; this is what makes Ilink compute-bound despite the
                 // heavy fine-grained sharing.
                 ctx.compute(150_000);
             }
-            ctx.barrier();
+            ctx.barrier().await;
 
             // The master reads the entire pool, computes the normalisation
             // sum and rescales every non-zero element.
             if me == 0 {
                 let mut total_sum = 0.0f64;
                 for a in 0..size.arrays {
-                    let chunk = pool.read_vec(ctx, a * size.entries, size.entries);
+                    let chunk = pool.read_vec(ctx, a * size.entries, size.entries).await;
                     total_sum += chunk.iter().sum::<f64>();
                     ctx.compute(size.entries as u64 * 150);
                 }
-                sum_cell.set(ctx, total_sum);
+                sum_cell.set(ctx, total_sum).await;
                 for &idx in &nonzero {
-                    let v = pool.get(ctx, idx);
-                    pool.set(ctx, idx, rescale_element(v, total_sum));
+                    let v = pool.get(ctx, idx).await;
+                    pool.set(ctx, idx, rescale_element(v, total_sum)).await;
                     ctx.compute(2_000);
                 }
             }
-            ctx.barrier();
+            ctx.barrier().await;
 
             // All slaves read the master's rescaled values (their next
             // update needs them), reproducing the "afterwards, all slaves
@@ -182,7 +182,7 @@ pub fn run_parallel(cfg: &AppConfig, size: &IlinkSize) -> AppRun {
                     if k % nprocs != me {
                         continue;
                     }
-                    touched += pool.get(ctx, idx);
+                    touched += pool.get(ctx, idx).await;
                 }
                 ctx.compute(nonzero.len() as u64 / nprocs as u64 * 500);
                 // The value is only read to warm the local copies; fold it
@@ -197,7 +197,7 @@ pub fn run_parallel(cfg: &AppConfig, size: &IlinkSize) -> AppRun {
         if me == 0 {
             let mut sum = 0.0f64;
             for a in 0..size.arrays {
-                let chunk = pool.read_vec(ctx, a * size.entries, size.entries);
+                let chunk = pool.read_vec(ctx, a * size.entries, size.entries).await;
                 sum += chunk.iter().sum::<f64>();
             }
             sum

@@ -122,7 +122,7 @@ pub fn run_parallel(cfg: &AppConfig, size: &JacobiSize) -> AppRun {
     let grid = dsm.alloc_matrix::<f32>(rows, cols);
     let scratch = dsm.alloc_matrix::<f32>(rows, cols);
 
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         let me = ctx.rank();
         let nprocs = ctx.nprocs();
         let my_rows = block_range(rows, nprocs, me);
@@ -130,10 +130,10 @@ pub fn run_parallel(cfg: &AppConfig, size: &JacobiSize) -> AppRun {
         // Each processor initialises its own band (owner-computes).
         for r in my_rows.clone() {
             let row: Vec<f32> = (0..cols).map(|c| initial_value(r, c, cols)).collect();
-            grid.write_row(ctx, r, &row);
+            grid.write_row(ctx, r, &row).await;
             ctx.compute(cols as u64 * 50);
         }
-        ctx.barrier();
+        ctx.barrier().await;
 
         // Row buffers reused across the whole run: the relaxation loop
         // touches hundreds of thousands of rows, so per-row allocation is
@@ -149,9 +149,9 @@ pub fn run_parallel(cfg: &AppConfig, size: &JacobiSize) -> AppRun {
                 if r == 0 || r == rows - 1 {
                     continue;
                 }
-                grid.read_row_into(ctx, r - 1, &mut up);
-                grid.read_row_into(ctx, r, &mut mid);
-                grid.read_row_into(ctx, r + 1, &mut down);
+                grid.read_row_into(ctx, r - 1, &mut up).await;
+                grid.read_row_into(ctx, r, &mut mid).await;
+                grid.read_row_into(ctx, r + 1, &mut down).await;
                 new_row.clear();
                 new_row.extend_from_slice(&mid);
                 for c in 1..cols - 1 {
@@ -162,19 +162,19 @@ pub fn run_parallel(cfg: &AppConfig, size: &JacobiSize) -> AppRun {
                 // (EXPERIMENTS.md) so the compute/communication ratio matches
                 // the paper's data-set sizes.
                 ctx.compute(cols as u64 * 400);
-                scratch.write_row(ctx, r, &new_row);
+                scratch.write_row(ctx, r, &new_row).await;
             }
-            ctx.barrier();
+            ctx.barrier().await;
             // Copy scratch back into the grid (own band only).
             for r in my_rows.clone() {
                 if r == 0 || r == rows - 1 {
                     continue;
                 }
-                scratch.read_row_into(ctx, r, &mut mid);
-                grid.write_row(ctx, r, &mid);
+                scratch.read_row_into(ctx, r, &mut mid).await;
+                grid.write_row(ctx, r, &mid).await;
                 ctx.compute(cols as u64 * 100);
             }
-            ctx.barrier();
+            ctx.barrier().await;
         }
 
         // Verification (not part of the measured execution).
@@ -182,7 +182,12 @@ pub fn run_parallel(cfg: &AppConfig, size: &JacobiSize) -> AppRun {
         if me == 0 {
             let mut sum = 0.0f64;
             for r in 0..rows {
-                sum += grid.read_row(ctx, r).iter().map(|&v| v as f64).sum::<f64>();
+                sum += grid
+                    .read_row(ctx, r)
+                    .await
+                    .iter()
+                    .map(|&v| v as f64)
+                    .sum::<f64>();
             }
             sum
         } else {

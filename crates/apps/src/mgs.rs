@@ -132,36 +132,36 @@ pub fn run_parallel(cfg: &AppConfig, size: &MgsSize) -> AppRun {
     // produces the paper's co-location effects at larger units.
     let vectors = dsm.alloc_matrix::<f32>(nvec, dim);
 
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         let me = ctx.rank();
         let nprocs = ctx.nprocs();
         // Cyclic distribution: vector v is owned by processor v % nprocs.
         for v in (0..nvec).filter(|v| v % nprocs == me) {
             let row: Vec<f32> = (0..dim).map(|d| initial_element(v, d)).collect();
-            vectors.write_row(ctx, v, &row);
+            vectors.write_row(ctx, v, &row).await;
             ctx.compute(dim as u64 * 100);
         }
-        ctx.barrier();
+        ctx.barrier().await;
 
         for k in 0..nvec {
             // Phase 1: the owner normalises the pivot vector.
             if k % nprocs == me {
-                let mut pivot = vectors.read_row(ctx, k);
+                let mut pivot = vectors.read_row(ctx, k).await;
                 normalise(&mut pivot);
                 ctx.compute(dim as u64 * 1000);
-                vectors.write_row(ctx, k, &pivot);
+                vectors.write_row(ctx, k, &pivot).await;
             }
-            ctx.barrier();
+            ctx.barrier().await;
             // Phase 2: every processor orthogonalises its own later vectors
             // against the pivot.
-            let pivot = vectors.read_row(ctx, k);
+            let pivot = vectors.read_row(ctx, k).await;
             for v in (k + 1..nvec).filter(|v| v % nprocs == me) {
-                let mut target = vectors.read_row(ctx, v);
+                let mut target = vectors.read_row(ctx, v).await;
                 // Per-element dot product + update cost, scaled up by the
                 // vector-count reduction documented in EXPERIMENTS.md.
                 orthogonalise(&mut target, &pivot);
                 ctx.compute(dim as u64 * 2500);
-                vectors.write_row(ctx, v, &target);
+                vectors.write_row(ctx, v, &target).await;
             }
             // No barrier is needed after the orthogonalisation phase: the
             // only vector the next iteration touches before its barrier is
@@ -175,6 +175,7 @@ pub fn run_parallel(cfg: &AppConfig, size: &MgsSize) -> AppRun {
             for v in 0..nvec {
                 sum += vectors
                     .read_row(ctx, v)
+                    .await
                     .iter()
                     .map(|&x| x.abs() as f64)
                     .sum::<f64>();

@@ -267,7 +267,7 @@ pub fn run_parallel(cfg: &AppConfig, size: &ShallowSize) -> AppRun {
     let vn = dsm.alloc_matrix::<f64>(cols, rows);
     let pn = dsm.alloc_matrix::<f64>(cols, rows);
 
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         let me = ctx.rank();
         let nprocs = ctx.nprocs();
         let my_cols = block_range(cols, nprocs, me);
@@ -276,12 +276,12 @@ pub fn run_parallel(cfg: &AppConfig, size: &ShallowSize) -> AppRun {
             let ucol: Vec<f64> = (0..rows).map(|r| initial_uv(r, c, 0)).collect();
             let vcol: Vec<f64> = (0..rows).map(|r| initial_uv(r, c, 1)).collect();
             let pcol: Vec<f64> = (0..rows).map(|r| initial_p(r, c)).collect();
-            u.write_row(ctx, c, &ucol);
-            v.write_row(ctx, c, &vcol);
-            p.write_row(ctx, c, &pcol);
+            u.write_row(ctx, c, &ucol).await;
+            v.write_row(ctx, c, &vcol).await;
+            p.write_row(ctx, c, &pcol).await;
             ctx.compute(rows as u64 * 100);
         }
-        ctx.barrier();
+        ctx.barrier().await;
 
         for _ in 0..steps {
             // Flux phase: reads the right neighbour's first column of u, v, p
@@ -289,22 +289,22 @@ pub fn run_parallel(cfg: &AppConfig, size: &ShallowSize) -> AppRun {
             // written by me only.
             for c in my_cols.clone() {
                 let cr = (c + 1) % cols;
-                let ucol = u.read_row(ctx, c);
-                let vcol = v.read_row(ctx, c);
-                let pcol = p.read_row(ctx, c);
-                let ur = u.read_row(ctx, cr);
-                let vr = v.read_row(ctx, cr);
-                let pr = p.read_row(ctx, cr);
+                let ucol = u.read_row(ctx, c).await;
+                let vcol = v.read_row(ctx, c).await;
+                let pcol = p.read_row(ctx, c).await;
+                let ur = u.read_row(ctx, cr).await;
+                let vr = v.read_row(ctx, cr).await;
+                let pr = p.read_row(ctx, cr).await;
                 let (fcu, fcv, fz, fh) = flux(&ucol, &vcol, &pcol, &ur, &vr, &pr, rows);
                 // Flux stencil cost per element, scaled up by the
                 // column-count reduction documented in EXPERIMENTS.md.
                 ctx.compute(rows as u64 * 1500);
-                cu.write_row(ctx, c, &fcu);
-                cvg.write_row(ctx, c, &fcv);
-                zg.write_row(ctx, c, &fz);
-                hg.write_row(ctx, c, &fh);
+                cu.write_row(ctx, c, &fcu).await;
+                cvg.write_row(ctx, c, &fcv).await;
+                zg.write_row(ctx, c, &fz).await;
+                hg.write_row(ctx, c, &fh).await;
             }
-            ctx.barrier();
+            ctx.barrier().await;
 
             // Advance phase, computed over a range shifted by one column:
             // each processor writes the new time level for columns
@@ -316,51 +316,51 @@ pub fn run_parallel(cfg: &AppConfig, size: &ShallowSize) -> AppRun {
             for c in my_cols.clone() {
                 let t = (c + 1) % cols;
                 let tr = (t + 1) % cols;
-                let fcu = cu.read_row(ctx, t);
-                let fcv = cvg.read_row(ctx, t);
-                let fz = zg.read_row(ctx, t);
-                let fh = hg.read_row(ctx, t);
-                let fcur = cu.read_row(ctx, tr);
-                let fhr = hg.read_row(ctx, tr);
-                let ucol = u.read_row(ctx, t);
-                let vcol = v.read_row(ctx, t);
-                let pcol = p.read_row(ctx, t);
+                let fcu = cu.read_row(ctx, t).await;
+                let fcv = cvg.read_row(ctx, t).await;
+                let fz = zg.read_row(ctx, t).await;
+                let fh = hg.read_row(ctx, t).await;
+                let fcur = cu.read_row(ctx, tr).await;
+                let fhr = hg.read_row(ctx, tr).await;
+                let ucol = u.read_row(ctx, t).await;
+                let vcol = v.read_row(ctx, t).await;
+                let pcol = p.read_row(ctx, t).await;
                 let (au, av, ap) = advance(
                     &fcu, &fcv, &fz, &fh, &fcur, &fhr, &ucol, &vcol, &pcol, rows, dt,
                 );
                 ctx.compute(rows as u64 * 1500);
-                un.write_row(ctx, t, &au);
-                vn.write_row(ctx, t, &av);
-                pn.write_row(ctx, t, &ap);
+                un.write_row(ctx, t, &au).await;
+                vn.write_row(ctx, t, &av).await;
+                pn.write_row(ctx, t, &ap).await;
             }
-            ctx.barrier();
+            ctx.barrier().await;
 
             // Copy-back of the new time level (own columns only), plus the
             // master's wrap-around copy of the last column onto column 0's
             // ghost images in the scratch arrays.
             for c in my_cols.clone() {
-                let au = un.read_row(ctx, c);
-                let av = vn.read_row(ctx, c);
-                let ap = pn.read_row(ctx, c);
-                u.write_row(ctx, c, &au);
-                v.write_row(ctx, c, &av);
-                p.write_row(ctx, c, &ap);
+                let au = un.read_row(ctx, c).await;
+                let av = vn.read_row(ctx, c).await;
+                let ap = pn.read_row(ctx, c).await;
+                u.write_row(ctx, c, &au).await;
+                v.write_row(ctx, c, &av).await;
+                p.write_row(ctx, c, &ap).await;
                 ctx.compute(rows as u64 * 150);
             }
             if me == 0 {
-                let last = pn.read_row(ctx, cols - 1);
-                hg.write_row(ctx, 0, &last);
+                let last = pn.read_row(ctx, cols - 1).await;
+                hg.write_row(ctx, 0, &last).await;
             }
-            ctx.barrier();
+            ctx.barrier().await;
         }
 
         ctx.mark_execution_end();
         if me == 0 {
             let mut sum = 0.0f64;
             for c in 0..cols {
-                let ucol = u.read_row(ctx, c);
-                let vcol = v.read_row(ctx, c);
-                let pcol = p.read_row(ctx, c);
+                let ucol = u.read_row(ctx, c).await;
+                let vcol = v.read_row(ctx, c).await;
+                let pcol = p.read_row(ctx, c).await;
                 for r in 0..rows {
                     sum += pcol[r] + ucol[r].abs() + vcol[r].abs();
                 }

@@ -142,39 +142,39 @@ pub fn run_parallel(cfg: &AppConfig, size: &TspSize) -> AppRun {
     const QUEUE_LOCK: usize = 0;
     const BEST_LOCK: usize = 1;
 
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         let me = ctx.rank();
         // Processor 0 seeds the search with the root tour.
         if me == 0 {
-            ctx.acquire(QUEUE_LOCK);
-            best.set(ctx, u32::MAX);
+            ctx.acquire(QUEUE_LOCK).await;
+            best.set(ctx, u32::MAX).await;
             let mut rec = vec![0u32; TOUR_FIELDS];
             rec[0] = 1; // tour length (cities visited)
             rec[1] = 0; // cost so far
             rec[2] = 0; // bound
             rec[3] = 0; // starting city
-            pool.write_slice(ctx, 0, &rec);
-            pool_top.set(ctx, 1);
-            queue.set(ctx, 0, 1);
-            queue.set(ctx, 1, 0);
-            ctx.release(QUEUE_LOCK);
+            pool.write_slice(ctx, 0, &rec).await;
+            pool_top.set(ctx, 1).await;
+            queue.set(ctx, 0, 1).await;
+            queue.set(ctx, 1, 0).await;
+            ctx.release(QUEUE_LOCK).await;
         }
-        ctx.barrier();
+        ctx.barrier().await;
 
         let mut expanded = 0u64;
         let mut idle_rounds = 0u32;
         loop {
             // Grab a unit of work from the shared queue.
-            ctx.acquire(QUEUE_LOCK);
-            let len = queue.get(ctx, 0);
+            ctx.acquire(QUEUE_LOCK).await;
+            let len = queue.get(ctx, 0).await;
             let work = if len > 0 {
-                let idx = queue.get(ctx, len as usize);
-                queue.set(ctx, 0, len - 1);
+                let idx = queue.get(ctx, len as usize).await;
+                queue.set(ctx, 0, len - 1).await;
                 Some(idx)
             } else {
                 None
             };
-            ctx.release(QUEUE_LOCK);
+            ctx.release(QUEUE_LOCK).await;
 
             let Some(tour_idx) = work else {
                 idle_rounds += 1;
@@ -189,7 +189,9 @@ pub fn run_parallel(cfg: &AppConfig, size: &TspSize) -> AppRun {
 
             // Read the tour record (allocated, most likely, by another
             // processor — the migratory access the paper describes).
-            let rec = pool.read_vec(ctx, tour_idx as usize * TOUR_FIELDS, TOUR_FIELDS);
+            let rec = pool
+                .read_vec(ctx, tour_idx as usize * TOUR_FIELDS, TOUR_FIELDS)
+                .await;
             let tour_len = rec[0] as usize;
             let cost = rec[1];
             let cities = &rec[3..3 + tour_len];
@@ -197,16 +199,16 @@ pub fn run_parallel(cfg: &AppConfig, size: &TspSize) -> AppRun {
             let mask = cities.iter().fold(0u32, |m, &c| m | (1 << c));
             ctx.compute(5_000);
 
-            let current_best = best.get(ctx);
+            let current_best = best.get(ctx).await;
             if tour_len == n {
                 let total = cost + dist[last][0];
                 if total < current_best {
-                    ctx.acquire(BEST_LOCK);
-                    let b = best.get(ctx);
+                    ctx.acquire(BEST_LOCK).await;
+                    let b = best.get(ctx).await;
                     if total < b {
-                        best.set(ctx, total);
+                        best.set(ctx, total).await;
                     }
-                    ctx.release(BEST_LOCK);
+                    ctx.release(BEST_LOCK).await;
                 }
                 continue;
             }
@@ -240,12 +242,12 @@ pub fn run_parallel(cfg: &AppConfig, size: &TspSize) -> AppRun {
                 }
                 ctx.compute(searched * 3_000);
                 if local_best < current_best {
-                    ctx.acquire(BEST_LOCK);
-                    let b = best.get(ctx);
+                    ctx.acquire(BEST_LOCK).await;
+                    let b = best.get(ctx).await;
                     if local_best < b {
-                        best.set(ctx, local_best);
+                        best.set(ctx, local_best).await;
                     }
-                    ctx.release(BEST_LOCK);
+                    ctx.release(BEST_LOCK).await;
                 }
                 continue;
             }
@@ -275,26 +277,27 @@ pub fn run_parallel(cfg: &AppConfig, size: &TspSize) -> AppRun {
             if children.is_empty() {
                 continue;
             }
-            ctx.acquire(QUEUE_LOCK);
-            let mut top = pool_top.get(ctx);
-            let mut qlen = queue.get(ctx, 0);
+            ctx.acquire(QUEUE_LOCK).await;
+            let mut top = pool_top.get(ctx).await;
+            let mut qlen = queue.get(ctx, 0).await;
             for child in &children {
                 if (top as usize) >= pool_capacity {
                     break;
                 }
-                pool.write_slice(ctx, top as usize * TOUR_FIELDS, child);
+                pool.write_slice(ctx, top as usize * TOUR_FIELDS, child)
+                    .await;
                 qlen += 1;
-                queue.set(ctx, qlen as usize, top);
+                queue.set(ctx, qlen as usize, top).await;
                 top += 1;
             }
-            pool_top.set(ctx, top);
-            queue.set(ctx, 0, qlen);
-            ctx.release(QUEUE_LOCK);
+            pool_top.set(ctx, top).await;
+            queue.set(ctx, 0, qlen).await;
+            ctx.release(QUEUE_LOCK).await;
         }
 
-        ctx.barrier();
+        ctx.barrier().await;
         ctx.mark_execution_end();
-        (best.get(ctx) as f64, expanded)
+        (best.get(ctx).await as f64, expanded)
     });
 
     AppRun {

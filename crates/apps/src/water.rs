@@ -154,7 +154,7 @@ pub fn run_parallel(cfg: &AppConfig, size: &WaterSize) -> AppRun {
     // page boundaries (that is the point of the study).
     let mol = dsm.alloc_array::<f64>(n * MOL_FIELDS, Align::Page);
 
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         let me = ctx.rank();
         let nprocs = ctx.nprocs();
         let mine = block_range(n, nprocs, me);
@@ -166,24 +166,24 @@ pub fn run_parallel(cfg: &AppConfig, size: &WaterSize) -> AppRun {
                 rec[d] = initial_position(m, d);
                 rec[3 + d] = initial_velocity(m, d);
             }
-            mol.write_slice(ctx, m * MOL_FIELDS, &rec);
+            mol.write_slice(ctx, m * MOL_FIELDS, &rec).await;
             ctx.compute(200);
         }
-        ctx.barrier();
+        ctx.barrier().await;
 
         for _ in 0..size.steps {
             // Intra-molecular phase: own molecules only (write-write false
             // sharing at the partition boundaries inside a page).
             for m in mine.clone() {
-                let mut rec = mol.read_vec(ctx, m * MOL_FIELDS, MOL_FIELDS);
+                let mut rec = mol.read_vec(ctx, m * MOL_FIELDS, MOL_FIELDS).await;
                 for d in 0..3 {
                     rec[3 + d] *= 0.999;
                     rec[6 + d] = 0.0;
                 }
-                mol.write_slice(ctx, m * MOL_FIELDS, &rec);
+                mol.write_slice(ctx, m * MOL_FIELDS, &rec).await;
                 ctx.compute(2_000);
             }
-            ctx.barrier();
+            ctx.barrier().await;
 
             // Inter-molecular phase: fine-grained reads of the positions of
             // the n/2 following molecules (half the shared array), local
@@ -191,11 +191,11 @@ pub fn run_parallel(cfg: &AppConfig, size: &WaterSize) -> AppRun {
             // molecule — the SPLASH locking structure.
             let mut local_force = vec![[0.0f64; 3]; n];
             for m in mine.clone() {
-                let pa_rec = mol.read_vec(ctx, m * MOL_FIELDS, 3);
+                let pa_rec = mol.read_vec(ctx, m * MOL_FIELDS, 3).await;
                 let pa = [pa_rec[0], pa_rec[1], pa_rec[2]];
                 for k in 1..=n / 2 {
                     let o = (m + k) % n;
-                    let pb_rec = mol.read_vec(ctx, o * MOL_FIELDS, 3);
+                    let pb_rec = mol.read_vec(ctx, o * MOL_FIELDS, 3).await;
                     let pb = [pb_rec[0], pb_rec[1], pb_rec[2]];
                     // The real SPC/E inter-molecular evaluation is hundreds
                     // of flops per pair on a 166 MHz Pentium.
@@ -212,34 +212,34 @@ pub fn run_parallel(cfg: &AppConfig, size: &WaterSize) -> AppRun {
                 if force.iter().all(|&f| f == 0.0) {
                     continue;
                 }
-                ctx.acquire(o % 4000);
+                ctx.acquire(o % 4000).await;
                 for d in 0..3 {
-                    let v = mol.get(ctx, o * MOL_FIELDS + 6 + d);
-                    mol.set(ctx, o * MOL_FIELDS + 6 + d, v + force[d]);
+                    let v = mol.get(ctx, o * MOL_FIELDS + 6 + d).await;
+                    mol.set(ctx, o * MOL_FIELDS + 6 + d, v + force[d]).await;
                 }
-                ctx.release(o % 4000);
+                ctx.release(o % 4000).await;
             }
-            ctx.barrier();
+            ctx.barrier().await;
 
             // Position update: own molecules only.
             for m in mine.clone() {
-                let mut rec = mol.read_vec(ctx, m * MOL_FIELDS, MOL_FIELDS);
+                let mut rec = mol.read_vec(ctx, m * MOL_FIELDS, MOL_FIELDS).await;
                 for d in 0..3 {
                     let v = rec[3 + d] + 0.001 * rec[6 + d];
                     rec[3 + d] = v;
                     rec[d] += 0.01 * v;
                 }
-                mol.write_slice(ctx, m * MOL_FIELDS, &rec);
+                mol.write_slice(ctx, m * MOL_FIELDS, &rec).await;
                 ctx.compute(1_500);
             }
-            ctx.barrier();
+            ctx.barrier().await;
         }
 
         ctx.mark_execution_end();
         if me == 0 {
             let mut sum = 0.0f64;
             for m in 0..n {
-                let rec = mol.read_vec(ctx, m * MOL_FIELDS, 6);
+                let rec = mol.read_vec(ctx, m * MOL_FIELDS, 6).await;
                 sum += rec.iter().map(|v| v.abs()).sum::<f64>();
             }
             sum

@@ -29,13 +29,13 @@ fn config(unit: UnitPolicy) -> DsmConfig {
 fn producer_consumer(unit: UnitPolicy) -> u64 {
     let mut dsm = Dsm::new(config(unit));
     let arr = dsm.alloc_array::<u64>(16 * 512, Align::Page);
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         if ctx.rank() == 0 {
             let vals: Vec<u64> = (0..arr.len() as u64).collect();
-            arr.write_slice(ctx, 0, &vals);
+            arr.write_slice(ctx, 0, &vals).await;
         }
-        ctx.barrier();
-        arr.read_vec(ctx, 0, arr.len()).iter().sum::<u64>()
+        ctx.barrier().await;
+        arr.read_vec(ctx, 0, arr.len()).await.iter().sum::<u64>()
     });
     out.results[1]
 }
@@ -45,20 +45,20 @@ fn producer_consumer(unit: UnitPolicy) -> u64 {
 fn interleaved_writers(unit: UnitPolicy) -> u64 {
     let mut dsm = Dsm::new(config(unit));
     let arr = dsm.alloc_array::<u64>(32 * 512, Align::Page);
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         let me = ctx.rank();
         let nprocs = ctx.nprocs();
         for round in 0..4u64 {
             for slot in (me..32).step_by(nprocs) {
                 let vals: Vec<u64> = (0..512u64).map(|i| i + round).collect();
-                arr.write_slice(ctx, slot * 512, &vals);
+                arr.write_slice(ctx, slot * 512, &vals).await;
             }
-            ctx.barrier();
+            ctx.barrier().await;
             let mut sum = 0u64;
             for slot in (me..32).step_by(nprocs) {
-                sum += arr.read_vec(ctx, slot * 512, 512).iter().sum::<u64>();
+                sum += arr.read_vec(ctx, slot * 512, 512).await.iter().sum::<u64>();
             }
-            ctx.barrier();
+            ctx.barrier().await;
             if round == 3 {
                 return sum;
             }

@@ -70,14 +70,14 @@ fn bench_fault_path(c: &mut Criterion) {
         b.iter(|| {
             let mut dsm = Dsm::new(small_config(2));
             let arr = dsm.alloc_array::<u64>(512, Align::Page);
-            let out = dsm.run(|ctx| {
+            let out = dsm.run(async |ctx| {
                 if ctx.rank() == 0 {
                     let vals: Vec<u64> = (0..512).collect();
-                    arr.write_slice(ctx, 0, &vals);
+                    arr.write_slice(ctx, 0, &vals).await;
                 }
-                ctx.barrier();
+                ctx.barrier().await;
                 if ctx.rank() == 1 {
-                    arr.read_vec(ctx, 0, 512).iter().sum::<u64>()
+                    arr.read_vec(ctx, 0, 512).await.iter().sum::<u64>()
                 } else {
                     0
                 }
@@ -90,15 +90,15 @@ fn bench_fault_path(c: &mut Criterion) {
         b.iter(|| {
             let mut dsm = Dsm::new(small_config(4));
             let counter = dsm.alloc_scalar::<u64>(Align::Page);
-            let out = dsm.run(|ctx| {
+            let out = dsm.run(async |ctx| {
                 for _ in 0..10 {
-                    ctx.acquire(0);
-                    let v = counter.get(ctx);
-                    counter.set(ctx, v + 1);
-                    ctx.release(0);
+                    ctx.acquire(0).await;
+                    let v = counter.get(ctx).await;
+                    counter.set(ctx, v + 1).await;
+                    ctx.release(0).await;
                 }
-                ctx.barrier();
-                counter.get(ctx)
+                ctx.barrier().await;
+                counter.get(ctx).await
             });
             black_box(out.results[0])
         })
@@ -107,9 +107,9 @@ fn bench_fault_path(c: &mut Criterion) {
     group.bench_function("barrier_8procs", |b| {
         b.iter(|| {
             let dsm = Dsm::new(small_config(8));
-            let out = dsm.run(|ctx| {
+            let out = dsm.run(async |ctx| {
                 for _ in 0..20 {
-                    ctx.barrier();
+                    ctx.barrier().await;
                 }
                 ctx.rank()
             });

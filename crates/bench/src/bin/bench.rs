@@ -3,8 +3,8 @@
 //!
 //! Usage:
 //! `cargo run -p tm-bench --release --bin bench -- [--quick] [--iters N]
-//! [--out FILE] [--baseline FILE] [--tolerance FRAC]
-//! [--reference-wall-ms MS]`
+//! [--engine threaded|event] [--out FILE] [--baseline FILE]
+//! [--tolerance FRAC] [--reference-wall-ms MS]`
 //!
 //! * with no flags, measures the full suite (micro medians + the canonical
 //!   `fig2 4 --scale large --app Jacobi` sweep) and prints the JSON document
@@ -45,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         reference_wall_ms: None,
     };
     let mut iters_override = None;
+    let mut engine_override = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -61,6 +62,13 @@ fn parse_args() -> Result<Args, String> {
                         .filter(|&n| (1..=1000).contains(&n))
                         .ok_or_else(|| format!("invalid --iters '{v}' (expected 1-1000)"))?,
                 );
+            }
+            "--engine" => {
+                let v = value("--engine")?;
+                engine_override =
+                    Some(v.parse::<tm_sched::EngineKind>().map_err(|_| {
+                        format!("unknown engine '{v}' (expected threaded or event)")
+                    })?);
             }
             "--out" => out.out = Some(value("--out")?),
             "--baseline" => out.baseline = Some(value("--baseline")?),
@@ -87,6 +95,9 @@ fn parse_args() -> Result<Args, String> {
     if let Some(iters) = iters_override {
         out.opts.iters = iters;
     }
+    if let Some(engine) = engine_override {
+        out.opts.engine = engine;
+    }
     Ok(out)
 }
 
@@ -95,7 +106,8 @@ fn main() {
         Ok(a) => a,
         Err(msg) => {
             eprintln!(
-                "error: {msg}\nusage: bench [--quick] [--iters N] [--out FILE] \
+                "error: {msg}\nusage: bench [--quick] [--iters N] \
+                 [--engine threaded|event] [--out FILE] \
                  [--baseline FILE] [--tolerance FRAC] [--reference-wall-ms MS]"
             );
             std::process::exit(2);

@@ -32,8 +32,10 @@ use crate::{figure_panel_string, signature_string};
 /// rework added the per-cell `diff_timing` field and the `gc`
 /// interval-garbage-collection counters; the home-based protocol added the
 /// per-cell `protocol` field and the `home_updates`/`page_fetches` counters
-/// inside `breakdown`. Readers must treat all of these as optional; this
-/// parser does, in both directions.
+/// inside `breakdown`; the event-driven engine rework added the per-cell
+/// `engine` field, emitted only for the non-default (threaded) substrate so
+/// default-engine documents stay byte-identical. Readers must treat all of
+/// these as optional; this parser does, in both directions.
 pub const RESULT_SCHEMA: &str = "tm-bench/experiment-result/v1";
 
 /// The output formats every figure/table binary supports via `--format`.
@@ -85,22 +87,38 @@ pub fn parse_result(text: &str) -> Result<ExperimentResult, String> {
 
 impl ToJson for Cell {
     fn to_json(&self) -> Value {
-        Value::obj(vec![
-            ("app", Value::Str(self.app.name().to_string())),
-            ("size", Value::Str(self.size_label.clone())),
-            ("policy", Value::Str(self.policy_label.clone())),
-            ("unit", self.unit.to_json()),
-            ("nprocs", Value::Num(self.nprocs as f64)),
+        let mut pairs = vec![
+            ("app".to_string(), Value::Str(self.app.name().to_string())),
+            ("size".to_string(), Value::Str(self.size_label.clone())),
+            ("policy".to_string(), Value::Str(self.policy_label.clone())),
+            ("unit".to_string(), self.unit.to_json()),
+            ("nprocs".to_string(), Value::Num(self.nprocs as f64)),
             // Seeds are full 64-bit hashes — above 2^53 they would lose
             // precision as JSON numbers, so they travel as hex strings.
-            ("seed", Value::Str(format!("{:016x}", self.seed))),
-            ("schedule", Value::Str(self.schedule.as_str().to_string())),
             (
-                "diff_timing",
+                "seed".to_string(),
+                Value::Str(format!("{:016x}", self.seed)),
+            ),
+            (
+                "schedule".to_string(),
+                Value::Str(self.schedule.as_str().to_string()),
+            ),
+            (
+                "diff_timing".to_string(),
                 Value::Str(self.diff_timing.as_str().to_string()),
             ),
-            ("protocol", self.protocol.to_json()),
-        ])
+            ("protocol".to_string(), self.protocol.to_json()),
+        ];
+        // Emitted only for the non-default substrate: engines never change
+        // measurements, and default-engine documents must stay byte-identical
+        // to those emitted before the engine axis existed.
+        if self.engine != tm_sched::EngineKind::default() {
+            pairs.push((
+                "engine".to_string(),
+                Value::Str(self.engine.as_str().to_string()),
+            ));
+        }
+        Value::Obj(pairs)
     }
 }
 
@@ -147,6 +165,9 @@ impl FromJson for Cell {
                 None => tdsm_core::ProtocolMode::MultiWriter,
                 Some(p) => tdsm_core::ProtocolMode::from_json(p)?,
             },
+            // Additive v1 field: absent means the default (event-driven)
+            // substrate — and engines never change measurements anyway.
+            engine: tdsm_core::engine_from_json(v)?,
         })
     }
 }

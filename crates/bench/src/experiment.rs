@@ -18,7 +18,7 @@
 
 use tdsm_core::{DiffTiming, ProtocolMode, SchedConfig, SweepSpec, UnitPolicy};
 use tm_apps::{AppId, Workload};
-use tm_sched::ScheduleMode;
+use tm_sched::{EngineKind, ScheduleMode};
 
 use crate::BenchArgs;
 
@@ -53,6 +53,11 @@ pub struct Cell {
     /// grid point are distinct cells, while every pre-existing multi-writer
     /// key (and every pinned golden) stays untouched.
     pub protocol: ProtocolMode,
+    /// Execution substrate the cell's simulation runs on (`--engine`).
+    /// Never part of the cell key or seed: engines are measurement-identical
+    /// by construction (the engine-differential tests pin this), so a cell's
+    /// identity — and every pinned golden — is engine-independent.
+    pub engine: EngineKind,
 }
 
 impl Cell {
@@ -68,6 +73,7 @@ impl Cell {
         sched: SchedConfig,
         diff_timing: DiffTiming,
         protocol: ProtocolMode,
+        engine: EngineKind,
     ) -> Cell {
         let mut cell = Cell {
             app: w.app,
@@ -79,6 +85,7 @@ impl Cell {
             schedule: sched.mode,
             diff_timing,
             protocol,
+            engine,
         };
         cell.seed = fnv1a(cell.key().as_bytes()) ^ sched.seed;
         cell
@@ -202,6 +209,7 @@ impl Experiment {
                         spec.sched,
                         args.diff_timing,
                         p.protocol,
+                        args.engine,
                     ));
                 }
             }
@@ -228,6 +236,7 @@ impl Experiment {
                 args.sched(),
                 args.diff_timing,
                 args.protocol,
+                args.engine,
             ));
             if args.nprocs != 1 {
                 cells.push(Cell::new(
@@ -238,6 +247,7 @@ impl Experiment {
                     args.sched(),
                     args.diff_timing,
                     args.protocol,
+                    args.engine,
                 ));
             }
         }
@@ -271,6 +281,7 @@ impl Experiment {
                     args.sched(),
                     args.diff_timing,
                     args.protocol,
+                    args.engine,
                 ));
             }
         }
@@ -301,6 +312,7 @@ impl Experiment {
                 args.sched(),
                 args.diff_timing,
                 args.protocol,
+                args.engine,
             ));
             let spec = SweepSpec::dyn_group_ablation(args.nprocs)
                 .with_sched(args.sched())
@@ -314,6 +326,7 @@ impl Experiment {
                     spec.sched,
                     args.diff_timing,
                     p.protocol,
+                    args.engine,
                 ));
             }
         }

@@ -38,7 +38,7 @@ pub use runner::{run_cell, run_experiment, CellResult, ExperimentResult, RunnerO
 
 use tdsm_core::{DiffTiming, ProtocolMode, SchedConfig, SignatureHistogram, UnitPolicy};
 use tm_apps::{paper_unit_policies, AppConfig, AppId, Workload};
-use tm_sched::ScheduleMode;
+use tm_sched::{EngineKind, ScheduleMode};
 
 /// The workload tier a sweep runs at (`--scale`, with `--tiny` kept as an
 /// alias for `--scale tiny`).
@@ -120,9 +120,23 @@ impl FigRow {
     }
 }
 
-/// Run one workload under one consistency-unit policy.
+/// Run one workload under one consistency-unit policy (on the default
+/// event-driven engine; see [`run_configuration_on`] to pick a substrate).
 pub fn run_configuration(w: &Workload, nprocs: usize, label: &str, unit: UnitPolicy) -> FigRow {
-    let cfg = AppConfig::with_procs(nprocs).unit(unit);
+    run_configuration_on(w, nprocs, label, unit, EngineKind::default())
+}
+
+/// Run one workload under one consistency-unit policy on the given execution
+/// substrate.  Engines never change results — this is the lever the perf
+/// artifact and engine-differential tests use to time/compare both.
+pub fn run_configuration_on(
+    w: &Workload,
+    nprocs: usize,
+    label: &str,
+    unit: UnitPolicy,
+    engine: EngineKind,
+) -> FigRow {
+    let cfg = AppConfig::with_procs(nprocs).unit(unit).engine(engine);
     let run = w.run_parallel(&cfg);
     let b = &run.breakdown;
     FigRow {
@@ -141,11 +155,16 @@ pub fn run_configuration(w: &Workload, nprocs: usize, label: &str, unit: UnitPol
 }
 
 /// Run one workload under all four of the paper's unit policies
-/// (4 K / 8 K / 16 K / Dyn).
+/// (4 K / 8 K / 16 K / Dyn) on the default engine.
 pub fn run_policy_sweep(w: &Workload, nprocs: usize) -> Vec<FigRow> {
+    run_policy_sweep_on(w, nprocs, EngineKind::default())
+}
+
+/// [`run_policy_sweep`] on an explicit execution substrate.
+pub fn run_policy_sweep_on(w: &Workload, nprocs: usize, engine: EngineKind) -> Vec<FigRow> {
     paper_unit_policies()
         .into_iter()
-        .map(|(label, unit)| run_configuration(w, nprocs, &label, unit))
+        .map(|(label, unit)| run_configuration_on(w, nprocs, &label, unit, engine))
         .collect()
 }
 
@@ -356,6 +375,12 @@ fn parse_seed(s: &str) -> Option<u64> {
 ///   `home-based` (single-writer with round-robin page homes) or
 ///   `home-based-first-touch`.  Protocols may differ in messages — that is
 ///   the point — but never in computed results or checksums.
+/// * `--engine` picks the execution substrate every cell's simulation runs
+///   on: `event` (the single-threaded discrete-event engine, the default) or
+///   `threaded` (one OS thread per simulated processor).  A host-performance
+///   knob only — results and statistics are bit-identical across engines —
+///   but `event` is what makes large clusters (hundreds of processors)
+///   practical.
 /// * `--app NAME` restricts the run to one application (paper display name,
 ///   e.g. `Jacobi`) — the lever the CI memory gate uses to time a single
 ///   `--scale large` cell.
@@ -380,6 +405,8 @@ pub struct BenchArgs {
     pub diff_timing: DiffTiming,
     /// Write protocol applied to every cell (`--protocol`).
     pub protocol: ProtocolMode,
+    /// Execution substrate applied to every cell (`--engine`).
+    pub engine: EngineKind,
     /// Restrict the experiment to this application (paper display name).
     pub app: Option<AppId>,
     /// Format written to stdout.
@@ -401,6 +428,7 @@ impl BenchArgs {
             schedule: ScheduleMode::Seeded,
             diff_timing: DiffTiming::default(),
             protocol: ProtocolMode::default(),
+            engine: EngineKind::default(),
             app: None,
             format: OutputFormat::Human,
             out: None,
@@ -424,10 +452,11 @@ impl BenchArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!(
-                    "error: {msg}\nusage: [nprocs (1-64)] [--scale tiny|paper|large] [--tiny] \
+                    "error: {msg}\nusage: [nprocs (1-1024)] [--scale tiny|paper|large] [--tiny] \
                      [--threads N] [--seed N] [--schedule fifo|seeded] \
                      [--diff-timing eager|lazy] \
-                     [--protocol multi-writer|home-based|home-based-first-touch] [--app NAME] \
+                     [--protocol multi-writer|home-based|home-based-first-touch] \
+                     [--engine threaded|event] [--app NAME] \
                      [--format human|json|csv] [--out FILE]"
                 );
                 std::process::exit(2);
@@ -457,6 +486,12 @@ impl BenchArgs {
                 }
                 "--protocol" => {
                     out.protocol = flag_value("--protocol")?.parse()?;
+                }
+                "--engine" => {
+                    let v = flag_value("--engine")?;
+                    out.engine = v.parse().map_err(|_| {
+                        format!("unknown engine '{v}' (expected threaded or event)")
+                    })?;
                 }
                 "--app" => {
                     let v = flag_value("--app")?;
@@ -499,8 +534,8 @@ impl BenchArgs {
                     Ok(_) if nprocs.is_some() => {
                         return Err(format!("processor count given twice ('{other}')"))
                     }
-                    Ok(n) if (1..=64).contains(&n) => nprocs = Some(n),
-                    Ok(n) => return Err(format!("processor count {n} outside 1-64")),
+                    Ok(n) if (1..=1024).contains(&n) => nprocs = Some(n),
+                    Ok(n) => return Err(format!("processor count {n} outside 1-1024")),
                     Err(_) => return Err(format!("unrecognized argument '{other}'")),
                 },
             }
@@ -634,8 +669,11 @@ mod tests {
         let err = |args: &[&str]| {
             BenchArgs::from_iter(args.iter().map(|s| s.to_string()), 8).unwrap_err()
         };
-        assert!(err(&["0"]).contains("outside 1-64"));
-        assert!(err(&["99"]).contains("outside 1-64"));
+        // Large clusters are first-class since the event engine: 99 and 256
+        // parse, only counts beyond 1024 are usage errors.
+        assert_eq!(parse(&["256"], 8).nprocs, 256);
+        assert!(err(&["0"]).contains("outside 1-1024"));
+        assert!(err(&["2000"]).contains("outside 1-1024"));
         assert!(err(&["--bogus"]).contains("unrecognized"));
         assert!(err(&["4", "8"]).contains("twice"));
     }
@@ -658,10 +696,23 @@ mod tests {
         let err = |args: &[&str]| {
             BenchArgs::from_iter(args.iter().map(|s| s.to_string()), 8).unwrap_err()
         };
+        // --engine selects the execution substrate; event stays the default.
+        assert_eq!(parse(&[]).engine, EngineKind::EventDriven);
+        assert_eq!(
+            parse(&["--engine", "threaded"]).engine,
+            EngineKind::Threaded
+        );
+        assert_eq!(
+            parse(&["--engine", "event"]).engine,
+            EngineKind::EventDriven
+        );
+
         assert!(err(&["--threads"]).contains("requires a value"));
         assert!(err(&["--threads", "0"]).contains("expected 1-256"));
         assert!(err(&["--format", "xml"]).contains("unknown format"));
         assert!(err(&["--out"]).contains("requires a value"));
+        assert!(err(&["--engine"]).contains("requires a value"));
+        assert!(err(&["--engine", "fibers"]).contains("unknown engine"));
     }
 
     #[test]

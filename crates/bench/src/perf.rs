@@ -26,11 +26,11 @@ use std::time::Instant;
 
 use serde::json::Value;
 use serde::{field_arr, field_f64, field_str, field_u64, FromJson, JsonSchemaError, ToJson};
-use tdsm_core::{DiffTiming, SchedConfig, UnitPolicy};
+use tdsm_core::{DiffTiming, EngineKind, SchedConfig, UnitPolicy};
 use tm_apps::{jacobi, AppConfig, AppId, Workload};
 use tm_page::{Diff, LocalPage, PageId};
 
-use crate::run_policy_sweep;
+use crate::run_policy_sweep_on;
 
 /// Identifier of the perf-artifact schema; bumped on breaking changes.
 pub const PERF_SCHEMA: &str = "tm-bench/perf/v1";
@@ -112,6 +112,10 @@ pub struct PerfOptions {
     /// identifiers differ from full mode, so a quick report never silently
     /// gates against a full baseline.
     pub quick: bool,
+    /// Execution substrate the simulator workloads run on (`--engine`).
+    /// Digests are engine-independent by construction; only the timings may
+    /// shift, which is exactly what the artifact is for.
+    pub engine: EngineKind,
 }
 
 impl PerfOptions {
@@ -120,6 +124,7 @@ impl PerfOptions {
         PerfOptions {
             iters: 9,
             quick: false,
+            engine: EngineKind::default(),
         }
     }
 
@@ -128,6 +133,7 @@ impl PerfOptions {
         PerfOptions {
             iters: 3,
             quick: true,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -243,7 +249,8 @@ fn collect_micro(opts: &PerfOptions) -> Vec<MicroSample> {
     };
     let cfg = AppConfig::with_procs(4)
         .sched(sched)
-        .diff_timing(DiffTiming::Lazy);
+        .diff_timing(DiffTiming::Lazy)
+        .engine(opts.engine);
     push(
         jacobi_id,
         median_ns(iters, || {
@@ -271,16 +278,17 @@ fn collect_micro(opts: &PerfOptions) -> Vec<MicroSample> {
                 cost: CostModel::pentium_ethernet_1997(),
                 max_locks: 16,
                 sched: SchedConfig::default(),
+                engine: opts.engine,
                 ..DsmConfig::paper_default()
             });
             let arr = dsm.alloc_array::<u64>(agg_pages * 512, Align::Page);
-            let out = dsm.run(|ctx| {
+            let out = dsm.run(async |ctx| {
                 if ctx.rank() == 0 {
                     let vals: Vec<u64> = (0..arr.len() as u64).collect();
-                    arr.write_slice(ctx, 0, &vals);
+                    arr.write_slice(ctx, 0, &vals).await;
                 }
-                ctx.barrier();
-                arr.read_vec(ctx, 0, arr.len()).iter().sum::<u64>()
+                ctx.barrier().await;
+                arr.read_vec(ctx, 0, arr.len()).await.iter().sum::<u64>()
             });
             out.results[1]
         }),
@@ -300,7 +308,7 @@ fn collect_sweep(opts: &PerfOptions) -> SweepSample {
         ("large", Workload::large(AppId::Jacobi))
     };
     let t0 = Instant::now();
-    let rows = run_policy_sweep(&w, nprocs);
+    let rows = run_policy_sweep_on(&w, nprocs, opts.engine);
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     SweepSample {
         id: format!("fig2/Jacobi/{scale}/{nprocs}procs"),
@@ -551,7 +559,7 @@ mod tests {
     fn quick_report() -> PerfReport {
         collect_report(&PerfOptions {
             iters: 1,
-            quick: true,
+            ..PerfOptions::quick()
         })
     }
 
@@ -609,6 +617,21 @@ mod tests {
             b.to_json().pretty(),
             "digests and identifiers must reproduce bit-identically"
         );
+    }
+
+    #[test]
+    fn digests_are_engine_independent() {
+        // The same artifact measured on the threaded substrate must carry
+        // identical digests — `--engine` may shift timings, never outputs.
+        let mut event = quick_report();
+        let mut threaded = collect_report(&PerfOptions {
+            iters: 1,
+            engine: EngineKind::Threaded,
+            ..PerfOptions::quick()
+        });
+        strip_timings(&mut event);
+        strip_timings(&mut threaded);
+        assert_eq!(event.to_json().pretty(), threaded.to_json().pretty());
     }
 
     #[test]

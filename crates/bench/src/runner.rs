@@ -122,7 +122,8 @@ pub fn run_cell(cell: &Cell) -> CellResult {
         .unit(cell.unit)
         .protocol(cell.protocol)
         .sched(cell.sched_config())
-        .diff_timing(cell.diff_timing);
+        .diff_timing(cell.diff_timing)
+        .engine(cell.engine);
     let started = Instant::now();
     let run = w.run_parallel(&cfg);
     CellResult {

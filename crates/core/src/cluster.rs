@@ -1,10 +1,11 @@
 //! Cluster construction, shared-memory allocation, and parallel execution.
 //!
 //! A [`Dsm`] value owns the configuration of a simulated cluster and the
-//! allocator for its shared address space.  [`Dsm::run`] spawns one thread
-//! per simulated processor, hands each a [`ProcCtx`], waits for every
-//! processor to finish, and returns the per-processor results together with
-//! the cluster-wide statistics the paper's figures are derived from.
+//! allocator for its shared address space.  [`Dsm::run`] executes the
+//! application body on every simulated processor, hands each a [`ProcCtx`],
+//! waits for every processor to finish, and returns the per-processor
+//! results together with the cluster-wide statistics the paper's figures are
+//! derived from.
 //!
 //! Execution is **deterministic**: the processors run under the cooperative
 //! turn-taking of [`tm_sched::Scheduler`] — exactly one runs at a time, and
@@ -14,20 +15,41 @@
 //! a pure function of `(program, DsmConfig)` — including
 //! [`DsmConfig::sched`]'s mode and seed, which select among legal
 //! interleavings.
+//!
+//! Two execution substrates implement that contract behind the
+//! [`EngineKind`] seam ([`DsmConfig::engine`]):
+//!
+//! * [`EngineKind::Threaded`] spawns one OS thread per simulated processor;
+//!   every park point blocks on the scheduler's condition variable.
+//! * [`EngineKind::EventDriven`] (the default) keeps each processor as a
+//!   resumable state machine (the `async` body's continuation) and resumes
+//!   exactly the scheduler's current pick on a single host thread — no
+//!   spawn cost and no parked stacks, which is what makes 256-plus-processor
+//!   clusters practical.
+//!
+//! Both substrates feed the scheduler the identical sequence of yield/block
+//! transitions, so results and statistics are bit-identical across them
+//! (pinned by `tests/engine_differential.rs`).
 
+use std::any::Any;
+use std::future::Future;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 
 use parking_lot::Mutex;
 
-use tm_net::ClusterStats;
+use tm_net::{ClusterStats, ProcStats};
 use tm_page::{Align, GlobalAddr, RegionAllocator};
+use tm_sched::EngineKind;
 
 use crate::config::DsmConfig;
 use crate::handle::{GArray, GMatrix, GScalar, SharedVal};
 use crate::interval::IntervalLog;
 use crate::proc::{ProcCtx, SharedIntervalLog};
 use crate::protocol::{HomeDirectory, ProtocolMode};
-use crate::sync::GlobalSync;
+use crate::sync::{complete_now, GlobalSync};
 
 /// The result of one parallel run: per-processor return values (indexed by
 /// rank) and the aggregated communication statistics.
@@ -104,13 +126,45 @@ impl Dsm {
     /// Run `body` on every simulated processor in parallel and collect the
     /// results and statistics.
     ///
+    /// The body is an `async` function of the processor's [`ProcCtx`]; every
+    /// shared access and synchronization operation is a potential park point
+    /// (`.await`) where the deterministic scheduler may run another
+    /// processor.  Which substrate resumes the parked processors is selected
+    /// by [`DsmConfig::engine`]; results are bit-identical either way.
+    ///
     /// Each run starts from a pristine shared space (all zero bytes) and
     /// fresh protocol state; allocations performed on this [`Dsm`] remain
     /// valid across runs (they are just address assignments).
     pub fn run<R, F>(&self, body: F) -> RunOutput<R>
     where
         R: Send,
-        F: Fn(&mut ProcCtx) -> R + Sync,
+        F: AsyncFn(&mut ProcCtx) -> R + Sync,
+    {
+        self.run_inner(body, false).0
+    }
+
+    /// Like [`Dsm::run`], but additionally records and returns the
+    /// scheduler's decision trace — the `(decision index, chosen rank)`
+    /// sequence of every scheduling decision taken after setup.  The
+    /// cross-substrate differential tests replay one workload on both
+    /// engines and require the traces to match entry for entry; everyday
+    /// callers want [`Dsm::run`], which skips the bookkeeping.
+    pub fn run_traced<R, F>(&self, body: F) -> (RunOutput<R>, Vec<(u64, usize)>)
+    where
+        R: Send,
+        F: AsyncFn(&mut ProcCtx) -> R + Sync,
+    {
+        let (output, trace) = self.run_inner(body, true);
+        (
+            output,
+            trace.expect("decision trace was enabled but never collected"),
+        )
+    }
+
+    fn run_inner<R, F>(&self, body: F, trace: bool) -> (RunOutput<R>, Option<Vec<(u64, usize)>>)
+    where
+        R: Send,
+        F: AsyncFn(&mut ProcCtx) -> R + Sync,
     {
         let nprocs = self.config.nprocs;
         let logs: Arc<Vec<SharedIntervalLog>> = Arc::new(
@@ -122,7 +176,14 @@ impl Dsm {
             nprocs,
             self.config.max_locks,
             self.config.sched,
+            self.config.engine,
         ));
+        if trace {
+            // Enabled after construction, so the constructor's own first
+            // pick is not in the trace — identically on both substrates,
+            // which is all the differential comparison needs.
+            sync.scheduler().enable_decision_trace();
+        }
         // The home directory (assignment + master copies) exists only for
         // home-based runs; multi-writer runs have no authoritative copy.
         let home: Option<Arc<Mutex<HomeDirectory>>> =
@@ -132,57 +193,17 @@ impl Dsm {
                     HomeDirectory::new(self.config.layout(), nprocs, assign),
                 ))),
             };
-        let body = &body;
 
-        let mut per_proc = Vec::with_capacity(nprocs);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(nprocs);
-            for rank in 0..nprocs {
-                let logs = Arc::clone(&logs);
-                let sync = Arc::clone(&sync);
-                let home = home.clone();
-                let config = &self.config;
-                handles.push(scope.spawn(move || {
-                    // The scheduler serializes the simulated processors:
-                    // wait for the first turn before touching any shared
-                    // simulation state, retire the rank afterwards so the
-                    // remaining processors can proceed.  The catch_unwind
-                    // nets exist purely so a panicking processor still
-                    // retires its rank (instead of leaving everyone else
-                    // parked forever) and so a scheduler abort triggered by
-                    // the retirement cannot mask the original panic; every
-                    // panic is re-raised and surfaces through join.
-                    sync.scheduler().wait_first_turn(rank);
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        let mut ctx =
-                            ProcCtx::new(rank, config, Arc::clone(&logs), sync.clone(), home);
-                        let result = body(&mut ctx);
-                        (result, ctx.finish())
-                    }));
-                    let retired = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        sync.scheduler().finish(rank)
-                    }));
-                    match (outcome, retired) {
-                        (Ok(pair), Ok(())) => pair,
-                        // Retiring the last runnable processor while others
-                        // stay blocked is a simulated deadlock: propagate it.
-                        (Ok(_), Err(abort)) => std::panic::resume_unwind(abort),
-                        // The body's own panic is the root cause; it wins
-                        // over any secondary scheduler abort.
-                        (Err(payload), _) => std::panic::resume_unwind(payload),
-                    }
-                }));
-            }
-            for handle in handles {
-                per_proc.push(handle.join().expect("processor thread panicked"));
-            }
-        });
+        let per_proc = match self.config.engine {
+            EngineKind::Threaded => self.run_threaded(&logs, &sync, &home, &body),
+            EngineKind::EventDriven => self.run_event(&logs, &sync, &home, &body),
+        };
 
         let mut results = Vec::with_capacity(nprocs);
         let mut stats = ClusterStats::default();
         for (rank, (result, mut proc_stats)) in per_proc.into_iter().enumerate() {
             // Fold in the owner's shared-log counters.  They are folded
-            // here, after every processor has joined, because serving and
+            // here, after every processor has finished, because serving and
             // retirement touch a processor's log after its own `finish()`
             // (e.g. rank 0's post-run verification reads lazily materialize
             // diffs in everyone else's logs).
@@ -196,7 +217,170 @@ impl Dsm {
             results.push(result);
             stats.per_proc.push(proc_stats);
         }
-        RunOutput { results, stats }
+        let decision_trace = sync.scheduler().take_decision_trace();
+        (RunOutput { results, stats }, decision_trace)
+    }
+
+    /// The thread-per-processor substrate: one OS thread per rank, every
+    /// park point blocking on the scheduler.  Because each park point blocks
+    /// *inside* its `poll`, the whole body future completes in a single poll
+    /// ([`complete_now`]) — the continuations never actually suspend.
+    fn run_threaded<R, F>(
+        &self,
+        logs: &Arc<Vec<SharedIntervalLog>>,
+        sync: &Arc<GlobalSync>,
+        home: &Option<Arc<Mutex<HomeDirectory>>>,
+        body: &F,
+    ) -> Vec<(R, ProcStats)>
+    where
+        R: Send,
+        F: AsyncFn(&mut ProcCtx) -> R + Sync,
+    {
+        let nprocs = self.config.nprocs;
+        let mut per_proc = Vec::with_capacity(nprocs);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nprocs);
+            for rank in 0..nprocs {
+                let logs = Arc::clone(logs);
+                let sync = Arc::clone(sync);
+                let home = home.clone();
+                let config = &self.config;
+                handles.push(scope.spawn(move || {
+                    // The scheduler serializes the simulated processors:
+                    // wait for the first turn before touching any shared
+                    // simulation state, retire the rank afterwards so the
+                    // remaining processors can proceed.  The catch_unwind
+                    // nets exist purely so a panicking processor still
+                    // retires its rank (instead of leaving everyone else
+                    // parked forever) and so a scheduler abort triggered by
+                    // the retirement cannot mask the original panic; every
+                    // panic is re-raised and surfaces through join.
+                    complete_now(sync.wait_first_turn(rank));
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let mut ctx =
+                            ProcCtx::new(rank, config, Arc::clone(&logs), sync.clone(), home);
+                        let result = complete_now(body(&mut ctx));
+                        (result, ctx.finish())
+                    }));
+                    let retired = catch_unwind(AssertUnwindSafe(|| sync.scheduler().finish(rank)));
+                    match (outcome, retired) {
+                        (Ok(pair), Ok(())) => pair,
+                        // Retiring the last runnable processor while others
+                        // stay blocked is a simulated deadlock: propagate it.
+                        (Ok(_), Err(abort)) => resume_unwind(abort),
+                        // The body's own panic is the root cause; it wins
+                        // over any secondary scheduler abort.
+                        (Err(payload), _) => resume_unwind(payload),
+                    }
+                }));
+            }
+            for handle in handles {
+                per_proc.push(handle.join().expect("processor thread panicked"));
+            }
+        });
+        per_proc
+    }
+
+    /// The single-threaded discrete-event substrate: every simulated
+    /// processor is a boxed continuation, and the engine resumes exactly the
+    /// scheduler's current pick until all ranks finish or the scheduler
+    /// aborts on a simulated deadlock.  Each resumption runs under
+    /// `catch_unwind`, so a panicking processor is retired like a finished
+    /// one (its continuation is dropped, its rank leaves the scheduler) and
+    /// the engine's own state stays intact — the unwind-safe step boundary.
+    fn run_event<R, F>(
+        &self,
+        logs: &Arc<Vec<SharedIntervalLog>>,
+        sync: &Arc<GlobalSync>,
+        home: &Option<Arc<Mutex<HomeDirectory>>>,
+        body: &F,
+    ) -> Vec<(R, ProcStats)>
+    where
+        R: Send,
+        F: AsyncFn(&mut ProcCtx) -> R + Sync,
+    {
+        let nprocs = self.config.nprocs;
+        type Continuation<'a, R> = Pin<Box<dyn Future<Output = (R, ProcStats)> + 'a>>;
+        let mut continuations: Vec<Option<Continuation<'_, R>>> = (0..nprocs)
+            .map(|rank| {
+                let logs = Arc::clone(logs);
+                let sync = Arc::clone(sync);
+                let home = home.clone();
+                let config = &self.config;
+                let fut = async move {
+                    sync.wait_first_turn(rank).await;
+                    let mut ctx = ProcCtx::new(rank, config, logs, Arc::clone(&sync), home);
+                    let result = body(&mut ctx).await;
+                    (result, ctx.finish())
+                };
+                Some(Box::pin(fut) as Continuation<'_, R>)
+            })
+            .collect();
+
+        type Outcome<R> = Result<(R, ProcStats), Box<dyn Any + Send>>;
+        let mut outcomes: Vec<Option<Outcome<R>>> = (0..nprocs).map(|_| None).collect();
+        let mut cx = Context::from_waker(Waker::noop());
+
+        // The pick loop: resume whoever the scheduler says is current.  A
+        // `Pending` step means the processor parked (and the park transition
+        // already picked a successor); `Ready` or a panic retires the rank.
+        while let Some(rank) = sync.scheduler().current() {
+            let fut = continuations[rank]
+                .as_mut()
+                .expect("current processor must have a live continuation");
+            let step = catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+            match step {
+                Ok(Poll::Pending) => {}
+                Ok(Poll::Ready(pair)) => {
+                    continuations[rank] = None;
+                    let retired = catch_unwind(AssertUnwindSafe(|| sync.scheduler().finish(rank)));
+                    // As in the threaded engine, retirement turning into the
+                    // last-runnable deadlock abort supersedes the result.
+                    outcomes[rank] = Some(match retired {
+                        Ok(()) => Ok(pair),
+                        Err(abort) => Err(abort),
+                    });
+                }
+                Err(payload) => {
+                    // The body's own panic is the root cause; it wins over
+                    // any secondary scheduler abort from the retirement.
+                    continuations[rank] = None;
+                    let _ = catch_unwind(AssertUnwindSafe(|| sync.scheduler().finish(rank)));
+                    outcomes[rank] = Some(Err(payload));
+                }
+            }
+        }
+
+        // Surface failures the way the threaded engine's rank-order join
+        // does: the first failed rank's payload, re-raised under the same
+        // message.  (Ranks still parked at abort time have no outcome; their
+        // threaded counterparts would all carry the deadlock panic.)
+        let abort = sync.scheduler().abort_dump();
+        if abort.is_some() || outcomes.iter().any(|o| matches!(o, Some(Err(_)))) {
+            for outcome in &mut outcomes {
+                if matches!(outcome, Some(Err(_))) {
+                    if let Some(Err(payload)) = outcome.take() {
+                        let failed: Result<(), _> = Err(payload);
+                        failed.expect("processor thread panicked");
+                    }
+                }
+            }
+            // A deadlock no processor panicked over: raise the scheduler's
+            // state dump directly so the diagnostics stay visible.
+            panic!(
+                "{}",
+                abort.expect("event engine stopped with neither an abort nor a panic")
+            );
+        }
+
+        outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(rank, o)| match o {
+                Some(Ok(pair)) => pair,
+                _ => unreachable!("processor {rank} never completed"),
+            })
+            .collect()
     }
 }
 
@@ -218,6 +402,7 @@ mod tests {
             sched: tm_sched::SchedConfig::default(),
             diff_timing: crate::config::DiffTiming::default(),
             gc_flush_pending_limit: crate::config::DEFAULT_GC_FLUSH_PENDING_LIMIT,
+            engine: EngineKind::default(),
         }
     }
 
@@ -225,13 +410,13 @@ mod tests {
     fn single_processor_run_has_no_communication() {
         let mut dsm = Dsm::new(small_config(1));
         let arr = dsm.alloc_array::<u64>(100, Align::Page);
-        let out = dsm.run(|ctx| {
+        let out = dsm.run(async |ctx| {
             for i in 0..100 {
-                arr.set(ctx, i, (i * i) as u64);
+                arr.set(ctx, i, (i * i) as u64).await;
             }
             let mut sum = 0u64;
             for i in 0..100 {
-                sum += arr.get(ctx, i);
+                sum += arr.get(ctx, i).await;
             }
             sum
         });
@@ -247,14 +432,14 @@ mod tests {
     fn producer_consumer_over_a_barrier() {
         let mut dsm = Dsm::new(small_config(2));
         let arr = dsm.alloc_array::<u32>(1024, Align::Page);
-        let out = dsm.run(|ctx| {
+        let out = dsm.run(async |ctx| {
             if ctx.rank() == 0 {
                 let values: Vec<u32> = (0..1024u32).collect();
-                arr.write_slice(ctx, 0, &values);
+                arr.write_slice(ctx, 0, &values).await;
             }
-            ctx.barrier();
+            ctx.barrier().await;
             if ctx.rank() == 1 {
-                let got = arr.read_vec(ctx, 0, 1024);
+                let got = arr.read_vec(ctx, 0, 1024).await;
                 got.iter().map(|&v| v as u64).sum::<u64>()
             } else {
                 0
@@ -272,15 +457,15 @@ mod tests {
     fn lock_protected_counter_is_coherent() {
         let mut dsm = Dsm::new(small_config(4));
         let counter = dsm.alloc_scalar::<u64>(Align::Page);
-        let out = dsm.run(|ctx| {
+        let out = dsm.run(async |ctx| {
             for _ in 0..25 {
-                ctx.acquire(0);
-                let v = counter.get(ctx);
-                counter.set(ctx, v + 1);
-                ctx.release(0);
+                ctx.acquire(0).await;
+                let v = counter.get(ctx).await;
+                counter.set(ctx, v + 1).await;
+                ctx.release(0).await;
             }
-            ctx.barrier();
-            counter.get(ctx)
+            ctx.barrier().await;
+            counter.get(ctx).await
         });
         for r in out.results {
             assert_eq!(r, 100);
@@ -294,13 +479,13 @@ mod tests {
         // work.
         let mut dsm = Dsm::new(small_config(2));
         let arr = dsm.alloc_array::<u32>(1024, Align::Page);
-        let out = dsm.run(|ctx| {
+        let out = dsm.run(async |ctx| {
             let me = ctx.rank();
             let half = 512usize;
             let values: Vec<u32> = (0..half as u32).map(|i| i + 1000 * me as u32).collect();
-            arr.write_slice(ctx, me * half, &values);
-            ctx.barrier();
-            let all = arr.read_vec(ctx, 0, 1024);
+            arr.write_slice(ctx, me * half, &values).await;
+            ctx.barrier().await;
+            let all = arr.read_vec(ctx, 0, 1024).await;
             (all[0], all[512])
         });
         assert_eq!(out.results[0], (0, 1000));
@@ -312,23 +497,24 @@ mod tests {
         use tm_sched::SchedConfig;
         // A lock-contended workload whose *message counts* depend on the
         // hand-off order: under the deterministic scheduler the full stats
-        // must reproduce exactly per seed, while different seeds remain free
-        // to produce different (but individually stable) interleavings.
-        let run = |sched: SchedConfig| {
+        // must reproduce exactly per seed — on both substrates, which must
+        // also agree with each other bit-for-bit.
+        let run = |sched: SchedConfig, engine: EngineKind| {
             let mut dsm = Dsm::new(DsmConfig {
                 sched,
+                engine,
                 ..small_config(4)
             });
             let counter = dsm.alloc_scalar::<u64>(Align::Page);
-            let out = dsm.run(|ctx| {
+            let out = dsm.run(async |ctx| {
                 for _ in 0..10 {
-                    ctx.acquire(0);
-                    let v = counter.get(ctx);
-                    counter.set(ctx, v + 1);
-                    ctx.release(0);
+                    ctx.acquire(0).await;
+                    let v = counter.get(ctx).await;
+                    counter.set(ctx, v + 1).await;
+                    ctx.release(0).await;
                 }
-                ctx.barrier();
-                counter.get(ctx)
+                ctx.barrier().await;
+                counter.get(ctx).await
             });
             assert_eq!(out.results, vec![40, 40, 40, 40]);
             out.stats
@@ -338,14 +524,21 @@ mod tests {
             SchedConfig::seeded(0),
             SchedConfig::seeded(17),
         ] {
-            let a = run(sched);
-            let b = run(sched);
+            let a = run(sched, EngineKind::EventDriven);
+            let b = run(sched, EngineKind::EventDriven);
             assert_eq!(
                 a.breakdown(),
                 b.breakdown(),
                 "{sched:?} must reproduce bit-identically"
             );
             assert_eq!(a.exec_time_ns(), b.exec_time_ns());
+            let t = run(sched, EngineKind::Threaded);
+            assert_eq!(
+                a.breakdown(),
+                t.breakdown(),
+                "{sched:?} must agree across substrates"
+            );
+            assert_eq!(a.exec_time_ns(), t.exec_time_ns());
         }
     }
 
@@ -361,13 +554,13 @@ mod tests {
                 ..small_config(2)
             });
             let arr = dsm.alloc_array::<u32>(1024, Align::Page);
-            let out = dsm.run(|ctx| {
+            let out = dsm.run(async |ctx| {
                 let me = ctx.rank();
                 let half = 512usize;
                 let values: Vec<u32> = (0..half as u32).map(|i| i + 1000 * me as u32).collect();
-                arr.write_slice(ctx, me * half, &values);
-                ctx.barrier();
-                let all = arr.read_vec(ctx, 0, 1024);
+                arr.write_slice(ctx, me * half, &values).await;
+                ctx.barrier().await;
+                let all = arr.read_vec(ctx, 0, 1024).await;
                 (all[0], all[511], all[512], all[1023])
             });
             out
@@ -412,15 +605,15 @@ mod tests {
             // round-robin interleaving homes one of them remotely while
             // first touch homes both locally.
             let arr = dsm.alloc_array::<u64>(2048, Align::Page);
-            let out = dsm.run(|ctx| {
+            let out = dsm.run(async |ctx| {
                 let me = ctx.rank();
                 for round in 0..3u64 {
                     for i in 0..1024 {
-                        arr.set(ctx, me * 1024 + i, round + i as u64);
+                        arr.set(ctx, me * 1024 + i, round + i as u64).await;
                     }
-                    ctx.barrier();
+                    ctx.barrier().await;
                 }
-                arr.get(ctx, me * 1024)
+                arr.get(ctx, me * 1024).await
             });
             (out.results.clone(), out.breakdown())
         };
@@ -440,12 +633,57 @@ mod tests {
         // with three or more processors a regression here used to park the
         // survivors forever instead.
         let dsm = Dsm::new(small_config(3));
-        dsm.run(|ctx| {
+        dsm.run(async |ctx| {
             if ctx.rank() == 1 {
                 panic!("application failure on rank 1");
             }
-            ctx.barrier();
+            ctx.barrier().await;
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "processor thread panicked")]
+    fn panicking_processor_aborts_the_threaded_run_too() {
+        // Same scenario on the thread-per-processor substrate: the panic
+        // must surface under the identical message.
+        let dsm = Dsm::new(DsmConfig {
+            engine: EngineKind::Threaded,
+            ..small_config(3)
+        });
+        dsm.run(async |ctx| {
+            if ctx.rank() == 1 {
+                panic!("application failure on rank 1");
+            }
+            ctx.barrier().await;
+        });
+    }
+
+    #[test]
+    fn event_engine_survives_a_panic_without_corrupting_state() {
+        // A panicking run on the event engine must leave the process able to
+        // start a fresh run immediately — the catch_unwind step boundary may
+        // not poison any engine state that outlives the run.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let dsm = Dsm::new(small_config(2));
+            dsm.run(async |ctx| {
+                if ctx.rank() == 0 {
+                    panic!("deliberate failure");
+                }
+                ctx.barrier().await;
+            });
+        }));
+        assert!(result.is_err(), "the panic must propagate");
+
+        let mut dsm = Dsm::new(small_config(2));
+        let arr = dsm.alloc_array::<u64>(8, Align::Page);
+        let out = dsm.run(async |ctx| {
+            if ctx.rank() == 0 {
+                arr.set(ctx, 0, 7).await;
+            }
+            ctx.barrier().await;
+            arr.get(ctx, 0).await
+        });
+        assert_eq!(out.results, vec![7, 7]);
     }
 
     #[test]
@@ -455,16 +693,16 @@ mod tests {
         let b = dsm.alloc_array::<u64>(10, Align::Word);
         assert!(b.base().offset() >= a.base().offset() + 80);
 
-        let first = dsm.run(|ctx| {
+        let first = dsm.run(async |ctx| {
             if ctx.rank() == 0 {
-                a.set(ctx, 0, 42);
+                a.set(ctx, 0, 42).await;
             }
-            ctx.barrier();
-            a.get(ctx, 0)
+            ctx.barrier().await;
+            a.get(ctx, 0).await
         });
         assert_eq!(first.results, vec![42, 42]);
         // A second run starts from a zeroed shared space.
-        let second = dsm.run(|ctx| a.get(ctx, 0));
+        let second = dsm.run(async |ctx| a.get(ctx, 0).await);
         assert_eq!(second.results, vec![0, 0]);
     }
 }

@@ -4,7 +4,7 @@ use serde::json::Value;
 use serde::{field_u64, Deserialize, FromJson, JsonSchemaError, Serialize, ToJson};
 use tm_net::CostModel;
 use tm_page::{PageId, PageLayout};
-use tm_sched::{SchedConfig, ScheduleMode};
+use tm_sched::{EngineKind, SchedConfig, ScheduleMode};
 
 use crate::protocol::ProtocolMode;
 
@@ -175,7 +175,7 @@ pub struct SweepPoint {
 /// `tm-bench` experiment engine expands into runnable cells.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SweepSpec {
-    /// Processor counts to sweep (each must be in 1..=64).
+    /// Processor counts to sweep (each must be in 1..=1024).
     pub procs: Vec<usize>,
     /// Consistency-unit policies to sweep.
     pub units: Vec<UnitPolicy>,
@@ -189,6 +189,10 @@ pub struct SweepSpec {
     /// tie-break mode, and the *base* seed the harness mixes into each
     /// cell's identity seed.
     pub sched: SchedConfig,
+    /// Execution substrate every point runs on (the event-driven engine by
+    /// default; results are bit-identical across engines, so this is a
+    /// host-performance knob, not an experimental axis).
+    pub engine: EngineKind,
 }
 
 impl SweepSpec {
@@ -206,6 +210,7 @@ impl SweepSpec {
             protocols: vec![ProtocolMode::MultiWriter],
             page_size: 4096,
             sched: SchedConfig::default(),
+            engine: EngineKind::default(),
         }
     }
 
@@ -221,6 +226,7 @@ impl SweepSpec {
             protocols: vec![ProtocolMode::MultiWriter],
             page_size: 4096,
             sched: SchedConfig::default(),
+            engine: EngineKind::default(),
         }
     }
 
@@ -232,6 +238,7 @@ impl SweepSpec {
             protocols: vec![ProtocolMode::MultiWriter],
             page_size: 4096,
             sched: SchedConfig::default(),
+            engine: EngineKind::default(),
         }
     }
 
@@ -244,6 +251,12 @@ impl SweepSpec {
     /// Builder-style setter for the protocol axis.
     pub fn with_protocols(mut self, protocols: Vec<ProtocolMode>) -> Self {
         self.protocols = protocols;
+        self
+    }
+
+    /// Builder-style setter for the execution engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -293,7 +306,10 @@ impl SweepSpec {
             "sweep needs at least one write protocol"
         );
         for &n in &self.procs {
-            assert!((1..=64).contains(&n), "processor count {n} outside 1-64");
+            assert!(
+                (1..=1024).contains(&n),
+                "processor count {n} outside 1-1024"
+            );
         }
         for &u in &self.units {
             DsmConfig {
@@ -326,9 +342,24 @@ pub fn sched_from_json(v: &Value) -> Result<SchedConfig, JsonSchemaError> {
     Ok(SchedConfig { mode, seed })
 }
 
+/// Parse an optional `"engine"` field from a JSON object: absent means the
+/// default (event-driven) engine, matching the emit-only-when-non-default
+/// convention that keeps default-engine documents byte-identical to the ones
+/// produced before the engine seam existed.  (Free function for the same
+/// reason as [`sched_to_json`]: `EngineKind` is foreign to this crate.)
+pub fn engine_from_json(v: &Value) -> Result<EngineKind, JsonSchemaError> {
+    match v.get("engine") {
+        None => Ok(EngineKind::default()),
+        Some(e) => e
+            .as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| JsonSchemaError::new("engine", "\"threaded\" or \"event\"")),
+    }
+}
+
 impl ToJson for SweepSpec {
     fn to_json(&self) -> Value {
-        Value::obj(vec![
+        let mut fields = vec![
             (
                 "procs",
                 Value::Arr(self.procs.iter().map(|&p| Value::Num(p as f64)).collect()),
@@ -343,7 +374,13 @@ impl ToJson for SweepSpec {
             ),
             ("page_size", Value::Num(self.page_size as f64)),
             ("sched", sched_to_json(&self.sched)),
-        ])
+        ];
+        // Additive field, emitted only for the non-default engine so that
+        // default-engine documents stay byte-identical to pre-seam ones.
+        if self.engine != EngineKind::default() {
+            fields.push(("engine", Value::Str(self.engine.as_str().to_string())));
+        }
+        Value::obj(fields)
     }
 }
 
@@ -390,6 +427,8 @@ impl FromJson for SweepSpec {
                 Some(s) => sched_from_json(s).map_err(|e| e.in_context("sched"))?,
                 None => SchedConfig::default(),
             },
+            // Additive field: absent means the default engine.
+            engine: engine_from_json(v)?,
         })
     }
 }
@@ -437,6 +476,14 @@ pub struct DsmConfig {
     /// messages, so runs below the threshold are bit-identical to runs with
     /// the flush disabled.
     pub gc_flush_pending_limit: usize,
+    /// Execution substrate [`crate::Dsm::run`] drives the simulated
+    /// processors on: one OS thread per processor parked on the scheduler
+    /// ([`EngineKind::Threaded`]), or a single-threaded discrete-event loop
+    /// resuming processor continuations in scheduler pick order
+    /// ([`EngineKind::EventDriven`], the default).  Results are bit-identical
+    /// across engines; only host-side cost differs, which is what makes
+    /// processor counts far beyond the paper's 32 practical.
+    pub engine: EngineKind,
 }
 
 impl DsmConfig {
@@ -454,6 +501,7 @@ impl DsmConfig {
             sched: SchedConfig::default(),
             diff_timing: DiffTiming::default(),
             gc_flush_pending_limit: DEFAULT_GC_FLUSH_PENDING_LIMIT,
+            engine: EngineKind::default(),
         }
     }
 
@@ -514,6 +562,12 @@ impl DsmConfig {
         self
     }
 
+    /// Builder-style setter for the execution engine.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The page layout implied by this configuration.
     pub fn layout(&self) -> PageLayout {
         PageLayout::new(self.page_size, self.shared_pages)
@@ -529,8 +583,8 @@ impl DsmConfig {
     pub fn validate(&self) {
         assert!(self.nprocs >= 1, "need at least one processor");
         assert!(
-            self.nprocs <= 64,
-            "simulated cluster limited to 64 processors"
+            self.nprocs <= 1024,
+            "simulated cluster limited to 1024 processors"
         );
         if let UnitPolicy::Static { pages } = self.unit {
             assert!(
@@ -622,6 +676,7 @@ mod tests {
             protocols: vec![ProtocolMode::MultiWriter],
             page_size: 4096,
             sched: SchedConfig::default(),
+            engine: EngineKind::default(),
         };
         assert_eq!(multi.points().len(), 2);
         assert_eq!(multi.points()[1].nprocs, 4);
@@ -653,10 +708,29 @@ mod tests {
                 mode: ScheduleMode::Fifo,
                 seed: 0xdead_beef,
             },
+            engine: EngineKind::Threaded,
         };
         let parsed =
             SweepSpec::from_json(&serde::json::parse(&spec.to_json().pretty()).unwrap()).unwrap();
         assert_eq!(parsed, spec);
+        // The default engine is omitted on emit and restored on parse.
+        let default_engine = SweepSpec {
+            engine: EngineKind::default(),
+            ..spec.clone()
+        };
+        let emitted = default_engine.to_json().pretty();
+        assert!(!emitted.contains("engine"));
+        assert_eq!(
+            SweepSpec::from_json(&serde::json::parse(&emitted).unwrap()).unwrap(),
+            default_engine
+        );
+        let bad_engine = serde::json::parse(
+            r#"{"procs":[1],"units":[{"kind":"static","pages":1}],"page_size":4096,
+                "engine":"fibers"}"#,
+        )
+        .unwrap();
+        let err = SweepSpec::from_json(&bad_engine).unwrap_err();
+        assert_eq!(err.path, "engine");
 
         let bad = serde::json::parse(r#"{"procs":[1],"units":[{"kind":"wat"}],"page_size":4096}"#)
             .unwrap();
@@ -703,6 +777,26 @@ mod tests {
                 .diff_timing,
             DiffTiming::Eager
         );
+    }
+
+    #[test]
+    fn large_clusters_validate_up_to_1024() {
+        DsmConfig::with_procs(1024).validate();
+        assert_eq!(
+            DsmConfig::paper_default()
+                .engine(EngineKind::Threaded)
+                .engine,
+            EngineKind::Threaded
+        );
+        let spec = SweepSpec::paper_units(256);
+        spec.validate();
+        assert_eq!(spec.engine, EngineKind::EventDriven);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 1024 processors")]
+    fn oversized_cluster_rejected() {
+        DsmConfig::with_procs(1025).validate();
     }
 
     #[test]

@@ -4,22 +4,14 @@
 //! arrays and scalars from the [`Dsm`](crate::cluster::Dsm) before the
 //! parallel section and access them through these handles, which translate
 //! element indices into byte-level shared-memory accesses on a
-//! [`ProcCtx`].
+//! [`ProcCtx`].  Accesses are `async` because any of them may fault, and a
+//! fault is a scheduler park point (see [`crate::sync::TurnWait`]).
 
-use std::cell::RefCell;
 use std::marker::PhantomData;
 
 use tm_page::GlobalAddr;
 
 use crate::proc::ProcCtx;
-
-thread_local! {
-    // Per-processor-thread staging buffer for the byte encoding of bulk
-    // accesses.  Rows are read and written hundreds of thousands of times in
-    // the grid applications; staging through one reused buffer keeps the
-    // encode/decode step allocation-free after warm-up.
-    static BYTE_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
-}
 
 /// A plain value that can live in DSM shared memory.
 ///
@@ -95,62 +87,64 @@ impl<T: SharedVal> GArray<T> {
     }
 
     /// Read element `i`.
-    pub fn get(&self, ctx: &mut ProcCtx, i: usize) -> T {
+    pub async fn get(&self, ctx: &mut ProcCtx, i: usize) -> T {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
         let mut buf = [0u8; 16];
-        ctx.read_bytes(self.addr(i), &mut buf[..T::BYTES]);
+        ctx.read_bytes(self.addr(i), &mut buf[..T::BYTES]).await;
         T::load(&buf[..T::BYTES])
     }
 
     /// Write element `i`.
-    pub fn set(&self, ctx: &mut ProcCtx, i: usize, v: T) {
+    pub async fn set(&self, ctx: &mut ProcCtx, i: usize, v: T) {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
         let mut buf = [0u8; 16];
         v.store(&mut buf[..T::BYTES]);
-        ctx.write_bytes(self.addr(i), &buf[..T::BYTES]);
+        ctx.write_bytes(self.addr(i), &buf[..T::BYTES]).await;
     }
 
     /// Read `count` elements starting at `start` into a vector (one bulk
     /// shared access — the natural granularity for row/column operations).
-    pub fn read_vec(&self, ctx: &mut ProcCtx, start: usize, count: usize) -> Vec<T> {
+    pub async fn read_vec(&self, ctx: &mut ProcCtx, start: usize, count: usize) -> Vec<T> {
         let mut out = Vec::new();
-        self.read_into(ctx, start, count, &mut out);
+        self.read_into(ctx, start, count, &mut out).await;
         out
     }
 
     /// Read `count` elements starting at `start` into `out` (cleared first).
     /// Equivalent to [`read_vec`](Self::read_vec) but reuses the caller's
     /// buffer, so a hot loop performs no per-call allocation.
-    pub fn read_into(&self, ctx: &mut ProcCtx, start: usize, count: usize, out: &mut Vec<T>) {
+    ///
+    /// The byte staging buffer lives on the context (not in a thread-local):
+    /// under the event-driven engine every simulated processor shares one
+    /// host thread, and the context buffer is per-processor by construction.
+    pub async fn read_into(&self, ctx: &mut ProcCtx, start: usize, count: usize, out: &mut Vec<T>) {
         assert!(start + count <= self.len, "range out of bounds");
-        BYTE_SCRATCH.with(|scratch| {
-            let mut bytes = scratch.borrow_mut();
-            // `read_bytes` overwrites the whole range, so growth (not
-            // re-zeroing) is the only cost of the resize.
-            bytes.resize(count * T::BYTES, 0);
-            let len = count * T::BYTES;
-            ctx.read_bytes(self.addr(start), &mut bytes[..len]);
-            out.clear();
-            out.reserve(count);
-            out.extend(bytes.chunks_exact(T::BYTES).map(|c| T::load(c)));
-        });
+        let mut bytes = ctx.take_byte_scratch();
+        // `read_bytes` overwrites the whole range, so growth (not
+        // re-zeroing) is the only cost of the resize.
+        let len = count * T::BYTES;
+        bytes.resize(len, 0);
+        ctx.read_bytes(self.addr(start), &mut bytes[..len]).await;
+        out.clear();
+        out.reserve(count);
+        out.extend(bytes.chunks_exact(T::BYTES).map(|c| T::load(c)));
+        ctx.restore_byte_scratch(bytes);
     }
 
     /// Write the elements of `values` starting at index `start` (one bulk
     /// shared access).
-    pub fn write_slice(&self, ctx: &mut ProcCtx, start: usize, values: &[T]) {
+    pub async fn write_slice(&self, ctx: &mut ProcCtx, start: usize, values: &[T]) {
         assert!(start + values.len() <= self.len, "range out of bounds");
-        BYTE_SCRATCH.with(|scratch| {
-            let mut bytes = scratch.borrow_mut();
-            // Every chunk is overwritten by `store` below, so growth (not
-            // re-zeroing) is the only cost of the resize.
-            bytes.resize(values.len() * T::BYTES, 0);
-            let len = values.len() * T::BYTES;
-            for (chunk, v) in bytes[..len].chunks_exact_mut(T::BYTES).zip(values.iter()) {
-                v.store(chunk);
-            }
-            ctx.write_bytes(self.addr(start), &bytes[..len]);
-        });
+        let mut bytes = ctx.take_byte_scratch();
+        // Every chunk is overwritten by `store` below, so growth (not
+        // re-zeroing) is the only cost of the resize.
+        let len = values.len() * T::BYTES;
+        bytes.resize(len, 0);
+        for (chunk, v) in bytes[..len].chunks_exact_mut(T::BYTES).zip(values.iter()) {
+            v.store(chunk);
+        }
+        ctx.write_bytes(self.addr(start), &bytes[..len]).await;
+        ctx.restore_byte_scratch(bytes);
     }
 
     /// Narrow the handle to a sub-range `[start, start + len)`.
@@ -184,13 +178,13 @@ impl<T: SharedVal> GScalar<T> {
     }
 
     /// Read the scalar.
-    pub fn get(&self, ctx: &mut ProcCtx) -> T {
-        self.cell.get(ctx, 0)
+    pub async fn get(&self, ctx: &mut ProcCtx) -> T {
+        self.cell.get(ctx, 0).await
     }
 
     /// Write the scalar.
-    pub fn set(&self, ctx: &mut ProcCtx, v: T) {
-        self.cell.set(ctx, 0, v)
+    pub async fn set(&self, ctx: &mut ProcCtx, v: T) {
+        self.cell.set(ctx, 0, v).await
     }
 }
 
@@ -226,34 +220,36 @@ impl<T: SharedVal> GMatrix<T> {
     }
 
     /// Read a full row.
-    pub fn read_row(&self, ctx: &mut ProcCtx, r: usize) -> Vec<T> {
+    pub async fn read_row(&self, ctx: &mut ProcCtx, r: usize) -> Vec<T> {
         assert!(r < self.rows, "row {r} out of bounds");
-        self.data.read_vec(ctx, r * self.cols, self.cols)
+        self.data.read_vec(ctx, r * self.cols, self.cols).await
     }
 
     /// Read a full row into `out` (cleared first), reusing the caller's
     /// buffer so per-row iteration performs no allocation.
-    pub fn read_row_into(&self, ctx: &mut ProcCtx, r: usize, out: &mut Vec<T>) {
+    pub async fn read_row_into(&self, ctx: &mut ProcCtx, r: usize, out: &mut Vec<T>) {
         assert!(r < self.rows, "row {r} out of bounds");
-        self.data.read_into(ctx, r * self.cols, self.cols, out);
+        self.data
+            .read_into(ctx, r * self.cols, self.cols, out)
+            .await;
     }
 
     /// Write a full row.
-    pub fn write_row(&self, ctx: &mut ProcCtx, r: usize, values: &[T]) {
+    pub async fn write_row(&self, ctx: &mut ProcCtx, r: usize, values: &[T]) {
         assert!(r < self.rows, "row {r} out of bounds");
         assert_eq!(values.len(), self.cols, "row length mismatch");
-        self.data.write_slice(ctx, r * self.cols, values);
+        self.data.write_slice(ctx, r * self.cols, values).await;
     }
 
     /// Read one element.
-    pub fn get(&self, ctx: &mut ProcCtx, r: usize, c: usize) -> T {
+    pub async fn get(&self, ctx: &mut ProcCtx, r: usize, c: usize) -> T {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
-        self.data.get(ctx, r * self.cols + c)
+        self.data.get(ctx, r * self.cols + c).await
     }
 
     /// Write one element.
-    pub fn set(&self, ctx: &mut ProcCtx, r: usize, c: usize, v: T) {
+    pub async fn set(&self, ctx: &mut ProcCtx, r: usize, c: usize, v: T) {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
-        self.data.set(ctx, r * self.cols + c, v)
+        self.data.set(ctx, r * self.cols + c, v).await
     }
 }

@@ -26,14 +26,14 @@
 //! let mut dsm = Dsm::new(DsmConfig::with_procs(4).shared_pages(64));
 //! let grid = dsm.alloc_array::<f64>(1024, Align::Page);
 //!
-//! let out = dsm.run(|ctx| {
+//! let out = dsm.run(async |ctx| {
 //!     let me = ctx.rank();
 //!     let chunk = grid.len() / ctx.nprocs();
 //!     for i in (me * chunk)..((me + 1) * chunk) {
-//!         grid.set(ctx, i, i as f64);
+//!         grid.set(ctx, i, i as f64).await;
 //!     }
-//!     ctx.barrier();
-//!     grid.get(ctx, 0) + grid.get(ctx, grid.len() - 1)
+//!     ctx.barrier().await;
+//!     grid.get(ctx, 0).await + grid.get(ctx, grid.len() - 1).await
 //! });
 //!
 //! assert_eq!(out.results[0], 1023.0);
@@ -61,7 +61,8 @@ pub mod vc;
 pub use aggregation::DynamicAggregator;
 pub use cluster::{Dsm, RunOutput};
 pub use config::{
-    sched_from_json, sched_to_json, DiffTiming, DsmConfig, SweepPoint, SweepSpec, UnitPolicy,
+    engine_from_json, sched_from_json, sched_to_json, DiffTiming, DsmConfig, SweepPoint, SweepSpec,
+    UnitPolicy,
 };
 pub use handle::{GArray, GMatrix, GScalar, SharedVal};
 pub use interval::{
@@ -79,4 +80,4 @@ pub use tm_net::{
     ClusterStats, CommBreakdown, CostModel, GcCounters, ProcStats, SignatureHistogram,
 };
 pub use tm_page::{Align, Diff, GlobalAddr, HomeStore, PageId, PageLayout};
-pub use tm_sched::{SchedConfig, ScheduleMode, Scheduler};
+pub use tm_sched::{EngineKind, SchedConfig, ScheduleMode, Scheduler};

@@ -107,6 +107,12 @@ pub struct ProcCtx {
     /// a writer's log under its lock; avoids cloning each record's page list
     /// on every incorporation.
     notice_scratch: Vec<(u32, PageId)>,
+    /// Reusable byte staging buffer for the typed accessors in `handle.rs`.
+    /// Lives on the context (taken/restored around each access) rather than
+    /// in a thread-local: under the event-driven engine every simulated
+    /// processor shares one host thread, so a thread-local scratch would be
+    /// re-entered across suspension points.
+    byte_scratch: Vec<u8>,
     marked_end_ns: Option<u64>,
 }
 
@@ -153,8 +159,23 @@ impl ProcCtx {
             pending_seqs: vec![BTreeMap::new(); config.nprocs],
             notices_since_barrier: 0,
             notice_scratch: Vec::new(),
+            byte_scratch: Vec::new(),
             marked_end_ns: None,
         }
+    }
+
+    /// Detach the reusable byte staging buffer (see `byte_scratch`); the
+    /// caller must hand it back with
+    /// [`restore_byte_scratch`](Self::restore_byte_scratch).
+    pub(crate) fn take_byte_scratch(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.byte_scratch)
+    }
+
+    /// Return the byte staging buffer taken by
+    /// [`take_byte_scratch`](Self::take_byte_scratch), keeping its capacity
+    /// for the next access.
+    pub(crate) fn restore_byte_scratch(&mut self, buf: Vec<u8>) {
+        self.byte_scratch = buf;
     }
 
     // ------------------------------------------------------------------
@@ -220,9 +241,9 @@ impl ProcCtx {
     // ------------------------------------------------------------------
 
     /// Read `dst.len()` bytes of shared memory starting at `addr`.
-    pub fn read_bytes(&mut self, addr: GlobalAddr, dst: &mut [u8]) {
+    pub async fn read_bytes(&mut self, addr: GlobalAddr, dst: &mut [u8]) {
         self.charge_access(dst.len());
-        self.ensure_valid_range(addr, dst.len() as u64, false);
+        self.ensure_valid_range(addr, dst.len() as u64, false).await;
         let ProcCtx { store, stats, .. } = self;
         store.read(addr, dst, |exch, bytes| {
             if let Some(e) = stats.exchanges.get_mut(exch as usize) {
@@ -232,9 +253,9 @@ impl ProcCtx {
     }
 
     /// Write `src` to shared memory starting at `addr`.
-    pub fn write_bytes(&mut self, addr: GlobalAddr, src: &[u8]) {
+    pub async fn write_bytes(&mut self, addr: GlobalAddr, src: &[u8]) {
         self.charge_access(src.len());
-        self.ensure_valid_range(addr, src.len() as u64, true);
+        self.ensure_valid_range(addr, src.len() as u64, true).await;
         self.store.write(addr, src);
         if self.protocol.is_home_based() {
             self.write_through_home(addr, src);
@@ -273,14 +294,14 @@ impl ProcCtx {
         }
     }
 
-    fn ensure_valid_range(&mut self, addr: GlobalAddr, len: u64, for_write: bool) {
+    async fn ensure_valid_range(&mut self, addr: GlobalAddr, len: u64, for_write: bool) {
         if len == 0 {
             return;
         }
         let layout = self.layout;
         for page in layout.pages_of_range(addr, len) {
             if self.meta[page.index()].invalid {
-                self.fault_on(page);
+                self.fault_on(page).await;
             }
             if for_write && !self.meta[page.index()].dirty {
                 // The write-protocol seam at write detection: a multi-writer
@@ -336,14 +357,14 @@ impl ProcCtx {
     /// static consistency unit or the dynamic page group), contact every
     /// concurrent writer, apply the diffs in happens-before order, validate
     /// and account.
-    fn fault_on(&mut self, page: PageId) {
+    async fn fault_on(&mut self, page: PageId) {
         // Fault service is a scheduling point: yield to the deterministic
         // scheduler so a processor with an earlier logical clock runs first.
         // What this fault fetches is fixed by our own pending-notice state,
         // so the yield affects ordering only, never the fetched contents.
         self.sync
-            .scheduler()
-            .yield_turn(self.rank.index(), self.clock.now_ns());
+            .yield_turn(self.rank.index(), self.clock.now_ns())
+            .await;
 
         // Pages whose diffs are fetched by this fault, and pages that become
         // valid afterwards.
@@ -709,7 +730,7 @@ impl ProcCtx {
     /// barrier episode can retire them wholesale.  This sends real,
     /// accounted messages; below the trigger it never runs and the run is
     /// bit-identical to one with the flush disabled.
-    fn flush_pending_for_gc(&mut self) {
+    async fn flush_pending_for_gc(&mut self) {
         let pages: Vec<PageId> = self
             .meta
             .iter()
@@ -721,8 +742,8 @@ impl ProcCtx {
             return;
         }
         self.sync
-            .scheduler()
-            .yield_turn(self.rank.index(), self.clock.now_ns());
+            .yield_turn(self.rank.index(), self.clock.now_ns())
+            .await;
         // Fetch through the protocol's own service path: per-writer diff
         // exchanges, or whole-page fetches from the homes.
         let outcome = self.fetch_pending(&pages);
@@ -962,14 +983,15 @@ impl ProcCtx {
 
     /// Acquire global lock `lock_id`, incorporating the write notices that
     /// the last releaser's critical section makes visible.
-    pub fn acquire(&mut self, lock_id: usize) {
+    pub async fn acquire(&mut self, lock_id: usize) {
         self.close_interval();
         self.resync_aggregator();
 
         let stall_start = self.clock.now_ns();
         let grant = self
             .sync
-            .acquire_lock(lock_id, self.rank.index(), stall_start);
+            .acquire_lock(lock_id, self.rank.index(), stall_start)
+            .await;
 
         // Modeled time: the lock cannot be granted before the last release
         // happened, and the transfer itself costs the calibrated latency
@@ -1021,22 +1043,24 @@ impl ProcCtx {
 
     /// Release global lock `lock_id`, making this processor's modifications
     /// visible to the next acquirer.
-    pub fn release(&mut self, lock_id: usize) {
+    pub async fn release(&mut self, lock_id: usize) {
         self.close_interval();
         self.resync_aggregator();
-        self.sync.release_lock(
-            lock_id,
-            self.rank.index(),
-            self.vc.clone(),
-            self.clock.now_ns(),
-        );
+        self.sync
+            .release_lock(
+                lock_id,
+                self.rank.index(),
+                self.vc.clone(),
+                self.clock.now_ns(),
+            )
+            .await;
     }
 
     /// Cross the global barrier, incorporating every other processor's write
     /// notices and garbage-collecting this processor's interval log up to
     /// the watermark the episode sealed (see DESIGN.md, "Interval garbage
     /// collection").
-    pub fn barrier(&mut self) {
+    pub async fn barrier(&mut self) {
         self.close_interval();
         self.resync_aggregator();
 
@@ -1060,7 +1084,7 @@ impl ProcCtx {
             .map(|&c| c as usize)
             .sum();
         if pending_total > self.gc_flush_pending_limit {
-            self.flush_pending_for_gc();
+            self.flush_pending_for_gc().await;
         }
 
         // This processor's contribution to the episode's GC watermark: per
@@ -1072,13 +1096,16 @@ impl ProcCtx {
             .collect();
 
         let my_published = self.vc.get(self.rank.index());
-        let epoch = self.sync.barrier_arrive(
-            self.rank.index(),
-            self.clock.now_ns(),
-            self.cost.barrier_latency(self.nprocs as u32),
-            my_published,
-            &pending_floor,
-        );
+        let epoch = self
+            .sync
+            .barrier_arrive(
+                self.rank.index(),
+                self.clock.now_ns(),
+                self.cost.barrier_latency(self.nprocs as u32),
+                my_published,
+                &pending_floor,
+            )
+            .await;
         self.clock.wait_until(epoch.depart_clock_ns);
 
         let mut notices = 0u64;

@@ -12,10 +12,13 @@
 //! *consistency information* (vector clock of the last release) and the
 //! *modeled time* of each operation travel alongside, unchanged.
 
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 
 use parking_lot::Mutex;
-use tm_sched::{SchedConfig, Scheduler, WaitKey};
+use tm_sched::{EngineKind, SchedConfig, Scheduler, WaitKey};
 
 use crate::vc::VectorClock;
 
@@ -255,6 +258,93 @@ impl CentralBarrier {
     }
 }
 
+/// The scheduler transition a [`TurnWait`] performs before waiting for the
+/// turn to come back around.
+#[derive(Debug)]
+enum TurnOp {
+    /// No transition: just wait for this processor's first turn.
+    FirstTurn,
+    /// Requeue as runnable at `clock_ns`, then wait to be picked again.
+    Yield { clock_ns: u64 },
+    /// Park on `key` at `clock_ns`, then wait to be woken and picked.
+    Block { key: WaitKey, clock_ns: u64 },
+}
+
+/// A park point: the future returned by every scheduler wait in
+/// [`GlobalSync`].  The same future serves both substrates:
+///
+/// * **Threaded** — the transition plus the wait run as one *blocking*
+///   scheduler call inside the first `poll`, which therefore always returns
+///   [`Poll::Ready`]; the future never actually suspends.
+/// * **EventDriven** — the first `poll` applies the transition through the
+///   scheduler's non-blocking `note_*` API (which also picks the next
+///   runnable processor), then reports [`Poll::Pending`] until the
+///   single-threaded engine observes this processor is current again.
+///
+/// Either way the scheduler sees the exact same sequence of transitions, so
+/// the decision log — and with it every downstream statistic — is
+/// bit-identical across engines.
+#[derive(Debug)]
+pub struct TurnWait<'a> {
+    sched: &'a Scheduler,
+    rank: usize,
+    engine: EngineKind,
+    op: Option<TurnOp>,
+}
+
+impl Future for TurnWait<'_> {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        let this = &mut *self;
+        match this.engine {
+            EngineKind::Threaded => {
+                if let Some(op) = this.op.take() {
+                    match op {
+                        TurnOp::FirstTurn => this.sched.wait_first_turn(this.rank),
+                        TurnOp::Yield { clock_ns } => this.sched.yield_turn(this.rank, clock_ns),
+                        TurnOp::Block { key, clock_ns } => {
+                            this.sched.block_on(this.rank, key, clock_ns)
+                        }
+                    }
+                }
+                Poll::Ready(())
+            }
+            EngineKind::EventDriven => {
+                if let Some(op) = this.op.take() {
+                    match op {
+                        TurnOp::FirstTurn => {}
+                        TurnOp::Yield { clock_ns } => this.sched.note_yield(this.rank, clock_ns),
+                        TurnOp::Block { key, clock_ns } => {
+                            this.sched.note_block(this.rank, key, clock_ns)
+                        }
+                    }
+                }
+                if this.sched.is_current(this.rank) {
+                    Poll::Ready(())
+                } else {
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+/// Drive a future that must complete within a single poll — the contract of
+/// every [`TurnWait`] under the threaded engine, where each park point
+/// blocks internally and resolves before `poll` returns.
+///
+/// # Panics
+/// Panics if the future suspends, which would mean a threaded-mode park
+/// point returned [`Poll::Pending`] — a substrate bug.
+pub(crate) fn complete_now<F: Future>(fut: F) -> F::Output {
+    let mut fut = std::pin::pin!(fut);
+    match fut.as_mut().poll(&mut Context::from_waker(Waker::noop())) {
+        Poll::Ready(v) => v,
+        Poll::Pending => unreachable!("threaded-engine future suspended; park points must block"),
+    }
+}
+
 /// The cluster-wide synchronization state shared by all processors: the
 /// lock table, the barrier, and the deterministic scheduler that serializes
 /// every blocking point.
@@ -265,22 +355,59 @@ pub struct GlobalSync {
     /// The single centralized barrier.
     pub barrier: CentralBarrier,
     sched: Scheduler,
+    engine: EngineKind,
 }
 
 impl GlobalSync {
     /// Create the synchronization state for a cluster running under the
-    /// given scheduling configuration.
-    pub fn new(nprocs: usize, max_locks: usize, sched: SchedConfig) -> Self {
+    /// given scheduling configuration and execution engine.
+    pub fn new(nprocs: usize, max_locks: usize, sched: SchedConfig, engine: EngineKind) -> Self {
         GlobalSync {
             locks: (0..max_locks).map(|_| GlobalLock::new(nprocs)).collect(),
             barrier: CentralBarrier::new(nprocs),
             sched: Scheduler::new(nprocs, sched),
+            engine,
         }
     }
 
     /// The deterministic scheduler serializing this cluster's processors.
     pub fn scheduler(&self) -> &Scheduler {
         &self.sched
+    }
+
+    /// Which execution substrate drives this cluster's processors.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Park point: wait for this processor's first turn.
+    pub(crate) fn wait_first_turn(&self, rank: usize) -> TurnWait<'_> {
+        TurnWait {
+            sched: &self.sched,
+            rank,
+            engine: self.engine,
+            op: Some(TurnOp::FirstTurn),
+        }
+    }
+
+    /// Park point: requeue as runnable at `clock_ns` and wait to be picked.
+    pub(crate) fn yield_turn(&self, rank: usize, clock_ns: u64) -> TurnWait<'_> {
+        TurnWait {
+            sched: &self.sched,
+            rank,
+            engine: self.engine,
+            op: Some(TurnOp::Yield { clock_ns }),
+        }
+    }
+
+    /// Park point: block on `key` at `clock_ns` and wait to be woken.
+    fn block_turn(&self, rank: usize, key: WaitKey, clock_ns: u64) -> TurnWait<'_> {
+        TurnWait {
+            sched: &self.sched,
+            rank,
+            engine: self.engine,
+            op: Some(TurnOp::Block { key, clock_ns }),
+        }
     }
 
     /// The lock with the given id.
@@ -301,23 +428,23 @@ impl GlobalSync {
     /// earlier clock gets its request in before us) and parking until the
     /// lock is granted.  Contended hand-off order is therefore
     /// `(request clock, tie-break)` — deterministic.
-    pub fn acquire_lock(&self, id: usize, rank: usize, clock_ns: u64) -> LockRelease {
-        self.sched.yield_turn(rank, clock_ns);
+    pub async fn acquire_lock(&self, id: usize, rank: usize, clock_ns: u64) -> LockRelease {
+        self.yield_turn(rank, clock_ns).await;
         loop {
             if let Some(grant) = self.lock(id).try_acquire() {
                 return grant;
             }
-            self.sched
-                .block_on(rank, WaitKey::Lock(id as u32), clock_ns);
+            self.block_turn(rank, WaitKey::Lock(id as u32), clock_ns)
+                .await;
         }
     }
 
     /// Release lock `id`, wake its waiters, and yield the turn so that a
     /// waiter with an earlier request clock runs before we race ahead.
-    pub fn release_lock(&self, id: usize, rank: usize, vc: VectorClock, clock_ns: u64) {
+    pub async fn release_lock(&self, id: usize, rank: usize, vc: VectorClock, clock_ns: u64) {
         self.lock(id).release(rank as u32, vc, clock_ns);
         self.sched.wake_all(WaitKey::Lock(id as u32));
-        self.sched.yield_turn(rank, clock_ns);
+        self.yield_turn(rank, clock_ns).await;
     }
 
     /// Arrive at the barrier as processor `rank`, announcing the caller's
@@ -326,7 +453,7 @@ impl GlobalSync {
     /// [`gc_thresholds`]).  Parks (on the scheduler) until everyone
     /// has arrived and returns the barrier episode (common departure time +
     /// published-interval snapshot + retirement watermarks).
-    pub fn barrier_arrive(
+    pub async fn barrier_arrive(
         &self,
         rank: usize,
         clock_ns: u64,
@@ -334,7 +461,7 @@ impl GlobalSync {
         published_intervals: u32,
         pending_floor: &[u32],
     ) -> Arc<BarrierEpoch> {
-        self.sched.yield_turn(rank, clock_ns);
+        self.yield_turn(rank, clock_ns).await;
         match self.barrier.arrive(
             rank,
             clock_ns,
@@ -347,8 +474,8 @@ impl GlobalSync {
                 epoch
             }
             Arrival::Wait { generation } => {
-                self.sched
-                    .block_on(rank, WaitKey::Barrier(generation), clock_ns);
+                self.block_turn(rank, WaitKey::Barrier(generation), clock_ns)
+                    .await;
                 self.barrier.epoch()
             }
         }
@@ -411,13 +538,13 @@ mod tests {
         // function of the seed, which we check by tracing two identical
         // runs.
         let run = |seed: u64| {
-            let sync = GlobalSync::new(4, 4, SchedConfig::seeded(seed));
+            let sync = GlobalSync::new(4, 4, SchedConfig::seeded(seed), EngineKind::Threaded);
             let order = Mutex::new(Vec::new());
             let counter = Mutex::new(0u64);
             drive(&sync, 4, |rank| {
                 for i in 0..200u64 {
                     let clock = rank as u64 + 4 * i;
-                    let _grant = sync.acquire_lock(0, rank, clock);
+                    let _grant = complete_now(sync.acquire_lock(0, rank, clock));
                     {
                         let mut c = counter.lock();
                         let v = *c;
@@ -425,7 +552,7 @@ mod tests {
                         *c = v + 1;
                     }
                     order.lock().push(rank as u32);
-                    sync.release_lock(0, rank, VectorClock::zero(4), clock + 1);
+                    complete_now(sync.release_lock(0, rank, VectorClock::zero(4), clock + 1));
                 }
             });
             assert_eq!(*counter.lock(), 800);
@@ -440,19 +567,19 @@ mod tests {
         // Rank 0 takes the lock at clock 0 and holds it until clock 10_000;
         // ranks 1..4 request it at clocks 300, 200, 100. Hand-off must be in
         // request-clock order: 3, 2, 1.
-        let sync = GlobalSync::new(4, 1, SchedConfig::fifo());
+        let sync = GlobalSync::new(4, 1, SchedConfig::fifo(), EngineKind::Threaded);
         let order = Mutex::new(Vec::new());
         drive(&sync, 4, |rank| {
             if rank == 0 {
-                let _ = sync.acquire_lock(0, 0, 0);
+                let _ = complete_now(sync.acquire_lock(0, 0, 0));
                 // Let the others get their requests in, then release late.
                 sync.scheduler().yield_turn(0, 9_000);
-                sync.release_lock(0, 0, VectorClock::zero(4), 10_000);
+                complete_now(sync.release_lock(0, 0, VectorClock::zero(4), 10_000));
             } else {
                 let clock = 100 * (4 - rank) as u64;
-                let _ = sync.acquire_lock(0, rank, clock);
+                let _ = complete_now(sync.acquire_lock(0, rank, clock));
                 order.lock().push(rank);
-                sync.release_lock(0, rank, VectorClock::zero(4), 10_000 + clock);
+                complete_now(sync.release_lock(0, rank, VectorClock::zero(4), 10_000 + clock));
             }
         });
         assert_eq!(*order.lock(), vec![3, 2, 1]);
@@ -460,26 +587,23 @@ mod tests {
 
     #[test]
     fn barrier_departure_is_max_arrival_plus_latency() {
-        let sync = GlobalSync::new(3, 1, SchedConfig::fifo());
+        let sync = GlobalSync::new(3, 1, SchedConfig::fifo(), EngineKind::Threaded);
         let departs = drive(&sync, 3, |rank| {
             let clock = [100u64, 900, 400][rank];
-            sync.barrier_arrive(rank, clock, 50, 0, &[u32::MAX; 3])
-                .depart_clock_ns
+            complete_now(sync.barrier_arrive(rank, clock, 50, 0, &[u32::MAX; 3])).depart_clock_ns
         });
         assert_eq!(departs, vec![950, 950, 950]);
     }
 
     #[test]
     fn barrier_is_reusable_across_generations() {
-        let sync = GlobalSync::new(2, 1, SchedConfig::fifo());
+        let sync = GlobalSync::new(2, 1, SchedConfig::fifo(), EngineKind::Threaded);
         let results = drive(&sync, 2, |rank| {
             let first = [20u64, 10][rank];
-            let a = sync
-                .barrier_arrive(rank, first, 5, 0, &[u32::MAX; 2])
+            let a = complete_now(sync.barrier_arrive(rank, first, 5, 0, &[u32::MAX; 2]))
                 .depart_clock_ns;
             let second = if rank == 0 { a + 1 } else { a + 100 };
-            let b = sync
-                .barrier_arrive(rank, second, 5, 0, &[u32::MAX; 2])
+            let b = complete_now(sync.barrier_arrive(rank, second, 5, 0, &[u32::MAX; 2]))
                 .depart_clock_ns;
             (a, b)
         });
@@ -489,9 +613,15 @@ mod tests {
 
     #[test]
     fn barrier_snapshots_published_intervals() {
-        let sync = GlobalSync::new(3, 1, SchedConfig::seeded(3));
+        let sync = GlobalSync::new(3, 1, SchedConfig::seeded(3), EngineKind::Threaded);
         let epochs = drive(&sync, 3, |rank| {
-            sync.barrier_arrive(rank, 10 * rank as u64, 7, rank as u32 * 2, &[u32::MAX; 3])
+            complete_now(sync.barrier_arrive(
+                rank,
+                10 * rank as u64,
+                7,
+                rank as u32 * 2,
+                &[u32::MAX; 3],
+            ))
         });
         for e in epochs {
             assert_eq!(e.published_intervals, vec![0, 2, 4]);
@@ -515,14 +645,13 @@ mod tests {
 
     #[test]
     fn barrier_seals_gc_watermarks_from_previous_coverage() {
-        let sync = GlobalSync::new(2, 1, SchedConfig::fifo());
+        let sync = GlobalSync::new(2, 1, SchedConfig::fifo(), EngineKind::Threaded);
         let results = drive(&sync, 2, |rank| {
             // Episode 1: ranks have published 4 and 2 intervals, nothing
             // pending.  Episode 2: rank 1 still has rank 0's interval 3
             // pending.
             let published = [4u32, 2][rank];
-            let first = sync
-                .barrier_arrive(rank, 10, 5, published, &[u32::MAX; 2])
+            let first = complete_now(sync.barrier_arrive(rank, 10, 5, published, &[u32::MAX; 2]))
                 .retire_below
                 .clone();
             let floor = if rank == 1 {
@@ -530,8 +659,7 @@ mod tests {
             } else {
                 [u32::MAX; 2]
             };
-            let second = sync
-                .barrier_arrive(rank, 100, 5, published + 1, &floor)
+            let second = complete_now(sync.barrier_arrive(rank, 100, 5, published + 1, &floor))
                 .retire_below
                 .clone();
             (first, second)
@@ -547,8 +675,9 @@ mod tests {
 
     #[test]
     fn scheduler_mode_is_wired_through() {
-        let sync = GlobalSync::new(2, 1, SchedConfig::seeded(99));
+        let sync = GlobalSync::new(2, 1, SchedConfig::seeded(99), EngineKind::Threaded);
         assert_eq!(sync.scheduler().config().seed, 99);
+        assert_eq!(sync.engine(), EngineKind::Threaded);
         assert_eq!(sync.scheduler().config().mode, ScheduleMode::Seeded);
         assert_eq!(sync.scheduler().nprocs(), 2);
     }
@@ -556,7 +685,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside the configured table")]
     fn out_of_range_lock_id_panics() {
-        let sync = GlobalSync::new(2, 4, SchedConfig::default());
+        let sync = GlobalSync::new(2, 4, SchedConfig::default(), EngineKind::default());
         sync.lock(10);
     }
 }

@@ -41,6 +41,55 @@ use std::fmt;
 
 use parking_lot::{Condvar, Mutex};
 
+/// Which execution substrate drives the simulated processors.
+///
+/// Both substrates take their scheduling decisions from the same
+/// [`Scheduler`] pick loop, so a run's results are independent of the
+/// choice; only the host-side mechanics differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// One OS thread per simulated processor, parked on the scheduler's
+    /// condvar whenever it does not hold the turn (the original substrate).
+    Threaded,
+    /// Single-threaded discrete-event engine: each processor is a resumable
+    /// state machine (a future) polled only while it holds the turn.  No
+    /// per-processor threads, so clusters of hundreds of processors are
+    /// cheap.  The default.
+    #[default]
+    EventDriven,
+}
+
+impl EngineKind {
+    /// Canonical lowercase name, as accepted by `--engine` and recorded in
+    /// emitted results.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EngineKind::Threaded => "threaded",
+            EngineKind::EventDriven => "event",
+        }
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threaded" => Ok(EngineKind::Threaded),
+            "event" | "event-driven" => Ok(EngineKind::EventDriven),
+            other => Err(format!(
+                "unknown engine '{other}' (expected threaded or event)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// How scheduling ties (equal logical clocks) are broken.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ScheduleMode {
@@ -170,6 +219,10 @@ struct SchedState {
     /// scheduler call (parked or arriving) panics instead of waiting, so
     /// the whole cluster aborts rather than hanging on parked threads.
     aborted: bool,
+    /// When present, every decision's `(decision index, chosen rank)` is
+    /// appended here — the decision-trace hook the cross-substrate tests
+    /// compare.  `None` (the default) costs nothing on the pick path.
+    trace: Option<Vec<(u64, usize)>>,
 }
 
 impl SchedState {
@@ -232,6 +285,7 @@ impl Scheduler {
             current: None,
             decisions: 0,
             aborted: false,
+            trace: None,
         };
         Self::pick(&mut state, &config);
         Scheduler {
@@ -287,11 +341,20 @@ impl Scheduler {
             }
         }
         match best {
-            Some((_, _, rank)) => state.current = Some(rank),
+            Some((_, _, rank)) => {
+                state.current = Some(rank);
+                if let Some(trace) = state.trace.as_mut() {
+                    trace.push((decisions, rank));
+                }
+            }
             None => {
-                if state.finished == state.procs.len() {
-                    state.current = None;
-                } else {
+                // Either every processor finished or the unfinished ones are
+                // all blocked (a simulated deadlock). In both cases nobody
+                // holds the turn — clearing `current` is what stops the
+                // event-driven pick loop; leaving it stale would let the
+                // engine resume a processor the schedule never chose.
+                state.current = None;
+                if state.finished != state.procs.len() {
                     state.aborted = true;
                 }
             }
@@ -317,6 +380,13 @@ impl Scheduler {
     /// # Panics
     /// Panics if the cluster aborts (simulated deadlock) first.
     pub fn wait_first_turn(&self, rank: usize) {
+        self.wait_turn(rank);
+    }
+
+    /// Park until `rank` holds the turn (the blocking half of the threaded
+    /// substrate; the event-driven engine never parks — it polls
+    /// [`current`](Self::current) instead).
+    fn wait_turn(&self, rank: usize) {
         let mut state = self.state.lock();
         while state.current != Some(rank) && !state.aborted {
             self.cv.wait(&mut state);
@@ -331,15 +401,22 @@ impl Scheduler {
     /// # Panics
     /// Panics if the cluster aborts (simulated deadlock) while parked.
     pub fn yield_turn(&self, rank: usize, clock_ns: u64) {
+        self.note_yield(rank, clock_ns);
+        self.wait_turn(rank);
+    }
+
+    /// The state transition of [`yield_turn`](Self::yield_turn) without the
+    /// park: announce the clock, take the next scheduling decision, wake any
+    /// parked threads — and return immediately, whoever the turn went to.
+    /// This is the event-driven substrate's yield point; the caller must
+    /// suspend itself until [`current`](Self::current) names it again.  Must
+    /// be called while holding the turn.
+    pub fn note_yield(&self, rank: usize, clock_ns: u64) {
         let mut state = self.state.lock();
         debug_assert_eq!(state.current, Some(rank), "yield without holding the turn");
         state.procs[rank] = ProcState::Runnable { clock_ns };
         Self::pick(&mut state, &self.config);
         self.cv.notify_all();
-        while state.current != Some(rank) && !state.aborted {
-            self.cv.wait(&mut state);
-        }
-        Self::check_aborted(&state);
     }
 
     /// Block this processor on `key`, handing the turn over. Returns once a
@@ -351,16 +428,63 @@ impl Scheduler {
     /// Panics if blocking deadlocks the cluster, or if the cluster aborts
     /// while parked.
     pub fn block_on(&self, rank: usize, key: WaitKey, clock_ns: u64) {
+        self.note_block(rank, key, clock_ns);
+        self.wait_turn(rank);
+    }
+
+    /// The state transition of [`block_on`](Self::block_on) without the
+    /// park (the event-driven substrate's block point — see
+    /// [`note_yield`](Self::note_yield)).  Unlike `block_on` this never
+    /// panics on a deadlock it provokes: the aborted state is left for the
+    /// driving engine to observe via [`abort_dump`](Self::abort_dump).  Must
+    /// be called while holding the turn.
+    pub fn note_block(&self, rank: usize, key: WaitKey, clock_ns: u64) {
         let mut state = self.state.lock();
         debug_assert_eq!(state.current, Some(rank), "block without holding the turn");
         state.procs[rank] = ProcState::Blocked { key, clock_ns };
         state.remove_runnable(rank);
         Self::pick(&mut state, &self.config);
         self.cv.notify_all();
-        while state.current != Some(rank) && !state.aborted {
-            self.cv.wait(&mut state);
-        }
-        Self::check_aborted(&state);
+    }
+
+    /// The rank currently holding the turn (`None` once every processor has
+    /// finished).  The event-driven engine's pick loop reads this to decide
+    /// which processor to poll next.
+    pub fn current(&self) -> Option<usize> {
+        self.state.lock().current
+    }
+
+    /// True if `rank` currently holds the turn (the event-driven substrate's
+    /// readiness test).
+    pub fn is_current(&self, rank: usize) -> bool {
+        self.state.lock().current == Some(rank)
+    }
+
+    /// The deadlock state dump, if the scheduler has aborted: the same
+    /// message the blocking entry points panic with.  The event-driven
+    /// engine polls this instead of relying on parked threads panicking.
+    pub fn abort_dump(&self) -> Option<String> {
+        let state = self.state.lock();
+        state.aborted.then(|| {
+            format!(
+                "simulated deadlock: no runnable processor, states: {:?}",
+                state.procs
+            )
+        })
+    }
+
+    /// Start recording `(decision index, chosen rank)` for every scheduling
+    /// decision from now on (the decision-trace hook the cross-substrate
+    /// differential tests compare).  Discards any previous trace.
+    pub fn enable_decision_trace(&self) {
+        self.state.lock().trace = Some(Vec::new());
+    }
+
+    /// Stop recording and hand back the decision trace collected since
+    /// [`enable_decision_trace`](Self::enable_decision_trace), or `None` if
+    /// tracing was never enabled.
+    pub fn take_decision_trace(&self) -> Option<Vec<(u64, usize)>> {
+        self.state.lock().trace.take()
     }
 
     /// Make every processor blocked on `key` runnable again (at the logical
@@ -693,6 +817,183 @@ mod tests {
                 (1, 407)
             ]
         );
+    }
+
+    /// Drive the scheduler from ONE host thread the way the event-driven
+    /// engine does: repeatedly read `current()`, run that processor to its
+    /// next yield point via the non-blocking API, finish it when its script
+    /// is exhausted.  Returns the serialized `(rank, clock)` event trace.
+    fn event_trace(nprocs: usize, config: SchedConfig, scripts: &[Vec<u64>]) -> Vec<(usize, u64)> {
+        assert_eq!(scripts.len(), nprocs);
+        let sched = Scheduler::new(nprocs, config);
+        let mut next = vec![0usize; nprocs];
+        let mut events = Vec::new();
+        while let Some(rank) = sched.current() {
+            assert!(sched.abort_dump().is_none(), "unexpected abort");
+            if next[rank] < scripts[rank].len() {
+                let clock = scripts[rank][next[rank]];
+                next[rank] += 1;
+                events.push((rank, clock));
+                sched.note_yield(rank, clock);
+            } else {
+                sched.finish(rank);
+            }
+        }
+        events
+    }
+
+    /// The event-driven (single-threaded, non-blocking) drive and the
+    /// threaded (parked-OS-threads) drive must serialize identically: both
+    /// substrates consume the same pick loop.
+    #[test]
+    fn event_drive_matches_threaded_drive() {
+        let scripts = |nprocs: usize| -> Vec<Vec<u64>> {
+            (0..nprocs)
+                .map(|rank| {
+                    (0..4u64)
+                        .map(|i| 100 * (i + 1) + (rank as u64 % 2) * 7)
+                        .collect()
+                })
+                .collect()
+        };
+        for config in [
+            SchedConfig::fifo(),
+            SchedConfig::seeded(42),
+            SchedConfig::seeded(7),
+        ] {
+            let threaded = trace(6, config, |rank, _, step| {
+                for i in 0..4u64 {
+                    step(100 * (i + 1) + (rank as u64 % 2) * 7);
+                }
+            });
+            assert_eq!(
+                event_trace(6, config, &scripts(6)),
+                threaded,
+                "substrates diverged under {config:?}"
+            );
+        }
+    }
+
+    /// Golden: the event-driven pick order at 64 processors (the scale the
+    /// threaded substrate made impractical).  Each processor yields 4 times
+    /// with staggered clocks mixing plateaus and strict orderings; the trace
+    /// is pinned by length, prefix, and an FNV-1a fold so any tie-break or
+    /// runnable-set regression at large N is caught bit-exactly.
+    #[test]
+    fn event_pick_order_golden_at_64_procs() {
+        let scripts: Vec<Vec<u64>> = (0..64)
+            .map(|rank: usize| {
+                (0..4u64)
+                    .map(|i| 1000 * (i + 1) + (rank as u64 % 8) * 11)
+                    .collect()
+            })
+            .collect();
+        let fold = |t: &[(usize, u64)]| {
+            fnv1a_words(
+                &t.iter()
+                    .flat_map(|&(r, c)| [r as u64, c])
+                    .collect::<Vec<u64>>(),
+            )
+        };
+        let fifo = event_trace(64, SchedConfig::fifo(), &scripts);
+        assert_eq!(fifo.len(), 64 * 4);
+        // Everyone starts at clock 0, so the first plateau serializes every
+        // processor's first yield — in rank order under fifo.
+        assert_eq!(
+            &fifo[..8],
+            &[
+                (0, 1000),
+                (1, 1011),
+                (2, 1022),
+                (3, 1033),
+                (4, 1044),
+                (5, 1055),
+                (6, 1066),
+                (7, 1077)
+            ]
+        );
+        assert_eq!(
+            fold(&fifo),
+            0xd2e32d0827bdcbf5,
+            "fifo 64-proc trace drifted"
+        );
+
+        let seeded = event_trace(64, SchedConfig::seeded(0x5eed), &scripts);
+        assert_eq!(seeded.len(), 64 * 4);
+        assert_eq!(
+            &seeded[..8],
+            &[
+                (36, 1044),
+                (27, 1033),
+                (43, 1033),
+                (28, 1044),
+                (46, 1066),
+                (56, 1000),
+                (41, 1011),
+                (22, 1066)
+            ]
+        );
+        assert_eq!(
+            fold(&seeded),
+            0xa754913125c8f57d,
+            "seeded 64-proc trace drifted"
+        );
+        // Both substrates at 64 procs, for good measure: the threaded drive
+        // must reproduce the same golden.
+        let threaded = trace(64, SchedConfig::seeded(0x5eed), |rank, _, step| {
+            for i in 0..4u64 {
+                step(1000 * (i + 1) + (rank as u64 % 8) * 11);
+            }
+        });
+        assert_eq!(threaded, seeded);
+    }
+
+    /// Pinned snapshot of the deadlock state dump: the panic diagnostics the
+    /// engines surface must not silently regress.
+    #[test]
+    fn deadlock_state_dump_snapshot() {
+        let sched = Scheduler::new(2, SchedConfig::fifo());
+        assert_eq!(sched.abort_dump(), None);
+        assert_eq!(sched.current(), Some(0));
+        sched.note_block(0, WaitKey::Lock(9), 5);
+        assert!(sched.is_current(1));
+        sched.note_block(1, WaitKey::Lock(9), 7);
+        assert_eq!(
+            sched.abort_dump().as_deref(),
+            Some(
+                "simulated deadlock: no runnable processor, states: \
+                 [Blocked { key: Lock(9), clock_ns: 5 }, \
+                 Blocked { key: Lock(9), clock_ns: 7 }]"
+            )
+        );
+    }
+
+    #[test]
+    fn decision_trace_records_picks() {
+        let sched = Scheduler::new(2, SchedConfig::fifo());
+        assert_eq!(sched.take_decision_trace(), None, "tracing starts off");
+        sched.enable_decision_trace();
+        sched.note_yield(0, 10); // decision 2: rank 1 (clock 0) is due
+        sched.note_yield(1, 20); // decision 3: rank 0 (clock 10)
+        sched.finish(0); //         decision 4: rank 1
+        let trace = sched.take_decision_trace().expect("tracing was enabled");
+        assert_eq!(trace, vec![(2, 1), (3, 0), (4, 1)]);
+        assert_eq!(sched.take_decision_trace(), None, "take drains the trace");
+    }
+
+    #[test]
+    fn engine_kind_parses_and_prints() {
+        use std::str::FromStr;
+        assert_eq!(EngineKind::from_str("threaded"), Ok(EngineKind::Threaded));
+        assert_eq!(EngineKind::from_str("event"), Ok(EngineKind::EventDriven));
+        assert_eq!(
+            EngineKind::from_str("event-driven"),
+            Ok(EngineKind::EventDriven)
+        );
+        assert!(EngineKind::from_str("fibers").is_err());
+        assert_eq!(EngineKind::Threaded.to_string(), "threaded");
+        assert_eq!(EngineKind::EventDriven.to_string(), "event");
+        assert_eq!(EngineKind::default(), EngineKind::EventDriven);
     }
 
     #[test]

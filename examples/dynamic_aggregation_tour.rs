@@ -21,23 +21,23 @@ fn run(label: &str, unit: UnitPolicy) {
     let mut dsm = Dsm::new(DsmConfig::with_procs(2).shared_pages(64).unit(unit));
     let region = dsm.alloc_array::<u64>(64 * 512, Align::Page); // 64 pages of u64
 
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         let mut consumed = 0u64;
         for round in 0..ITERATIONS as u64 {
             if ctx.rank() == 0 {
                 // The producer rewrites the scattered working set.
                 for &p in &WORKING_SET {
                     let vals: Vec<u64> = (0..512u64).map(|i| i + round).collect();
-                    region.write_slice(ctx, p * 512, &vals);
+                    region.write_slice(ctx, p * 512, &vals).await;
                 }
             }
-            ctx.barrier();
+            ctx.barrier().await;
             if ctx.rank() == 1 {
                 for &p in &WORKING_SET {
-                    consumed += region.read_vec(ctx, p * 512, 512).iter().sum::<u64>();
+                    consumed += region.read_vec(ctx, p * 512, 512).await.iter().sum::<u64>();
                 }
             }
-            ctx.barrier();
+            ctx.barrier().await;
         }
         consumed
     });

@@ -16,16 +16,17 @@ fn scenario_useless_messages() {
     let mut dsm = Dsm::new(DsmConfig::with_procs(3).shared_pages(16));
     let page = dsm.alloc_array::<u32>(1024, Align::Page); // exactly one 4 KB page
 
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         match ctx.rank() {
-            0 => page.write_slice(ctx, 0, &vec![7u32; 512]), // top half
-            1 => page.write_slice(ctx, 512, &vec![9u32; 512]), // bottom half
+            0 => page.write_slice(ctx, 0, &vec![7u32; 512]).await, // top half
+            1 => page.write_slice(ctx, 512, &vec![9u32; 512]).await, // bottom half
             _ => {}
         }
-        ctx.barrier();
+        ctx.barrier().await;
         if ctx.rank() == 2 {
             // Reads only the top half, but the fault contacts both writers.
             page.read_vec(ctx, 0, 512)
+                .await
                 .iter()
                 .map(|&v| v as u64)
                 .sum::<u64>()
@@ -51,13 +52,15 @@ fn scenario_piggybacked_useless_data() {
     let mut dsm = Dsm::new(DsmConfig::with_procs(2).shared_pages(16));
     let page = dsm.alloc_array::<u32>(1024, Align::Page);
 
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         if ctx.rank() == 0 {
-            page.write_slice(ctx, 0, &(0..1024u32).collect::<Vec<_>>());
+            page.write_slice(ctx, 0, &(0..1024u32).collect::<Vec<_>>())
+                .await;
         }
-        ctx.barrier();
+        ctx.barrier().await;
         if ctx.rank() == 1 {
             page.read_vec(ctx, 0, 512)
+                .await
                 .iter()
                 .map(|&v| v as u64)
                 .sum::<u64>()
@@ -86,18 +89,19 @@ fn scenario_aggregation_tradeoff() {
     ] {
         let mut dsm = Dsm::new(DsmConfig::with_procs(2).shared_pages(16).unit(unit));
         let two_pages = dsm.alloc_array::<u32>(2048, Align::Page);
-        let out = dsm.run(|ctx| {
+        let out = dsm.run(async |ctx| {
             if ctx.rank() == 0 {
                 // Writer touches both contiguous pages.
-                two_pages.write_slice(ctx, 0, &vec![1u32; 2048]);
+                two_pages.write_slice(ctx, 0, &vec![1u32; 2048]).await;
             }
-            ctx.barrier();
+            ctx.barrier().await;
             if ctx.rank() == 1 {
                 // Reader reads both pages: with 4 KB units this is two
                 // faults and two exchanges; with 8 KB units a single fault
                 // fetches both diffs in one exchange.
                 two_pages
                     .read_vec(ctx, 0, 2048)
+                    .await
                     .iter()
                     .map(|&v| v as u64)
                     .sum::<u64>()

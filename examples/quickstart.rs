@@ -19,31 +19,31 @@ fn main() {
     let total = dsm.alloc_scalar::<f64>(Align::Page);
 
     // The closure runs once per simulated processor.
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         let me = ctx.rank();
         let nprocs = ctx.nprocs();
         let chunk = grid.len() / nprocs;
 
         // Phase 1: every processor fills its own chunk.
         let values: Vec<f64> = (0..chunk).map(|i| (me * chunk + i) as f64).collect();
-        grid.write_slice(ctx, me * chunk, &values);
-        ctx.barrier();
+        grid.write_slice(ctx, me * chunk, &values).await;
+        ctx.barrier().await;
 
         // Phase 2: every processor reads the chunk written by its right
         // neighbour — this is where page faults, diff requests and diff
         // replies happen under the hood.
         let neighbour = (me + 1) % nprocs;
-        let theirs = grid.read_vec(ctx, neighbour * chunk, chunk);
+        let theirs = grid.read_vec(ctx, neighbour * chunk, chunk).await;
         let partial: f64 = theirs.iter().sum();
 
         // Phase 3: a lock-protected reduction into a shared scalar.
-        ctx.acquire(0);
-        let sum = total.get(ctx);
-        total.set(ctx, sum + partial);
-        ctx.release(0);
-        ctx.barrier();
+        ctx.acquire(0).await;
+        let sum = total.get(ctx).await;
+        total.set(ctx, sum + partial).await;
+        ctx.release(0).await;
+        ctx.barrier().await;
 
-        total.get(ctx)
+        total.get(ctx).await
     });
 
     let expected: f64 = (0..4096).map(|i| i as f64).sum();

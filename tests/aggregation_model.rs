@@ -21,14 +21,15 @@ fn aggregation_halves_messages_for_contiguous_producer_consumer() {
     ] {
         let mut d = dsm(2, unit);
         let pages = d.alloc_array::<u32>(2048, Align::Page);
-        let out = d.run(|ctx| {
+        let out = d.run(async |ctx| {
             if ctx.rank() == 0 {
-                pages.write_slice(ctx, 0, &vec![3u32; 2048]);
+                pages.write_slice(ctx, 0, &vec![3u32; 2048]).await;
             }
-            ctx.barrier();
+            ctx.barrier().await;
             if ctx.rank() == 1 {
                 pages
                     .read_vec(ctx, 0, 2048)
+                    .await
                     .iter()
                     .map(|&v| u64::from(v))
                     .sum()
@@ -58,14 +59,15 @@ fn aggregation_halves_messages_for_contiguous_producer_consumer() {
 fn aggregation_adds_useless_data_when_only_part_is_read() {
     let mut d = dsm(2, UnitPolicy::Static { pages: 2 });
     let pages = d.alloc_array::<u32>(2048, Align::Page);
-    let out = d.run(|ctx| {
+    let out = d.run(async |ctx| {
         if ctx.rank() == 0 {
-            pages.write_slice(ctx, 0, &vec![5u32; 2048]);
+            pages.write_slice(ctx, 0, &vec![5u32; 2048]).await;
         }
-        ctx.barrier();
+        ctx.barrier().await;
         if ctx.rank() == 1 {
             pages
                 .read_vec(ctx, 0, 1024)
+                .await
                 .iter()
                 .map(|&v| u64::from(v))
                 .sum()
@@ -94,16 +96,17 @@ fn aggregation_introduces_useless_messages_across_distinct_writers() {
     ] {
         let mut d = dsm(3, unit);
         let pages = d.alloc_array::<u32>(2048, Align::Page);
-        let out = d.run(|ctx| {
+        let out = d.run(async |ctx| {
             match ctx.rank() {
-                0 => pages.write_slice(ctx, 0, &vec![1u32; 1024]),
-                1 => pages.write_slice(ctx, 1024, &vec![2u32; 1024]),
+                0 => pages.write_slice(ctx, 0, &vec![1u32; 1024]).await,
+                1 => pages.write_slice(ctx, 1024, &vec![2u32; 1024]).await,
                 _ => {}
             }
-            ctx.barrier();
+            ctx.barrier().await;
             if ctx.rank() == 2 {
                 pages
                     .read_vec(ctx, 0, 1024)
+                    .await
                     .iter()
                     .map(|&v| u64::from(v))
                     .sum()
@@ -138,22 +141,22 @@ fn dynamic_aggregation_prefetches_repeated_scattered_working_set() {
     let run_with = |unit: UnitPolicy| {
         let mut d = dsm(2, unit);
         let region = d.alloc_array::<u64>(16 * 512, Align::Page);
-        let out = d.run(|ctx| {
+        let out = d.run(async |ctx| {
             let mut acc = 0u64;
             for round in 0..rounds {
                 if ctx.rank() == 0 {
                     for &p in &working_set {
                         let vals: Vec<u64> = (0..512u64).map(|i| i + round).collect();
-                        region.write_slice(ctx, p * 512, &vals);
+                        region.write_slice(ctx, p * 512, &vals).await;
                     }
                 }
-                ctx.barrier();
+                ctx.barrier().await;
                 if ctx.rank() == 1 {
                     for &p in &working_set {
-                        acc += region.read_vec(ctx, p * 512, 512).iter().sum::<u64>();
+                        acc += region.read_vec(ctx, p * 512, 512).await.iter().sum::<u64>();
                     }
                 }
-                ctx.barrier();
+                ctx.barrier().await;
             }
             acc
         });
@@ -186,21 +189,21 @@ fn dynamic_aggregation_prefetches_repeated_scattered_working_set() {
 fn prefetched_faults_are_recorded() {
     let mut d = dsm(2, UnitPolicy::Dynamic { max_group_pages: 4 });
     let region = d.alloc_array::<u64>(4 * 512, Align::Page);
-    let out = d.run(|ctx| {
+    let out = d.run(async |ctx| {
         for round in 0..3u64 {
             if ctx.rank() == 0 {
                 for p in 0..4usize {
                     let vals: Vec<u64> = (0..512u64).map(|i| i + round).collect();
-                    region.write_slice(ctx, p * 512, &vals);
+                    region.write_slice(ctx, p * 512, &vals).await;
                 }
             }
-            ctx.barrier();
+            ctx.barrier().await;
             if ctx.rank() == 1 {
                 for p in 0..4usize {
-                    let _ = region.read_vec(ctx, p * 512, 512);
+                    let _ = region.read_vec(ctx, p * 512, 512).await;
                 }
             }
-            ctx.barrier();
+            ctx.barrier().await;
         }
         0u64
     });

@@ -13,16 +13,20 @@ fn config(nprocs: usize, unit: UnitPolicy) -> DsmConfig {
 fn sixteen_processors_heavy_lock_contention() {
     let mut dsm = Dsm::new(config(16, UnitPolicy::Static { pages: 1 }));
     let counters = dsm.alloc_array::<u64>(8, Align::Page);
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         for i in 0..40usize {
             let slot = i % 8;
-            ctx.acquire(slot);
-            let v = counters.get(ctx, slot);
-            counters.set(ctx, slot, v + 1);
-            ctx.release(slot);
+            ctx.acquire(slot).await;
+            let v = counters.get(ctx, slot).await;
+            counters.set(ctx, slot, v + 1).await;
+            ctx.release(slot).await;
         }
-        ctx.barrier();
-        (0..8).map(|s| counters.get(ctx, s)).sum::<u64>()
+        ctx.barrier().await;
+        let mut total = 0u64;
+        for s in 0..8 {
+            total += counters.get(ctx, s).await;
+        }
+        total
     });
     for r in out.results {
         assert_eq!(r, 16 * 40);
@@ -35,13 +39,13 @@ fn repeated_runs_are_independent_and_deterministic_in_content() {
     let arr = dsm.alloc_array::<u64>(4096, Align::Page);
     let mut sums = Vec::new();
     for _ in 0..3 {
-        let out = dsm.run(|ctx| {
+        let out = dsm.run(async |ctx| {
             let me = ctx.rank();
             let chunk = arr.len() / ctx.nprocs();
             let vals: Vec<u64> = (0..chunk as u64).map(|i| i + me as u64).collect();
-            arr.write_slice(ctx, me * chunk, &vals);
-            ctx.barrier();
-            arr.read_vec(ctx, 0, arr.len()).iter().sum::<u64>()
+            arr.write_slice(ctx, me * chunk, &vals).await;
+            ctx.barrier().await;
+            arr.read_vec(ctx, 0, arr.len()).await.iter().sum::<u64>()
         });
         assert_eq!(out.results[0], out.results[3]);
         sums.push(out.results[0]);
@@ -58,15 +62,15 @@ fn ping_pong_migratory_page() {
     // holder).
     let mut dsm = Dsm::new(config(2, UnitPolicy::Static { pages: 1 }));
     let cell = dsm.alloc_scalar::<u64>(Align::Page);
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         for _ in 0..50 {
-            ctx.acquire(0);
-            let v = cell.get(ctx);
-            cell.set(ctx, v + 1);
-            ctx.release(0);
+            ctx.acquire(0).await;
+            let v = cell.get(ctx).await;
+            cell.set(ctx, v + 1).await;
+            ctx.release(0).await;
         }
-        ctx.barrier();
-        cell.get(ctx)
+        ctx.barrier().await;
+        cell.get(ctx).await
     });
     assert_eq!(out.results[0], 100);
     let b = out.breakdown();
@@ -85,20 +89,20 @@ fn statistics_invariants_hold_for_a_mixed_workload() {
     ] {
         let mut dsm = Dsm::new(config(6, unit));
         let shared = dsm.alloc_array::<u64>(32 * 512, Align::Page);
-        let out = dsm.run(|ctx| {
+        let out = dsm.run(async |ctx| {
             let me = ctx.rank();
             let n = ctx.nprocs();
             for round in 0..3u64 {
                 for slot in (me..32).step_by(n) {
                     let vals: Vec<u64> = (0..512u64).map(|i| i * round + slot as u64).collect();
-                    shared.write_slice(ctx, slot * 512, &vals);
+                    shared.write_slice(ctx, slot * 512, &vals).await;
                 }
-                ctx.barrier();
+                ctx.barrier().await;
                 // Read the next processor's slots.
                 for slot in (((me + 1) % n)..32).step_by(n) {
-                    let _ = shared.read_vec(ctx, slot * 512, 256);
+                    let _ = shared.read_vec(ctx, slot * 512, 256).await;
                 }
-                ctx.barrier();
+                ctx.barrier().await;
             }
             0u64
         });
@@ -127,13 +131,13 @@ proptest! {
         let nprocs = 2 + (seed % 3) as usize; // 2..4 processors
         let mut dsm = Dsm::new(config(nprocs, UnitPolicy::Static { pages: 1 }));
         let arr = dsm.alloc_array::<u64>(nprocs * 1024, Align::Page);
-        let out = dsm.run(|ctx| {
+        let out = dsm.run(async |ctx| {
             let me = ctx.rank();
             let vals: Vec<u64> = (0..1024u64).map(|i| i.wrapping_mul(seed + 1) + me as u64).collect();
-            arr.write_slice(ctx, me * 1024, &vals);
-            ctx.barrier();
+            arr.write_slice(ctx, me * 1024, &vals).await;
+            ctx.barrier().await;
             // Everyone reads everything.
-            arr.read_vec(ctx, 0, arr.len()).iter().copied().sum::<u64>()
+            arr.read_vec(ctx, 0, arr.len()).await.iter().copied().sum::<u64>()
         });
         let expected: u64 = (0..nprocs as u64)
             .flat_map(|p| (0..1024u64).map(move |i| i.wrapping_mul(seed + 1) + p))

@@ -249,7 +249,7 @@ fn aggressive_gc_flush_preserves_results_and_retires_logs() {
             .gc_flush_pending_limit(limit),
         );
         let arr = dsm.alloc_array::<u64>(4096, Align::Page);
-        let out = dsm.run(|ctx| {
+        let out = dsm.run(async |ctx| {
             let me = ctx.rank();
             let n = ctx.nprocs();
             // 24 phases of owner-computes over fixed bands: every barrier
@@ -261,13 +261,14 @@ fn aggressive_gc_flush_preserves_results_and_retires_logs() {
             let base = me * chunk;
             for phase in 0..24u64 {
                 for i in 0..chunk {
-                    arr.set(ctx, base + i, phase * 1_000 + (base + i) as u64);
+                    arr.set(ctx, base + i, phase * 1_000 + (base + i) as u64)
+                        .await;
                 }
-                ctx.barrier();
+                ctx.barrier().await;
             }
             let mut sum = 0u64;
             for i in 0..arr.len() {
-                sum += arr.get(ctx, i);
+                sum += arr.get(ctx, i).await;
             }
             sum
         });

@@ -1,0 +1,225 @@
+//! Cross-substrate differential suite: the thread-per-processor and the
+//! single-threaded discrete-event engines execute the *same* schedule (both
+//! take every decision from `tm_sched`'s pick loop), so they must produce
+//! bit-identical results — checksums, `ClusterStats`, modeled execution
+//! times, and the emitted machine documents.  `--engine` is a host
+//! performance knob, never a measurement knob.
+//!
+//! The suite pins that equivalence at three levels:
+//!
+//! * **cluster level** — every registered application, under both write
+//!   protocols and both diff timings at the golden seed, compared field by
+//!   field across engines;
+//! * **document level** — the `fig1`/`table1` experiment pipelines rerun
+//!   byte-identically under the event engine, and the CSV document (which
+//!   carries no engine marker) is byte-identical *across* engines;
+//! * **scale level** — the 256-processor Jacobi cell the event engine
+//!   unlocks (the threaded substrate needs an OS thread per rank; the event
+//!   engine needs a boxed continuation) still matches the threaded run bit
+//!   for bit.
+//!
+//! A proptest closes the loop underneath: arbitrary interleavings of
+//! yield-point sequences (writes, remote reads, lock chains, barriers)
+//! replayed on both substrates produce identical scheduler decision logs —
+//! not just identical end states.
+
+use proptest::prelude::*;
+use tdsm_core::{DiffTiming, EngineKind, ProtocolMode, SchedConfig};
+use tm_apps::{AppConfig, AppId, Workload};
+use tm_bench::{render, run_experiment, BenchArgs, Experiment, OutputFormat, RunnerOptions, Scale};
+
+/// The fixed golden configuration: 4 processors, seeded schedule.
+const GOLDEN_SEED: u64 = 0x5eed;
+
+fn cfg(nprocs: usize, protocol: ProtocolMode, timing: DiffTiming, engine: EngineKind) -> AppConfig {
+    AppConfig::with_procs(nprocs)
+        .sched(SchedConfig::seeded(GOLDEN_SEED))
+        .protocol(protocol)
+        .diff_timing(timing)
+        .engine(engine)
+}
+
+/// The differential core: every application × protocol × diff timing at the
+/// golden seed, bit-identical across substrates.
+#[test]
+fn engines_agree_for_every_app_protocol_and_diff_timing() {
+    for w in Workload::tiny_suite() {
+        for protocol in [ProtocolMode::MultiWriter, ProtocolMode::home_based()] {
+            for timing in [DiffTiming::Eager, DiffTiming::Lazy] {
+                let threaded = w.run_parallel(&cfg(4, protocol, timing, EngineKind::Threaded));
+                let event = w.run_parallel(&cfg(4, protocol, timing, EngineKind::EventDriven));
+                let what = format!("{} {protocol} {timing:?}", w.size_label);
+                assert_eq!(
+                    threaded.checksum.to_bits(),
+                    event.checksum.to_bits(),
+                    "{what}: checksum diverged between engines"
+                );
+                assert_eq!(
+                    threaded.exec_time_ns, event.exec_time_ns,
+                    "{what}: modeled execution time diverged between engines"
+                );
+                assert_eq!(
+                    threaded.breakdown, event.breakdown,
+                    "{what}: communication breakdown diverged between engines"
+                );
+                assert_eq!(
+                    threaded.stats, event.stats,
+                    "{what}: ClusterStats diverged between engines"
+                );
+            }
+        }
+    }
+}
+
+/// Document level: the `fig1` and `table1` pipelines (the same experiment
+/// builders and emitters the binaries call) rerun byte-identically under
+/// the event engine, and since the CSV format carries no engine marker, the
+/// CSV document is byte-identical across engines too.  The JSON documents
+/// differ across engines only by the threaded cells' `engine` field — their
+/// measurements are asserted equal cell by cell.
+#[test]
+fn fig1_and_table1_documents_are_engine_invariant() {
+    let args_for = |engine: EngineKind| BenchArgs {
+        nprocs: 4,
+        scale: Scale::Tiny,
+        threads: 1,
+        engine,
+        ..BenchArgs::defaults(4)
+    };
+    let builders: [(&str, fn(&BenchArgs) -> Experiment); 2] =
+        [("fig1", Experiment::fig1), ("table1", Experiment::table1)];
+    for (name, build) in builders {
+        let event_args = args_for(EngineKind::EventDriven);
+        let threaded_args = args_for(EngineKind::Threaded);
+        let opts = RunnerOptions { threads: 1 };
+        let event = run_experiment(&build(&event_args), &opts).without_host_times();
+        let rerun = run_experiment(&build(&event_args), &opts).without_host_times();
+        let threaded = run_experiment(&build(&threaded_args), &opts).without_host_times();
+
+        // Rerun stability, byte for byte, in the canonical JSON document.
+        assert_eq!(
+            render(&event, OutputFormat::Json),
+            render(&rerun, OutputFormat::Json),
+            "{name}: event-engine JSON document is not rerun-stable"
+        );
+        // Engine invariance of the CSV document, byte for byte.
+        assert_eq!(
+            render(&event, OutputFormat::Csv),
+            render(&threaded, OutputFormat::Csv),
+            "{name}: CSV document diverged between engines"
+        );
+        // And the per-cell measurements behind the JSON agree exactly.
+        assert_eq!(event.cells.len(), threaded.cells.len());
+        for (e, t) in event.cells.iter().zip(&threaded.cells) {
+            assert_eq!(e.cell.key(), t.cell.key(), "{name}: cell order diverged");
+            assert_eq!(e.exec_time_ns, t.exec_time_ns, "{name} {}", e.cell.key());
+            assert_eq!(
+                e.checksum.to_bits(),
+                t.checksum.to_bits(),
+                "{name} {}",
+                e.cell.key()
+            );
+            assert_eq!(e.breakdown, t.breakdown, "{name} {}", e.cell.key());
+        }
+    }
+}
+
+/// Scale level: the acceptance-criterion cell.  At 256 simulated processors
+/// the threaded substrate spawns 256 OS threads while the event engine
+/// walks 256 boxed continuations on one thread — and the results still
+/// match bit for bit (ranks beyond the 32 tiny grid rows hold empty bands
+/// and just participate in the barriers).
+#[test]
+fn jacobi_at_256_processors_matches_across_engines() {
+    let w = Workload::tiny(AppId::Jacobi);
+    let threaded = w.run_parallel(&cfg(
+        256,
+        ProtocolMode::MultiWriter,
+        DiffTiming::default(),
+        EngineKind::Threaded,
+    ));
+    let event = w.run_parallel(&cfg(
+        256,
+        ProtocolMode::MultiWriter,
+        DiffTiming::default(),
+        EngineKind::EventDriven,
+    ));
+    assert_eq!(threaded.checksum.to_bits(), event.checksum.to_bits());
+    assert_eq!(threaded.exec_time_ns, event.exec_time_ns);
+    assert_eq!(threaded.breakdown, event.breakdown);
+    assert_eq!(threaded.stats, event.stats);
+    // And it verifies against the sequential reference like any other cell.
+    assert!(tm_apps::checksums_match(
+        event.checksum,
+        w.run_sequential(),
+        1e-6
+    ));
+}
+
+/// One synthetic yield-point program: every rank executes the same op list
+/// (so barrier counts always line up), but each non-barrier op touches
+/// rank-dependent state — disjoint writes, neighbour reads, contended lock
+/// chains — producing schedule-relevant faults and park points.
+async fn replay(ctx: &mut tdsm_core::ProcCtx, arr: &tdsm_core::GArray<u64>, ops: &[u8]) -> u64 {
+    let me = ctx.rank();
+    let n = ctx.nprocs();
+    let slots = arr.len() / n;
+    for (i, op) in ops.iter().enumerate() {
+        match op % 4 {
+            // Disjoint write into my own band.
+            0 => {
+                arr.set(ctx, me * slots + i % slots, (me + i) as u64).await;
+            }
+            // Read my neighbour's band (a cross-processor fault).
+            1 => {
+                let _ = arr.get(ctx, ((me + 1) % n) * slots + i % slots).await;
+            }
+            // Contended lock-protected read-modify-write of slot 0.
+            2 => {
+                let lock = (*op as usize) % 4;
+                ctx.acquire(lock).await;
+                let v = arr.get(ctx, 0).await;
+                arr.set(ctx, 0, v + 1).await;
+                ctx.release(lock).await;
+            }
+            // Global barrier (same count on every rank by construction).
+            _ => ctx.barrier().await,
+        }
+    }
+    ctx.barrier().await;
+    let mut sum = 0u64;
+    for s in 0..arr.len() {
+        sum = sum.wrapping_add(arr.get(ctx, s).await);
+    }
+    sum
+}
+
+proptest! {
+    // Each case replays the program on both substrates; bounded so the
+    // whole-workspace run stays fast in CI.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary interleavings of yield-point sequences produce *identical
+    /// scheduler decision logs* on both substrates — the engines do not just
+    /// reach the same end state, they take the same path.
+    #[test]
+    fn decision_traces_match_across_substrates(
+        seed in 0u64..1_000_000,
+        nprocs in 2usize..=5,
+        ops in prop::collection::vec(0u8..=255, 1..24),
+    ) {
+        let run = |engine: EngineKind| {
+            let config = tdsm_core::DsmConfig::with_procs(nprocs)
+                .shared_pages(64)
+                .sched(SchedConfig::seeded(seed));
+            let mut dsm = tdsm_core::Dsm::new(tdsm_core::DsmConfig { engine, ..config });
+            let arr = dsm.alloc_array::<u64>(nprocs * 64, tdsm_core::Align::Page);
+            dsm.run_traced(async |ctx| replay(ctx, &arr, &ops).await)
+        };
+        let (threaded_out, threaded_trace) = run(EngineKind::Threaded);
+        let (event_out, event_trace) = run(EngineKind::EventDriven);
+        prop_assert_eq!(threaded_trace, event_trace);
+        prop_assert_eq!(&threaded_out.results, &event_out.results);
+        prop_assert_eq!(&threaded_out.stats, &event_out.stats);
+    }
+}

@@ -17,15 +17,16 @@ fn config(nprocs: usize) -> DsmConfig {
 fn write_write_false_sharing_produces_useless_messages() {
     let mut dsm = Dsm::new(config(3));
     let page = dsm.alloc_array::<u32>(1024, Align::Page);
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         match ctx.rank() {
-            0 => page.write_slice(ctx, 0, &vec![1u32; 512]),
-            1 => page.write_slice(ctx, 512, &vec![2u32; 512]),
+            0 => page.write_slice(ctx, 0, &vec![1u32; 512]).await,
+            1 => page.write_slice(ctx, 512, &vec![2u32; 512]).await,
             _ => {}
         }
-        ctx.barrier();
+        ctx.barrier().await;
         if ctx.rank() == 2 {
             page.read_vec(ctx, 0, 512)
+                .await
                 .iter()
                 .map(|&v| u64::from(v))
                 .sum()
@@ -58,13 +59,15 @@ fn write_write_false_sharing_produces_useless_messages() {
 fn whole_page_diff_with_partial_read_produces_piggybacked_useless_data() {
     let mut dsm = Dsm::new(config(2));
     let page = dsm.alloc_array::<u32>(1024, Align::Page);
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         if ctx.rank() == 0 {
-            page.write_slice(ctx, 0, &(1..=1024u32).collect::<Vec<_>>());
+            page.write_slice(ctx, 0, &(1..=1024u32).collect::<Vec<_>>())
+                .await;
         }
-        ctx.barrier();
+        ctx.barrier().await;
         if ctx.rank() == 1 {
             page.read_vec(ctx, 0, 512)
+                .await
                 .iter()
                 .map(|&v| u64::from(v))
                 .sum()
@@ -86,13 +89,15 @@ fn whole_page_diff_with_partial_read_produces_piggybacked_useless_data() {
 fn full_read_has_no_useless_data() {
     let mut dsm = Dsm::new(config(2));
     let page = dsm.alloc_array::<u32>(1024, Align::Page);
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         if ctx.rank() == 0 {
-            page.write_slice(ctx, 0, &(1..=1024u32).collect::<Vec<_>>());
+            page.write_slice(ctx, 0, &(1..=1024u32).collect::<Vec<_>>())
+                .await;
         }
-        ctx.barrier();
+        ctx.barrier().await;
         if ctx.rank() == 1 {
             page.read_vec(ctx, 0, 1024)
+                .await
                 .iter()
                 .map(|&v| u64::from(v))
                 .sum()
@@ -115,23 +120,23 @@ fn lock_transfer_carries_consistency() {
     let mut dsm = Dsm::new(config(2));
     let cell = dsm.alloc_scalar::<u64>(Align::Page);
     let flag = dsm.alloc_scalar::<u64>(Align::Page);
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         if ctx.rank() == 0 {
-            ctx.acquire(0);
-            cell.set(ctx, 4242);
-            flag.set(ctx, 1);
-            ctx.release(0);
-            ctx.barrier();
+            ctx.acquire(0).await;
+            cell.set(ctx, 4242).await;
+            flag.set(ctx, 1).await;
+            ctx.release(0).await;
+            ctx.barrier().await;
             0
         } else {
             // Spin on the lock until the producer's update is visible.
             loop {
-                ctx.acquire(0);
-                let ready = flag.get(ctx) == 1;
-                let v = cell.get(ctx);
-                ctx.release(0);
+                ctx.acquire(0).await;
+                let ready = flag.get(ctx).await == 1;
+                let v = cell.get(ctx).await;
+                ctx.release(0).await;
                 if ready {
-                    ctx.barrier();
+                    ctx.barrier().await;
                     return v;
                 }
                 std::thread::yield_now();
@@ -154,15 +159,15 @@ fn multiple_writer_merge_under_all_policies() {
     ] {
         let mut dsm = Dsm::new(config(4).unit(unit));
         let page = dsm.alloc_array::<u32>(1024, Align::Page);
-        let out = dsm.run(|ctx| {
+        let out = dsm.run(async |ctx| {
             let me = ctx.rank();
             let quarter = 256usize;
             let vals: Vec<u32> = (0..quarter as u32)
                 .map(|i| i + 1 + 1000 * me as u32)
                 .collect();
-            page.write_slice(ctx, me * quarter, &vals);
-            ctx.barrier();
-            let all = page.read_vec(ctx, 0, 1024);
+            page.write_slice(ctx, me * quarter, &vals).await;
+            ctx.barrier().await;
+            let all = page.read_vec(ctx, 0, 1024).await;
             all.iter().map(|&v| u64::from(v)).sum::<u64>()
         });
         let expected: u64 = (0..4u64)
@@ -181,17 +186,17 @@ fn multiple_writer_merge_under_all_policies() {
 fn dynamic_aggregation_adapts_to_changing_access_patterns() {
     let mut dsm = Dsm::new(config(2).unit(UnitPolicy::Dynamic { max_group_pages: 8 }));
     let region = dsm.alloc_array::<u64>(16 * 512, Align::Page);
-    let out = dsm.run(|ctx| {
+    let out = dsm.run(async |ctx| {
         let mut acc = 0u64;
         for round in 0..4u64 {
             if ctx.rank() == 0 {
                 // The producer writes all 16 pages every round.
                 for p in 0..16usize {
                     let vals: Vec<u64> = (0..512u64).map(|i| i * (round + 1) + p as u64).collect();
-                    region.write_slice(ctx, p * 512, &vals);
+                    region.write_slice(ctx, p * 512, &vals).await;
                 }
             }
-            ctx.barrier();
+            ctx.barrier().await;
             if ctx.rank() == 1 {
                 // The consumer's working set changes every round.
                 let pages: Vec<usize> = match round % 2 {
@@ -199,10 +204,10 @@ fn dynamic_aggregation_adapts_to_changing_access_patterns() {
                     _ => vec![1, 3, 5, 7, 9],
                 };
                 for p in pages {
-                    acc += region.read_vec(ctx, p * 512, 512).iter().sum::<u64>();
+                    acc += region.read_vec(ctx, p * 512, 512).await.iter().sum::<u64>();
                 }
             }
-            ctx.barrier();
+            ctx.barrier().await;
         }
         acc
     });
