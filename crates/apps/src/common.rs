@@ -13,8 +13,8 @@
 //! [`suite`](crate::suite) registry.
 
 use tdsm_core::{
-    ClusterStats, CommBreakdown, CostModel, DiffTiming, DsmConfig, EngineKind, ProtocolMode,
-    SchedConfig, UnitPolicy,
+    AggregationPolicy, ClusterStats, CommBreakdown, CostModel, DiffTiming, DsmConfig, EngineKind,
+    ProtocolMode, SchedConfig, Topology, UnitPolicy,
 };
 
 /// Configuration of one application run: how many processors and which
@@ -46,6 +46,13 @@ pub struct AppConfig {
     /// Execution substrate (threaded or event-driven).  A host-performance
     /// knob only: results and statistics are bit-identical across engines.
     pub engine: EngineKind,
+    /// Interconnect shape: the ideal (infinite-bandwidth) default, a shared
+    /// 10 Mbps bus, or a switched fabric with per-processor ports.  Changes
+    /// modeled time only, never computed results or message counts.
+    pub topology: Topology,
+    /// How write notices and diff flushes are packed onto the wire; only
+    /// observable under a contended topology.
+    pub aggregation: AggregationPolicy,
 }
 
 impl AppConfig {
@@ -61,6 +68,8 @@ impl AppConfig {
             diff_timing: DiffTiming::default(),
             gc_flush_pending_limit: tdsm_core::config::DEFAULT_GC_FLUSH_PENDING_LIMIT,
             engine: EngineKind::default(),
+            topology: Topology::default(),
+            aggregation: AggregationPolicy::default(),
         }
     }
 
@@ -108,6 +117,18 @@ impl AppConfig {
         self
     }
 
+    /// Builder-style setter for the interconnect topology.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Builder-style setter for the wire-aggregation policy.
+    pub fn aggregation(mut self, aggregation: AggregationPolicy) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
     /// Convert into the DSM configuration used to build the cluster.
     pub fn dsm_config(&self) -> DsmConfig {
         DsmConfig {
@@ -120,6 +141,8 @@ impl AppConfig {
             diff_timing: self.diff_timing,
             gc_flush_pending_limit: self.gc_flush_pending_limit,
             engine: self.engine,
+            topology: self.topology,
+            aggregation: self.aggregation,
             ..DsmConfig::paper_default()
         }
     }

@@ -3,8 +3,8 @@
 //!
 //! Usage:
 //! `cargo run -p tm-bench --release --bin bench -- [--quick] [--iters N]
-//! [--engine threaded|event] [--out FILE] [--baseline FILE]
-//! [--tolerance FRAC] [--reference-wall-ms MS]`
+//! [--engine threaded|event] [--topology ideal|bus|switched] [--out FILE]
+//! [--baseline FILE] [--tolerance FRAC] [--reference-wall-ms MS]`
 //!
 //! * with no flags, measures the full suite (micro medians + the canonical
 //!   `fig2 4 --scale large --app Jacobi` sweep) and prints the JSON document
@@ -14,6 +14,9 @@
 //!   baseline by accident);
 //! * `--iters N` overrides the per-micro iteration count (the median is
 //!   reported);
+//! * `--topology` runs the measured workloads on a contended modeled
+//!   interconnect (the checked-in artifact uses the ideal default; a
+//!   contended report fails the gate on its exec-time digests, by design);
 //! * `--out FILE` writes the document to `FILE` instead of stdout;
 //! * `--baseline FILE` additionally compares the fresh measurements against
 //!   `FILE` and exits 1 when any digest differs or any timing regresses by
@@ -46,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut iters_override = None;
     let mut engine_override = None;
+    let mut topology_override = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -69,6 +73,10 @@ fn parse_args() -> Result<Args, String> {
                     Some(v.parse::<tm_sched::EngineKind>().map_err(|_| {
                         format!("unknown engine '{v}' (expected threaded or event)")
                     })?);
+            }
+            "--topology" => {
+                let v = value("--topology")?;
+                topology_override = Some(v.parse::<tdsm_core::Topology>()?);
             }
             "--out" => out.out = Some(value("--out")?),
             "--baseline" => out.baseline = Some(value("--baseline")?),
@@ -98,6 +106,9 @@ fn parse_args() -> Result<Args, String> {
     if let Some(engine) = engine_override {
         out.opts.engine = engine;
     }
+    if let Some(topology) = topology_override {
+        out.opts.topology = topology;
+    }
     Ok(out)
 }
 
@@ -107,8 +118,9 @@ fn main() {
         Err(msg) => {
             eprintln!(
                 "error: {msg}\nusage: bench [--quick] [--iters N] \
-                 [--engine threaded|event] [--out FILE] \
-                 [--baseline FILE] [--tolerance FRAC] [--reference-wall-ms MS]"
+                 [--engine threaded|event] [--topology ideal|bus|switched] \
+                 [--out FILE] [--baseline FILE] [--tolerance FRAC] \
+                 [--reference-wall-ms MS]"
             );
             std::process::exit(2);
         }

@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 
 use serde::json::{parse, Value};
 use serde::{field_arr, field_f64, field_str, field_u64, FromJson, JsonSchemaError, ToJson};
-use tdsm_core::{CommBreakdown, GcCounters, UnitPolicy};
+use tdsm_core::{CommBreakdown, GcCounters, LinkStats, UnitPolicy};
 use tm_apps::AppId;
 
 use crate::experiment::Cell;
@@ -34,8 +34,12 @@ use crate::{figure_panel_string, signature_string};
 /// per-cell `protocol` field and the `home_updates`/`page_fetches` counters
 /// inside `breakdown`; the event-driven engine rework added the per-cell
 /// `engine` field, emitted only for the non-default (threaded) substrate so
-/// default-engine documents stay byte-identical. Readers must treat all of
-/// these as optional; this parser does, in both directions.
+/// default-engine documents stay byte-identical; the network-contention
+/// subsystem added the per-cell `topology` and `aggregation` fields (emitted
+/// only when non-default, same discipline) and the per-cell `links` array of
+/// per-link occupancy counters (emitted only when a contended topology
+/// modeled any links). Readers must treat all of these as optional; this
+/// parser does, in both directions.
 pub const RESULT_SCHEMA: &str = "tm-bench/experiment-result/v1";
 
 /// The output formats every figure/table binary supports via `--format`.
@@ -118,6 +122,21 @@ impl ToJson for Cell {
                 Value::Str(self.engine.as_str().to_string()),
             ));
         }
+        // Same discipline for the network axis: the ideal topology and
+        // per-message aggregation are omitted so pre-topology documents stay
+        // byte-identical.
+        if self.network.topology != tdsm_core::Topology::default() {
+            pairs.push((
+                "topology".to_string(),
+                Value::Str(self.network.topology.as_str().to_string()),
+            ));
+        }
+        if self.network.aggregation != tdsm_core::AggregationPolicy::default() {
+            pairs.push((
+                "aggregation".to_string(),
+                Value::Str(self.network.aggregation.as_str().to_string()),
+            ));
+        }
         Value::Obj(pairs)
     }
 }
@@ -168,6 +187,23 @@ impl FromJson for Cell {
             // Additive v1 field: absent means the default (event-driven)
             // substrate — and engines never change measurements anyway.
             engine: tdsm_core::engine_from_json(v)?,
+            // Additive v1 fields: documents emitted before the network
+            // subsystem landed modeled the ideal interconnect.
+            network: {
+                let topology = match v.get("topology") {
+                    None => tdsm_core::Topology::default(),
+                    Some(t) => t.as_str().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                        JsonSchemaError::new("topology", "\"ideal\", \"bus\" or \"switched\"")
+                    })?,
+                };
+                let aggregation = match v.get("aggregation") {
+                    None => tdsm_core::AggregationPolicy::default(),
+                    Some(a) => a.as_str().and_then(|a| a.parse().ok()).ok_or_else(|| {
+                        JsonSchemaError::new("aggregation", "\"per-message\" or \"batched\"")
+                    })?,
+                };
+                tdsm_core::NetworkConfig::new(topology, aggregation)
+            },
         })
     }
 }
@@ -186,6 +222,32 @@ impl ToJson for CellResult {
         // report's footer instead).
         pairs.push(("breakdown".into(), self.breakdown.to_json()));
         pairs.push(("gc".into(), self.gc.to_json()));
+        // Per-link occupancy counters, only when a contended topology
+        // modeled any links — ideal-topology documents stay byte-identical
+        // to pre-topology ones.  Each link additionally carries its derived
+        // utilization (busy / modeled exec time) for chart consumers; the
+        // parser ignores it, the counters are authoritative.
+        if !self.links.is_empty() {
+            pairs.push((
+                "links".into(),
+                Value::Arr(
+                    self.links
+                        .iter()
+                        .map(|l| {
+                            let mut link = match l.to_json() {
+                                Value::Obj(pairs) => pairs,
+                                _ => unreachable!("LinkStats::to_json returns an object"),
+                            };
+                            link.push((
+                                "utilization".to_string(),
+                                Value::Num(l.utilization(self.exec_time_ns)),
+                            ));
+                            Value::Obj(link)
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         Value::Obj(pairs)
     }
 }
@@ -210,6 +272,24 @@ impl FromJson for CellResult {
             gc: match v.get("gc") {
                 None => GcCounters::default(),
                 Some(g) => GcCounters::from_json(g).map_err(|e| e.in_context("gc"))?,
+            },
+            // Additive v1 field: absent for ideal-topology documents (no
+            // links are modeled there).
+            links: match v.get("links") {
+                None => Vec::new(),
+                Some(arr) => {
+                    let items = arr
+                        .as_arr()
+                        .ok_or_else(|| JsonSchemaError::new("links", "array"))?;
+                    let mut links = Vec::new();
+                    for (i, l) in items.iter().enumerate() {
+                        links.push(
+                            LinkStats::from_json(l)
+                                .map_err(|e| e.in_context(&format!("links[{i}]")))?,
+                        );
+                    }
+                    links
+                }
             },
         })
     }
@@ -254,11 +334,14 @@ impl FromJson for ExperimentResult {
 // CSV
 // ---------------------------------------------------------------------------
 
-/// Header of the per-cell CSV projection.
+/// Header of the per-cell CSV projection.  The four network columns are the
+/// flat projection of the per-link JSON counters: the topology/aggregation
+/// labels, the summed busy/queueing nanoseconds over all links, and the
+/// utilization of the most-loaded link — all zero for the ideal topology.
 pub const CSV_HEADER: &str = "experiment,app,size,policy,nprocs,seed,schedule,diff_timing,\
-protocol,exec_time_ms,useful_msgs,useless_msgs,useful_data,piggybacked_useless,\
-useless_in_useless,faults,home_updates,page_fetches,mean_writers,intervals_closed,\
-intervals_retired,checksum";
+protocol,topology,aggregation,exec_time_ms,useful_msgs,useless_msgs,useful_data,\
+piggybacked_useless,useless_in_useless,faults,home_updates,page_fetches,mean_writers,\
+intervals_closed,intervals_retired,net_busy_ns,net_queue_ns,max_link_util,checksum";
 
 /// Quote a CSV field per RFC 4180 when it contains a comma, a double
 /// quote, or a line break; other fields pass through unchanged (so the
@@ -291,7 +374,8 @@ fn render_csv(result: &ExperimentResult) -> String {
             // Free-form string fields (experiment name and the labels) are
             // CSV-escaped; the fixed-token and numeric fields cannot
             // contain separators.
-            "{},{},{},{},{},{:016x},{},{},{},{:.3},{},{},{},{},{},{},{},{},{:.3},{},{},{}",
+            "{},{},{},{},{},{:016x},{},{},{},{},{},{:.3},{},{},{},{},{},{},{},{},{:.3},{},{},\
+             {},{},{:.4},{}",
             csv_field(&result.name),
             csv_field(r.cell.app.name()),
             csv_field(&r.cell.size_label),
@@ -301,6 +385,8 @@ fn render_csv(result: &ExperimentResult) -> String {
             r.cell.schedule.as_str(),
             r.cell.diff_timing.as_str(),
             r.cell.protocol.as_str(),
+            r.cell.network.topology.as_str(),
+            r.cell.network.aggregation.as_str(),
             r.exec_time_ns as f64 / 1e6,
             b.useful_messages,
             b.useless_messages,
@@ -313,6 +399,12 @@ fn render_csv(result: &ExperimentResult) -> String {
             b.signature.mean_writers(),
             r.gc.intervals_closed,
             r.gc.intervals_retired,
+            r.links.iter().map(|l| l.busy_ns).sum::<u64>(),
+            r.links.iter().map(|l| l.queue_ns).sum::<u64>(),
+            r.links
+                .iter()
+                .map(|l| l.utilization(r.exec_time_ns))
+                .fold(0.0, f64::max),
             r.checksum,
         );
     }
@@ -502,6 +594,57 @@ mod tests {
 
         let wrong = text.replace(RESULT_SCHEMA, "tm-bench/experiment-result/v0");
         assert!(parse_result(&wrong).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn network_fields_round_trip_and_stay_out_of_ideal_documents() {
+        // Default (ideal) documents carry no network fields at all — they
+        // must stay byte-identical to pre-topology documents.
+        let ideal = tiny_result("fig3");
+        let ideal_text = render(&ideal, OutputFormat::Json);
+        for field in ["\"topology\"", "\"aggregation\"", "\"links\""] {
+            assert!(
+                !ideal_text.contains(field),
+                "{field} must not appear in an ideal-topology document"
+            );
+        }
+
+        // The contention grid emits the axis labels and per-link counters
+        // (with the derived utilization), and round-trips exactly.
+        let result = tiny_result("fig_network");
+        let text = render(&result, OutputFormat::Json);
+        let parsed = parse_result(&text).unwrap();
+        assert_eq!(parsed, result.without_host_times());
+        assert!(text.contains("\"topology\": \"bus\""));
+        assert!(text.contains("\"topology\": \"switched\""));
+        assert!(text.contains("\"aggregation\": \"batched\""));
+        assert!(text.contains("\"utilization\""));
+        assert!(text.contains("\"queue_ns\""));
+        let contended = result
+            .cells
+            .iter()
+            .filter(|r| !r.cell.network.topology.is_contended())
+            .all(|r| r.links.is_empty());
+        assert!(contended, "ideal cells must model no links");
+        assert!(result
+            .cells
+            .iter()
+            .filter(|r| r.cell.network.topology.is_contended())
+            .all(|r| !r.links.is_empty() && r.links.iter().any(|l| l.busy_ns > 0)));
+
+        // The CSV projection carries the same information flat.
+        let csv = render(&result, OutputFormat::Csv);
+        let header = csv.lines().next().unwrap();
+        assert!(header.contains(",topology,aggregation,"));
+        assert!(header.ends_with(",net_busy_ns,net_queue_ns,max_link_util,checksum"));
+        assert!(csv.contains(",bus,batched,"));
+        assert!(csv.contains(",switched,per-message,"));
+        // Ideal rows zero the network counters.
+        let ideal_row = csv
+            .lines()
+            .find(|l| l.contains(",ideal,per-message,"))
+            .expect("the grid contains the ideal baseline");
+        assert!(ideal_row.contains(",0,0,0.0000,"));
     }
 
     /// Minimal RFC 4180 record reader for the round-trip test: splits one

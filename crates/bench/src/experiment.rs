@@ -16,11 +16,14 @@
 //! interleaving the cell ran under. Same `(app, policy, nprocs, seed)`,
 //! same results, bit for bit.
 
-use tdsm_core::{DiffTiming, ProtocolMode, SchedConfig, SweepSpec, UnitPolicy};
+use tdsm_core::{
+    AggregationPolicy, DiffTiming, NetworkConfig, ProtocolMode, SchedConfig, SweepSpec, Topology,
+    UnitPolicy,
+};
 use tm_apps::{AppId, Workload};
 use tm_sched::{EngineKind, ScheduleMode};
 
-use crate::BenchArgs;
+use crate::{BenchArgs, Scale};
 
 /// One runnable configuration of one workload — the unit of work the
 /// experiment engine schedules, and one entry of the emitted results.
@@ -58,6 +61,13 @@ pub struct Cell {
     /// by construction (the engine-differential tests pin this), so a cell's
     /// identity — and every pinned golden — is engine-independent.
     pub engine: EngineKind,
+    /// Network (topology, aggregation) pair the cell models
+    /// (`--topology`/`--aggregation`).  Part of the cell key (and therefore
+    /// the seed) *only* when non-default — contended topologies genuinely
+    /// change the modeled time, so a bus cell is a distinct identity, while
+    /// every pre-existing ideal-network key (and every pinned golden) stays
+    /// untouched.
+    pub network: NetworkConfig,
 }
 
 impl Cell {
@@ -86,9 +96,21 @@ impl Cell {
             diff_timing,
             protocol,
             engine,
+            network: NetworkConfig::default(),
         };
         cell.seed = fnv1a(cell.key().as_bytes()) ^ sched.seed;
         cell
+    }
+
+    /// Builder-style setter for the network axis.  Re-derives the seed from
+    /// the (possibly suffixed) key so a contended cell gets its own identity
+    /// while the base seed mixed in by [`Cell::new`] is preserved; setting
+    /// the default (ideal, per-message) network is an exact no-op.
+    pub fn with_network(mut self, network: NetworkConfig) -> Cell {
+        let base = self.seed ^ fnv1a(self.key().as_bytes());
+        self.network = network;
+        self.seed = fnv1a(self.key().as_bytes()) ^ base;
+        self
     }
 
     /// The scheduler configuration this cell's simulation runs under.
@@ -116,6 +138,10 @@ impl Cell {
             key.push('/');
             key.push_str(self.protocol.as_str());
         }
+        if !self.network.is_default() {
+            key.push('/');
+            key.push_str(&self.network.label());
+        }
         key
     }
 
@@ -139,7 +165,8 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// A named set of cells reproducing one artifact of the paper.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Experiment {
-    /// Machine name ("fig1", "fig2", "fig3", "table1", "fig_dyn_group").
+    /// Machine name ("fig1", "fig2", "fig3", "table1", "fig_dyn_group",
+    /// "fig_network", "fig_scale").
     pub name: String,
     /// Human title printed as the report header.
     pub title: String,
@@ -148,9 +175,18 @@ pub struct Experiment {
 }
 
 impl Experiment {
-    /// The five named experiments, in paper order.
-    pub fn all_names() -> [&'static str; 5] {
-        ["table1", "fig1", "fig2", "fig3", "fig_dyn_group"]
+    /// The seven named experiments: the five paper artifacts in paper order,
+    /// then the contention grid and the cluster-size sweep.
+    pub fn all_names() -> [&'static str; 7] {
+        [
+            "table1",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig_dyn_group",
+            "fig_network",
+            "fig_scale",
+        ]
     }
 
     /// Look up a named experiment under the given options.
@@ -161,6 +197,8 @@ impl Experiment {
             "fig2" => Some(Self::fig2(args)),
             "fig3" => Some(Self::fig3(args)),
             "fig_dyn_group" => Some(Self::dyn_group(args)),
+            "fig_network" => Some(Self::fig_network(args)),
+            "fig_scale" => Some(Self::fig_scale(args)),
             _ => None,
         }
     }
@@ -196,21 +234,25 @@ impl Experiment {
     fn policy_sweep(name: &str, title: String, apps: Vec<AppId>, args: &BenchArgs) -> Experiment {
         let spec = SweepSpec::paper_units(args.nprocs)
             .with_sched(args.sched())
-            .with_protocols(vec![args.protocol]);
+            .with_protocols(vec![args.protocol])
+            .with_networks(vec![args.network()]);
         let mut cells = Vec::new();
         for app in apps {
             for w in args.workloads_for(app) {
                 for p in spec.points() {
-                    cells.push(Cell::new(
-                        &w,
-                        &p.label,
-                        p.unit,
-                        p.nprocs,
-                        spec.sched,
-                        args.diff_timing,
-                        p.protocol,
-                        args.engine,
-                    ));
+                    cells.push(
+                        Cell::new(
+                            &w,
+                            &p.label,
+                            p.unit,
+                            p.nprocs,
+                            spec.sched,
+                            args.diff_timing,
+                            p.protocol,
+                            args.engine,
+                        )
+                        .with_network(p.network),
+                    );
                 }
             }
         }
@@ -228,27 +270,33 @@ impl Experiment {
         let unit = UnitPolicy::Static { pages: 1 };
         let mut cells = Vec::new();
         for w in args.suite() {
-            cells.push(Cell::new(
-                &w,
-                "4K",
-                unit,
-                1,
-                args.sched(),
-                args.diff_timing,
-                args.protocol,
-                args.engine,
-            ));
-            if args.nprocs != 1 {
-                cells.push(Cell::new(
+            cells.push(
+                Cell::new(
                     &w,
                     "4K",
                     unit,
-                    args.nprocs,
+                    1,
                     args.sched(),
                     args.diff_timing,
                     args.protocol,
                     args.engine,
-                ));
+                )
+                .with_network(args.network()),
+            );
+            if args.nprocs != 1 {
+                cells.push(
+                    Cell::new(
+                        &w,
+                        "4K",
+                        unit,
+                        args.nprocs,
+                        args.sched(),
+                        args.diff_timing,
+                        args.protocol,
+                        args.engine,
+                    )
+                    .with_network(args.network()),
+                );
             }
         }
         Experiment {
@@ -273,16 +321,19 @@ impl Experiment {
                 ("4K", UnitPolicy::Static { pages: 1 }),
                 ("16K", UnitPolicy::Static { pages: 4 }),
             ] {
-                cells.push(Cell::new(
-                    &w,
-                    label,
-                    unit,
-                    args.nprocs,
-                    args.sched(),
-                    args.diff_timing,
-                    args.protocol,
-                    args.engine,
-                ));
+                cells.push(
+                    Cell::new(
+                        &w,
+                        label,
+                        unit,
+                        args.nprocs,
+                        args.sched(),
+                        args.diff_timing,
+                        args.protocol,
+                        args.engine,
+                    )
+                    .with_network(args.network()),
+                );
             }
         }
         Experiment {
@@ -304,30 +355,37 @@ impl Experiment {
             let Some(w) = representative(args, app) else {
                 continue; // excluded by --app
             };
-            cells.push(Cell::new(
-                &w,
-                "4K",
-                UnitPolicy::Static { pages: 1 },
-                args.nprocs,
-                args.sched(),
-                args.diff_timing,
-                args.protocol,
-                args.engine,
-            ));
+            cells.push(
+                Cell::new(
+                    &w,
+                    "4K",
+                    UnitPolicy::Static { pages: 1 },
+                    args.nprocs,
+                    args.sched(),
+                    args.diff_timing,
+                    args.protocol,
+                    args.engine,
+                )
+                .with_network(args.network()),
+            );
             let spec = SweepSpec::dyn_group_ablation(args.nprocs)
                 .with_sched(args.sched())
-                .with_protocols(vec![args.protocol]);
+                .with_protocols(vec![args.protocol])
+                .with_networks(vec![args.network()]);
             for p in spec.points() {
-                cells.push(Cell::new(
-                    &w,
-                    &p.label,
-                    p.unit,
-                    p.nprocs,
-                    spec.sched,
-                    args.diff_timing,
-                    p.protocol,
-                    args.engine,
-                ));
+                cells.push(
+                    Cell::new(
+                        &w,
+                        &p.label,
+                        p.unit,
+                        p.nprocs,
+                        spec.sched,
+                        args.diff_timing,
+                        p.protocol,
+                        args.engine,
+                    )
+                    .with_network(p.network),
+                );
             }
         }
         Experiment {
@@ -336,6 +394,101 @@ impl Experiment {
                 "Dynamic aggregation group-size ablation ({} processors)",
                 args.nprocs
             ),
+            cells,
+        }
+    }
+
+    /// The contention grid — the full network axis (ideal, shared bus,
+    /// switched, each contended topology with and without wire aggregation)
+    /// crossed against both write protocols, on the dynamic-group pair of
+    /// applications: one that loves aggregation (Ilink) and one that false
+    /// sharing hurts (MGS).  The grid fixes its own protocol and network
+    /// axes; `--protocol`/`--topology`/`--aggregation` do not narrow it.
+    pub fn fig_network(args: &BenchArgs) -> Experiment {
+        let networks = vec![
+            NetworkConfig::default(),
+            NetworkConfig::new(Topology::SharedBus, AggregationPolicy::PerMessage),
+            NetworkConfig::new(Topology::SharedBus, AggregationPolicy::Batched),
+            NetworkConfig::new(Topology::Switched, AggregationPolicy::PerMessage),
+            NetworkConfig::new(Topology::Switched, AggregationPolicy::Batched),
+        ];
+        let spec = SweepSpec::single(args.nprocs, UnitPolicy::Static { pages: 1 })
+            .with_sched(args.sched())
+            .with_protocols(vec![ProtocolMode::MultiWriter, ProtocolMode::home_based()])
+            .with_networks(networks);
+        let mut cells = Vec::new();
+        for app in [AppId::Ilink, AppId::Mgs] {
+            let Some(w) = representative(args, app) else {
+                continue; // excluded by --app
+            };
+            for p in spec.points() {
+                cells.push(
+                    Cell::new(
+                        &w,
+                        &p.label,
+                        p.unit,
+                        p.nprocs,
+                        spec.sched,
+                        args.diff_timing,
+                        p.protocol,
+                        args.engine,
+                    )
+                    .with_network(p.network),
+                );
+            }
+        }
+        Experiment {
+            name: "fig_network".to_string(),
+            title: format!(
+                "Network contention — topologies × aggregation ({} processors)",
+                args.nprocs
+            ),
+            cells,
+        }
+    }
+
+    /// The cluster-size sweep — the 4 KB / 16 KB trade-off under both write
+    /// protocols at 64, 256 and 1024 processors, on Jacobi.  Always runs the
+    /// tiny data set: the artifact is the shape of the scaling curve, and
+    /// the tiny set keeps the 1024-processor points tractable.  `--tiny`
+    /// instead shrinks the cluster axis itself to 8/32/128 (the same 4×
+    /// ladder), exactly as it shrinks data sets elsewhere — the full grid's
+    /// largest points cost whole minutes of host time.  The processor counts
+    /// and protocols are the grid's own axes; `--nprocs`/`--protocol` do not
+    /// narrow them, while `--topology`/`--aggregation` apply to every cell.
+    pub fn fig_scale(args: &BenchArgs) -> Experiment {
+        let w = Workload::tiny(AppId::Jacobi);
+        let sizes = match args.scale {
+            Scale::Tiny => [8, 32, 128],
+            Scale::Paper | Scale::Large => [64usize, 256, 1024],
+        };
+        let mut cells = Vec::new();
+        for nprocs in sizes {
+            for protocol in [ProtocolMode::MultiWriter, ProtocolMode::home_based()] {
+                for (label, unit) in [
+                    ("4K", UnitPolicy::Static { pages: 1 }),
+                    ("16K", UnitPolicy::Static { pages: 4 }),
+                ] {
+                    cells.push(
+                        Cell::new(
+                            &w,
+                            label,
+                            unit,
+                            nprocs,
+                            args.sched(),
+                            args.diff_timing,
+                            protocol,
+                            args.engine,
+                        )
+                        .with_network(args.network()),
+                    );
+                }
+            }
+        }
+        Experiment {
+            name: "fig_scale".to_string(),
+            title: "Cluster-size sweep — 64/256/1024 processors, both protocols (Jacobi, tiny)"
+                .to_string(),
             cells,
         }
     }
@@ -411,7 +564,9 @@ mod tests {
         let mw = args(8, false);
         let mut home = args(8, false);
         home.protocol = ProtocolMode::home_based();
-        for name in Experiment::all_names() {
+        // fig_network and fig_scale fix their own protocol axes, so only the
+        // five paper experiments follow `--protocol`.
+        for name in ["table1", "fig1", "fig2", "fig3", "fig_dyn_group"] {
             let a = Experiment::named(name, &mw).unwrap();
             let b = Experiment::named(name, &home).unwrap();
             assert_eq!(a.cells.len(), b.cells.len());
@@ -427,7 +582,7 @@ mod tests {
     }
 
     #[test]
-    fn named_lookup_covers_all_five() {
+    fn named_lookup_covers_all_seven() {
         let a = args(2, true);
         for name in Experiment::all_names() {
             let exp = Experiment::named(name, &a).expect(name);
@@ -442,6 +597,94 @@ mod tests {
             }
         }
         assert!(Experiment::named("fig9", &a).is_none());
+    }
+
+    #[test]
+    fn network_suffixes_keys_and_rederives_seeds() {
+        let a = args(8, false);
+        let base = Experiment::fig1(&a).cells[0].clone();
+        assert!(base.network.is_default());
+        assert!(
+            !base.key().contains("ideal"),
+            "default keys carry no suffix"
+        );
+
+        // Setting the default network is an exact no-op (golden stability).
+        let same = base.clone().with_network(NetworkConfig::default());
+        assert_eq!(same, base);
+
+        // A contended network suffixes the key and re-derives the seed...
+        let bus = base.clone().with_network(NetworkConfig::new(
+            Topology::SharedBus,
+            AggregationPolicy::Batched,
+        ));
+        assert_eq!(bus.key(), format!("{}/bus+batched", base.key()));
+        assert_ne!(bus.seed, base.seed);
+        // ...preserving the mixed-in base seed: re-deriving from scratch
+        // with the same sweep seed agrees.
+        assert_eq!(bus.seed, fnv1a(bus.key().as_bytes()) ^ a.sched().seed);
+        // Round-tripping back to the default restores the original identity.
+        assert_eq!(bus.with_network(NetworkConfig::default()), base);
+    }
+
+    #[test]
+    fn fig_network_crosses_protocols_and_networks() {
+        let a = args(8, true);
+        let exp = Experiment::fig_network(&a);
+        // 2 apps x 2 protocols x 5 networks.
+        assert_eq!(exp.cells.len(), 20);
+        let mut keys: Vec<String> = exp.cells.iter().map(|c| c.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 20, "every grid point is a distinct identity");
+        for label in ["bus", "bus+batched", "switched", "switched+batched"] {
+            assert_eq!(
+                exp.cells
+                    .iter()
+                    .filter(|c| c.network.label() == label)
+                    .count(),
+                4,
+                "each contended network covers 2 apps x 2 protocols"
+            );
+        }
+        assert_eq!(
+            exp.cells.iter().filter(|c| c.network.is_default()).count(),
+            4,
+            "the ideal baseline is part of the grid"
+        );
+    }
+
+    #[test]
+    fn fig_scale_sweeps_cluster_sizes_and_protocols() {
+        let a = args(8, false);
+        let exp = Experiment::fig_scale(&a);
+        // 3 cluster sizes x 2 protocols x 2 units, Jacobi tiny only.
+        assert_eq!(exp.cells.len(), 12);
+        for nprocs in [64, 256, 1024] {
+            assert_eq!(exp.cells.iter().filter(|c| c.nprocs == nprocs).count(), 4);
+        }
+        // `--tiny` shrinks the cluster axis itself, same 4x ladder.
+        let small = Experiment::fig_scale(&args(8, true));
+        assert_eq!(small.cells.len(), 12);
+        for nprocs in [8, 32, 128] {
+            assert_eq!(small.cells.iter().filter(|c| c.nprocs == nprocs).count(), 4);
+        }
+        assert!(exp.cells.iter().all(|c| c.app == AppId::Jacobi));
+        assert_eq!(
+            exp.cells
+                .iter()
+                .filter(|c| c.protocol == ProtocolMode::home_based())
+                .count(),
+            6
+        );
+        // `--topology` flows into every cell of the sweep.
+        let mut bus = args(8, true);
+        bus.topology = Topology::SharedBus;
+        let contended = Experiment::fig_scale(&bus);
+        assert!(contended
+            .cells
+            .iter()
+            .all(|c| c.key().ends_with("/bus") || c.key().contains("/bus/")));
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //! | `fig2` | Figure 2 — time/messages/data for Jacobi, 3D-FFT, MGS, Shallow |
 //! | `fig3` | Figure 3 — false-sharing signatures at 4 K and 16 K |
 //! | `fig_dyn_group` | ablation — dynamic-aggregation maximum group size |
+//! | `fig_network` | contention grid — topologies × wire aggregation |
+//! | `fig_scale` | cluster-size sweep — 64/256/1024 processors |
 //!
-//! Since PR 2 all five binaries run through one shared **experiment
+//! Since PR 2 all binaries run through one shared **experiment
 //! engine**: [`Experiment`] declares the cell grid (application ×
 //! consistency-unit policy × processor count), [`runner`] executes it on a
 //! std-thread worker pool, and [`emit`] renders the result as the paper-style
@@ -36,7 +38,10 @@ pub use perf::{
 };
 pub use runner::{run_cell, run_experiment, CellResult, ExperimentResult, RunnerOptions};
 
-use tdsm_core::{DiffTiming, ProtocolMode, SchedConfig, SignatureHistogram, UnitPolicy};
+use tdsm_core::{
+    AggregationPolicy, DiffTiming, NetworkConfig, ProtocolMode, SchedConfig, SignatureHistogram,
+    Topology, UnitPolicy,
+};
 use tm_apps::{paper_unit_policies, AppConfig, AppId, Workload};
 use tm_sched::{EngineKind, ScheduleMode};
 
@@ -136,7 +141,25 @@ pub fn run_configuration_on(
     unit: UnitPolicy,
     engine: EngineKind,
 ) -> FigRow {
-    let cfg = AppConfig::with_procs(nprocs).unit(unit).engine(engine);
+    run_configuration_net(w, nprocs, label, unit, engine, NetworkConfig::default())
+}
+
+/// [`run_configuration_on`] under an explicit modeled network.  Contended
+/// topologies change the modeled execution time (occupancy and queueing),
+/// never the checksum or the message counts.
+pub fn run_configuration_net(
+    w: &Workload,
+    nprocs: usize,
+    label: &str,
+    unit: UnitPolicy,
+    engine: EngineKind,
+    net: NetworkConfig,
+) -> FigRow {
+    let cfg = AppConfig::with_procs(nprocs)
+        .unit(unit)
+        .engine(engine)
+        .topology(net.topology)
+        .aggregation(net.aggregation);
     let run = w.run_parallel(&cfg);
     let b = &run.breakdown;
     FigRow {
@@ -162,9 +185,19 @@ pub fn run_policy_sweep(w: &Workload, nprocs: usize) -> Vec<FigRow> {
 
 /// [`run_policy_sweep`] on an explicit execution substrate.
 pub fn run_policy_sweep_on(w: &Workload, nprocs: usize, engine: EngineKind) -> Vec<FigRow> {
+    run_policy_sweep_net(w, nprocs, engine, NetworkConfig::default())
+}
+
+/// [`run_policy_sweep_on`] under an explicit modeled network.
+pub fn run_policy_sweep_net(
+    w: &Workload,
+    nprocs: usize,
+    engine: EngineKind,
+    net: NetworkConfig,
+) -> Vec<FigRow> {
     paper_unit_policies()
         .into_iter()
-        .map(|(label, unit)| run_configuration_on(w, nprocs, &label, unit, engine))
+        .map(|(label, unit)| run_configuration_net(w, nprocs, &label, unit, engine, net))
         .collect()
 }
 
@@ -381,6 +414,17 @@ fn parse_seed(s: &str) -> Option<u64> {
 ///   knob only — results and statistics are bit-identical across engines —
 ///   but `event` is what makes large clusters (hundreds of processors)
 ///   practical.
+/// * `--topology` picks the modeled interconnect every cell runs on:
+///   `ideal` (infinite bandwidth, the default — byte-identical to every
+///   pre-topology document), `bus` (one shared 10 Mbps segment with hardware
+///   broadcast) or `switched` (a crossbar with per-processor 100 Mbps
+///   ports).  Contended topologies add deterministic occupancy and queueing
+///   delays to the modeled time; computed results and message counts never
+///   change.
+/// * `--aggregation` picks how the home-based protocol's diff flushes are
+///   packed onto the wire: `per-message` (one update per home, the default)
+///   or `batched` (one assembled batch per interval close).  Only observable
+///   under a contended topology.
 /// * `--app NAME` restricts the run to one application (paper display name,
 ///   e.g. `Jacobi`) — the lever the CI memory gate uses to time a single
 ///   `--scale large` cell.
@@ -407,6 +451,10 @@ pub struct BenchArgs {
     pub protocol: ProtocolMode,
     /// Execution substrate applied to every cell (`--engine`).
     pub engine: EngineKind,
+    /// Modeled interconnect applied to every cell (`--topology`).
+    pub topology: Topology,
+    /// Wire-aggregation policy applied to every cell (`--aggregation`).
+    pub aggregation: AggregationPolicy,
     /// Restrict the experiment to this application (paper display name).
     pub app: Option<AppId>,
     /// Format written to stdout.
@@ -429,6 +477,8 @@ impl BenchArgs {
             diff_timing: DiffTiming::default(),
             protocol: ProtocolMode::default(),
             engine: EngineKind::default(),
+            topology: Topology::default(),
+            aggregation: AggregationPolicy::default(),
             app: None,
             format: OutputFormat::Human,
             out: None,
@@ -444,6 +494,12 @@ impl BenchArgs {
         }
     }
 
+    /// The network configuration these options request
+    /// (`--topology` × `--aggregation`).
+    pub fn network(&self) -> NetworkConfig {
+        NetworkConfig::new(self.topology, self.aggregation)
+    }
+
     /// Parse `std::env::args`, defaulting to `default_nprocs` processors
     /// (2 in `--tiny` mode). Exits with a usage message on an invalid
     /// processor count or an unrecognized flag.
@@ -456,7 +512,8 @@ impl BenchArgs {
                      [--threads N] [--seed N] [--schedule fifo|seeded] \
                      [--diff-timing eager|lazy] \
                      [--protocol multi-writer|home-based|home-based-first-touch] \
-                     [--engine threaded|event] [--app NAME] \
+                     [--engine threaded|event] [--topology ideal|bus|switched] \
+                     [--aggregation per-message|batched] [--app NAME] \
                      [--format human|json|csv] [--out FILE]"
                 );
                 std::process::exit(2);
@@ -492,6 +549,12 @@ impl BenchArgs {
                     out.engine = v.parse().map_err(|_| {
                         format!("unknown engine '{v}' (expected threaded or event)")
                     })?;
+                }
+                "--topology" => {
+                    out.topology = flag_value("--topology")?.parse()?;
+                }
+                "--aggregation" => {
+                    out.aggregation = flag_value("--aggregation")?.parse()?;
                 }
                 "--app" => {
                     let v = flag_value("--app")?;
@@ -713,6 +776,44 @@ mod tests {
         assert!(err(&["--out"]).contains("requires a value"));
         assert!(err(&["--engine"]).contains("requires a value"));
         assert!(err(&["--engine", "fibers"]).contains("unknown engine"));
+    }
+
+    #[test]
+    fn bench_args_parse_network_flags() {
+        use tdsm_core::{AggregationPolicy, NetworkConfig, Topology};
+        let parse =
+            |args: &[&str]| BenchArgs::from_iter(args.iter().map(|s| s.to_string()), 8).unwrap();
+        // Defaults: the ideal network, per-message wire packing — exactly
+        // the compatibility configuration.
+        assert_eq!(parse(&[]).topology, Topology::Ideal);
+        assert_eq!(parse(&[]).aggregation, AggregationPolicy::PerMessage);
+        assert!(parse(&[]).network().is_default());
+
+        assert_eq!(parse(&["--topology", "bus"]).topology, Topology::SharedBus);
+        assert_eq!(
+            parse(&["--topology", "switched"]).topology,
+            Topology::Switched
+        );
+        // Aliases parse like everywhere else on the seam.
+        assert_eq!(
+            parse(&["--topology", "ethernet"]).topology,
+            Topology::SharedBus
+        );
+        assert_eq!(
+            parse(&["--aggregation", "batched"]).aggregation,
+            AggregationPolicy::Batched
+        );
+        assert_eq!(
+            parse(&["--topology", "bus", "--aggregation", "batched"]).network(),
+            NetworkConfig::new(Topology::SharedBus, AggregationPolicy::Batched)
+        );
+
+        let err = |args: &[&str]| {
+            BenchArgs::from_iter(args.iter().map(|s| s.to_string()), 8).unwrap_err()
+        };
+        assert!(err(&["--topology"]).contains("requires a value"));
+        assert!(err(&["--topology", "torus"]).contains("unknown topology"));
+        assert!(err(&["--aggregation", "zip"]).contains("unknown aggregation"));
     }
 
     #[test]

@@ -26,11 +26,11 @@ use std::time::Instant;
 
 use serde::json::Value;
 use serde::{field_arr, field_f64, field_str, field_u64, FromJson, JsonSchemaError, ToJson};
-use tdsm_core::{DiffTiming, EngineKind, SchedConfig, UnitPolicy};
+use tdsm_core::{DiffTiming, EngineKind, NetworkConfig, SchedConfig, Topology, UnitPolicy};
 use tm_apps::{jacobi, AppConfig, AppId, Workload};
 use tm_page::{Diff, LocalPage, PageId};
 
-use crate::run_policy_sweep_on;
+use crate::run_policy_sweep_net;
 
 /// Identifier of the perf-artifact schema; bumped on breaking changes.
 pub const PERF_SCHEMA: &str = "tm-bench/perf/v1";
@@ -116,6 +116,12 @@ pub struct PerfOptions {
     /// Digests are engine-independent by construction; only the timings may
     /// shift, which is exactly what the artifact is for.
     pub engine: EngineKind,
+    /// Modeled interconnect the simulator workloads run on (`--topology`).
+    /// The checked-in artifact uses the ideal default; a contended topology
+    /// changes the sweep's modeled `exec_time_ns` (a deterministic digest),
+    /// so a bus-measured report never silently gates against an
+    /// ideal-measured baseline — the comparison fails on the digest.
+    pub topology: Topology,
 }
 
 impl PerfOptions {
@@ -125,6 +131,7 @@ impl PerfOptions {
             iters: 9,
             quick: false,
             engine: EngineKind::default(),
+            topology: Topology::default(),
         }
     }
 
@@ -134,6 +141,7 @@ impl PerfOptions {
             iters: 3,
             quick: true,
             engine: EngineKind::default(),
+            topology: Topology::default(),
         }
     }
 }
@@ -250,7 +258,8 @@ fn collect_micro(opts: &PerfOptions) -> Vec<MicroSample> {
     let cfg = AppConfig::with_procs(4)
         .sched(sched)
         .diff_timing(DiffTiming::Lazy)
-        .engine(opts.engine);
+        .engine(opts.engine)
+        .topology(opts.topology);
     push(
         jacobi_id,
         median_ns(iters, || {
@@ -279,6 +288,7 @@ fn collect_micro(opts: &PerfOptions) -> Vec<MicroSample> {
                 max_locks: 16,
                 sched: SchedConfig::default(),
                 engine: opts.engine,
+                topology: opts.topology,
                 ..DsmConfig::paper_default()
             });
             let arr = dsm.alloc_array::<u64>(agg_pages * 512, Align::Page);
@@ -308,7 +318,8 @@ fn collect_sweep(opts: &PerfOptions) -> SweepSample {
         ("large", Workload::large(AppId::Jacobi))
     };
     let t0 = Instant::now();
-    let rows = run_policy_sweep_on(&w, nprocs, opts.engine);
+    let net = NetworkConfig::new(opts.topology, Default::default());
+    let rows = run_policy_sweep_net(&w, nprocs, opts.engine, net);
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     SweepSample {
         id: format!("fig2/Jacobi/{scale}/{nprocs}procs"),

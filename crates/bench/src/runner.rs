@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use tdsm_core::{CommBreakdown, GcCounters};
+use tdsm_core::{CommBreakdown, GcCounters, LinkStats};
 use tm_apps::AppConfig;
 
 use crate::experiment::{Cell, Experiment};
@@ -56,6 +56,10 @@ pub struct CellResult {
     /// eager and lazy diff timing — they are a pure function of the
     /// write-notice flow).
     pub gc: GcCounters,
+    /// Per-link occupancy counters of the modeled interconnect — empty for
+    /// the ideal topology (no links are modeled), one entry per link
+    /// otherwise (the shared bus has one, a switch one per processor port).
+    pub links: Vec<LinkStats>,
     /// Host wall-clock time spent simulating this cell (ns) — the harness's
     /// own perf trajectory, not a paper quantity.
     pub host_wall_ns: u64,
@@ -123,7 +127,9 @@ pub fn run_cell(cell: &Cell) -> CellResult {
         .protocol(cell.protocol)
         .sched(cell.sched_config())
         .diff_timing(cell.diff_timing)
-        .engine(cell.engine);
+        .engine(cell.engine)
+        .topology(cell.network.topology)
+        .aggregation(cell.network.aggregation);
     let started = Instant::now();
     let run = w.run_parallel(&cfg);
     CellResult {
@@ -132,6 +138,7 @@ pub fn run_cell(cell: &Cell) -> CellResult {
         checksum: run.checksum,
         breakdown: run.breakdown,
         gc: run.stats.gc_counters(),
+        links: run.stats.links.clone(),
         host_wall_ns: started.elapsed().as_nanos() as u64,
     }
 }

@@ -40,7 +40,7 @@ use std::task::{Context, Poll, Waker};
 
 use parking_lot::Mutex;
 
-use tm_net::{ClusterStats, ProcStats};
+use tm_net::{ClusterStats, NetworkState, ProcStats};
 use tm_page::{Align, GlobalAddr, RegionAllocator};
 use tm_sched::EngineKind;
 
@@ -193,10 +193,22 @@ impl Dsm {
                     HomeDirectory::new(self.config.layout(), nprocs, assign),
                 ))),
             };
+        // Link-occupancy state exists only when the topology models
+        // contention: the ideal default constructs nothing and takes none of
+        // the occupancy code paths, keeping it bit-identical to the
+        // pre-topology simulator.
+        let net: Option<Arc<Mutex<NetworkState>>> = if self.config.topology.is_contended() {
+            Some(Arc::new(Mutex::new(NetworkState::new(
+                self.config.topology,
+                nprocs,
+            ))))
+        } else {
+            None
+        };
 
         let per_proc = match self.config.engine {
-            EngineKind::Threaded => self.run_threaded(&logs, &sync, &home, &body),
-            EngineKind::EventDriven => self.run_event(&logs, &sync, &home, &body),
+            EngineKind::Threaded => self.run_threaded(&logs, &sync, &home, &net, &body),
+            EngineKind::EventDriven => self.run_event(&logs, &sync, &home, &net, &body),
         };
 
         let mut results = Vec::with_capacity(nprocs);
@@ -217,6 +229,9 @@ impl Dsm {
             results.push(result);
             stats.per_proc.push(proc_stats);
         }
+        if let Some(net) = &net {
+            stats.links = net.lock().link_stats();
+        }
         let decision_trace = sync.scheduler().take_decision_trace();
         (RunOutput { results, stats }, decision_trace)
     }
@@ -230,6 +245,7 @@ impl Dsm {
         logs: &Arc<Vec<SharedIntervalLog>>,
         sync: &Arc<GlobalSync>,
         home: &Option<Arc<Mutex<HomeDirectory>>>,
+        net: &Option<Arc<Mutex<NetworkState>>>,
         body: &F,
     ) -> Vec<(R, ProcStats)>
     where
@@ -244,6 +260,7 @@ impl Dsm {
                 let logs = Arc::clone(logs);
                 let sync = Arc::clone(sync);
                 let home = home.clone();
+                let net = net.clone();
                 let config = &self.config;
                 handles.push(scope.spawn(move || {
                     // The scheduler serializes the simulated processors:
@@ -258,7 +275,7 @@ impl Dsm {
                     complete_now(sync.wait_first_turn(rank));
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         let mut ctx =
-                            ProcCtx::new(rank, config, Arc::clone(&logs), sync.clone(), home);
+                            ProcCtx::new(rank, config, Arc::clone(&logs), sync.clone(), home, net);
                         let result = complete_now(body(&mut ctx));
                         (result, ctx.finish())
                     }));
@@ -293,6 +310,7 @@ impl Dsm {
         logs: &Arc<Vec<SharedIntervalLog>>,
         sync: &Arc<GlobalSync>,
         home: &Option<Arc<Mutex<HomeDirectory>>>,
+        net: &Option<Arc<Mutex<NetworkState>>>,
         body: &F,
     ) -> Vec<(R, ProcStats)>
     where
@@ -306,10 +324,11 @@ impl Dsm {
                 let logs = Arc::clone(logs);
                 let sync = Arc::clone(sync);
                 let home = home.clone();
+                let net = net.clone();
                 let config = &self.config;
                 let fut = async move {
                     sync.wait_first_turn(rank).await;
-                    let mut ctx = ProcCtx::new(rank, config, logs, Arc::clone(&sync), home);
+                    let mut ctx = ProcCtx::new(rank, config, logs, Arc::clone(&sync), home, net);
                     let result = body(&mut ctx).await;
                     (result, ctx.finish())
                 };
@@ -403,6 +422,8 @@ mod tests {
             diff_timing: crate::config::DiffTiming::default(),
             gc_flush_pending_limit: crate::config::DEFAULT_GC_FLUSH_PENDING_LIMIT,
             engine: EngineKind::default(),
+            topology: tm_net::Topology::default(),
+            aggregation: tm_net::AggregationPolicy::default(),
         }
     }
 

@@ -2,7 +2,7 @@
 
 use serde::json::Value;
 use serde::{field_u64, Deserialize, FromJson, JsonSchemaError, Serialize, ToJson};
-use tm_net::CostModel;
+use tm_net::{AggregationPolicy, CostModel, NetworkConfig, Topology};
 use tm_page::{PageId, PageLayout};
 use tm_sched::{EngineKind, SchedConfig, ScheduleMode};
 
@@ -162,6 +162,8 @@ pub struct SweepPoint {
     pub unit: UnitPolicy,
     /// Write protocol at this point.
     pub protocol: ProtocolMode,
+    /// Network topology and aggregation policy at this point.
+    pub network: NetworkConfig,
     /// Display label ("4K", "8K", "16K", "Dyn", "Dyn8", ...).
     pub label: String,
 }
@@ -183,6 +185,10 @@ pub struct SweepSpec {
     /// grid compare the multi-writer and home-based organizations
     /// cell-for-cell).
     pub protocols: Vec<ProtocolMode>,
+    /// Network (topology, aggregation) pairs to sweep — usually just the
+    /// ideal default; the `fig_network` grid crosses contended topologies
+    /// against both aggregation policies.
+    pub networks: Vec<NetworkConfig>,
     /// Hardware page size labels are computed against (4096 in the paper).
     pub page_size: usize,
     /// Deterministic-scheduler configuration every point runs under: the
@@ -208,6 +214,7 @@ impl SweepSpec {
                 UnitPolicy::Dynamic { max_group_pages: 4 },
             ],
             protocols: vec![ProtocolMode::MultiWriter],
+            networks: vec![NetworkConfig::default()],
             page_size: 4096,
             sched: SchedConfig::default(),
             engine: EngineKind::default(),
@@ -224,6 +231,7 @@ impl SweepSpec {
                 .map(|max_group_pages| UnitPolicy::Dynamic { max_group_pages })
                 .collect(),
             protocols: vec![ProtocolMode::MultiWriter],
+            networks: vec![NetworkConfig::default()],
             page_size: 4096,
             sched: SchedConfig::default(),
             engine: EngineKind::default(),
@@ -236,6 +244,7 @@ impl SweepSpec {
             procs: vec![nprocs],
             units: vec![unit],
             protocols: vec![ProtocolMode::MultiWriter],
+            networks: vec![NetworkConfig::default()],
             page_size: 4096,
             sched: SchedConfig::default(),
             engine: EngineKind::default(),
@@ -260,6 +269,12 @@ impl SweepSpec {
         self
     }
 
+    /// Builder-style setter for the network axis (topology × aggregation).
+    pub fn with_networks(mut self, networks: Vec<NetworkConfig>) -> Self {
+        self.networks = networks;
+        self
+    }
+
     /// Expand into concrete points: the cross product of processor counts and
     /// unit policies, in deterministic (procs-major) order.
     ///
@@ -267,23 +282,27 @@ impl SweepSpec {
     /// labelled with their size (`Dyn8`), so ablation points stay
     /// distinguishable.
     pub fn points(&self) -> Vec<SweepPoint> {
-        let mut out =
-            Vec::with_capacity(self.procs.len() * self.units.len() * self.protocols.len());
+        let mut out = Vec::with_capacity(
+            self.procs.len() * self.units.len() * self.protocols.len() * self.networks.len(),
+        );
         for &nprocs in &self.procs {
             for &unit in &self.units {
                 for &protocol in &self.protocols {
-                    let label = match unit {
-                        UnitPolicy::Dynamic { max_group_pages } if max_group_pages != 4 => {
-                            format!("Dyn{max_group_pages}")
-                        }
-                        u => u.label(self.page_size),
-                    };
-                    out.push(SweepPoint {
-                        nprocs,
-                        unit,
-                        protocol,
-                        label,
-                    });
+                    for &network in &self.networks {
+                        let label = match unit {
+                            UnitPolicy::Dynamic { max_group_pages } if max_group_pages != 4 => {
+                                format!("Dyn{max_group_pages}")
+                            }
+                            u => u.label(self.page_size),
+                        };
+                        out.push(SweepPoint {
+                            nprocs,
+                            unit,
+                            protocol,
+                            network,
+                            label,
+                        });
+                    }
                 }
             }
         }
@@ -304,6 +323,10 @@ impl SweepSpec {
         assert!(
             !self.protocols.is_empty(),
             "sweep needs at least one write protocol"
+        );
+        assert!(
+            !self.networks.is_empty(),
+            "sweep needs at least one network configuration"
         );
         for &n in &self.procs {
             assert!(
@@ -380,6 +403,14 @@ impl ToJson for SweepSpec {
         if self.engine != EngineKind::default() {
             fields.push(("engine", Value::Str(self.engine.as_str().to_string())));
         }
+        // Same discipline for the network axis: the ideal/per-message default
+        // is omitted so pre-topology documents stay byte-identical.
+        if self.networks != vec![NetworkConfig::default()] {
+            fields.push((
+                "networks",
+                Value::Arr(self.networks.iter().map(|n| n.to_json()).collect()),
+            ));
+        }
         Value::obj(fields)
     }
 }
@@ -416,10 +447,29 @@ impl FromJson for SweepSpec {
                 out
             }
         };
+        // Additive field: documents emitted before the topology seam landed
+        // swept only the ideal network.
+        let networks = match v.get("networks") {
+            None => vec![NetworkConfig::default()],
+            Some(arr) => {
+                let items = arr
+                    .as_arr()
+                    .ok_or_else(|| JsonSchemaError::new("networks", "array"))?;
+                let mut out = Vec::new();
+                for (i, n) in items.iter().enumerate() {
+                    out.push(
+                        NetworkConfig::from_json(n)
+                            .map_err(|e| e.in_context(&format!("networks[{i}]")))?,
+                    );
+                }
+                out
+            }
+        };
         Ok(SweepSpec {
             procs,
             units,
             protocols,
+            networks,
             page_size: field_u64(v, "page_size")? as usize,
             // Additive field: documents emitted before the deterministic
             // scheduler landed simply carry the default configuration.
@@ -484,6 +534,15 @@ pub struct DsmConfig {
     /// across engines; only host-side cost differs, which is what makes
     /// processor counts far beyond the paper's 32 practical.
     pub engine: EngineKind,
+    /// Network topology the run models ([`Topology::Ideal`] by default —
+    /// the calibrated infinite-bandwidth model every golden document is
+    /// pinned against).  Contended topologies track per-link occupancy and
+    /// add deterministic queueing delays; see `tm_net::link`.
+    pub topology: Topology,
+    /// How write notices and diff flushes are packed onto the wire.  Only
+    /// takes effect under a contended topology: the ideal network has no
+    /// per-message occupancy for batching to save.
+    pub aggregation: AggregationPolicy,
 }
 
 impl DsmConfig {
@@ -502,6 +561,8 @@ impl DsmConfig {
             diff_timing: DiffTiming::default(),
             gc_flush_pending_limit: DEFAULT_GC_FLUSH_PENDING_LIMIT,
             engine: EngineKind::default(),
+            topology: Topology::default(),
+            aggregation: AggregationPolicy::default(),
         }
     }
 
@@ -566,6 +627,23 @@ impl DsmConfig {
     pub fn engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
         self
+    }
+
+    /// Builder-style setter for the network topology.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Builder-style setter for the aggregation policy.
+    pub fn aggregation(mut self, aggregation: AggregationPolicy) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
+    /// The network (topology, aggregation) pair of this configuration.
+    pub fn network(&self) -> NetworkConfig {
+        NetworkConfig::new(self.topology, self.aggregation)
     }
 
     /// The page layout implied by this configuration.
@@ -674,6 +752,7 @@ mod tests {
             procs: vec![2, 4],
             units: vec![UnitPolicy::Static { pages: 1 }],
             protocols: vec![ProtocolMode::MultiWriter],
+            networks: vec![NetworkConfig::default()],
             page_size: 4096,
             sched: SchedConfig::default(),
             engine: EngineKind::default(),
@@ -703,6 +782,10 @@ mod tests {
                 UnitPolicy::Dynamic { max_group_pages: 8 },
             ],
             protocols: vec![ProtocolMode::MultiWriter, ProtocolMode::home_based()],
+            networks: vec![
+                NetworkConfig::new(Topology::SharedBus, AggregationPolicy::Batched),
+                NetworkConfig::new(Topology::Switched, AggregationPolicy::PerMessage),
+            ],
             page_size: 4096,
             sched: SchedConfig {
                 mode: ScheduleMode::Fifo,
@@ -732,6 +815,26 @@ mod tests {
         let err = SweepSpec::from_json(&bad_engine).unwrap_err();
         assert_eq!(err.path, "engine");
 
+        // The default (ideal, per-message) network axis is omitted on emit
+        // and restored on parse, like the default engine.
+        let default_net = SweepSpec {
+            networks: vec![NetworkConfig::default()],
+            ..spec.clone()
+        };
+        let emitted = default_net.to_json().pretty();
+        assert!(!emitted.contains("networks"));
+        assert_eq!(
+            SweepSpec::from_json(&serde::json::parse(&emitted).unwrap()).unwrap(),
+            default_net
+        );
+        let bad_net = serde::json::parse(
+            r#"{"procs":[1],"units":[{"kind":"static","pages":1}],"page_size":4096,
+                "networks":[{"topology":"token-ring"}]}"#,
+        )
+        .unwrap();
+        let err = SweepSpec::from_json(&bad_net).unwrap_err();
+        assert_eq!(err.path, "networks[0].topology");
+
         let bad = serde::json::parse(r#"{"procs":[1],"units":[{"kind":"wat"}],"page_size":4096}"#)
             .unwrap();
         let err = SweepSpec::from_json(&bad).unwrap_err();
@@ -746,6 +849,7 @@ mod tests {
         let parsed = SweepSpec::from_json(&legacy).unwrap();
         assert_eq!(parsed.sched, SchedConfig::default());
         assert_eq!(parsed.protocols, vec![ProtocolMode::MultiWriter]);
+        assert_eq!(parsed.networks, vec![NetworkConfig::default()]);
 
         let bad_protocol = serde::json::parse(
             r#"{"procs":[1],"units":[{"kind":"static","pages":1}],"page_size":4096,

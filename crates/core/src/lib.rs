@@ -77,7 +77,8 @@ pub use vc::{VcOrder, VectorClock};
 // Re-export the pieces of the substrate crates that appear in this crate's
 // public API, so applications only need one dependency.
 pub use tm_net::{
-    ClusterStats, CommBreakdown, CostModel, GcCounters, ProcStats, SignatureHistogram,
+    AggregationPolicy, ClusterStats, CommBreakdown, CostModel, GcCounters, LinkStats,
+    NetworkConfig, NetworkState, ProcStats, SignatureHistogram, Topology,
 };
 pub use tm_page::{Align, Diff, GlobalAddr, HomeStore, PageId, PageLayout};
 pub use tm_sched::{EngineKind, SchedConfig, ScheduleMode, Scheduler};

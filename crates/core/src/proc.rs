@@ -26,8 +26,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use tm_net::{
-    CostModel, DiffExchange, FaultRecord, LogicalClock, MsgKind, ProcId, ProcStats, ResponderCost,
-    MSG_HEADER_BYTES,
+    AggregationPolicy, CostModel, DiffExchange, FaultRecord, LogicalClock, MsgKind, NetworkState,
+    ProcId, ProcStats, ResponderCost, MSG_HEADER_BYTES,
 };
 use tm_page::{subtract_cover, Diff, GlobalAddr, PageId, PageLayout, PageStore, WORD_SIZE};
 
@@ -71,6 +71,9 @@ struct PendingExchangeOutcome {
     exchange_ids: Vec<u32>,
     /// Per-responder reply sizes and serve-side extras.
     responder_costs: Vec<ResponderCost>,
+    /// Rank serving `responder_costs[i]` (writer or home) — the source
+    /// endpoint when replies are routed through a contended topology.
+    responder_ranks: Vec<u32>,
     /// Total diff payload applied.
     total_payload: u64,
 }
@@ -96,6 +99,15 @@ pub struct ProcCtx {
     /// Cluster-wide home assignment and master copies; present exactly when
     /// `protocol` is home-based.
     home: Option<Arc<Mutex<HomeDirectory>>>,
+    /// Cluster-wide link-occupancy state; present exactly when the
+    /// configured topology models contention (never under
+    /// [`tm_net::Topology::Ideal`], which keeps the default bit-identical
+    /// to the pre-topology simulator).
+    net: Option<Arc<Mutex<NetworkState>>>,
+    /// How an interval close's home flushes are packed onto the wire.
+    /// Only consulted when `net` is present: without occupancy modeling
+    /// batching would change nothing observable.
+    aggregation: AggregationPolicy,
     gc_flush_pending_limit: usize,
     /// Per writer, a multiset of the interval sequence numbers this
     /// processor still has pending (seq -> number of pages whose notice is
@@ -124,11 +136,17 @@ impl ProcCtx {
         logs: Arc<Vec<SharedIntervalLog>>,
         sync: Arc<GlobalSync>,
         home: Option<Arc<Mutex<HomeDirectory>>>,
+        net: Option<Arc<Mutex<NetworkState>>>,
     ) -> Self {
         debug_assert_eq!(
             home.is_some(),
             config.protocol.is_home_based(),
             "home directory must be present exactly for home-based runs"
+        );
+        debug_assert_eq!(
+            net.is_some(),
+            config.topology.is_contended(),
+            "network state must be present exactly for contended topologies"
         );
         let layout = config.layout();
         let agg = match config.unit {
@@ -155,6 +173,8 @@ impl ProcCtx {
             diff_timing: config.diff_timing,
             protocol: config.protocol,
             home,
+            net,
+            aggregation: config.aggregation,
             gc_flush_pending_limit: config.gc_flush_pending_limit,
             pending_seqs: vec![BTreeMap::new(); config.nprocs],
             notices_since_barrier: 0,
@@ -417,8 +437,33 @@ impl ProcCtx {
         }
     }
 
-    /// The stall one round of pending fetches costs, per protocol.
+    /// The stall one round of pending fetches costs, per protocol.  Under a
+    /// contended topology the replies are routed through the shared link
+    /// state, so they queue behind concurrent traffic; under the ideal
+    /// default this is exactly the calibrated cost model.
     fn fetch_stall(&self, outcome: &PendingExchangeOutcome) -> u64 {
+        if let Some(net) = &self.net {
+            let mut net = net.lock();
+            let now = self.clock.now_ns();
+            return match self.protocol {
+                ProtocolMode::MultiWriter => self.cost.fault_stall_served_on(
+                    &outcome.responder_costs,
+                    &outcome.responder_ranks,
+                    outcome.total_payload,
+                    self.rank.0,
+                    now,
+                    &mut net,
+                ),
+                ProtocolMode::HomeBased { .. } => self.cost.home_fetch_stall_on(
+                    &outcome.responder_costs,
+                    &outcome.responder_ranks,
+                    outcome.total_payload,
+                    self.rank.0,
+                    now,
+                    &mut net,
+                ),
+            };
+        }
         match self.protocol {
             ProtocolMode::MultiWriter => self
                 .cost
@@ -456,6 +501,7 @@ impl ProcCtx {
 
         let mut exchange_ids = Vec::with_capacity(by_writer.len());
         let mut responder_costs = Vec::with_capacity(by_writer.len());
+        let mut responder_ranks = Vec::with_capacity(by_writer.len());
         let mut to_apply: Vec<(u64, u32, u32, Arc<Diff>, u32, bool)> = Vec::new();
         let mut total_payload = 0u64;
         let page_size = self.layout.page_size() as u64;
@@ -548,6 +594,7 @@ impl ProcCtx {
                 reply_bytes,
                 serve_extra_ns,
             });
+            responder_ranks.push(*writer);
             exchange_ids.push(exchange_id);
             self.stats.exchanges.push(DiffExchange {
                 id: exchange_id,
@@ -615,6 +662,7 @@ impl ProcCtx {
             writers: by_writer.len() as u32,
             exchange_ids,
             responder_costs,
+            responder_ranks,
             total_payload,
         }
     }
@@ -673,6 +721,7 @@ impl ProcCtx {
         let page_size = self.layout.page_size();
         let mut exchange_ids = Vec::with_capacity(by_home.len());
         let mut responder_costs = Vec::with_capacity(by_home.len());
+        let mut responder_ranks = Vec::with_capacity(by_home.len());
         let mut total_payload = 0u64;
         let mut buf = vec![0u8; page_size];
 
@@ -690,6 +739,7 @@ impl ProcCtx {
                 reply_bytes,
                 serve_extra_ns: 0,
             });
+            responder_ranks.push(*home_rank);
             exchange_ids.push(exchange_id);
             self.stats.exchanges.push(DiffExchange {
                 id: exchange_id,
@@ -719,6 +769,7 @@ impl ProcCtx {
             writers: by_home.len() as u32,
             exchange_ids,
             responder_costs,
+            responder_ranks,
             total_payload,
         }
     }
@@ -903,11 +954,47 @@ impl ProcCtx {
         drop(dir);
 
         // One update message per home contacted, carrying that home's diffs.
+        // The message and byte *counters* are identical whatever the
+        // topology or aggregation policy — only the modeled flush time
+        // changes — so breakdowns stay comparable across network cells.
         for (&_home_rank, &wire_bytes) in &flushes {
             self.stats.record_control(MsgKind::HomeUpdate, wire_bytes);
             self.stats.home_updates += 1;
-            self.clock
-                .advance(self.cost.home_update_cost(MSG_HEADER_BYTES + wire_bytes));
+        }
+        match &self.net {
+            None => {
+                for &wire_bytes in flushes.values() {
+                    self.clock
+                        .advance(self.cost.home_update_cost(MSG_HEADER_BYTES + wire_bytes));
+                }
+            }
+            Some(net) => {
+                let mut net = net.lock();
+                if self.aggregation.is_batched() {
+                    // The whole interval's flushes as one wire message: one
+                    // broadcast on the bus, a replicated copy per home on
+                    // the switch (where the useless replicated bytes are
+                    // what makes batching lose).
+                    let batch: Vec<(u32, u64)> = flushes.iter().map(|(&h, &b)| (h, b)).collect();
+                    let now = self.clock.now_ns();
+                    let cost =
+                        self.cost
+                            .home_flush_batch_cost_on(&batch, self.rank.0, now, &mut net);
+                    self.clock.advance(cost);
+                } else {
+                    for (&home_rank, &wire_bytes) in &flushes {
+                        let now = self.clock.now_ns();
+                        let cost = self.cost.home_update_cost_on(
+                            MSG_HEADER_BYTES.saturating_add(wire_bytes),
+                            self.rank.0,
+                            home_rank,
+                            now,
+                            &mut net,
+                        );
+                        self.clock.advance(cost);
+                    }
+                }
+            }
         }
 
         self.publish_interval(pages, Vec::new());

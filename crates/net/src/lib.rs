@@ -10,7 +10,11 @@
 //!
 //! * the message taxonomy and exchange/fault records ([`msg`]),
 //! * the calibrated [`CostModel`] ([`cost`]),
-//! * per-processor [`LogicalClock`]s ([`clock`]), and
+//! * per-processor [`LogicalClock`]s ([`clock`]),
+//! * the network-topology seam and link-occupancy bookkeeping
+//!   ([`topology`], [`link`]): finite-bandwidth shared-bus and switched
+//!   fabrics with deterministic queueing, plus the write-notice/diff-flush
+//!   [`AggregationPolicy`], and
 //! * statistics containers and the paper's useful/useless breakdown and
 //!   false-sharing signature ([`stats`]).
 //!
@@ -36,7 +40,7 @@
 //!     useful_payload: 2048,
 //! });
 //!
-//! let stats = ClusterStats { per_proc: vec![p] };
+//! let stats = ClusterStats { per_proc: vec![p], ..Default::default() };
 //! let b = stats.breakdown();
 //! assert_eq!(b.total_messages(), 2); // request + reply, both useful
 //! assert_eq!(b.useful_data, 2048);
@@ -54,16 +58,20 @@
 
 pub mod clock;
 pub mod cost;
+pub mod link;
 pub mod msg;
 pub mod stats;
+pub mod topology;
 
 pub use clock::LogicalClock;
 pub use cost::{CostModel, ResponderCost};
+pub use link::{LinkStats, NetworkState};
 pub use msg::{ControlMsg, DiffExchange, FaultRecord, MsgKind, ProcId, MSG_HEADER_BYTES};
 pub use stats::{
     ClusterStats, CommBreakdown, GcCounters, Normalized, ProcStats, SignatureBucket,
     SignatureHistogram,
 };
+pub use topology::{AggregationPolicy, NetworkConfig, Topology};
 
 #[cfg(test)]
 mod proptests {
@@ -101,7 +109,7 @@ mod proptests {
             }
             let expected_messages = p.message_count();
             let delivered_total: u64 = specs.iter().map(|(d, _)| d).sum();
-            let stats = ClusterStats { per_proc: vec![p] };
+            let stats = ClusterStats { per_proc: vec![p], ..Default::default() };
             let b = stats.breakdown();
             prop_assert_eq!(b.total_messages(), expected_messages);
             prop_assert_eq!(b.total_payload(), delivered_total);

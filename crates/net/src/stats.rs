@@ -289,9 +289,38 @@ impl GcCounters {
 pub struct ClusterStats {
     /// One entry per processor.
     pub per_proc: Vec<ProcStats>,
+    /// Per-link occupancy counters, in link order (the bus is link 0;
+    /// switched NICs are indexed by rank).  Empty under the ideal topology,
+    /// which tracks no occupancy — pre-topology documents simply lack the
+    /// field.
+    pub links: Vec<crate::link::LinkStats>,
 }
 
 impl ClusterStats {
+    /// Total nanoseconds senders spent queued waiting for busy links
+    /// (0 under the ideal topology).
+    pub fn total_queue_ns(&self) -> u64 {
+        self.links
+            .iter()
+            .fold(0u64, |acc, l| acc.saturating_add(l.queue_ns))
+    }
+
+    /// Total nanoseconds of link busy time across all links.
+    pub fn total_link_busy_ns(&self) -> u64 {
+        self.links
+            .iter()
+            .fold(0u64, |acc, l| acc.saturating_add(l.busy_ns))
+    }
+
+    /// Utilization of the busiest link over the run's modeled execution
+    /// time (0 under the ideal topology).
+    pub fn max_link_utilization(&self) -> f64 {
+        let total = self.exec_time_ns();
+        self.links
+            .iter()
+            .map(|l| l.utilization(total))
+            .fold(0.0, f64::max)
+    }
     /// Modeled parallel execution time: the latest finishing processor.
     pub fn exec_time_ns(&self) -> u64 {
         self.per_proc
@@ -557,7 +586,10 @@ mod tests {
         p.record_control(MsgKind::BarrierArrive, 8);
         p.exec_time_ns = 1000;
 
-        let stats = ClusterStats { per_proc: vec![p] };
+        let stats = ClusterStats {
+            per_proc: vec![p],
+            ..Default::default()
+        };
         let b = stats.breakdown();
         assert_eq!(b.useful_messages, 2 + 1); // useful exchange + control msg
         assert_eq!(b.useless_messages, 2);
@@ -582,6 +614,7 @@ mod tests {
         b.exec_time_ns = 900;
         let stats = ClusterStats {
             per_proc: vec![a, b],
+            ..Default::default()
         };
         assert_eq!(stats.exec_time_ns(), 900);
     }
@@ -652,7 +685,11 @@ mod tests {
         });
         p.record_control(MsgKind::BarrierArrive, 8);
         p.exec_time_ns = 1000;
-        let b = ClusterStats { per_proc: vec![p] }.breakdown();
+        let b = ClusterStats {
+            per_proc: vec![p],
+            ..Default::default()
+        }
+        .breakdown();
 
         let text = b.to_json().pretty();
         let parsed = CommBreakdown::from_json(&serde::json::parse(&text).unwrap()).unwrap();
@@ -675,6 +712,7 @@ mod tests {
         b.diffs_retired = 5;
         let gc = ClusterStats {
             per_proc: vec![a, b],
+            ..Default::default()
         }
         .gc_counters();
         assert_eq!(gc.intervals_closed, 14);
@@ -699,6 +737,7 @@ mod tests {
         b.page_fetches = 2;
         let stats = ClusterStats {
             per_proc: vec![a, b],
+            ..Default::default()
         };
         let bd = stats.breakdown();
         assert_eq!(bd.home_updates, 4);

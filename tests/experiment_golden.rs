@@ -1,11 +1,13 @@
 //! Golden test pinning the cell set of each named experiment.
 //!
-//! The five figure/table experiments ARE the paper's experimental design;
-//! their cell grids must not drift when the engine or the registry is
-//! refactored. Each constant below is the exact, ordered key list
-//! (`app/size/policy/pN`) the experiment must expand to at the paper's
-//! 8-processor configuration. If an intentional design change alters a
-//! grid, update the constant in the same commit and say why.
+//! The five figure/table experiments ARE the paper's experimental design
+//! (fig_network and fig_scale extend it onto contended interconnects and
+//! larger clusters); their cell grids must not drift when the engine or the
+//! registry is refactored. Each constant below is the exact, ordered key
+//! list (`app/size/policy/pN`, plus `/home-based` and network suffixes
+//! where a cell departs from the defaults) the experiment must expand to at
+//! the paper's 8-processor configuration. If an intentional design change
+//! alters a grid, update the constant in the same commit and say why.
 
 use tm_bench::{BenchArgs, Experiment};
 
@@ -133,6 +135,44 @@ MGS/48x1024/Dyn/p8
 MGS/48x1024/Dyn8/p8
 MGS/48x1024/Dyn16/p8";
 
+const FIG_NETWORK_8P: &str = "\
+Ilink/CLP-24x4096/4K/p8
+Ilink/CLP-24x4096/4K/p8/bus
+Ilink/CLP-24x4096/4K/p8/bus+batched
+Ilink/CLP-24x4096/4K/p8/switched
+Ilink/CLP-24x4096/4K/p8/switched+batched
+Ilink/CLP-24x4096/4K/p8/home-based
+Ilink/CLP-24x4096/4K/p8/home-based/bus
+Ilink/CLP-24x4096/4K/p8/home-based/bus+batched
+Ilink/CLP-24x4096/4K/p8/home-based/switched
+Ilink/CLP-24x4096/4K/p8/home-based/switched+batched
+MGS/48x1024/4K/p8
+MGS/48x1024/4K/p8/bus
+MGS/48x1024/4K/p8/bus+batched
+MGS/48x1024/4K/p8/switched
+MGS/48x1024/4K/p8/switched+batched
+MGS/48x1024/4K/p8/home-based
+MGS/48x1024/4K/p8/home-based/bus
+MGS/48x1024/4K/p8/home-based/bus+batched
+MGS/48x1024/4K/p8/home-based/switched
+MGS/48x1024/4K/p8/home-based/switched+batched";
+
+// fig_scale fixes its own cluster-size axis (the `8` of the shared
+// `BenchArgs::defaults(8)` below deliberately does not appear).
+const FIG_SCALE: &str = "\
+Jacobi/32x256(tiny)/4K/p64
+Jacobi/32x256(tiny)/16K/p64
+Jacobi/32x256(tiny)/4K/p64/home-based
+Jacobi/32x256(tiny)/16K/p64/home-based
+Jacobi/32x256(tiny)/4K/p256
+Jacobi/32x256(tiny)/16K/p256
+Jacobi/32x256(tiny)/4K/p256/home-based
+Jacobi/32x256(tiny)/16K/p256/home-based
+Jacobi/32x256(tiny)/4K/p1024
+Jacobi/32x256(tiny)/16K/p1024
+Jacobi/32x256(tiny)/4K/p1024/home-based
+Jacobi/32x256(tiny)/16K/p1024/home-based";
+
 fn keys(name: &str, args: &BenchArgs) -> String {
     Experiment::named(name, args)
         .unwrap_or_else(|| panic!("unknown experiment {name}"))
@@ -152,6 +192,8 @@ fn full_cell_grids_match_the_paper_design() {
         ("fig2", FIG2_8P),
         ("fig3", FIG3_8P),
         ("fig_dyn_group", FIG_DYN_GROUP_8P),
+        ("fig_network", FIG_NETWORK_8P),
+        ("fig_scale", FIG_SCALE),
     ] {
         assert_eq!(
             keys(name, &args),
@@ -176,6 +218,8 @@ fn tiny_cell_grids_keep_their_shape() {
         ("fig2", 16),
         ("fig3", 8),
         ("fig_dyn_group", 10),
+        ("fig_network", 20),
+        ("fig_scale", 12),
     ] {
         let exp = Experiment::named(name, &args).unwrap();
         assert_eq!(exp.cells.len(), cells, "tiny cell count of '{name}'");

@@ -102,13 +102,21 @@ fn home_based_documents_roundtrip_and_carry_protocol_fields() {
     assert!(csv.lines().nth(1).unwrap().contains(",home-based,"));
 }
 
-/// Acceptance end-to-end: each of the five binaries, run with
+/// Acceptance end-to-end: each of the seven binaries, run with
 /// `--tiny --format json`, must write a parseable document to stdout that
 /// round-trips through the emitters, and `--out` must write the same schema
 /// to a file.
 #[test]
 fn binaries_emit_parseable_json_in_tiny_mode() {
-    let bins = ["table1", "fig1", "fig2", "fig3", "fig_dyn_group"];
+    let bins = [
+        "table1",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig_dyn_group",
+        "fig_network",
+        "fig_scale",
+    ];
     for bin in bins {
         let stdout = run_binary(bin, &["--tiny", "--format", "json"]);
         let result = parse_result(&stdout)
