@@ -53,6 +53,10 @@ pub struct AppConfig {
     /// How write notices and diff flushes are packed onto the wire; only
     /// observable under a contended topology.
     pub aggregation: AggregationPolicy,
+    /// Run the happens-before data-race detector alongside the protocol.
+    /// Pure observation: results, message counts, and modeled times are
+    /// unchanged; detected races surface in `AppRun::stats.races`.
+    pub racecheck: bool,
 }
 
 impl AppConfig {
@@ -70,6 +74,7 @@ impl AppConfig {
             engine: EngineKind::default(),
             topology: Topology::default(),
             aggregation: AggregationPolicy::default(),
+            racecheck: false,
         }
     }
 
@@ -129,6 +134,12 @@ impl AppConfig {
         self
     }
 
+    /// Builder-style setter for the race-detection knob.
+    pub fn racecheck(mut self, racecheck: bool) -> Self {
+        self.racecheck = racecheck;
+        self
+    }
+
     /// Convert into the DSM configuration used to build the cluster.
     pub fn dsm_config(&self) -> DsmConfig {
         DsmConfig {
@@ -143,6 +154,7 @@ impl AppConfig {
             engine: self.engine,
             topology: self.topology,
             aggregation: self.aggregation,
+            racecheck: self.racecheck,
             ..DsmConfig::paper_default()
         }
     }

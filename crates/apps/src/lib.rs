@@ -11,7 +11,7 @@
 //! The [`suite`] module exposes a uniform registry used by the benchmark
 //! harness.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod barnes;
@@ -20,6 +20,7 @@ pub mod fft3d;
 pub mod ilink;
 pub mod jacobi;
 pub mod mgs;
+pub mod racy;
 pub mod shallow;
 pub mod suite;
 pub mod tsp;

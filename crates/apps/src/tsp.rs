@@ -199,7 +199,14 @@ pub fn run_parallel(cfg: &AppConfig, size: &TspSize) -> AppRun {
             let mask = cities.iter().fold(0u32, |m, &c| m | (1 << c));
             ctx.compute(5_000);
 
+            // Unsynchronized read of the global bound, as in the paper's
+            // TSP: a stale value only weakens pruning for this expansion,
+            // never correctness — every bound *update* re-reads under
+            // BEST_LOCK.  Annotated so the race detector reports only
+            // undocumented races.
+            ctx.begin_benign_race();
             let current_best = best.get(ctx).await;
+            ctx.end_benign_race();
             if tour_len == n {
                 let total = cost + dist[last][0];
                 if total < current_best {

@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 
 use serde::json::{parse, Value};
 use serde::{field_arr, field_f64, field_str, field_u64, FromJson, JsonSchemaError, ToJson};
-use tdsm_core::{CommBreakdown, GcCounters, LinkStats, UnitPolicy};
+use tdsm_core::{CommBreakdown, GcCounters, LinkStats, RaceRecord, UnitPolicy};
 use tm_apps::AppId;
 
 use crate::experiment::Cell;
@@ -39,7 +39,10 @@ use crate::{figure_panel_string, signature_string};
 /// only when non-default, same discipline) and the per-cell `links` array of
 /// per-link occupancy counters (emitted only when a contended topology
 /// modeled any links). Readers must treat all of these as optional; this
-/// parser does, in both directions.
+/// parser does, in both directions.  The race-detector rework added the
+/// per-cell `racecheck` flag and `races` array, emitted only when the cell
+/// ran with `--racecheck` (an explicit empty array is the "checked and
+/// race-free" verdict) — default documents stay byte-identical.
 pub const RESULT_SCHEMA: &str = "tm-bench/experiment-result/v1";
 
 /// The output formats every figure/table binary supports via `--format`.
@@ -137,6 +140,11 @@ impl ToJson for Cell {
                 Value::Str(self.network.aggregation.as_str().to_string()),
             ));
         }
+        // Same discipline for the race-detection knob: emitted only when on,
+        // so default documents stay byte-identical to pre-racecheck ones.
+        if self.racecheck {
+            pairs.push(("racecheck".to_string(), Value::Bool(true)));
+        }
         Value::Obj(pairs)
     }
 }
@@ -204,6 +212,13 @@ impl FromJson for Cell {
                 };
                 tdsm_core::NetworkConfig::new(topology, aggregation)
             },
+            // Additive v1 field: absent means the detector was off — every
+            // document emitted before the race detector existed.
+            racecheck: match v.get("racecheck") {
+                None => false,
+                Some(Value::Bool(b)) => *b,
+                Some(_) => return Err(JsonSchemaError::new("racecheck", "boolean")),
+            },
         })
     }
 }
@@ -248,6 +263,16 @@ impl ToJson for CellResult {
                 ),
             ));
         }
+        // The detector's race set, only when the cell ran with
+        // `--racecheck`: an explicit (possibly empty) array is the "checked
+        // and race-free" verdict, distinct from an unchecked cell that
+        // carries no field at all.
+        if let Some(races) = &self.races {
+            pairs.push((
+                "races".into(),
+                Value::Arr(races.iter().map(|r| r.to_json()).collect()),
+            ));
+        }
         Value::Obj(pairs)
     }
 }
@@ -289,6 +314,24 @@ impl FromJson for CellResult {
                         );
                     }
                     links
+                }
+            },
+            // Additive v1 field: absent for cells that ran without the race
+            // detector (including every pre-racecheck document).
+            races: match v.get("races") {
+                None => None,
+                Some(arr) => {
+                    let items = arr
+                        .as_arr()
+                        .ok_or_else(|| JsonSchemaError::new("races", "array"))?;
+                    let mut races = Vec::new();
+                    for (i, r) in items.iter().enumerate() {
+                        races.push(
+                            RaceRecord::from_json(r)
+                                .map_err(|e| e.in_context(&format!("races[{i}]")))?,
+                        );
+                    }
+                    Some(races)
                 }
             },
         })
@@ -338,6 +381,9 @@ impl FromJson for ExperimentResult {
 /// flat projection of the per-link JSON counters: the topology/aggregation
 /// labels, the summed busy/queueing nanoseconds over all links, and the
 /// utilization of the most-loaded link — all zero for the ideal topology.
+/// When any cell ran with `--racecheck`, a trailing `races` column (the
+/// detector's race count; empty for unchecked cells) is appended — default
+/// documents keep exactly this header, byte for byte.
 pub const CSV_HEADER: &str = "experiment,app,size,policy,nprocs,seed,schedule,diff_timing,\
 protocol,topology,aggregation,exec_time_ms,useful_msgs,useless_msgs,useful_data,\
 piggybacked_useless,useless_in_useless,faults,home_updates,page_fetches,mean_writers,\
@@ -364,11 +410,15 @@ fn csv_field(s: &str) -> std::borrow::Cow<'_, str> {
 }
 
 fn render_csv(result: &ExperimentResult) -> String {
+    let racecheck = result.cells.iter().any(|r| r.cell.racecheck);
     let mut out = String::from(CSV_HEADER);
+    if racecheck {
+        out.push_str(",races");
+    }
     out.push('\n');
     for r in &result.cells {
         let b = &r.breakdown;
-        let _ = writeln!(
+        let _ = write!(
             out,
             // Seeds are hex here as in JSON, so rows join across formats.
             // Free-form string fields (experiment name and the labels) are
@@ -407,6 +457,17 @@ fn render_csv(result: &ExperimentResult) -> String {
                 .fold(0.0, f64::max),
             r.checksum,
         );
+        if racecheck {
+            match &r.races {
+                Some(races) => {
+                    let _ = write!(out, ",{}", races.len());
+                }
+                // An unchecked cell in a mixed document: the column exists
+                // but this cell has no verdict to report.
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
     }
     out
 }
@@ -645,6 +706,49 @@ mod tests {
             .find(|l| l.contains(",ideal,per-message,"))
             .expect("the grid contains the ideal baseline");
         assert!(ideal_row.contains(",0,0,0.0000,"));
+    }
+
+    #[test]
+    fn racecheck_fields_round_trip_and_stay_out_of_default_documents() {
+        // Default documents carry neither the flag nor the races array.
+        let plain = tiny_result("fig_dyn_group");
+        let plain_json = render(&plain, OutputFormat::Json);
+        assert!(!plain_json.contains("\"racecheck\""));
+        assert!(!plain_json.contains("\"races\""));
+        let plain_csv = render(&plain, OutputFormat::Csv);
+        assert!(plain_csv.lines().next().unwrap().ends_with(",checksum"));
+
+        // A checked run emits the flag and an explicit (here empty) races
+        // array per cell — the "checked and race-free" verdict — and
+        // round-trips exactly.
+        let args = BenchArgs {
+            nprocs: 2,
+            scale: crate::Scale::Tiny,
+            racecheck: true,
+            ..BenchArgs::defaults(2)
+        };
+        let exp = Experiment::named("fig_dyn_group", &args).unwrap();
+        let result = run_experiment(&exp, &RunnerOptions { threads: 2 });
+        let text = render(&result, OutputFormat::Json);
+        assert!(text.contains("\"racecheck\": true"));
+        assert!(text.contains("\"races\": []"));
+        let parsed = parse_result(&text).unwrap();
+        assert_eq!(parsed, result.without_host_times());
+        assert!(parsed.cells.iter().all(|c| c.races == Some(Vec::new())));
+
+        // The CSV projection appends the races column, zero for every
+        // race-free cell.
+        let csv = render(&result, OutputFormat::Csv);
+        assert!(csv.lines().next().unwrap().ends_with(",checksum,races"));
+        assert!(csv.lines().skip(1).all(|l| l.ends_with(",0")));
+
+        // Everything the detector cannot change is bit-identical to the
+        // unchecked run: the documents differ only in the race fields.
+        for (p, c) in plain.cells.iter().zip(&result.cells) {
+            assert_eq!(p.exec_time_ns, c.exec_time_ns);
+            assert_eq!(p.checksum, c.checksum);
+            assert_eq!(p.breakdown, c.breakdown);
+        }
     }
 
     /// Minimal RFC 4180 record reader for the round-trip test: splits one

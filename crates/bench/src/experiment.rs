@@ -68,6 +68,12 @@ pub struct Cell {
     /// every pre-existing ideal-network key (and every pinned golden) stays
     /// untouched.
     pub network: NetworkConfig,
+    /// Whether the happens-before race detector runs alongside the cell
+    /// (`--racecheck`).  Never part of the cell key or seed: detection is
+    /// pure observation (measurements are bit-identical with it on or off),
+    /// so a cell's identity — and every pinned golden — is
+    /// racecheck-independent, exactly like the engine axis.
+    pub racecheck: bool,
 }
 
 impl Cell {
@@ -97,6 +103,7 @@ impl Cell {
             protocol,
             engine,
             network: NetworkConfig::default(),
+            racecheck: false,
         };
         cell.seed = fnv1a(cell.key().as_bytes()) ^ sched.seed;
         cell
@@ -110,6 +117,13 @@ impl Cell {
         let base = self.seed ^ fnv1a(self.key().as_bytes());
         self.network = network;
         self.seed = fnv1a(self.key().as_bytes()) ^ base;
+        self
+    }
+
+    /// Builder-style setter for the race-detection knob.  Does not touch the
+    /// key or seed (see the field's documentation).
+    pub fn with_racecheck(mut self, racecheck: bool) -> Cell {
+        self.racecheck = racecheck;
         self
     }
 
@@ -251,7 +265,8 @@ impl Experiment {
                             p.protocol,
                             args.engine,
                         )
-                        .with_network(p.network),
+                        .with_network(p.network)
+                        .with_racecheck(args.racecheck),
                     );
                 }
             }
@@ -281,7 +296,8 @@ impl Experiment {
                     args.protocol,
                     args.engine,
                 )
-                .with_network(args.network()),
+                .with_network(args.network())
+                .with_racecheck(args.racecheck),
             );
             if args.nprocs != 1 {
                 cells.push(
@@ -295,7 +311,8 @@ impl Experiment {
                         args.protocol,
                         args.engine,
                     )
-                    .with_network(args.network()),
+                    .with_network(args.network())
+                    .with_racecheck(args.racecheck),
                 );
             }
         }
@@ -332,7 +349,8 @@ impl Experiment {
                         args.protocol,
                         args.engine,
                     )
-                    .with_network(args.network()),
+                    .with_network(args.network())
+                    .with_racecheck(args.racecheck),
                 );
             }
         }
@@ -366,7 +384,8 @@ impl Experiment {
                     args.protocol,
                     args.engine,
                 )
-                .with_network(args.network()),
+                .with_network(args.network())
+                .with_racecheck(args.racecheck),
             );
             let spec = SweepSpec::dyn_group_ablation(args.nprocs)
                 .with_sched(args.sched())
@@ -384,7 +403,8 @@ impl Experiment {
                         p.protocol,
                         args.engine,
                     )
-                    .with_network(p.network),
+                    .with_network(p.network)
+                    .with_racecheck(args.racecheck),
                 );
             }
         }
@@ -433,7 +453,8 @@ impl Experiment {
                         p.protocol,
                         args.engine,
                     )
-                    .with_network(p.network),
+                    .with_network(p.network)
+                    .with_racecheck(args.racecheck),
                 );
             }
         }
@@ -480,7 +501,8 @@ impl Experiment {
                             protocol,
                             args.engine,
                         )
-                        .with_network(args.network()),
+                        .with_network(args.network())
+                        .with_racecheck(args.racecheck),
                     );
                 }
             }
@@ -577,6 +599,27 @@ mod tests {
                 // own seed); multi-writer keys are what they always were.
                 assert_eq!(cb.key(), format!("{}/home-based", ca.key()));
                 assert_ne!(ca.seed, cb.seed);
+            }
+        }
+    }
+
+    #[test]
+    fn racecheck_flows_into_cells_without_changing_identity() {
+        let plain = args(8, false);
+        let mut checked = args(8, false);
+        checked.racecheck = true;
+        for name in Experiment::all_names() {
+            let a = Experiment::named(name, &plain).unwrap();
+            let b = Experiment::named(name, &checked).unwrap();
+            assert_eq!(a.cells.len(), b.cells.len());
+            for (ca, cb) in a.cells.iter().zip(&b.cells) {
+                assert!(!ca.racecheck);
+                assert!(cb.racecheck);
+                // Detection is pure observation, so it is not an identity
+                // axis: keys and seeds — and every pinned golden — are
+                // untouched.
+                assert_eq!(ca.key(), cb.key());
+                assert_eq!(ca.seed, cb.seed);
             }
         }
     }

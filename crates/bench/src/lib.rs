@@ -22,7 +22,7 @@
 //! code, so the binaries stay thin and the integration tests can exercise
 //! the same paths.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod emit;
@@ -425,6 +425,11 @@ fn parse_seed(s: &str) -> Option<u64> {
 ///   packed onto the wire: `per-message` (one update per home, the default)
 ///   or `batched` (one assembled batch per interval close).  Only observable
 ///   under a contended topology.
+/// * `--racecheck` runs the happens-before data-race detector alongside
+///   every cell.  Pure observation: checksums, message counts and modeled
+///   times are unchanged, and detected races appear as an additive `races`
+///   array per cell in the JSON document (plus a `races` count column in
+///   CSV).  Off by default — default documents stay byte-identical.
 /// * `--app NAME` restricts the run to one application (paper display name,
 ///   e.g. `Jacobi`) — the lever the CI memory gate uses to time a single
 ///   `--scale large` cell.
@@ -455,6 +460,9 @@ pub struct BenchArgs {
     pub topology: Topology,
     /// Wire-aggregation policy applied to every cell (`--aggregation`).
     pub aggregation: AggregationPolicy,
+    /// Run the happens-before race detector alongside every cell
+    /// (`--racecheck`).
+    pub racecheck: bool,
     /// Restrict the experiment to this application (paper display name).
     pub app: Option<AppId>,
     /// Format written to stdout.
@@ -479,6 +487,7 @@ impl BenchArgs {
             engine: EngineKind::default(),
             topology: Topology::default(),
             aggregation: AggregationPolicy::default(),
+            racecheck: false,
             app: None,
             format: OutputFormat::Human,
             out: None,
@@ -513,7 +522,7 @@ impl BenchArgs {
                      [--diff-timing eager|lazy] \
                      [--protocol multi-writer|home-based|home-based-first-touch] \
                      [--engine threaded|event] [--topology ideal|bus|switched] \
-                     [--aggregation per-message|batched] [--app NAME] \
+                     [--aggregation per-message|batched] [--racecheck] [--app NAME] \
                      [--format human|json|csv] [--out FILE]"
                 );
                 std::process::exit(2);
@@ -556,6 +565,7 @@ impl BenchArgs {
                 "--aggregation" => {
                     out.aggregation = flag_value("--aggregation")?.parse()?;
                 }
+                "--racecheck" => out.racecheck = true,
                 "--app" => {
                     let v = flag_value("--app")?;
                     out.app = Some(AppId::from_name(&v).ok_or_else(|| {
@@ -769,6 +779,10 @@ mod tests {
             parse(&["--engine", "event"]).engine,
             EngineKind::EventDriven
         );
+
+        // --racecheck is a boolean switch, off by default.
+        assert!(!parse(&[]).racecheck);
+        assert!(parse(&["--racecheck"]).racecheck);
 
         assert!(err(&["--threads"]).contains("requires a value"));
         assert!(err(&["--threads", "0"]).contains("expected 1-256"));

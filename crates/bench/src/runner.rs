@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use tdsm_core::{CommBreakdown, GcCounters, LinkStats};
+use tdsm_core::{CommBreakdown, GcCounters, LinkStats, RaceRecord};
 use tm_apps::AppConfig;
 
 use crate::experiment::{Cell, Experiment};
@@ -60,6 +60,12 @@ pub struct CellResult {
     /// the ideal topology (no links are modeled), one entry per link
     /// otherwise (the shared bus has one, a switch one per processor port).
     pub links: Vec<LinkStats>,
+    /// The happens-before detector's race set: `None` when the cell ran
+    /// without `--racecheck` (the default), `Some` — possibly empty, which
+    /// is the explicit "checked and race-free" verdict — when it ran with
+    /// it.  Deterministically sorted; bit-identical across reruns and
+    /// engines for a fixed cell.
+    pub races: Option<Vec<RaceRecord>>,
     /// Host wall-clock time spent simulating this cell (ns) — the harness's
     /// own perf trajectory, not a paper quantity.
     pub host_wall_ns: u64,
@@ -129,7 +135,8 @@ pub fn run_cell(cell: &Cell) -> CellResult {
         .diff_timing(cell.diff_timing)
         .engine(cell.engine)
         .topology(cell.network.topology)
-        .aggregation(cell.network.aggregation);
+        .aggregation(cell.network.aggregation)
+        .racecheck(cell.racecheck);
     let started = Instant::now();
     let run = w.run_parallel(&cfg);
     CellResult {
@@ -139,6 +146,7 @@ pub fn run_cell(cell: &Cell) -> CellResult {
         breakdown: run.breakdown,
         gc: run.stats.gc_counters(),
         links: run.stats.links.clone(),
+        races: cell.racecheck.then(|| run.stats.races.clone()),
         host_wall_ns: started.elapsed().as_nanos() as u64,
     }
 }

@@ -10,8 +10,7 @@
 //! until its own first access so that changes in the access pattern keep
 //! being observed.
 
-use std::collections::HashMap;
-
+use crate::fasthash::FastHashMap;
 use tm_page::PageId;
 
 /// Per-processor state of the dynamic aggregation algorithm.
@@ -20,12 +19,14 @@ pub struct DynamicAggregator {
     max_group: usize,
     /// Current page groups (rebuilt at every synchronization).
     groups: Vec<Vec<PageId>>,
-    /// Page → index into `groups`.
-    page_to_group: HashMap<PageId, usize>,
+    /// Page → index into `groups`.  Deterministically hashed (the workspace
+    /// lint forbids `RandomState` maps in simulation crates), though only
+    /// ever probed, never iterated.
+    page_to_group: FastHashMap<PageId, usize>,
     /// Pages faulted on during the current interval, in first-fault order.
     faulted: Vec<PageId>,
     /// Membership set for `faulted` (cheap duplicate suppression).
-    faulted_set: HashMap<PageId, ()>,
+    faulted_set: FastHashMap<PageId, ()>,
     /// Number of times groups were rebuilt (statistics / tests).
     rebuilds: u64,
 }
@@ -36,9 +37,9 @@ impl DynamicAggregator {
         DynamicAggregator {
             max_group: max_group_pages.max(1) as usize,
             groups: Vec::new(),
-            page_to_group: HashMap::new(),
+            page_to_group: FastHashMap::default(),
             faulted: Vec::new(),
-            faulted_set: HashMap::new(),
+            faulted_set: FastHashMap::default(),
             rebuilds: 0,
         }
     }

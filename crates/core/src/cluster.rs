@@ -42,6 +42,7 @@ use parking_lot::Mutex;
 
 use tm_net::{ClusterStats, NetworkState, ProcStats};
 use tm_page::{Align, GlobalAddr, RegionAllocator};
+use tm_race::RaceDetector;
 use tm_sched::EngineKind;
 
 use crate::config::DsmConfig;
@@ -205,10 +206,24 @@ impl Dsm {
         } else {
             None
         };
+        // The happens-before race detector exists only when race checking is
+        // requested: the default constructs nothing and takes none of the
+        // detector code paths, keeping default runs bit-identical to the
+        // pre-racecheck simulator.
+        let race: Option<Arc<Mutex<RaceDetector>>> = if self.config.racecheck {
+            let layout = self.config.layout();
+            Some(Arc::new(Mutex::new(RaceDetector::new(
+                nprocs,
+                layout.total_pages(),
+                layout.words_per_page(),
+            ))))
+        } else {
+            None
+        };
 
         let per_proc = match self.config.engine {
-            EngineKind::Threaded => self.run_threaded(&logs, &sync, &home, &net, &body),
-            EngineKind::EventDriven => self.run_event(&logs, &sync, &home, &net, &body),
+            EngineKind::Threaded => self.run_threaded(&logs, &sync, &home, &net, &race, &body),
+            EngineKind::EventDriven => self.run_event(&logs, &sync, &home, &net, &race, &body),
         };
 
         let mut results = Vec::with_capacity(nprocs);
@@ -232,6 +247,9 @@ impl Dsm {
         if let Some(net) = &net {
             stats.links = net.lock().link_stats();
         }
+        if let Some(race) = &race {
+            stats.races = race.lock().take_races();
+        }
         let decision_trace = sync.scheduler().take_decision_trace();
         (RunOutput { results, stats }, decision_trace)
     }
@@ -246,6 +264,7 @@ impl Dsm {
         sync: &Arc<GlobalSync>,
         home: &Option<Arc<Mutex<HomeDirectory>>>,
         net: &Option<Arc<Mutex<NetworkState>>>,
+        race: &Option<Arc<Mutex<RaceDetector>>>,
         body: &F,
     ) -> Vec<(R, ProcStats)>
     where
@@ -261,6 +280,7 @@ impl Dsm {
                 let sync = Arc::clone(sync);
                 let home = home.clone();
                 let net = net.clone();
+                let race = race.clone();
                 let config = &self.config;
                 handles.push(scope.spawn(move || {
                     // The scheduler serializes the simulated processors:
@@ -274,8 +294,15 @@ impl Dsm {
                     // panic is re-raised and surfaces through join.
                     complete_now(sync.wait_first_turn(rank));
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        let mut ctx =
-                            ProcCtx::new(rank, config, Arc::clone(&logs), sync.clone(), home, net);
+                        let mut ctx = ProcCtx::new(
+                            rank,
+                            config,
+                            Arc::clone(&logs),
+                            sync.clone(),
+                            home,
+                            net,
+                            race,
+                        );
                         let result = complete_now(body(&mut ctx));
                         (result, ctx.finish())
                     }));
@@ -311,6 +338,7 @@ impl Dsm {
         sync: &Arc<GlobalSync>,
         home: &Option<Arc<Mutex<HomeDirectory>>>,
         net: &Option<Arc<Mutex<NetworkState>>>,
+        race: &Option<Arc<Mutex<RaceDetector>>>,
         body: &F,
     ) -> Vec<(R, ProcStats)>
     where
@@ -325,10 +353,12 @@ impl Dsm {
                 let sync = Arc::clone(sync);
                 let home = home.clone();
                 let net = net.clone();
+                let race = race.clone();
                 let config = &self.config;
                 let fut = async move {
                     sync.wait_first_turn(rank).await;
-                    let mut ctx = ProcCtx::new(rank, config, logs, Arc::clone(&sync), home, net);
+                    let mut ctx =
+                        ProcCtx::new(rank, config, logs, Arc::clone(&sync), home, net, race);
                     let result = body(&mut ctx).await;
                     (result, ctx.finish())
                 };
@@ -424,6 +454,7 @@ mod tests {
             engine: EngineKind::default(),
             topology: tm_net::Topology::default(),
             aggregation: tm_net::AggregationPolicy::default(),
+            racecheck: false,
         }
     }
 

@@ -199,6 +199,11 @@ pub struct SweepSpec {
     /// default; results are bit-identical across engines, so this is a
     /// host-performance knob, not an experimental axis).
     pub engine: EngineKind,
+    /// Run every point under the happens-before race detector (off by
+    /// default).  Detection is pure observation — it cannot change any
+    /// measured quantity — so, like `engine`, this is not an experimental
+    /// axis; it only adds `races` reports to the emitted documents.
+    pub racecheck: bool,
 }
 
 impl SweepSpec {
@@ -218,6 +223,7 @@ impl SweepSpec {
             page_size: 4096,
             sched: SchedConfig::default(),
             engine: EngineKind::default(),
+            racecheck: false,
         }
     }
 
@@ -235,6 +241,7 @@ impl SweepSpec {
             page_size: 4096,
             sched: SchedConfig::default(),
             engine: EngineKind::default(),
+            racecheck: false,
         }
     }
 
@@ -248,6 +255,7 @@ impl SweepSpec {
             page_size: 4096,
             sched: SchedConfig::default(),
             engine: EngineKind::default(),
+            racecheck: false,
         }
     }
 
@@ -272,6 +280,12 @@ impl SweepSpec {
     /// Builder-style setter for the network axis (topology × aggregation).
     pub fn with_networks(mut self, networks: Vec<NetworkConfig>) -> Self {
         self.networks = networks;
+        self
+    }
+
+    /// Builder-style setter for the race-detection knob.
+    pub fn with_racecheck(mut self, racecheck: bool) -> Self {
+        self.racecheck = racecheck;
         self
     }
 
@@ -411,6 +425,11 @@ impl ToJson for SweepSpec {
                 Value::Arr(self.networks.iter().map(|n| n.to_json()).collect()),
             ));
         }
+        // Additive field: emitted only when race detection is on, so default
+        // documents stay byte-identical to pre-detector ones.
+        if self.racecheck {
+            fields.push(("racecheck", Value::Bool(true)));
+        }
         Value::obj(fields)
     }
 }
@@ -479,6 +498,12 @@ impl FromJson for SweepSpec {
             },
             // Additive field: absent means the default engine.
             engine: engine_from_json(v)?,
+            // Additive field: absent means race detection off.
+            racecheck: match v.get("racecheck") {
+                None => false,
+                Some(Value::Bool(b)) => *b,
+                Some(_) => return Err(JsonSchemaError::new("racecheck", "boolean")),
+            },
         })
     }
 }
@@ -543,6 +568,14 @@ pub struct DsmConfig {
     /// takes effect under a contended topology: the ideal network has no
     /// per-message occupancy for batching to save.
     pub aggregation: AggregationPolicy,
+    /// Run the happens-before race detector alongside the protocol (off by
+    /// default).  Every shared read/write is checked against the lock/barrier
+    /// happens-before order maintained by the interval vector clocks; races
+    /// surface in `ClusterStats::races`.  Detection is pure observation: it
+    /// never changes protocol behaviour, checksums or logical timings, so
+    /// default runs are bit-identical with the knob on either setting — only
+    /// the emitted documents gain `races` reports when it is on.
+    pub racecheck: bool,
 }
 
 impl DsmConfig {
@@ -563,6 +596,7 @@ impl DsmConfig {
             engine: EngineKind::default(),
             topology: Topology::default(),
             aggregation: AggregationPolicy::default(),
+            racecheck: false,
         }
     }
 
@@ -638,6 +672,12 @@ impl DsmConfig {
     /// Builder-style setter for the aggregation policy.
     pub fn aggregation(mut self, aggregation: AggregationPolicy) -> Self {
         self.aggregation = aggregation;
+        self
+    }
+
+    /// Builder-style setter for the race-detection knob.
+    pub fn racecheck(mut self, racecheck: bool) -> Self {
+        self.racecheck = racecheck;
         self
     }
 
@@ -756,6 +796,7 @@ mod tests {
             page_size: 4096,
             sched: SchedConfig::default(),
             engine: EngineKind::default(),
+            racecheck: false,
         };
         assert_eq!(multi.points().len(), 2);
         assert_eq!(multi.points()[1].nprocs, 4);
@@ -792,6 +833,7 @@ mod tests {
                 seed: 0xdead_beef,
             },
             engine: EngineKind::Threaded,
+            racecheck: true,
         };
         let parsed =
             SweepSpec::from_json(&serde::json::parse(&spec.to_json().pretty()).unwrap()).unwrap();
@@ -850,6 +892,23 @@ mod tests {
         assert_eq!(parsed.sched, SchedConfig::default());
         assert_eq!(parsed.protocols, vec![ProtocolMode::MultiWriter]);
         assert_eq!(parsed.networks, vec![NetworkConfig::default()]);
+        assert!(!parsed.racecheck);
+
+        // The racecheck knob is omitted when off and restored on parse.
+        let checked = SweepSpec {
+            racecheck: true,
+            ..SweepSpec::paper_units(2)
+        };
+        let emitted = checked.to_json().pretty();
+        assert!(emitted.contains("racecheck"));
+        assert_eq!(
+            SweepSpec::from_json(&serde::json::parse(&emitted).unwrap()).unwrap(),
+            checked
+        );
+        assert!(!SweepSpec::paper_units(2)
+            .to_json()
+            .pretty()
+            .contains("racecheck"));
 
         let bad_protocol = serde::json::parse(
             r#"{"procs":[1],"units":[{"kind":"static","pages":1}],"page_size":4096,

@@ -81,4 +81,5 @@ pub use tm_net::{
     NetworkConfig, NetworkState, ProcStats, SignatureHistogram, Topology,
 };
 pub use tm_page::{Align, Diff, GlobalAddr, HomeStore, PageId, PageLayout};
+pub use tm_race::{AccessKind, RaceDetector, RaceRecord};
 pub use tm_sched::{EngineKind, SchedConfig, ScheduleMode, Scheduler};

@@ -30,6 +30,7 @@ use tm_net::{
     ProcId, ProcStats, ResponderCost, MSG_HEADER_BYTES,
 };
 use tm_page::{subtract_cover, Diff, GlobalAddr, PageId, PageLayout, PageStore, WORD_SIZE};
+use tm_race::{AccessKind, RaceDetector};
 
 use crate::aggregation::DynamicAggregator;
 use crate::config::{DiffTiming, DsmConfig, UnitPolicy};
@@ -108,6 +109,17 @@ pub struct ProcCtx {
     /// Only consulted when `net` is present: without occupancy modeling
     /// batching would change nothing observable.
     aggregation: AggregationPolicy,
+    /// Cluster-wide happens-before race detector; present exactly when
+    /// `DsmConfig::racecheck` is on.  Pure observation: consulted on every
+    /// shared access but never fed back into the protocol, so the default
+    /// (absent) runs are bit-identical to pre-detector ones.
+    race: Option<Arc<Mutex<RaceDetector>>>,
+    /// Depth of nested [`ProcCtx::begin_benign_race`] scopes.  While
+    /// positive, shared accesses are invisible to the race detector — the
+    /// annotation for *documented* intentional races (TSP's unsynchronized
+    /// branch-and-bound pruning read, exactly as in the source paper).
+    /// Never affects the simulation itself.
+    benign_race_depth: u32,
     gc_flush_pending_limit: usize,
     /// Per writer, a multiset of the interval sequence numbers this
     /// processor still has pending (seq -> number of pages whose notice is
@@ -137,6 +149,7 @@ impl ProcCtx {
         sync: Arc<GlobalSync>,
         home: Option<Arc<Mutex<HomeDirectory>>>,
         net: Option<Arc<Mutex<NetworkState>>>,
+        race: Option<Arc<Mutex<RaceDetector>>>,
     ) -> Self {
         debug_assert_eq!(
             home.is_some(),
@@ -147,6 +160,11 @@ impl ProcCtx {
             net.is_some(),
             config.topology.is_contended(),
             "network state must be present exactly for contended topologies"
+        );
+        debug_assert_eq!(
+            race.is_some(),
+            config.racecheck,
+            "race detector must be present exactly for racecheck runs"
         );
         let layout = config.layout();
         let agg = match config.unit {
@@ -175,6 +193,8 @@ impl ProcCtx {
             home,
             net,
             aggregation: config.aggregation,
+            race,
+            benign_race_depth: 0,
             gc_flush_pending_limit: config.gc_flush_pending_limit,
             pending_seqs: vec![BTreeMap::new(); config.nprocs],
             notices_since_barrier: 0,
@@ -246,14 +266,14 @@ impl ProcCtx {
     /// execute between shared accesses).
     pub fn compute(&mut self, ns: u64) {
         self.clock.advance(ns);
-        self.stats.compute_time_ns += ns;
+        self.stats.compute_time_ns = self.stats.compute_time_ns.saturating_add(ns);
     }
 
     fn charge_access(&mut self, bytes: usize) {
         let words = bytes.div_ceil(WORD_SIZE) as u64;
-        let ns = words * self.cost.shared_access_ns;
+        let ns = words.saturating_mul(self.cost.shared_access_ns);
         self.clock.advance(ns);
-        self.stats.compute_time_ns += ns;
+        self.stats.compute_time_ns = self.stats.compute_time_ns.saturating_add(ns);
     }
 
     // ------------------------------------------------------------------
@@ -264,6 +284,9 @@ impl ProcCtx {
     pub async fn read_bytes(&mut self, addr: GlobalAddr, dst: &mut [u8]) {
         self.charge_access(dst.len());
         self.ensure_valid_range(addr, dst.len() as u64, false).await;
+        if self.race.is_some() {
+            self.note_access(addr, dst.len(), AccessKind::Read);
+        }
         let ProcCtx { store, stats, .. } = self;
         store.read(addr, dst, |exch, bytes| {
             if let Some(e) = stats.exchanges.get_mut(exch as usize) {
@@ -276,10 +299,71 @@ impl ProcCtx {
     pub async fn write_bytes(&mut self, addr: GlobalAddr, src: &[u8]) {
         self.charge_access(src.len());
         self.ensure_valid_range(addr, src.len() as u64, true).await;
+        if self.race.is_some() {
+            self.note_access(addr, src.len(), AccessKind::Write);
+        }
         self.store.write(addr, src);
         if self.protocol.is_home_based() {
+            // Write-through to the master copy happens below at the *home*,
+            // but the race detector has already attributed the write to this
+            // client rank above — the home's memory changing is an artifact
+            // of the protocol, not a program access.
             self.write_through_home(addr, src);
         }
+    }
+
+    /// Report one shared access to the happens-before race detector,
+    /// split per page into the word ranges it covers.  The detector keeps
+    /// its own per-rank sync clocks (fed by the sync hooks below) — the
+    /// protocol's interval vector clock is *not* a happens-before view for
+    /// race detection, because it only advances on write-notice-bearing
+    /// intervals and therefore never covers a read-only processor's
+    /// accesses.
+    fn note_access(&mut self, addr: GlobalAddr, len: usize, kind: AccessKind) {
+        if self.benign_race_depth > 0 {
+            return;
+        }
+        let Some(race) = &self.race else { return };
+        let mut det = race.lock();
+        let mut remaining = len;
+        let mut cursor = addr;
+        while remaining > 0 {
+            let page = self.layout.page_of(cursor);
+            let off = self.layout.offset_in_page(cursor);
+            let take = (self.layout.page_size() - off).min(remaining);
+            let words = self.layout.words_covering(off, take);
+            det.record_access(self.rank.0, page.0, words, kind);
+            remaining -= take;
+            cursor = cursor.add(take as u64);
+        }
+    }
+
+    /// Open a *benign-race annotation* scope: until the matching
+    /// [`ProcCtx::end_benign_race`], this processor's shared accesses are
+    /// not reported to the happens-before race detector.
+    ///
+    /// This is the moral equivalent of a ThreadSanitizer suppression: it
+    /// documents an access that is racy *by design* (for TSP, reading the
+    /// current branch-and-bound bound without taking its lock — a stale
+    /// bound only costs pruning efficiency, never correctness, because every
+    /// bound *update* re-checks under the lock).  The annotation changes
+    /// nothing about the simulation — costs, messages and values are
+    /// identical with and without it, and it is a no-op unless `--racecheck`
+    /// is on.  Scopes nest.
+    pub fn begin_benign_race(&mut self) {
+        self.benign_race_depth += 1;
+    }
+
+    /// Close the innermost benign-race annotation scope.
+    ///
+    /// # Panics
+    /// Panics if no scope is open.
+    pub fn end_benign_race(&mut self) {
+        assert!(
+            self.benign_race_depth > 0,
+            "end_benign_race without a matching begin_benign_race"
+        );
+        self.benign_race_depth -= 1;
     }
 
     /// Home-based protocol: the home's own writes go straight into the
@@ -423,7 +507,7 @@ impl ProcCtx {
         self.stats.protection_ops += 1;
 
         self.clock.advance(stall);
-        self.stats.fault_stall_ns += stall;
+        self.stats.fault_stall_ns = self.stats.fault_stall_ns.saturating_add(stall);
     }
 
     /// Make the pending notices of `fetch_pages` good, whichever way the
@@ -809,7 +893,7 @@ impl ProcCtx {
         // fetch stall is real.
         let stall = self.fetch_stall(&outcome);
         self.clock.advance(stall);
-        self.stats.fault_stall_ns += stall;
+        self.stats.fault_stall_ns = self.stats.fault_stall_ns.saturating_add(stall);
         self.stats.gc_pending_flushes += 1;
     }
 
@@ -1097,6 +1181,9 @@ impl ProcCtx {
             notices += self.incorporate_notices_from(q, grant.vc.get(q));
         }
         self.vc.merge(&grant.vc);
+        if let Some(race) = &self.race {
+            race.lock().on_acquire(self.rank.0, lock_id);
+        }
 
         // Message accounting: request → statically assigned manager, forward
         // → last holder, grant → us.  A re-acquisition of a lock we released
@@ -1125,7 +1212,10 @@ impl ProcCtx {
             }
         }
         self.stats.lock_acquires += 1;
-        self.stats.sync_stall_ns += self.clock.now_ns() - stall_start;
+        self.stats.sync_stall_ns = self
+            .stats
+            .sync_stall_ns
+            .saturating_add(self.clock.now_ns() - stall_start);
     }
 
     /// Release global lock `lock_id`, making this processor's modifications
@@ -1133,6 +1223,11 @@ impl ProcCtx {
     pub async fn release(&mut self, lock_id: usize) {
         self.close_interval();
         self.resync_aggregator();
+        if let Some(race) = &self.race {
+            // Before the lock becomes grantable: the next acquirer's hook
+            // must find this critical section's closed sync interval.
+            race.lock().on_release(self.rank.0, lock_id);
+        }
         self.sync
             .release_lock(
                 lock_id,
@@ -1183,6 +1278,9 @@ impl ProcCtx {
             .collect();
 
         let my_published = self.vc.get(self.rank.index());
+        if let Some(race) = &self.race {
+            race.lock().on_barrier_arrive(self.rank.0);
+        }
         let epoch = self
             .sync
             .barrier_arrive(
@@ -1194,6 +1292,9 @@ impl ProcCtx {
             )
             .await;
         self.clock.wait_until(epoch.depart_clock_ns);
+        if let Some(race) = &self.race {
+            race.lock().on_barrier_depart(self.rank.0);
+        }
 
         let mut notices = 0u64;
         for q in 0..self.nprocs {
@@ -1215,7 +1316,10 @@ impl ProcCtx {
                 .record_control(MsgKind::BarrierDepart, notices * NOTICE_WIRE_BYTES);
         }
         self.stats.barriers += 1;
-        self.stats.sync_stall_ns += self.clock.now_ns() - stall_start;
+        self.stats.sync_stall_ns = self
+            .stats
+            .sync_stall_ns
+            .saturating_add(self.clock.now_ns() - stall_start);
     }
 
     // ------------------------------------------------------------------

@@ -57,6 +57,14 @@ impl VectorClock {
         self.entries[p]
     }
 
+    /// All entries as a slice, in processor order (entry `p` = closed
+    /// intervals of `p` covered).  The borrowed view observers such as the
+    /// race detector consume on every access without copying the clock.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.entries
+    }
+
     /// Set entry for processor `p`.
     #[inline]
     pub fn set(&mut self, p: usize, v: u32) {

@@ -10,7 +10,7 @@
 //! The library itself only re-exports the workspace crates under one roof,
 //! which is occasionally convenient in scratch examples.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub use tdsm_core;

@@ -294,6 +294,10 @@ pub struct ClusterStats {
     /// which tracks no occupancy — pre-topology documents simply lack the
     /// field.
     pub links: Vec<crate::link::LinkStats>,
+    /// Data races found by the happens-before detector, as a deterministic
+    /// sorted set.  Always empty when race detection is off (the default),
+    /// and empty for data-race-free programs when it is on.
+    pub races: Vec<tm_race::RaceRecord>,
 }
 
 impl ClusterStats {
