@@ -1,4 +1,4 @@
-//! Produces the performance-trajectory artifact (`BENCH_PR6.json`) and runs
+//! Produces the performance-trajectory artifact (`BENCH_PR10.json`) and runs
 //! the regression gate against a checked-in baseline.
 //!
 //! Usage:

@@ -240,8 +240,10 @@ impl ToJson for CellResult {
         // Per-link occupancy counters, only when a contended topology
         // modeled any links — ideal-topology documents stay byte-identical
         // to pre-topology ones.  Each link additionally carries its derived
-        // utilization (busy / modeled exec time) for chart consumers; the
-        // parser ignores it, the counters are authoritative.
+        // utilization for chart consumers (busy over the later of the
+        // modeled exec time and the link's own occupancy window, so the
+        // ratio is ≤ 1.0 by construction); the parser ignores it, the
+        // counters are authoritative.
         if !self.links.is_empty() {
             pairs.push((
                 "links".into(),
@@ -681,6 +683,18 @@ mod tests {
         assert!(text.contains("\"aggregation\": \"batched\""));
         assert!(text.contains("\"utilization\""));
         assert!(text.contains("\"queue_ns\""));
+        assert!(text.contains("\"window_ns\""));
+        // The derived utilization is a true fraction: the window denominator
+        // contains every busy interval by construction.
+        for r in result.cells.iter().filter(|r| !r.links.is_empty()) {
+            for l in &r.links {
+                let util = l.utilization(r.exec_time_ns);
+                assert!(
+                    (0.0..=1.0).contains(&util),
+                    "utilization {util} out of range"
+                );
+            }
+        }
         let contended = result
             .cells
             .iter()

@@ -1,7 +1,7 @@
-//! The performance-trajectory artifact (`BENCH_PR6.json`) and its
+//! The performance-trajectory artifact (`BENCH_PR10.json`) and its
 //! regression gate.
 //!
-//! PR 6's optimization work needs a way to *stay* fast: this module measures
+//! The optimization work needs a way to *stay* fast: this module measures
 //! a fixed set of host-side timings — median wall times of the same micro
 //! workloads the criterion bench targets (`diffing`, `primitives`,
 //! `aggregation`) exercise, plus the wall time of the canonical
@@ -35,8 +35,10 @@ use crate::run_policy_sweep_net;
 /// Identifier of the perf-artifact schema; bumped on breaking changes.
 pub const PERF_SCHEMA: &str = "tm-bench/perf/v1";
 
-/// Name of the artifact this PR checks in and CI regenerates.
-pub const PERF_ARTIFACT: &str = "BENCH_PR6";
+/// Name of the artifact this PR checks in and CI regenerates.  The memory-
+/// traffic overhaul re-baselined the PR 6 artifact; its sweep wall time is
+/// carried forward as the `reference` block of `BENCH_PR10.json`.
+pub const PERF_ARTIFACT: &str = "BENCH_PR10";
 
 /// Default regression tolerance of the gate: a timing may be up to 20 %
 /// slower than the baseline before the comparison fails.

@@ -41,7 +41,7 @@ use std::task::{Context, Poll, Waker};
 use parking_lot::Mutex;
 
 use tm_net::{ClusterStats, NetworkState, ProcStats};
-use tm_page::{Align, GlobalAddr, RegionAllocator};
+use tm_page::{Align, GlobalAddr, PageLayout, RegionAllocator};
 use tm_race::RaceDetector;
 use tm_sched::EngineKind;
 
@@ -168,6 +168,16 @@ impl Dsm {
         F: AsyncFn(&mut ProcCtx) -> R + Sync,
     {
         let nprocs = self.config.nprocs;
+        // Size all per-page protocol state by the allocator's high-water
+        // mark, not the configured address-space reservation: a run can
+        // only touch pages it allocated, and the truncation (rounded to
+        // whole consistency units — see `PageLayout::truncated_to`) is
+        // bit-invisible to every statistic.  Without it, large clusters
+        // zero-fill hundreds of megabytes of tables for pages nobody owns.
+        let layout = self
+            .config
+            .layout()
+            .truncated_to(self.allocator.used(), self.config.unit.protection_pages());
         let logs: Arc<Vec<SharedIntervalLog>> = Arc::new(
             (0..nprocs)
                 .map(|_| Mutex::new(IntervalLog::new()))
@@ -187,13 +197,12 @@ impl Dsm {
         }
         // The home directory (assignment + master copies) exists only for
         // home-based runs; multi-writer runs have no authoritative copy.
-        let home: Option<Arc<Mutex<HomeDirectory>>> =
-            match self.config.protocol {
-                ProtocolMode::MultiWriter => None,
-                ProtocolMode::HomeBased { assign } => Some(Arc::new(Mutex::new(
-                    HomeDirectory::new(self.config.layout(), nprocs, assign),
-                ))),
-            };
+        let home: Option<Arc<Mutex<HomeDirectory>>> = match self.config.protocol {
+            ProtocolMode::MultiWriter => None,
+            ProtocolMode::HomeBased { assign } => Some(Arc::new(Mutex::new(HomeDirectory::new(
+                layout, nprocs, assign,
+            )))),
+        };
         // Link-occupancy state exists only when the topology models
         // contention: the ideal default constructs nothing and takes none of
         // the occupancy code paths, keeping it bit-identical to the
@@ -211,7 +220,6 @@ impl Dsm {
         // detector code paths, keeping default runs bit-identical to the
         // pre-racecheck simulator.
         let race: Option<Arc<Mutex<RaceDetector>>> = if self.config.racecheck {
-            let layout = self.config.layout();
             Some(Arc::new(Mutex::new(RaceDetector::new(
                 nprocs,
                 layout.total_pages(),
@@ -222,8 +230,12 @@ impl Dsm {
         };
 
         let per_proc = match self.config.engine {
-            EngineKind::Threaded => self.run_threaded(&logs, &sync, &home, &net, &race, &body),
-            EngineKind::EventDriven => self.run_event(&logs, &sync, &home, &net, &race, &body),
+            EngineKind::Threaded => {
+                self.run_threaded(layout, &logs, &sync, &home, &net, &race, &body)
+            }
+            EngineKind::EventDriven => {
+                self.run_event(layout, &logs, &sync, &home, &net, &race, &body)
+            }
         };
 
         let mut results = Vec::with_capacity(nprocs);
@@ -260,6 +272,7 @@ impl Dsm {
     /// ([`complete_now`]) — the continuations never actually suspend.
     fn run_threaded<R, F>(
         &self,
+        layout: PageLayout,
         logs: &Arc<Vec<SharedIntervalLog>>,
         sync: &Arc<GlobalSync>,
         home: &Option<Arc<Mutex<HomeDirectory>>>,
@@ -297,6 +310,7 @@ impl Dsm {
                         let mut ctx = ProcCtx::new(
                             rank,
                             config,
+                            layout,
                             Arc::clone(&logs),
                             sync.clone(),
                             home,
@@ -334,6 +348,7 @@ impl Dsm {
     /// the engine's own state stays intact — the unwind-safe step boundary.
     fn run_event<R, F>(
         &self,
+        layout: PageLayout,
         logs: &Arc<Vec<SharedIntervalLog>>,
         sync: &Arc<GlobalSync>,
         home: &Option<Arc<Mutex<HomeDirectory>>>,
@@ -357,8 +372,16 @@ impl Dsm {
                 let config = &self.config;
                 let fut = async move {
                     sync.wait_first_turn(rank).await;
-                    let mut ctx =
-                        ProcCtx::new(rank, config, logs, Arc::clone(&sync), home, net, race);
+                    let mut ctx = ProcCtx::new(
+                        rank,
+                        config,
+                        layout,
+                        logs,
+                        Arc::clone(&sync),
+                        home,
+                        net,
+                        race,
+                    );
                     let result = body(&mut ctx).await;
                     (result, ctx.finish())
                 };

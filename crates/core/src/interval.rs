@@ -15,7 +15,7 @@ use crate::fasthash::FastHashMap;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-use tm_page::{Diff, PageId};
+use tm_page::{Diff, PageId, RunSpan};
 
 use crate::config::DiffTiming;
 use crate::vc::VectorClock;
@@ -166,7 +166,23 @@ pub struct IntervalLog {
     /// cached merge serves all of them.
     merged: FastHashMap<PageId, MergedChain>,
     counters: LogCounters,
+    /// Retired record shells (pages cleared, clock allocation intact) ready
+    /// for the next [`publish`](Self::publish): the owner takes one through
+    /// [`take_retired_record`](Self::take_retired_record) instead of
+    /// allocating a fresh page list and vector clock per interval.
+    record_pool: Vec<IntervalRecord>,
+    /// Span/payload buffers salvaged from retired diffs (the ones nobody
+    /// else still holds), fed back into diff encoding through
+    /// [`take_diff_buffers`](Self::take_diff_buffers).
+    buffer_pool: Vec<(Vec<RunSpan>, Vec<u8>)>,
 }
+
+/// Bounds on the recycled-state pools: enough to cover the steady state of
+/// a barrier episode (records live at most one episode, and each episode's
+/// publishes reuse the previous episode's retirements) without letting a
+/// one-off burst pin its high-water mark forever.
+const RECORD_POOL_CAP: usize = 64;
+const BUFFER_POOL_CAP: usize = 512;
 
 impl IntervalLog {
     /// Create an empty log.
@@ -199,6 +215,34 @@ impl IntervalLog {
         self.counters
     }
 
+    /// Take a retired record shell for reuse (empty page list with its old
+    /// capacity, clock allocation intact), if any is pooled.  The caller
+    /// overwrites `id` and `vc` and refills `pages` before publishing.
+    pub fn take_retired_record(&mut self) -> Option<IntervalRecord> {
+        self.record_pool.pop()
+    }
+
+    /// Steal the whole recycled span/payload buffer pool (one lock instead
+    /// of one per dirty page): the owner pops pairs off it while encoding
+    /// an interval's diffs and hands the leftovers back through
+    /// [`restore_buffer_pool`](Self::restore_buffer_pool).
+    pub fn take_buffer_pool(&mut self) -> Vec<(Vec<RunSpan>, Vec<u8>)> {
+        std::mem::take(&mut self.buffer_pool)
+    }
+
+    /// Return the unused remainder of a stolen buffer pool.  Pairs past the
+    /// pool cap (or arriving after retirements refilled the pool) are
+    /// dropped.
+    pub fn restore_buffer_pool(&mut self, pool: Vec<(Vec<RunSpan>, Vec<u8>)>) {
+        if self.buffer_pool.is_empty() {
+            self.buffer_pool = pool;
+            self.buffer_pool.truncate(BUFFER_POOL_CAP);
+        } else {
+            let room = BUFFER_POOL_CAP.saturating_sub(self.buffer_pool.len());
+            self.buffer_pool.extend(pool.into_iter().take(room));
+        }
+    }
+
     /// Publish a closed interval together with the diffs of the pages it
     /// wrote.  `seq` must be exactly one past the previously published
     /// interval.  Under [`DiffTiming::Eager`] the diffs are already
@@ -207,7 +251,18 @@ impl IntervalLog {
     pub fn publish(
         &mut self,
         record: IntervalRecord,
-        diffs: Vec<(PageId, Arc<Diff>)>,
+        mut diffs: Vec<(PageId, Arc<Diff>)>,
+        timing: DiffTiming,
+    ) {
+        self.publish_drain(record, &mut diffs, timing);
+    }
+
+    /// [`publish`](Self::publish) draining `diffs` in place, so the caller
+    /// keeps the vector's capacity for its next interval close.
+    pub fn publish_drain(
+        &mut self,
+        record: IntervalRecord,
+        diffs: &mut Vec<(PageId, Arc<Diff>)>,
         timing: DiffTiming,
     ) {
         debug_assert_eq!(
@@ -215,7 +270,7 @@ impl IntervalLog {
             self.published() + 1,
             "interval sequence numbers must be contiguous"
         );
-        for (page, diff) in diffs {
+        for (page, diff) in diffs.drain(..) {
             let (wire_bytes, payload_bytes) = (diff.wire_bytes(), diff.payload_bytes());
             self.diffs.insert(
                 (page, record.id.seq),
@@ -407,14 +462,34 @@ impl IntervalLog {
         if n == 0 {
             return 0;
         }
-        for record in self.records.drain(..n) {
+        // Chain merges whose newest member sinks below the new watermark can
+        // never be requested again (fetch chains only cover live intervals):
+        // evicting them first both frees the merge and un-pins the
+        // underlying stored diffs so the salvage below can reclaim them.
+        let watermark = self.retired + n as u32;
+        self.merged
+            .retain(|_, m| m.seqs.last().is_some_and(|&s| s > watermark));
+        for mut record in self.records.drain(..n) {
             for &page in &record.pages {
-                if self.diffs.remove(&(page, record.id.seq)).is_some() {
+                if let Some(stored) = self.diffs.remove(&(page, record.id.seq)) {
                     self.counters.diffs_retired += 1;
+                    // Salvage the retired diff's heap buffers for the next
+                    // publishes — best-effort: a diff still pinned by the
+                    // merged-chain cache or an in-flight fetch is just
+                    // dropped (its buffers die with the last clone).
+                    if self.buffer_pool.len() < BUFFER_POOL_CAP {
+                        if let Ok(diff) = Arc::try_unwrap(stored.diff) {
+                            self.buffer_pool.push(diff.into_buffers());
+                        }
+                    }
                 }
             }
             self.retired = record.id.seq;
             self.counters.intervals_retired += 1;
+            if self.record_pool.len() < RECORD_POOL_CAP {
+                record.pages.clear();
+                self.record_pool.push(record);
+            }
         }
         n as u64
     }

@@ -126,11 +126,25 @@ pub struct ProcCtx {
     /// unapplied).  Its per-writer minimum key is the pending floor reported
     /// to the barrier's interval GC.
     pending_seqs: Vec<BTreeMap<u32, u32>>,
+    /// Total notice count across `pending_seqs`, maintained incrementally so
+    /// the barrier's memory-pressure check is O(1) instead of a walk over
+    /// every writer's multiset (an O(nprocs) scan per episode that dominated
+    /// barrier cost on large clusters).
+    pending_total: usize,
+    /// Reusable buffer for the per-writer pending floors sent with each
+    /// barrier arrival; refilled in place every episode.
+    pending_floor: Vec<u32>,
     notices_since_barrier: u64,
     /// Reusable staging buffer for `(seq, page)` write notices copied out of
     /// a writer's log under its lock; avoids cloning each record's page list
     /// on every incorporation.
     notice_scratch: Vec<(u32, PageId)>,
+    /// Reusable `(page, diff)` staging vector for interval publication; the
+    /// log drains it in place so its capacity survives across closes.
+    diff_scratch: Vec<(PageId, Arc<Diff>)>,
+    /// One recycled span/payload buffer pair for the home-based flush path,
+    /// whose diffs die as soon as they are applied to the master copy.
+    home_diff_buf: (Vec<tm_page::RunSpan>, Vec<u8>),
     /// Reusable byte staging buffer for the typed accessors in `handle.rs`.
     /// Lives on the context (taken/restored around each access) rather than
     /// in a thread-local: under the event-driven engine every simulated
@@ -142,9 +156,11 @@ pub struct ProcCtx {
 
 impl ProcCtx {
     /// Build the context for processor `rank` of a cluster run.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         config: &DsmConfig,
+        layout: PageLayout,
         logs: Arc<Vec<SharedIntervalLog>>,
         sync: Arc<GlobalSync>,
         home: Option<Arc<Mutex<HomeDirectory>>>,
@@ -166,7 +182,6 @@ impl ProcCtx {
             config.racecheck,
             "race detector must be present exactly for racecheck runs"
         );
-        let layout = config.layout();
         let agg = match config.unit {
             UnitPolicy::Dynamic { max_group_pages } => {
                 Some(DynamicAggregator::new(max_group_pages))
@@ -197,8 +212,12 @@ impl ProcCtx {
             benign_race_depth: 0,
             gc_flush_pending_limit: config.gc_flush_pending_limit,
             pending_seqs: vec![BTreeMap::new(); config.nprocs],
+            pending_total: 0,
+            pending_floor: Vec::new(),
             notices_since_barrier: 0,
             notice_scratch: Vec::new(),
+            diff_scratch: Vec::new(),
+            home_diff_buf: (Vec::new(), Vec::new()),
             byte_scratch: Vec::new(),
             marked_end_ns: None,
         }
@@ -764,6 +783,7 @@ impl ProcCtx {
                     if *e.get() == 0 {
                         e.remove();
                     }
+                    self.pending_total -= 1;
                 }
             }
             self.meta[p.index()].pending.clear();
@@ -920,8 +940,23 @@ impl ProcCtx {
             self.close_interval_home();
             return;
         }
-        let mut pages = Vec::with_capacity(self.dirty_pages.len());
-        let mut diffs = Vec::with_capacity(self.dirty_pages.len());
+        // Recycle the previous episode's retired state: a record shell (page
+        // list + clock allocation) and the span/payload buffers of retired
+        // diffs, all from this processor's own log.
+        let (mut record, mut pool) = {
+            let mut log = self.logs[self.rank.index()].lock();
+            (log.take_retired_record(), log.take_buffer_pool())
+        };
+        let mut record = record.take().unwrap_or_else(|| IntervalRecord {
+            id: IntervalId {
+                proc: self.rank.0,
+                seq: 0,
+            },
+            vc: VectorClock::zero(0),
+            pages: Vec::new(),
+        });
+        debug_assert!(record.pages.is_empty(), "pooled record shells are clear");
+        let mut diffs = std::mem::take(&mut self.diff_scratch);
         let page_size = self.layout.page_size() as u64;
         let eager = self.diff_timing == DiffTiming::Eager;
         // Detach the dirty list instead of copying it; nothing in the loop
@@ -929,10 +964,11 @@ impl ProcCtx {
         // afterwards.
         let mut dirty = std::mem::take(&mut self.dirty_pages);
         for &page in &dirty {
+            let (spans, packed) = pool.pop().unwrap_or_default();
             let lp = self.store.page_mut(page);
 
             let diff = lp
-                .make_diff(page)
+                .make_diff_in(page, spans, packed)
                 .expect("dirty page must have a twin at interval close");
             lp.drop_twin();
             self.meta[page.index()].dirty = false;
@@ -944,44 +980,53 @@ impl ProcCtx {
             self.clock.advance(self.cost.protection_op_ns);
             if diff.is_empty() {
                 // The page was written with values identical to the twin's;
-                // nothing to propagate.
+                // nothing to propagate (the buffers go straight back).
+                pool.push(diff.into_buffers());
                 continue;
             }
             if eager {
                 self.stats.diffs_created += 1;
                 self.stats.diff_bytes_created += diff.payload_bytes();
             }
-            pages.push(page);
+            record.pages.push(page);
             diffs.push((page, Arc::new(diff)));
         }
         dirty.clear();
         self.dirty_pages = dirty;
-        self.publish_interval(pages, diffs);
+        self.logs[self.rank.index()]
+            .lock()
+            .restore_buffer_pool(pool);
+        self.publish_interval(record, &mut diffs);
+        self.diff_scratch = diffs;
     }
 
     /// Shared tail of both protocols' interval closes: bump the local
-    /// vector-clock entry, publish the interval record (with whatever diffs
-    /// the protocol stores in the log — none under home-based) and account
-    /// the notices.  No-op when the interval produced no notices.
-    fn publish_interval(&mut self, pages: Vec<PageId>, diffs: Vec<(PageId, Arc<Diff>)>) {
-        if pages.is_empty() {
+    /// vector-clock entry, stamp and publish the prepared record (with
+    /// whatever diffs the protocol stores in the log — none under
+    /// home-based) and account the notices.  No-op when the interval
+    /// produced no notices (an all-silent-writes close); the record shell
+    /// is then dropped, not pooled — the next close simply allocates.
+    fn publish_interval(
+        &mut self,
+        mut record: IntervalRecord,
+        diffs: &mut Vec<(PageId, Arc<Diff>)>,
+    ) {
+        if record.pages.is_empty() {
+            debug_assert!(diffs.is_empty(), "diffs without write notices");
             return;
         }
         let seq = self.vc.get(self.rank.index()) + 1;
         self.vc.set(self.rank.index(), seq);
-        let record = IntervalRecord {
-            id: IntervalId {
-                proc: self.rank.0,
-                seq,
-            },
-            vc: self.vc.clone(),
-            pages,
+        record.id = IntervalId {
+            proc: self.rank.0,
+            seq,
         };
+        record.vc.copy_from(&self.vc);
         self.notices_since_barrier += record.pages.len() as u64;
         self.stats.intervals_closed += 1;
         self.logs[self.rank.index()]
             .lock()
-            .publish(record, diffs, self.diff_timing);
+            .publish_drain(record, diffs, self.diff_timing);
     }
 
     /// Home-based interval close: diff every dirty *non-home* page against
@@ -998,13 +1043,24 @@ impl ProcCtx {
     /// inherently eager (the flush happens at close, on the writer).
     fn close_interval_home(&mut self) {
         let page_size = self.layout.page_size() as u64;
-        let dirty: Vec<PageId> = self.dirty_pages.drain(..).collect();
-        let mut pages = Vec::with_capacity(dirty.len());
+        let mut record = self.logs[self.rank.index()]
+            .lock()
+            .take_retired_record()
+            .unwrap_or_else(|| IntervalRecord {
+                id: IntervalId {
+                    proc: self.rank.0,
+                    seq: 0,
+                },
+                vc: VectorClock::zero(0),
+                pages: Vec::new(),
+            });
+        debug_assert!(record.pages.is_empty(), "pooled record shells are clear");
         // Per home contacted: total diff wire bytes of this flush.
         let mut flushes: BTreeMap<u32, u64> = BTreeMap::new();
         let home = Arc::clone(self.home.as_ref().expect("home-based run has a directory"));
         let mut dir = home.lock();
-        for page in dirty {
+        let mut dirty = std::mem::take(&mut self.dirty_pages);
+        for &page in &dirty {
             self.meta[page.index()].dirty = false;
             // Re-protect the page so the next write re-arms detection.
             self.stats.protection_ops += 1;
@@ -1016,25 +1072,32 @@ impl ProcCtx {
                 // The master copy is already current (write-through); the
                 // notice is published unconditionally — without a twin the
                 // home cannot tell a silent rewrite from a real change.
-                pages.push(page);
+                record.pages.push(page);
                 continue;
             }
+            // The flushed diff dies at the end of this iteration, so one
+            // recycled buffer pair serves the whole loop.
+            let (spans, packed) = std::mem::take(&mut self.home_diff_buf);
             let lp = self.store.page_mut(page);
             let diff = lp
-                .make_diff(page)
+                .make_diff_in(page, spans, packed)
                 .expect("dirty non-home page must have a twin at interval close");
             lp.drop_twin();
             self.clock.advance(self.cost.diff_create_cost(page_size));
             if diff.is_empty() {
                 // Rewrote the twin's values: nothing to flush or announce.
+                self.home_diff_buf = diff.into_buffers();
                 continue;
             }
             self.stats.diffs_created += 1;
             self.stats.diff_bytes_created += diff.payload_bytes();
             *flushes.entry(home_rank).or_insert(0) += diff.wire_bytes();
             dir.store_mut().apply_diff(&diff);
-            pages.push(page);
+            record.pages.push(page);
+            self.home_diff_buf = diff.into_buffers();
         }
+        dirty.clear();
+        self.dirty_pages = dirty;
         drop(dir);
 
         // One update message per home contacted, carrying that home's diffs.
@@ -1081,7 +1144,9 @@ impl ProcCtx {
             }
         }
 
-        self.publish_interval(pages, Vec::new());
+        let mut diffs = std::mem::take(&mut self.diff_scratch);
+        self.publish_interval(record, &mut diffs);
+        self.diff_scratch = diffs;
     }
 
     /// Incorporate the write notices of every interval of processor `writer`
@@ -1110,6 +1175,7 @@ impl ProcCtx {
         for &(seq, page) in &scratch {
             self.meta[page.index()].pending.push((writer as u32, seq));
             *self.pending_seqs[writer].entry(seq).or_insert(0) += 1;
+            self.pending_total += 1;
             self.invalidate_unit_of(page);
             incorporated += 1;
         }
@@ -1259,23 +1325,28 @@ impl ProcCtx {
         // logs (their floors block retirement forever if the pages are never
         // accessed again), so past the configured limit we run TreadMarks'
         // GC validation and fetch them all before arriving.
-        let pending_total: usize = self
-            .pending_seqs
-            .iter()
-            .flat_map(|m| m.values())
-            .map(|&c| c as usize)
-            .sum();
-        if pending_total > self.gc_flush_pending_limit {
+        debug_assert_eq!(
+            self.pending_total,
+            self.pending_seqs
+                .iter()
+                .flat_map(|m| m.values())
+                .map(|&c| c as usize)
+                .sum::<usize>(),
+            "incrementally maintained pending total drifted from the multisets"
+        );
+        if self.pending_total > self.gc_flush_pending_limit {
             self.flush_pending_for_gc().await;
         }
 
         // This processor's contribution to the episode's GC watermark: per
         // writer, the oldest interval we have incorporated but not applied.
-        let pending_floor: Vec<u32> = self
-            .pending_seqs
-            .iter()
-            .map(|m| m.keys().next().copied().unwrap_or(u32::MAX))
-            .collect();
+        let mut pending_floor = std::mem::take(&mut self.pending_floor);
+        pending_floor.clear();
+        pending_floor.extend(
+            self.pending_seqs
+                .iter()
+                .map(|m| m.keys().next().copied().unwrap_or(u32::MAX)),
+        );
 
         let my_published = self.vc.get(self.rank.index());
         if let Some(race) = &self.race {
@@ -1291,6 +1362,7 @@ impl ProcCtx {
                 &pending_floor,
             )
             .await;
+        self.pending_floor = pending_floor;
         self.clock.wait_until(epoch.depart_clock_ns);
         if let Some(race) = &self.race {
             race.lock().on_barrier_depart(self.rank.0);

@@ -39,21 +39,30 @@ pub struct LinkStats {
     pub busy_ns: u64,
     /// Nanoseconds senders spent queued waiting for this link.
     pub queue_ns: u64,
+    /// Logical time at which the link's last occupancy ended (its
+    /// `next_free_ns` horizon when the counters were snapshotted).  The
+    /// occupancy intervals are disjoint and live in `[0, window_ns]`, so
+    /// `busy_ns <= window_ns` always holds.
+    pub window_ns: u64,
 }
 
 impl LinkStats {
-    /// Fraction of `total_ns` the link spent busy (0 when `total_ns` is 0).
+    /// Fraction of the observation window the link spent busy (0 when the
+    /// window is empty).
     ///
     /// Callers usually pass the run's *timed region*
     /// (`CommBreakdown::exec_time_ns`), while the counters span the whole
     /// run — including any traffic after the application marks its end,
-    /// such as post-run verification reads — so a saturated link can report
-    /// slightly more than 1.0.
+    /// such as post-run verification reads.  The denominator is therefore
+    /// the *later* of the timed region and the link's own occupancy horizon
+    /// (`window_ns`), which keeps the ratio ≤ 1.0 by construction: the
+    /// occupancy intervals are disjoint within `[0, window_ns]`.
     pub fn utilization(&self, total_ns: u64) -> f64 {
-        if total_ns == 0 {
+        let window = total_ns.max(self.window_ns);
+        if window == 0 {
             0.0
         } else {
-            self.busy_ns as f64 / total_ns as f64
+            self.busy_ns as f64 / window as f64
         }
     }
 }
@@ -66,6 +75,7 @@ impl ToJson for LinkStats {
             ("wire_bytes", Value::Num(self.wire_bytes as f64)),
             ("busy_ns", Value::Num(self.busy_ns as f64)),
             ("queue_ns", Value::Num(self.queue_ns as f64)),
+            ("window_ns", Value::Num(self.window_ns as f64)),
         ])
     }
 }
@@ -78,6 +88,10 @@ impl FromJson for LinkStats {
             wire_bytes: field_u64(v, "wire_bytes")?,
             busy_ns: field_u64(v, "busy_ns")?,
             queue_ns: field_u64(v, "queue_ns")?,
+            // Documents written before the window was recorded lack the
+            // field; an absent window degrades utilization to the caller's
+            // timed region, exactly the old behavior.
+            window_ns: field_u64(v, "window_ns").unwrap_or(0),
         })
     }
 }
@@ -198,13 +212,17 @@ impl NetworkState {
         self.transmit(now_ns, src, src, wire_bytes, ns_per_byte)
     }
 
-    /// Snapshot of every link's counters, in link order.
+    /// Snapshot of every link's counters, in link order.  Each snapshot
+    /// carries the link's occupancy horizon as its `window_ns`, so derived
+    /// utilization is computed over a window that provably contains every
+    /// busy interval.
     pub fn link_stats(&self) -> Vec<LinkStats> {
         self.links
             .iter()
             .enumerate()
             .map(|(i, l)| LinkStats {
                 link: i as u32,
+                window_ns: l.next_free_ns,
                 ..l.stats
             })
             .collect()
@@ -293,10 +311,42 @@ mod tests {
             wire_bytes: 12_345,
             busy_ns: 987_654,
             queue_ns: 42,
+            window_ns: 1_000_000,
         };
         let parsed = LinkStats::from_json(&s.to_json()).unwrap();
         assert_eq!(parsed, s);
         assert!((s.utilization(1_975_308) - 0.5).abs() < 1e-9);
         assert_eq!(LinkStats::default().utilization(0), 0.0);
+        // A document written before the window existed parses with a zero
+        // window and keeps the legacy busy/total ratio.
+        let legacy = Value::obj(vec![
+            ("link", Value::Num(3.0)),
+            ("messages", Value::Num(17.0)),
+            ("wire_bytes", Value::Num(12_345.0)),
+            ("busy_ns", Value::Num(987_654.0)),
+            ("queue_ns", Value::Num(42.0)),
+        ]);
+        let parsed = LinkStats::from_json(&legacy).unwrap();
+        assert_eq!(parsed.window_ns, 0);
+        assert!((parsed.utilization(1_975_308) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_is_never_above_one() {
+        // Saturate the bus with back-to-back sends, then probe utilization
+        // against a "timed region" that ends before the traffic does — the
+        // exact situation that used to report > 1.0.
+        let mut net = NetworkState::new(Topology::SharedBus, 2);
+        for t in 0..10 {
+            net.transmit(t * 1_000, 0, 1, 100, 100); // 10,000 ns each
+        }
+        let s = net.link_stats()[0];
+        assert_eq!(s.busy_ns, 100_000);
+        assert_eq!(s.window_ns, 100_000);
+        // busy_ns (100,000) exceeds the short timed region (50,000), but the
+        // window stretches the denominator so the ratio stays pinned at 1.0.
+        assert!((s.utilization(50_000) - 1.0).abs() < 1e-12);
+        // A generous timed region dominates the window as before.
+        assert!((s.utilization(200_000) - 0.5).abs() < 1e-12);
     }
 }

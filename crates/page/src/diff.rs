@@ -11,6 +11,17 @@
 //! small span table, rather than one allocation per run.  A diff with a
 //! dozen runs costs two allocations, not thirteen — diff creation, merging
 //! and retirement are all on the simulator's hot path.
+//!
+//! Dense diffs go one step further and skip the payload copy entirely: a
+//! diff published at interval close can *borrow* the page image itself
+//! ([`Payload::Page`], an `Arc`-shared snapshot) with its spans indexing
+//! the image by page offset.  The owning processor detaches
+//! (copy-on-next-write) only if it writes the page again in a later
+//! interval, so the common publish-then-move-on pattern never copies the
+//! payload at all.  Both representations encode the same logical runs —
+//! equality, application, accounting and merging are representation-blind.
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -38,15 +49,40 @@ impl RunSpan {
 
 /// A record of the modifications made to one hardware page, encoded as
 /// maximal runs of changed 32-bit words.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Diff {
     /// Page this diff applies to.
     pub page: PageId,
     /// Maximal runs of modified words, in increasing offset order.
     spans: Vec<RunSpan>,
-    /// The runs' new contents, packed back to back in span order.
-    payload: Vec<u8>,
+    /// The runs' new contents.
+    payload: Payload,
 }
+
+/// Where a diff's run contents live.
+#[derive(Debug, Clone)]
+enum Payload {
+    /// Packed back to back in span order, owned by the diff.
+    Packed(Vec<u8>),
+    /// Borrowed from a shared snapshot of the whole page image; runs are
+    /// sliced out of it at their page offsets.  Taken by
+    /// [`Diff::from_changed_shared`] for dense diffs, where sharing the
+    /// 4 KB image beats copying most of it into a packed buffer.
+    Page(Arc<[u8]>),
+}
+
+/// Two diffs are equal when they record the same logical modifications —
+/// same page, same span table, same run bytes — regardless of whether the
+/// payload is packed or borrows a shared page image.
+impl PartialEq for Diff {
+    fn eq(&self, other: &Self) -> bool {
+        self.page == other.page
+            && self.spans == other.spans
+            && self.runs().zip(other.runs()).all(|(a, b)| a.1 == b.1)
+    }
+}
+
+impl Eq for Diff {}
 
 /// Per-run wire header: offset + length, as in the TreadMarks encoding.
 pub const RUN_HEADER_BYTES: u64 = 8;
@@ -67,7 +103,7 @@ impl Diff {
         let mut diff = Diff {
             page,
             spans: Vec::new(),
-            payload: Vec::new(),
+            payload: Payload::Packed(Vec::new()),
         };
         scan_words(twin, current, 0, twin.len() / WORD_SIZE, &mut diff);
         diff
@@ -93,7 +129,7 @@ impl Diff {
         let mut diff = Diff {
             page,
             spans: Vec::new(),
-            payload: Vec::new(),
+            payload: Payload::Packed(Vec::new()),
         };
         // A run can only span words that actually differ, and differing
         // words are always flagged dirty, so runs never cross an all-clear
@@ -139,11 +175,107 @@ impl Diff {
             "changed bitset shorter than page"
         );
         let spans = spans_from_bits(changed);
-        let payload = pack_payload(&spans, current);
+        let payload = Payload::Packed(pack_payload(&spans, current));
         Diff {
             page,
             spans,
             payload,
+        }
+    }
+
+    /// Like [`from_changed`](Self::from_changed), but built against an
+    /// `Arc`-shared snapshot of the page image.  Dense diffs (payload at
+    /// least half the page) skip the packed copy and borrow the snapshot
+    /// itself; sparse diffs still pack, so a few changed words never pin a
+    /// whole page in memory.  The encoded runs are bit-identical to
+    /// [`from_changed`](Self::from_changed) either way.
+    ///
+    /// # Panics
+    /// Panics on an unaligned page size or a bitset shorter than the page's
+    /// word count.
+    pub fn from_changed_shared(page: PageId, image: &Arc<[u8]>, changed: &[u64]) -> Diff {
+        Self::from_changed_shared_in(page, image, changed, Vec::new(), Vec::new())
+    }
+
+    /// [`from_changed_shared`](Self::from_changed_shared) with
+    /// caller-recycled buffers: `spans` and `packed` (both logically empty;
+    /// any stale contents are cleared) provide the capacity for the span
+    /// table and, if the diff packs, the payload.  Interval-log pools feed
+    /// retired diffs' buffers back through here, which removes the two
+    /// steady-state allocations of publishing a dirty page.
+    ///
+    /// # Panics
+    /// Panics on an unaligned page size or a bitset shorter than the page's
+    /// word count.
+    pub fn from_changed_shared_in(
+        page: PageId,
+        image: &Arc<[u8]>,
+        changed: &[u64],
+        mut spans: Vec<RunSpan>,
+        mut packed: Vec<u8>,
+    ) -> Diff {
+        assert_eq!(image.len() % WORD_SIZE, 0, "page size must be word aligned");
+        let words = image.len() / WORD_SIZE;
+        assert!(
+            changed.len() * 64 >= words,
+            "changed bitset shorter than page"
+        );
+        spans_from_bits_into(changed, &mut spans);
+        let total: usize = spans.iter().map(|s| s.len as usize).sum();
+        let payload = if total * 2 >= image.len() && total > 0 {
+            Payload::Page(Arc::clone(image))
+        } else {
+            pack_payload_into(&spans, image, &mut packed);
+            Payload::Packed(packed)
+        };
+        Diff {
+            page,
+            spans,
+            payload,
+        }
+    }
+
+    /// Tear the diff into its reusable heap buffers — the span table and,
+    /// for owned payloads, the packed byte buffer — both cleared but with
+    /// their capacity intact, for pooling back into
+    /// [`from_changed_shared_in`](Self::from_changed_shared_in).  A shared
+    /// page-snapshot payload is simply dropped (releasing the snapshot) and
+    /// yields an empty byte buffer.
+    pub fn into_buffers(mut self) -> (Vec<RunSpan>, Vec<u8>) {
+        self.spans.clear();
+        let packed = match self.payload {
+            Payload::Packed(mut v) => {
+                v.clear();
+                v
+            }
+            Payload::Page(_) => Vec::new(),
+        };
+        (self.spans, packed)
+    }
+
+    /// True when the payload borrows a shared page snapshot rather than
+    /// owning a packed copy (observable for tests and accounting only —
+    /// the logical runs are identical either way).
+    #[inline]
+    pub fn shares_page_image(&self) -> bool {
+        matches!(self.payload, Payload::Page(_))
+    }
+
+    /// The shared page snapshot, when this diff rewrites the *entire* page
+    /// out of one: a single run at offset 0 covering every byte of a
+    /// [`Payload::Page`] image.  Receivers then adopt the snapshot `Arc`
+    /// wholesale instead of copying the page — their contents after
+    /// adoption are bit-identical to an [`apply`](Self::apply), because the
+    /// lone run *is* the image.
+    #[inline]
+    pub fn whole_page_shared_image(&self) -> Option<&Arc<[u8]>> {
+        match (&self.payload, self.spans.as_slice()) {
+            (Payload::Page(image), [span])
+                if span.offset == 0 && span.len as usize == image.len() =>
+            {
+                Some(image)
+            }
+            _ => None,
         }
     }
 
@@ -158,7 +290,7 @@ impl Diff {
         let mut diff = Diff {
             page,
             spans: Vec::new(),
-            payload: Vec::new(),
+            payload: Payload::Packed(Vec::new()),
         };
         let mut w = 0;
         while w < words {
@@ -185,7 +317,8 @@ impl Diff {
     }
 
     /// Append a run to the diff (spans must arrive in increasing offset
-    /// order and never touch — callers produce maximal runs).
+    /// order and never touch — callers produce maximal runs).  Only the
+    /// packed representation grows incrementally.
     fn push_run(&mut self, offset: u32, bytes: &[u8]) {
         debug_assert!(!bytes.is_empty());
         debug_assert!(self.spans.last().map_or(true, |s| s.end() < offset));
@@ -193,16 +326,19 @@ impl Diff {
             offset,
             len: bytes.len() as u32,
         });
-        self.payload.extend_from_slice(bytes);
+        match &mut self.payload {
+            Payload::Packed(payload) => payload.extend_from_slice(bytes),
+            Payload::Page(_) => unreachable!("page-backed diffs are built whole"),
+        }
     }
 
     /// Iterate over the runs as `(page byte offset, payload bytes)` pairs.
-    pub fn runs(&self) -> impl Iterator<Item = (u32, &[u8])> + '_ {
-        self.spans.iter().scan(0usize, move |cursor, s| {
-            let lo = *cursor;
-            *cursor += s.len as usize;
-            Some((s.offset, &self.payload[lo..lo + s.len as usize]))
-        })
+    pub fn runs(&self) -> Runs<'_> {
+        Runs {
+            spans: self.spans.iter(),
+            payload: &self.payload,
+            cursor: 0,
+        }
     }
 
     /// The run span table (offsets and lengths, no payload).
@@ -236,16 +372,21 @@ impl Diff {
         self.spans.is_empty()
     }
 
-    /// Number of payload bytes (modified word contents only).
+    /// Number of payload bytes (modified word contents only).  Identical
+    /// for both representations: a page-backed diff's payload is the sum of
+    /// its span lengths, exactly the bytes a packed copy would hold.
     #[inline]
     pub fn payload_bytes(&self) -> u64 {
-        self.payload.len() as u64
+        match &self.payload {
+            Payload::Packed(payload) => payload.len() as u64,
+            Payload::Page(_) => self.spans.iter().map(|s| s.len as u64).sum(),
+        }
     }
 
     /// Size of the diff as it would travel on the wire: payload plus the
     /// per-run and per-diff headers of the TreadMarks encoding.
     pub fn wire_bytes(&self) -> u64 {
-        DIFF_HEADER_BYTES + self.spans.len() as u64 * RUN_HEADER_BYTES + self.payload.len() as u64
+        DIFF_HEADER_BYTES + self.spans.len() as u64 * RUN_HEADER_BYTES + self.payload_bytes()
     }
 
     /// Iterate over the page-relative word indices this diff overwrites.
@@ -273,6 +414,20 @@ impl Diff {
             .map(|s| s.end() as usize)
             .max()
             .unwrap_or(0);
+        // A diff whose single run spans the whole covered range rewrites
+        // every word any older diff touches, so the chain can be truncated
+        // to its last such entry.  Flush and GC chains on regularly written
+        // pages are wall-to-wall rewrites, which turns their merge into a
+        // clone — an `Arc` bump when the payload is a shared page snapshot.
+        let chain = match chain.iter().rposition(
+            |d| matches!(d.spans.as_slice(), [s] if s.offset == 0 && s.end() as usize == end),
+        ) {
+            Some(i) => &chain[i..],
+            None => chain,
+        };
+        if let [only] = chain {
+            return (*only).clone();
+        }
         let mut cover = vec![0u64; (end / WORD_SIZE).div_ceil(64)];
         let mut buf = vec![0u8; end];
         let mut fresh: Vec<(u32, u32)> = Vec::new();
@@ -292,7 +447,7 @@ impl Diff {
             }
         }
         let spans = spans_from_bits(&cover);
-        let payload = pack_payload(&spans, &buf);
+        let payload = Payload::Packed(pack_payload(&spans, &buf));
         Diff {
             page,
             spans,
@@ -300,6 +455,38 @@ impl Diff {
         }
     }
 }
+
+/// Iterator over a diff's `(page byte offset, payload bytes)` runs,
+/// representation-blind: packed payloads are walked with a cursor, shared
+/// page images are sliced at the span offsets.
+pub struct Runs<'a> {
+    spans: std::slice::Iter<'a, RunSpan>,
+    payload: &'a Payload,
+    cursor: usize,
+}
+
+impl<'a> Iterator for Runs<'a> {
+    type Item = (u32, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let s = self.spans.next()?;
+        let bytes = match self.payload {
+            Payload::Packed(payload) => {
+                let lo = self.cursor;
+                self.cursor += s.len as usize;
+                &payload[lo..lo + s.len as usize]
+            }
+            Payload::Page(image) => &image[s.offset as usize..s.end() as usize],
+        };
+        Some((s.offset, bytes))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.spans.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Runs<'_> {}
 
 /// Append to `out` the byte intervals of the words of run
 /// `[offset, offset + len)` whose bits are not yet set in the word-cover
@@ -353,6 +540,13 @@ pub fn subtract_cover(
 /// is exactly what a word-by-word scan of the same set would produce.
 fn spans_from_bits(bits: &[u64]) -> Vec<RunSpan> {
     let mut spans: Vec<RunSpan> = Vec::new();
+    spans_from_bits_into(bits, &mut spans);
+    spans
+}
+
+/// [`spans_from_bits`] writing into a recycled span buffer (cleared first).
+fn spans_from_bits_into(bits: &[u64], spans: &mut Vec<RunSpan>) {
+    spans.clear();
     for (b, &block) in bits.iter().enumerate() {
         let mut m = block;
         while m != 0 {
@@ -370,18 +564,25 @@ fn spans_from_bits(bits: &[u64]) -> Vec<RunSpan> {
             m &= !(((1u64 << (len / WORD_SIZE as u32)) - 1) << start);
         }
     }
-    spans
 }
 
 /// Copy the spans' bytes out of `source` (indexed by page offset) into one
 /// packed payload buffer, allocated exactly once at its final size.
 fn pack_payload(spans: &[RunSpan], source: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    pack_payload_into(spans, source, &mut payload);
+    payload
+}
+
+/// [`pack_payload`] writing into a recycled buffer (cleared, then reserved
+/// to the payload's final size in one step).
+fn pack_payload_into(spans: &[RunSpan], source: &[u8], payload: &mut Vec<u8>) {
     let total: usize = spans.iter().map(|s| s.len as usize).sum();
-    let mut payload = Vec::with_capacity(total);
+    payload.clear();
+    payload.reserve(total);
     for s in spans {
         payload.extend_from_slice(&source[s.offset as usize..s.end() as usize]);
     }
-    payload
 }
 
 /// Scan words `[from, to)` of `twin`/`current` and append every maximal run

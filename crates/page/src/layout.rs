@@ -111,6 +111,30 @@ impl PageLayout {
         self.page_size as u64 * self.total_pages as u64
     }
 
+    /// The layout truncated to the pages that can actually be touched: the
+    /// smallest prefix of the space covering `used_bytes`, rounded up to a
+    /// multiple of `unit_pages` (never past the full layout, never below
+    /// one page).
+    ///
+    /// Per-page protocol state (page stores, metadata, home directories,
+    /// race shadows) is sized by `total_pages`, so a configuration that
+    /// reserves a generous address space pays for pages no application
+    /// ever allocates — at 1024 processors the zero-filled tables dominate
+    /// host memory.  Sizing them by the allocator's high-water mark instead
+    /// is invisible to the simulation: addresses beyond `used_bytes` are
+    /// never issued, and rounding up to whole consistency units keeps the
+    /// unit policy's end-of-space clamp away from any reachable page, so
+    /// unit shapes are bit-identical to the full layout.
+    pub fn truncated_to(&self, used_bytes: u64, unit_pages: u32) -> PageLayout {
+        let unit = unit_pages.max(1) as u64;
+        let used_pages = used_bytes.div_ceil(self.page_size as u64).max(1);
+        let rounded = used_pages.div_ceil(unit) * unit;
+        PageLayout {
+            page_size: self.page_size,
+            total_pages: rounded.min(self.total_pages as u64) as u32,
+        }
+    }
+
     /// Page containing the byte at `addr`.
     ///
     /// # Panics

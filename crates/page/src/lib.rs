@@ -241,6 +241,117 @@ mod proptests {
             prop_assert_eq!(tracked, eager);
         }
 
+        /// Snapshot-sharing payloads are byte-identical to eager owned
+        /// payloads under interleaved writes, publishes and GC retirement.
+        /// Each simulated interval publishes its diff twice — once through
+        /// the copy-on-next-write path ([`LocalPage::make_diff`], which may
+        /// borrow the page image) and once eagerly from a twin copy
+        /// ([`Diff::create`]) — and both must encode the same runs, apply to
+        /// the same bytes, and deliver identically through the whole-page
+        /// adoption, deferred-park and recycled-buffer paths.  Published
+        /// diffs are retired (dropped) pseudo-randomly between intervals so
+        /// the owning page flips between shared and uniquely-owned images,
+        /// exercising the detach ("copy" of copy-on-next-write) and the
+        /// free exact pre-image it enables.
+        #[test]
+        fn snapshot_sharing_matches_eager_payloads(
+            seed in any::<u64>(),
+            intervals in prop::collection::vec(
+                prop::collection::vec(
+                    (0usize..4096, prop::collection::vec(any::<u8>(), 1..96)),
+                    1..6,
+                ),
+                1..8,
+            ),
+        ) {
+            use std::sync::Arc;
+
+            let page_size = 4096usize;
+            let mut writer = LocalPage::new_zeroed(page_size);
+            let mut receiver = LocalPage::new_zeroed(page_size);
+            let mut mirror = vec![0u8; page_size];
+            let mut state = seed | 1;
+            let init: Vec<u8> = (0..page_size)
+                .map(|i| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (state >> 33) as u8 ^ i as u8
+                })
+                .collect();
+            writer.write_bytes(0, &init);
+            receiver.write_bytes(0, &init);
+            mirror.copy_from_slice(&init);
+
+            // Simulated interval log: published diffs stay alive (pinning
+            // the writer's image) until "GC" drops them below.
+            let mut log: Vec<Arc<Diff>> = Vec::new();
+            let mut pool: Vec<(Vec<RunSpan>, Vec<u8>)> = Vec::new();
+            let mut scratch = vec![0u8; page_size];
+
+            for (k, writes) in intervals.iter().enumerate() {
+                let twin = writer.bytes().to_vec();
+                writer.ensure_twin();
+                for (off0, data) in writes {
+                    // Occasionally blast the whole page so dense diffs (the
+                    // ones that actually share the image) occur often.
+                    state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                    if state % 4 == 0 {
+                        for (i, b) in scratch.iter_mut().enumerate() {
+                            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            *b = (state >> 25) as u8 ^ i as u8;
+                        }
+                        writer.write_bytes(0, &scratch);
+                    } else {
+                        let len = data.len().min(page_size);
+                        let off = (*off0).min(page_size - len);
+                        writer.write_bytes(off, &data[..len]);
+                    }
+                }
+
+                let eager = Diff::create(PageId(0), &twin, writer.bytes());
+                if let Some(shared) = writer.make_diff(PageId(0)) {
+                    prop_assert_eq!(&shared, &eager);
+                    // Recycled span/payload buffers change nothing.
+                    let (spans, packed) = pool.pop().unwrap_or_default();
+                    let recycled = writer.make_diff_in(PageId(0), spans, packed).unwrap();
+                    prop_assert_eq!(&recycled, &eager);
+                    pool.push(recycled.into_buffers());
+
+                    // Delivery: alternate the eager and the parked
+                    // (deferred) apply paths; both must land the receiver on
+                    // the mirror that eager application produces.
+                    eager.apply(&mut mirror);
+                    let shared = Arc::new(shared);
+                    if k % 2 == 0 {
+                        receiver.apply_diff(&shared, NO_EXCHANGE);
+                    } else {
+                        receiver.apply_diff_deferred(&shared, NO_EXCHANGE);
+                        // Force materialization (bytes() asserts no parked
+                        // content) through the read path.
+                        receiver.read_bytes(0, &mut scratch, |_, _| {});
+                        prop_assert_eq!(&scratch[..], &mirror[..]);
+                    }
+                    prop_assert_eq!(receiver.bytes(), &mirror[..]);
+                    log.push(shared);
+                } else {
+                    prop_assert!(eager.is_empty());
+                }
+                writer.drop_twin();
+
+                // GC: retire a pseudo-random prefix of the published diffs,
+                // salvaging their buffers exactly as the interval log does.
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let keep = (state % (log.len() as u64 + 1)) as usize;
+                for retired in log.drain(..log.len() - keep) {
+                    if let Ok(diff) = Arc::try_unwrap(retired) {
+                        pool.push(diff.into_buffers());
+                    }
+                }
+            }
+            // Final contents agree across all three representations.
+            prop_assert_eq!(writer.bytes(), &mirror[..]);
+            prop_assert_eq!(receiver.bytes(), &mirror[..]);
+        }
+
         /// PageStore write/read roundtrip at arbitrary (addr, len).
         #[test]
         fn store_roundtrip(offset in 0u64..7000, data in prop::collection::vec(any::<u8>(), 1..600)) {

@@ -7,7 +7,7 @@
 //! (useful data) or never read before being overwritten or the end of the run
 //! (useless data).
 
-use crate::diff::{subtract_cover, Diff};
+use crate::diff::{subtract_cover, Diff, RunSpan};
 use crate::layout::{GlobalAddr, PageId, PageLayout, WORD_SIZE};
 use std::sync::Arc;
 
@@ -28,24 +28,42 @@ pub const NO_EXCHANGE: u32 = u32::MAX;
 /// extracts runs straight from the bitset.  The resulting diffs are
 /// bit-identical to a twin-compare: a word is in the diff iff its content
 /// differs from the page content at `ensure_twin` time.
+///
+/// The page image itself is `Arc`-shared so a dense diff published at
+/// interval close can borrow it outright (no payload copy; see
+/// [`Diff::from_changed_shared`]).  The image is copy-on-next-write: any
+/// later mutation detaches it first — except a *whole-page* store, which
+/// builds the new image straight from the source, and so never pays the
+/// detach copy.  While the image is still shared at `ensure_twin` time it
+/// is, by construction, exactly the pre-interval contents, so it doubles as
+/// a free whole-page pre-image (`pre_exact`): the write path then skips all
+/// per-word pre-image saves and derives changed bits by direct comparison.
 #[derive(Debug)]
 pub struct LocalPage {
-    data: Box<[u8]>,
+    data: Arc<[u8]>,
     /// Whether a virtual twin is live (the page is in the current interval's
     /// write set).
     twinned: bool,
-    /// Pre-interval value of every word whose `changed_words` bit is set;
-    /// garbage elsewhere.  Allocated on the page's first twin and reused for
-    /// every later interval.
-    preimage: Option<Box<[u8]>>,
+    /// Pre-interval word values.  In lazy mode (`pre_exact == false`) only
+    /// the words whose `changed_words` bit is set are valid (saved on first
+    /// change); in exact mode it is a complete snapshot of the pre-interval
+    /// image, shared with the previous interval's published diff.
+    preimage: Option<Arc<[u8]>>,
+    /// Whether `preimage` is a complete exact snapshot of the pre-interval
+    /// image (see [`ensure_twin`](Self::ensure_twin)).  Meaningless while
+    /// not twinned.
+    pre_exact: bool,
     /// One bit per word, set iff the word's current value differs from its
     /// value when the twin was made.  Meaningless while not twinned.
     changed_words: Box<[u64]>,
     /// For each 32-bit word: the exchange id that last delivered it and has
     /// not yet been read or overwritten locally, or [`NO_EXCHANGE`].
     /// Authoritative only in the *mixed* representation (`uniform ==
-    /// NO_EXCHANGE && !attr_dirty`); see `uniform`.
-    attribution: Box<[u32]>,
+    /// NO_EXCHANGE && !attr_dirty`); see `uniform`.  Allocated lazily on
+    /// the first partial-range attribution access: pages that only ever see
+    /// whole-page deliveries (the dominant pattern) ride the compact
+    /// `uniform` representation and never pay for the array.
+    attribution: Option<Box<[u32]>>,
     /// Number of words whose attribution is not [`NO_EXCHANGE`]. Read and
     /// write paths skip their per-word attribution loops entirely while this
     /// is zero — the overwhelmingly common case.
@@ -79,15 +97,42 @@ impl LocalPage {
     pub fn new_zeroed(page_size: usize) -> Self {
         let words = page_size / WORD_SIZE;
         LocalPage {
-            data: vec![0u8; page_size].into_boxed_slice(),
+            data: vec![0u8; page_size].into(),
             twinned: false,
             preimage: None,
+            pre_exact: false,
             changed_words: vec![0u64; words.div_ceil(64)].into_boxed_slice(),
-            attribution: vec![NO_EXCHANGE; words].into_boxed_slice(),
+            attribution: None,
             pending: 0,
             uniform: NO_EXCHANGE,
             attr_dirty: false,
             deferred: None,
+        }
+    }
+
+    /// Number of 32-bit words in the page.
+    #[inline]
+    fn words(&self) -> usize {
+        self.data.len() / WORD_SIZE
+    }
+
+    /// Mutable access to the page image, detaching (copying) it first if a
+    /// published diff still shares it — the "copy" of copy-on-next-write.
+    fn data_mut(&mut self) -> &mut [u8] {
+        if Arc::get_mut(&mut self.data).is_none() {
+            self.data = Arc::from(&self.data[..]);
+        }
+        Arc::get_mut(&mut self.data).expect("freshly detached image is unique")
+    }
+
+    /// Replace the whole image with `src`.  When the current image is still
+    /// shared with a published diff, the new image is built straight from
+    /// `src` — the detach copy a partial write would pay never happens.
+    fn replace_data(&mut self, src: &[u8]) {
+        debug_assert_eq!(src.len(), self.data.len());
+        match Arc::get_mut(&mut self.data) {
+            Some(data) => data.copy_from_slice(src),
+            None => self.data = Arc::from(src),
         }
     }
 
@@ -96,7 +141,12 @@ impl LocalPage {
     /// state; a no-op in the common case.
     fn materialize_content(&mut self) {
         if let Some((d, e)) = self.deferred.take() {
-            d.apply(&mut self.data);
+            // `deferred` implies untwinned, so a whole-page shared snapshot
+            // can be adopted by reference instead of copied.
+            match d.whole_page_shared_image() {
+                Some(image) => self.data = Arc::clone(image),
+                None => d.apply(self.data_mut()),
+            }
             self.attribute_diff(&d, e);
         }
     }
@@ -131,14 +181,19 @@ impl LocalPage {
 
     /// Drop out of the compact uniform/stale attribution representations
     /// into the mixed one, making the per-word `attribution` array
-    /// authoritative.  Called before any partial-range attribution access.
+    /// authoritative (allocating it on first use).  Called before any
+    /// partial-range attribution access.
     fn materialize_attr(&mut self) {
+        let words = self.data.len() / WORD_SIZE;
+        let attribution = self
+            .attribution
+            .get_or_insert_with(|| vec![NO_EXCHANGE; words].into_boxed_slice());
         if self.uniform != NO_EXCHANGE {
-            self.attribution.fill(self.uniform);
+            attribution.fill(self.uniform);
             self.uniform = NO_EXCHANGE;
             self.attr_dirty = false;
         } else if self.attr_dirty {
-            self.attribution.fill(NO_EXCHANGE);
+            attribution.fill(NO_EXCHANGE);
             self.attr_dirty = false;
         }
     }
@@ -160,15 +215,32 @@ impl LocalPage {
 
     /// Create the twin if it does not exist yet.  Returns `true` if a twin
     /// was created by this call (the "first write to a shared page" event).
-    /// No page copy happens here: the twin is virtual, filled in per word by
-    /// the write path as words actually change.
+    /// No page copy happens here: the twin is virtual.
+    ///
+    /// When the image is still `Arc`-shared with a diff published at a
+    /// previous close, it has provably not been mutated since (every
+    /// mutation path detaches first), so it *is* the exact pre-interval
+    /// snapshot — the snapshot becomes the pre-image for free and the write
+    /// path runs in exact mode, with no per-word pre-image saves at all.
+    /// Otherwise the write path fills a private pre-image buffer in per
+    /// word, lazily, as before.
     pub fn ensure_twin(&mut self) -> bool {
         if self.twinned {
             return false;
         }
         self.materialize_content();
-        if self.preimage.is_none() {
-            self.preimage = Some(vec![0u8; self.data.len()].into_boxed_slice());
+        if Arc::get_mut(&mut self.data).is_none() {
+            self.preimage = Some(Arc::clone(&self.data));
+            self.pre_exact = true;
+        } else {
+            self.pre_exact = false;
+            match self.preimage.as_ref() {
+                // Reuse the buffer from an earlier interval if nothing else
+                // (a previous exact-mode snapshot) still holds it.  No weak
+                // references exist, so a strong count of 1 means unique.
+                Some(p) if Arc::strong_count(p) == 1 => {}
+                _ => self.preimage = Some(vec![0u8; self.data.len()].into()),
+            }
         }
         self.changed_words.fill(0);
         self.twinned = true;
@@ -177,8 +249,16 @@ impl LocalPage {
 
     /// Produce the diff of the current writing interval.  Returns `None` if
     /// the page has no twin.  The changed-word bitset is exact, so this is a
-    /// straight run extraction — no page scan.
+    /// straight run extraction — no page scan — and a dense diff borrows
+    /// the page image itself instead of packing a payload copy.
     pub fn make_diff(&self, page: PageId) -> Option<Diff> {
+        self.make_diff_in(page, Vec::new(), Vec::new())
+    }
+
+    /// [`make_diff`](Self::make_diff) with caller-recycled span/payload
+    /// buffers (see [`Diff::from_changed_shared_in`]); the interval close
+    /// path feeds retired diffs' buffers back through here.
+    pub fn make_diff_in(&self, page: PageId, spans: Vec<RunSpan>, packed: Vec<u8>) -> Option<Diff> {
         if !self.twinned {
             return None;
         }
@@ -186,7 +266,13 @@ impl LocalPage {
             self.deferred.is_none(),
             "twinned page with deferred content"
         );
-        Some(Diff::from_changed(page, &self.data, &self.changed_words))
+        Some(Diff::from_changed_shared_in(
+            page,
+            &self.data,
+            &self.changed_words,
+            spans,
+            packed,
+        ))
     }
 
     /// Retire the twin (the interval's modifications have been encoded; the
@@ -199,10 +285,60 @@ impl LocalPage {
     }
 
     /// Store `src` at byte `offset` while a twin is live, keeping the
-    /// changed-word bitset exact: the pre-interval value of a word is saved
-    /// on its first change, and a word whose original value is restored by a
-    /// later store leaves the set again.
+    /// changed-word bitset exact: in exact mode the touched words' bits are
+    /// recomputed against the whole-page snapshot; in lazy mode the
+    /// pre-interval value of a word is saved on its first change.  Either
+    /// way a word whose original value is restored by a later store leaves
+    /// the set again.
     fn store_tracked(&mut self, offset: usize, src: &[u8]) {
+        if src.is_empty() {
+            return;
+        }
+        if self.pre_exact {
+            return self.store_exact(offset, src);
+        }
+        self.store_lazy(offset, src);
+    }
+
+    /// Exact-mode store: the pre-image is a complete snapshot of the
+    /// pre-interval image, so no per-word saves happen at all — the store
+    /// lands and the touched words' changed bits are recomputed by direct
+    /// comparison against the snapshot.  A whole-page store into a
+    /// still-shared image skips even the detach copy: the new image is
+    /// built straight from `src`.
+    fn store_exact(&mut self, offset: usize, src: &[u8]) {
+        let end = offset + src.len();
+        if offset == 0 && end == self.data.len() {
+            self.replace_data(src);
+        } else {
+            self.data_mut()[offset..end].copy_from_slice(src);
+        }
+        let pre = self.preimage.as_deref().expect("exact mode has a snapshot");
+        // Words `src` covers fully get their changed bits straight from the
+        // still-cache-hot source in one pass; only ragged head/tail words
+        // (whose untouched bytes live in the page, not in `src`) re-read the
+        // stored data.  `src` equals the stored range, so the bits are the
+        // same either way.
+        let w0 = offset / WORD_SIZE;
+        let w1 = (end - 1) / WORD_SIZE + 1;
+        let wf0 = offset.div_ceil(WORD_SIZE);
+        let wf1 = end / WORD_SIZE;
+        if wf0 >= wf1 {
+            exact_bits_for_range(&self.data, pre, &mut self.changed_words, w0, w1);
+            return;
+        }
+        if w0 < wf0 {
+            exact_bits_for_range(&self.data, pre, &mut self.changed_words, w0, wf0);
+        }
+        exact_bits_from_src(src, offset, pre, &mut self.changed_words, wf0, wf1);
+        if wf1 < w1 {
+            exact_bits_for_range(&self.data, pre, &mut self.changed_words, wf1, w1);
+        }
+    }
+
+    /// Lazy-mode store: save the pre-interval value of a word on its first
+    /// change, compare on every store to keep the bitset exact.
+    fn store_lazy(&mut self, offset: usize, src: &[u8]) {
         /// Bits of the lower-addressed word within a native-endian `u64`
         /// read across two consecutive words.
         const FIRST: u64 = if cfg!(target_endian = "little") {
@@ -243,12 +379,15 @@ impl LocalPage {
             }
         }
 
-        if src.is_empty() {
-            return;
-        }
         let end = offset + src.len();
-        let data = &mut self.data;
-        let pre: &mut [u8] = self.preimage.as_mut().expect("twinned page has a preimage");
+        if Arc::get_mut(&mut self.data).is_none() {
+            // Detach a still-shared image before mutating it in place.
+            self.data = Arc::from(&self.data[..]);
+        }
+        let data = Arc::get_mut(&mut self.data).expect("freshly detached image is unique");
+        let pre: &mut [u8] =
+            Arc::get_mut(self.preimage.as_mut().expect("twinned page has a preimage"))
+                .expect("lazy-mode pre-image is privately owned");
         let bits = &mut self.changed_words;
 
         // Partial head/tail words take the general path; full words in the
@@ -333,13 +472,15 @@ impl LocalPage {
         }
         if self.twinned {
             self.store_tracked(offset, src);
+        } else if offset == 0 && end == self.data.len() {
+            self.replace_data(src);
         } else {
-            self.data[offset..end].copy_from_slice(src);
+            self.data_mut()[offset..end].copy_from_slice(src);
         }
         let first = offset / WORD_SIZE;
         let last = (end - 1) / WORD_SIZE;
         if self.pending != 0 {
-            if first == 0 && last + 1 == self.attribution.len() {
+            if first == 0 && last + 1 == self.words() {
                 // Whole-page overwrite discards every attribution; the array
                 // (which may hold live or stale values) is left as-is and
                 // flagged for a wipe before its next per-word use.
@@ -348,9 +489,10 @@ impl LocalPage {
                 self.uniform = NO_EXCHANGE;
             } else {
                 self.materialize_attr();
+                let attribution = self.attribution.as_mut().expect("materialized");
                 for w in first..=last {
-                    if self.attribution[w] != NO_EXCHANGE {
-                        self.attribution[w] = NO_EXCHANGE;
+                    if attribution[w] != NO_EXCHANGE {
+                        attribution[w] = NO_EXCHANGE;
                         self.pending -= 1;
                     }
                 }
@@ -382,7 +524,7 @@ impl LocalPage {
                 let e = self.uniform;
                 let count = (last - first + 1) as u32;
                 on_useful(e, count);
-                if count as usize == self.attribution.len() {
+                if count as usize == self.words() {
                     // Whole-page read consumes the uniform attribution
                     // without ever materialising the array.
                     self.pending = 0;
@@ -390,19 +532,21 @@ impl LocalPage {
                     self.attr_dirty = true;
                 } else {
                     self.materialize_attr();
+                    let attribution = self.attribution.as_mut().expect("materialized");
                     for w in first..=last {
-                        self.attribution[w] = NO_EXCHANGE;
+                        attribution[w] = NO_EXCHANGE;
                     }
                     self.pending -= count;
                 }
             } else {
                 self.materialize_attr();
+                let attribution = self.attribution.as_mut().expect("materialized");
                 let mut run_e = NO_EXCHANGE;
                 let mut run_len = 0u32;
                 for w in first..=last {
-                    let e = self.attribution[w];
+                    let e = attribution[w];
                     if e != NO_EXCHANGE {
-                        self.attribution[w] = NO_EXCHANGE;
+                        attribution[w] = NO_EXCHANGE;
                         self.pending -= 1;
                     }
                     if e == run_e {
@@ -440,7 +584,7 @@ impl LocalPage {
             // whole-page load ever lands while a twin is live.
             self.store_tracked(0, src);
         } else {
-            self.data.copy_from_slice(src);
+            self.replace_data(src);
         }
         if exchange == NO_EXCHANGE {
             self.pending = 0;
@@ -449,7 +593,7 @@ impl LocalPage {
         } else {
             // Whole-page delivery: the compact uniform representation
             // replaces a page-sized attribution fill.
-            self.pending = self.attribution.len() as u32;
+            self.pending = self.words() as u32;
             self.uniform = exchange;
         }
     }
@@ -476,8 +620,13 @@ impl LocalPage {
             for (offset, bytes) in diff.runs() {
                 self.store_tracked(offset as usize, bytes);
             }
+        } else if let Some(image) = diff.whole_page_shared_image() {
+            // Zero-copy delivery: a whole-page shared snapshot replaces the
+            // image by reference; the next local write detaches as usual.
+            debug_assert_eq!(image.len(), self.data.len());
+            self.data = Arc::clone(image);
         } else {
-            diff.apply(&mut self.data);
+            diff.apply(self.data_mut());
         }
         self.attribute_diff(diff, exchange);
     }
@@ -493,7 +642,7 @@ impl LocalPage {
         // A diff covering the whole page (the dominant delivery shape for
         // the grid applications) takes the compact uniform representation —
         // no attribution-array traffic at all.
-        let words = self.attribution.len();
+        let words = self.words();
         if let [span] = diff.spans() {
             if span.offset == 0 && span.len as usize / WORD_SIZE == words {
                 self.pending = words as u32;
@@ -505,13 +654,14 @@ impl LocalPage {
         // Runs are disjoint, so when nothing is attributed yet every touched
         // word is a fresh attribution and the per-word scan can be skipped.
         let all_fresh = self.pending == 0;
+        let attribution = self.attribution.as_mut().expect("materialized");
         for span in diff.spans() {
             let first = span.offset as usize / WORD_SIZE;
             let count = span.len as usize / WORD_SIZE;
             if count == 0 {
                 continue;
             }
-            let slice = &mut self.attribution[first..first + count];
+            let slice = &mut attribution[first..first + count];
             if all_fresh {
                 self.pending += count as u32;
             } else {
@@ -567,11 +717,16 @@ impl LocalPage {
                 } else {
                     self.materialize_content();
                 }
-                let (_, bytes) = diff.runs().next().expect("one span, one run");
                 if twinned {
+                    let (_, bytes) = diff.runs().next().expect("one span, one run");
                     self.store_tracked(0, bytes);
+                } else if let Some(image) = diff.whole_page_shared_image() {
+                    // Zero-copy delivery: adopt the shared snapshot instead
+                    // of copying the page.
+                    self.data = Arc::clone(image);
                 } else {
-                    self.data.copy_from_slice(bytes);
+                    let (_, bytes) = diff.runs().next().expect("one span, one run");
+                    self.replace_data(bytes);
                 }
                 if exchange != NO_EXCHANGE {
                     self.pending = (page_len / WORD_SIZE) as u32;
@@ -607,11 +762,12 @@ impl LocalPage {
                     // twin is live must keep the changed-word bitset exact.
                     self.store_tracked(lo, &rbytes[lo - rlo..hi - rlo]);
                 } else {
-                    self.data[lo..hi].copy_from_slice(&rbytes[lo - rlo..hi - rlo]);
+                    self.data_mut()[lo..hi].copy_from_slice(&rbytes[lo - rlo..hi - rlo]);
                 }
                 let (first, last) = (lo / WORD_SIZE, hi / WORD_SIZE - 1);
                 if exchange != NO_EXCHANGE {
-                    let slice = &mut self.attribution[first..=last];
+                    let attribution = self.attribution.as_mut().expect("materialized");
+                    let slice = &mut attribution[first..=last];
                     if all_fresh {
                         self.pending += slice.len() as u32;
                     } else {
@@ -629,10 +785,13 @@ impl LocalPage {
     /// but neither read nor overwritten yet).
     pub fn pending_attributions(&self) -> usize {
         if self.uniform == NO_EXCHANGE && !self.attr_dirty {
-            // Only the mixed representation keeps the array authoritative.
+            // Only the mixed representation keeps the array authoritative
+            // (an unallocated array is all NO_EXCHANGE by definition).
             debug_assert_eq!(
                 self.pending as usize,
                 self.attribution
+                    .as_deref()
+                    .unwrap_or(&[])
                     .iter()
                     .filter(|&&a| a != NO_EXCHANGE)
                     .count(),
@@ -640,6 +799,107 @@ impl LocalPage {
             );
         }
         self.pending as usize
+    }
+}
+
+/// Recompute the changed-word bits of words `[w0, w1)` by direct comparison
+/// of `data` against the complete pre-interval snapshot `pre`:
+/// `bit(w) = (data word w != pre word w)`, set *or cleared*.  Words outside
+/// the range keep their bits.  Pairs of words are compared as one `u64` XOR
+/// with an endian split, as in the diff scan.
+/// Recompute `bits` for words `[w0, w1)` of the page straight from the bytes
+/// just stored over them: word `w`'s bit is set iff its fresh contents in
+/// `src` (which begins at page byte `offset` and fully covers the range)
+/// differ from the pre-interval snapshot.  Bit-identical to running
+/// [`exact_bits_for_range`] over the stored page, without re-reading it.
+fn exact_bits_from_src(
+    src: &[u8],
+    offset: usize,
+    pre: &[u8],
+    bits: &mut [u64],
+    w0: usize,
+    w1: usize,
+) {
+    /// Bits of the lower-addressed word within a native-endian `u64` read
+    /// across two consecutive words.
+    const FIRST: u64 = if cfg!(target_endian = "little") {
+        0x0000_0000_FFFF_FFFF
+    } else {
+        0xFFFF_FFFF_0000_0000
+    };
+    let mut w = w0;
+    while w < w1 {
+        let blk = w / 64;
+        let seg_end = ((blk + 1) * 64).min(w1);
+        let lo = w % 64;
+        let n = seg_end - w;
+        let mask = if n == 64 {
+            !0u64
+        } else {
+            ((1u64 << n) - 1) << lo
+        };
+        let mut new_bits = 0u64;
+        let mut wi = w;
+        while wi + 1 < seg_end {
+            let b = wi * WORD_SIZE;
+            let s8 = u64::from_ne_bytes(src[b - offset..b - offset + 8].try_into().unwrap());
+            let p8 = u64::from_ne_bytes(pre[b..b + 8].try_into().unwrap());
+            let x = s8 ^ p8;
+            let sh = wi % 64;
+            new_bits |=
+                ((((x & FIRST) != 0) as u64) << sh) | ((((x & !FIRST) != 0) as u64) << (sh + 1));
+            wi += 2;
+        }
+        if wi < seg_end {
+            let b = wi * WORD_SIZE;
+            if src[b - offset..b - offset + WORD_SIZE] != pre[b..b + WORD_SIZE] {
+                new_bits |= 1u64 << (wi % 64);
+            }
+        }
+        bits[blk] = (bits[blk] & !mask) | new_bits;
+        w = seg_end;
+    }
+}
+
+fn exact_bits_for_range(data: &[u8], pre: &[u8], bits: &mut [u64], w0: usize, w1: usize) {
+    /// Bits of the lower-addressed word within a native-endian `u64` read
+    /// across two consecutive words.
+    const FIRST: u64 = if cfg!(target_endian = "little") {
+        0x0000_0000_FFFF_FFFF
+    } else {
+        0xFFFF_FFFF_0000_0000
+    };
+    let mut w = w0;
+    while w < w1 {
+        let blk = w / 64;
+        let seg_end = ((blk + 1) * 64).min(w1);
+        let lo = w % 64;
+        let n = seg_end - w;
+        let mask = if n == 64 {
+            !0u64
+        } else {
+            ((1u64 << n) - 1) << lo
+        };
+        let mut new_bits = 0u64;
+        let mut wi = w;
+        while wi + 1 < seg_end {
+            let b = wi * WORD_SIZE;
+            let d8 = u64::from_ne_bytes(data[b..b + 8].try_into().unwrap());
+            let p8 = u64::from_ne_bytes(pre[b..b + 8].try_into().unwrap());
+            let x = d8 ^ p8;
+            let sh = wi % 64;
+            new_bits |=
+                ((((x & FIRST) != 0) as u64) << sh) | ((((x & !FIRST) != 0) as u64) << (sh + 1));
+            wi += 2;
+        }
+        if wi < seg_end {
+            let b = wi * WORD_SIZE;
+            if data[b..b + WORD_SIZE] != pre[b..b + WORD_SIZE] {
+                new_bits |= 1u64 << (wi % 64);
+            }
+        }
+        bits[blk] = (bits[blk] & !mask) | new_bits;
+        w = seg_end;
     }
 }
 

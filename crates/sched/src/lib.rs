@@ -330,18 +330,39 @@ impl Scheduler {
         }
         state.decisions += 1;
         let decisions = state.decisions;
-        let mut best: Option<(u64, u64, usize)> = None;
+        // The winning key is the lexicographic minimum of
+        // `(clock, tie-break, rank)`, so only ranks sitting at the minimum
+        // clock can win: find the clock plateau with a plain integer scan,
+        // then tie-break within it.  With hundreds of runnable processors
+        // parked on a handful of distinct clock values this skips almost
+        // every seeded-mode hash, and it picks the identical rank — the
+        // plateau scan only drops keys that lose on their first component.
+        let mut min_clock: Option<u64> = None;
         for &rank in &state.runnable {
             let ProcState::Runnable { clock_ns } = state.procs[rank] else {
                 unreachable!("runnable set out of sync with proc states");
             };
-            let key = (clock_ns, Self::tie(config, decisions, rank), rank);
-            if best.is_none_or(|b| key < b) {
-                best = Some(key);
+            if min_clock.is_none_or(|m| clock_ns < m) {
+                min_clock = Some(clock_ns);
+            }
+        }
+        let mut best: Option<(u64, usize)> = None;
+        if let Some(min_clock) = min_clock {
+            for &rank in &state.runnable {
+                let ProcState::Runnable { clock_ns } = state.procs[rank] else {
+                    unreachable!("runnable set out of sync with proc states");
+                };
+                if clock_ns != min_clock {
+                    continue;
+                }
+                let key = (Self::tie(config, decisions, rank), rank);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
             }
         }
         match best {
-            Some((_, _, rank)) => {
+            Some((_, rank)) => {
                 state.current = Some(rank);
                 if let Some(trace) = state.trace.as_mut() {
                     trace.push((decisions, rank));

@@ -103,8 +103,14 @@ def validate_cell(cell, i, args):
         for link in links:
             require(link["busy_ns"] >= 0 and link["queue_ns"] >= 0,
                     "links.busy_ns", where, "negative")
-            require(link["utilization"] >= 0.0, "links.utilization", where,
-                    "negative")
+            require(0.0 <= link["utilization"] <= 1.0, "links.utilization",
+                    where, "must be a fraction in [0, 1]")
+            # The occupancy window (emitted since the utilization fix)
+            # bounds the disjoint busy intervals.
+            if "window_ns" in link:
+                require(link["busy_ns"] <= link["window_ns"],
+                        "links.window_ns", where,
+                        "busy_ns exceeds the occupancy window")
 
     # Racecheck fields are additive: absent by default, both present on a
     # checked cell.  races == [] is the explicit checked-and-race-free
